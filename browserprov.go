@@ -1,0 +1,302 @@
+// Package browserprov is a provenance-aware browser history library — a
+// from-scratch reproduction of "The Case for Browser Provenance" (Margo
+// & Seltzer, TaPP '09).
+//
+// It stores every kind of history object (pages, visits, bookmarks,
+// downloads, search terms, form entries) as nodes of one homogeneous,
+// versioned, acyclic provenance graph, and answers the paper's four
+// use-case queries over it:
+//
+//   - contextual history search ("rosebud" finds Citizen Kane),
+//   - personalised web search without sharing history with the engine,
+//   - time-contextual search ("wine associated with plane tickets"),
+//   - download lineage and descendant forensics.
+//
+// Quick start:
+//
+//	h, err := browserprov.Open("historydir")
+//	...
+//	h.Apply(&browserprov.Event{Type: browserprov.TypeVisit, ...})
+//	hits, _, err := h.Search("rosebud", 10)
+//
+// Events come from any source: the bundled capture proxy (NewProxy),
+// the simulated browser used by the experiments, or your own
+// instrumentation.
+package browserprov
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"browserprov/internal/capture"
+	"browserprov/internal/event"
+	"browserprov/internal/export"
+	"browserprov/internal/pql"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/query"
+)
+
+// Event is one browsing action. See the Type* and Trans* constants.
+type Event = event.Event
+
+// Type discriminates events.
+type Type = event.Type
+
+// Event types.
+const (
+	TypeVisit       = event.TypeVisit
+	TypeClose       = event.TypeClose
+	TypeBookmarkAdd = event.TypeBookmarkAdd
+	TypeDownload    = event.TypeDownload
+	TypeSearch      = event.TypeSearch
+	TypeFormSubmit  = event.TypeFormSubmit
+	TypeTabOpen     = event.TypeTabOpen
+)
+
+// Transition is how a navigation happened.
+type Transition = event.Transition
+
+// Navigation transitions.
+const (
+	TransLink              = event.TransLink
+	TransTyped             = event.TransTyped
+	TransBookmark          = event.TransBookmark
+	TransEmbed             = event.TransEmbed
+	TransRedirectPermanent = event.TransRedirectPermanent
+	TransRedirectTemporary = event.TransRedirectTemporary
+	TransDownload          = event.TransDownload
+	TransFramedLink        = event.TransFramedLink
+	TransSearchResult      = event.TransSearchResult
+	TransFormSubmit        = event.TransFormSubmit
+	TransNewTab            = event.TransNewTab
+)
+
+// Node is one provenance graph node.
+type Node = provgraph.Node
+
+// NodeID identifies a node.
+type NodeID = provgraph.NodeID
+
+// Stats summarises the store.
+type Stats = provgraph.Stats
+
+// PageHit is a contextual search result.
+type PageHit = query.PageHit
+
+// TermSuggestion is a personalisation result.
+type TermSuggestion = query.TermSuggestion
+
+// TimeHit is a time-contextual search result.
+type TimeHit = query.TimeHit
+
+// Lineage is a download-lineage answer.
+type Lineage = query.Lineage
+
+// Meta describes a query execution (latency, truncation).
+type Meta = query.Meta
+
+// QueryResult is a PQL result.
+type QueryResult = pql.Result
+
+// Options tunes query behaviour; the zero value gives the paper's
+// defaults (200 ms budget, depth-3 expansion, lens view).
+type Options = query.Options
+
+// History is a provenance-aware browser history: the homogeneous graph
+// store plus the query engine. It is safe for concurrent use.
+type History struct {
+	store *provgraph.Store
+	opts  Options
+
+	mu          sync.Mutex
+	engine      *query.Engine
+	lastIndexed NodeID
+}
+
+// Open opens (or creates) a history in dir with default options.
+func Open(dir string) (*History, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens (or creates) a history in dir.
+func OpenWith(dir string, opts Options) (*History, error) {
+	s, err := provgraph.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &History{store: s, opts: opts}, nil
+}
+
+// Close flushes and closes the history.
+func (h *History) Close() error { return h.store.Close() }
+
+// Apply ingests one browsing event.
+func (h *History) Apply(ev *Event) error { return h.store.Apply(ev) }
+
+// Checkpoint snapshots the store and truncates its log.
+func (h *History) Checkpoint() error { return h.store.Checkpoint() }
+
+// Sync forces buffered events to disk.
+func (h *History) Sync() error { return h.store.Sync() }
+
+// Stats returns node/edge counts.
+func (h *History) Stats() Stats { return h.store.Stats() }
+
+// SizeOnDisk returns the durable footprint in bytes.
+func (h *History) SizeOnDisk() int64 { return h.store.SizeOnDisk() }
+
+// Graph exposes the underlying provenance store for advanced use (graph
+// algorithms, raw edge inspection).
+func (h *History) Graph() *provgraph.Store { return h.store }
+
+// engineRef returns a query engine whose text index covers every node
+// currently in the store, indexing only what is new since the last call.
+func (h *History) engineRef() *query.Engine {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.engine == nil {
+		h.engine = query.NewEngine(h.store, h.opts)
+		ids := h.store.AllNodeIDs()
+		if len(ids) > 0 {
+			h.lastIndexed = ids[len(ids)-1]
+		}
+		return h.engine
+	}
+	for _, id := range h.store.AllNodeIDs() {
+		if id <= h.lastIndexed {
+			continue
+		}
+		if n, ok := h.store.NodeByID(id); ok {
+			h.engine.ObserveNode(n)
+		}
+		h.lastIndexed = id
+	}
+	return h.engine
+}
+
+// Search runs the contextual history search (§2.1 of the paper):
+// a textual match re-ranked and extended through provenance neighbors.
+func (h *History) Search(q string, k int) ([]PageHit, Meta) {
+	return h.engineRef().ContextualSearch(q, k)
+}
+
+// TextualSearch is the provenance-unaware baseline search.
+func (h *History) TextualSearch(q string, k int) []PageHit {
+	return h.engineRef().TextualSearch(q, k)
+}
+
+// Personalize returns history-derived terms associated with q (§2.2).
+func (h *History) Personalize(q string, n int) ([]TermSuggestion, Meta) {
+	return h.engineRef().Personalize(q, n)
+}
+
+// AugmentQuery returns q extended with the strongest associated term —
+// the string a provenance-aware browser would send to a web engine.
+func (h *History) AugmentQuery(q string, minWeight float64) (string, Meta) {
+	return h.engineRef().AugmentQuery(q, minWeight)
+}
+
+// TimeContextualSearch ranks pages matching q by co-display with pages
+// matching anchor (§2.3).
+func (h *History) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
+	return h.engineRef().TimeContextualSearch(q, anchor, k)
+}
+
+// DownloadBySavePath finds the download node saved at path.
+func (h *History) DownloadBySavePath(path string) (Node, bool) {
+	for _, id := range h.store.Downloads() {
+		if n, ok := h.store.NodeByID(id); ok && n.Text == path {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// DownloadLineage answers "how did I get this file?" (§2.4) for the
+// download saved at path.
+func (h *History) DownloadLineage(path string) (Lineage, Meta, error) {
+	d, ok := h.DownloadBySavePath(path)
+	if !ok {
+		return Lineage{}, Meta{}, fmt.Errorf("browserprov: no download saved at %q", path)
+	}
+	lin, meta := h.engineRef().DownloadLineage(d.ID)
+	return lin, meta, nil
+}
+
+// DescendantDownloads lists everything downloaded, directly or
+// transitively, from the page at url (§2.4).
+func (h *History) DescendantDownloads(url string) ([]Node, Meta) {
+	return h.engineRef().DescendantDownloads(url)
+}
+
+// Query evaluates a PQL provenance path query, e.g.
+//
+//	first ancestor of download("/downloads/x.exe") where recognizable
+//	descendants(url("http://shady.example/")) where kind = download
+func (h *History) Query(src string) (QueryResult, error) {
+	return pql.Eval(h.engineRef(), src)
+}
+
+// VerifyDAG checks the acyclicity invariant, returning a violating cycle
+// or nil.
+func (h *History) VerifyDAG() []NodeID { return h.store.VerifyDAG() }
+
+// OpenBetween returns visit nodes opened in [lo, hi).
+func (h *History) OpenBetween(lo, hi time.Time) []NodeID {
+	return h.store.OpenBetween(lo, hi)
+}
+
+// NewProxy returns an HTTP forward proxy (http.Handler) that captures
+// browsing provenance into the history. searchHosts lists hosts whose
+// "q" query parameter should be treated as web searches.
+func (h *History) NewProxy(searchHosts []string) http.Handler {
+	return capture.NewProxy(capture.NewObserver(searchHosts, h.Apply))
+}
+
+// ExpireBefore removes history older than cutoff the provenance-aware
+// way: downloads, bookmarks and their full ancestor lineage survive
+// regardless of age, and splice edges preserve reachability between
+// retained nodes. The result is checkpointed immediately. It returns the
+// number of nodes removed.
+func (h *History) ExpireBefore(cutoff time.Time) (int, error) {
+	removed, err := h.store.ExpireBefore(cutoff)
+	// The text index may reference expired nodes; rebuild lazily.
+	h.mu.Lock()
+	h.engine = nil
+	h.lastIndexed = 0
+	h.mu.Unlock()
+	return removed, err
+}
+
+// Session is a reconstructed browsing sitting.
+type Session = query.Session
+
+// SessionSummary describes a session for display.
+type SessionSummary = query.SessionSummary
+
+// Sessions reconstructs the history's sittings (visits separated by
+// less than 30 minutes) in chronological order.
+func (h *History) Sessions() []Session {
+	return h.engineRef().Sessions()
+}
+
+// RecentSessions summarises the latest n sessions, newest first.
+func (h *History) RecentSessions(n int) []SessionSummary {
+	return h.engineRef().SummarizeSessions(n)
+}
+
+// ExportOptions selects what graph exports include.
+type ExportOptions = export.Options
+
+// WriteDOT writes the history graph (or, with Roots set, a neighborhood)
+// in Graphviz DOT form for visual forensics.
+func (h *History) WriteDOT(w io.Writer, o ExportOptions) error {
+	return export.WriteDOT(w, h.store, o)
+}
+
+// WriteJSON writes the graph as newline-delimited JSON (one node or edge
+// per line) for downstream analysis.
+func (h *History) WriteJSON(w io.Writer, o ExportOptions) error {
+	return export.WriteJSON(w, h.store, o)
+}

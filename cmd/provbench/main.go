@@ -1,0 +1,149 @@
+// Command provbench regenerates the paper's evaluation (experiments
+// E1–E5 in DESIGN.md): it builds the calibrated 79-day synthetic
+// history, dual-writes it into the Places baseline and the provenance
+// store, and prints one table per experiment with the paper's reported
+// value next to the measured one.
+//
+// Usage:
+//
+//	provbench [-seed N] [-days N] [-dir DIR] [-ablation-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"browserprov/internal/experiment"
+	"browserprov/internal/query"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload seed")
+	days := flag.Int("days", experiment.PaperDays, "days of simulated browsing")
+	dir := flag.String("dir", "", "working directory (default: a temp dir, removed on exit)")
+	ablationDays := flag.Int("ablation-days", 20, "days for the E5 ablation workloads")
+	flag.Parse()
+
+	workDir := *dir
+	if workDir == "" {
+		var err error
+		workDir, err = os.MkdirTemp("", "provbench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(workDir)
+	}
+
+	fmt.Printf("browserprov experiment harness — reproducing Margo & Seltzer, TaPP '09\n")
+	fmt.Printf("workload: seed=%d days=%d dir=%s\n\n", *seed, *days, workDir)
+
+	w, err := experiment.Build(experiment.Config{Seed: *seed, Days: *days, Dir: workDir + "/main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	// E3 first: it describes the workload everything else runs on.
+	e3 := experiment.RunE3(w)
+	fmt.Println("== E3: history scale (paper §3: \"more than 25,000 nodes over the past 79 days\") ==")
+	fmt.Printf("  %-28s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("  %-28s %12d %12d\n", "days", e3.PaperDays, e3.Days)
+	fmt.Printf("  %-28s %12s %12d\n", "history nodes", fmt.Sprintf(">%d", e3.PaperNodes), e3.Nodes)
+	fmt.Printf("  %-28s %12s %12d\n", "provenance edges", "-", e3.Edges)
+	fmt.Printf("  %-28s %12.0f %12.0f\n", "nodes/day", float64(e3.PaperNodes)/float64(e3.PaperDays), e3.NodesPerDay)
+	fmt.Printf("  %-28s %12s %12.0f\n", "ingest events/s", "-", e3.EventsPerSec)
+	fmt.Printf("  ingest wall clock: %v for %d events\n\n", e3.IngestWall, e3.Events)
+
+	e1, err := experiment.RunE1(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== E1: storage overhead of the provenance schema over Places (paper §4: 39.5%, <5MB) ==")
+	fmt.Printf("  %-28s %12s %12s\n", "metric", "paper", "measured")
+	fmt.Printf("  %-28s %12s %12s\n", "places store", "-", fmtBytes(e1.PlacesBytes))
+	fmt.Printf("  %-28s %12s %12s\n", "provenance store", "-", fmtBytes(e1.ProvBytes))
+	fmt.Printf("  %-28s %11.1f%% %11.1f%%\n", "overhead", e1.PaperOverheadPct, e1.OverheadPct)
+	fmt.Printf("  %-28s %9.1f MB %9.2f MB\n", "absolute overhead", e1.PaperAbsoluteMB, e1.AbsoluteMB)
+	fmt.Println()
+
+	e2 := experiment.RunE2(w, query.Options{})
+	fmt.Println("== E2: query latency (paper §4: \"less than 200ms in the majority of cases\") ==")
+	fmt.Printf("  %-22s %8s %10s %10s %10s %10s %8s\n", "query (n=100 each)", "median", "p90", "max", "<200ms", "truncated", "paper")
+	row := func(name string, d experiment.LatencyDist) {
+		fmt.Printf("  %-22s %8s %10s %10s %9.0f%% %9.0f%% %8s\n",
+			name, d.Median.Round(10e3), d.P90.Round(10e3), d.Max.Round(10e3),
+			d.UnderBoundPct, d.TruncatedPct, "<200ms")
+	}
+	row("contextual search", e2.Contextual)
+	row("personalize", e2.Personalize)
+	row("time-contextual", e2.TimeContext)
+	row("download lineage", e2.Lineage)
+	fmt.Println()
+
+	e4 := experiment.RunE4(w, query.Options{})
+	fmt.Println("== E4: use-case quality (paper §2 scenarios; baseline = textual history search) ==")
+	fmt.Printf("  %-44s %10s %10s\n", "scenario", "baseline", "provenance")
+	fmt.Printf("  %-44s %10s %10s\n", "rosebud -> Citizen Kane (rank; 0=missed)", rankStr(e4.RosebudBaselineRank), rankStr(e4.RosebudRank))
+	fmt.Printf("  %-44s %10s %10s\n", "gardener term for \"rosebud\"", "-", orMiss(e4.GardenerTermFound, e4.GardenerTerm))
+	fmt.Printf("  %-44s %10s %10s\n", "wine-with-plane-tickets (rank)", rankStr(e4.WineBaselineRank), rankStr(e4.WineRank))
+	fmt.Printf("  %-44s %10s %10s\n", "malware lineage reaches known forum", "n/a", yesNo(e4.MalwareLineageOK))
+	fmt.Printf("  %-44s %10s %7d/%d\n", "payloads found from untrusted page", "n/a", e4.MalwareDescendants, e4.MalwareDescendantsWant)
+	fmt.Println()
+
+	e5, err := experiment.RunE5(experiment.Config{Seed: *seed, Days: *ablationDays, Dir: workDir + "/ablation"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== E5: §3.1 versioning ablation (%d-day workload) ==\n", *ablationDays)
+	fmt.Printf("  %-26s %14s %14s\n", "metric", "version-nodes", "edge-stamps")
+	fmt.Printf("  %-26s %14d %14d\n", "nodes", e5.NodeVersioning.Nodes, e5.EdgeVersioning.Nodes)
+	fmt.Printf("  %-26s %14d %14d\n", "edges", e5.NodeVersioning.Edges, e5.EdgeVersioning.Edges)
+	fmt.Printf("  %-26s %14s %14s\n", "store size", fmtBytes(e5.NodeVersioning.Bytes), fmtBytes(e5.EdgeVersioning.Bytes))
+	fmt.Printf("  %-26s %14s %14s\n", "node graph acyclic", yesNo(e5.NodeVersioning.DAG), yesNo(e5.EdgeVersioning.DAG))
+	fmt.Printf("  %-26s %14s %14s\n", "rosebud rank", rankStr(e5.NodeVersioning.RosebudRank), rankStr(e5.EdgeVersioning.RosebudRank))
+	fmt.Printf("  %-26s %14s %14s\n", "contextual median", e5.NodeVersioning.ContextualMedian.Round(10e3).String(), e5.EdgeVersioning.ContextualMedian.Round(10e3).String())
+	fmt.Println()
+	fmt.Println("== E5b: §3.2 redirect/embed lens ablation ==")
+	fmt.Printf("  %-44s %10s %10s\n", "metric", "raw graph", "lens")
+	fmt.Printf("  %-44s %10d %10d\n", "redirect hops in top-20 (25 queries)", e5.Lens.RawRedirectHits, e5.Lens.LensRedirectHits)
+	fmt.Printf("  %-44s %10s %10s\n", "rosebud rank", rankStr(e5.Lens.RosebudRankRaw), rankStr(e5.Lens.RosebudRankLens))
+	fmt.Println()
+	fmt.Println("== E5c: HITS blending ablation ==")
+	fmt.Printf("  %-44s %10s %10s\n", "metric", "expansion", "+HITS")
+	fmt.Printf("  %-44s %10s %10s\n", "rosebud rank", rankStr(e5.HITS.RosebudRankOff), rankStr(e5.HITS.RosebudRankOn))
+	fmt.Printf("  %-44s %10s %10s\n", "contextual median", e5.HITS.MedianOff.Round(10e3).String(), e5.HITS.MedianOn.Round(10e3).String())
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func rankStr(r int) string {
+	if r == 0 {
+		return "missed"
+	}
+	return fmt.Sprintf("#%d", r)
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func orMiss(ok bool, s string) string {
+	if !ok {
+		return "missed"
+	}
+	return s
+}

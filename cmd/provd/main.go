@@ -1,0 +1,83 @@
+// Command provd is the capture daemon: an HTTP forward proxy that
+// records browsing provenance into a store directory while relaying
+// traffic. Point a browser (or curl -x) at it:
+//
+//	provd -dir ./history -listen 127.0.0.1:8888 &
+//	curl -x http://127.0.0.1:8888 http://example.com/
+//	provquery -dir ./history search example
+//
+// HTTPS CONNECT tunnels are relayed but not observed (encrypted traffic
+// carries no provenance the proxy can see); plain-HTTP browsing is fully
+// captured: referrer chains, redirects, downloads, search queries and
+// page titles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"browserprov/internal/capture"
+	"browserprov/internal/provgraph"
+)
+
+func main() {
+	dir := flag.String("dir", "", "provenance store directory (required)")
+	listen := flag.String("listen", "127.0.0.1:8888", "proxy listen address")
+	searchHosts := flag.String("search-hosts", "search.example,www.google.com,duckduckgo.com,www.bing.com",
+		"comma-separated hosts whose q= parameter is a web search")
+	checkpointEvery := flag.Duration("checkpoint", 5*time.Minute, "checkpoint interval")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("provd: -dir is required")
+	}
+
+	store, err := provgraph.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	observer := capture.NewObserver(strings.Split(*searchHosts, ","), store.Apply)
+	proxy := capture.NewProxy(observer)
+
+	srv := &http.Server{Addr: *listen, Handler: proxy}
+	go func() {
+		log.Printf("provd: capturing on %s into %s", *listen, *dir)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	ticker := time.NewTicker(*checkpointEvery)
+	defer ticker.Stop()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-ticker.C:
+			if err := store.Checkpoint(); err != nil {
+				log.Printf("provd: checkpoint: %v", err)
+			}
+			st := store.Stats()
+			log.Printf("provd: checkpoint ok (%d nodes, %d edges, %d sink errors)", st.Nodes, st.Edges, observer.Errs())
+		case <-sigc:
+			fmt.Println()
+			log.Print("provd: shutting down")
+			srv.Close()
+			if err := store.Checkpoint(); err != nil {
+				log.Printf("provd: final checkpoint: %v", err)
+			}
+			if err := store.Close(); err != nil {
+				log.Fatalf("provd: close: %v", err)
+			}
+			return
+		}
+	}
+}

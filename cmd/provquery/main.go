@@ -1,0 +1,166 @@
+// Command provquery runs the paper's use-case queries — or arbitrary
+// PQL — against a provenance store directory (as created by provgen or
+// cmd/provd).
+//
+// Usage:
+//
+//	provquery -dir ./history/prov search "rosebud"
+//	provquery -dir ./history/prov textual "rosebud"
+//	provquery -dir ./history/prov personalize "rosebud"
+//	provquery -dir ./history/prov timectx "wine" "plane tickets"
+//	provquery -dir ./history/prov lineage /home/user/downloads/codecpack.exe
+//	provquery -dir ./history/prov downloads-from http://freebies13.example/landing
+//	provquery -dir ./history/prov pql 'descendants(term("rosebud")) where kind = download'
+//	provquery -dir ./history/prov stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"browserprov/internal/export"
+	"browserprov/internal/pql"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/query"
+)
+
+func main() {
+	dir := flag.String("dir", "", "provenance store directory (required)")
+	k := flag.Int("k", 10, "max results")
+	budget := flag.Duration("budget", query.DefaultBudget, "query time budget")
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: provquery -dir DIR <search|textual|personalize|timectx|lineage|downloads-from|pql|dot|json|stats> [args]")
+		os.Exit(2)
+	}
+
+	store, err := provgraph.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	eng := query.NewEngine(store, query.Options{Budget: *budget})
+
+	cmd := flag.Arg(0)
+	arg := func(i int) string {
+		if flag.NArg() <= i {
+			log.Fatalf("provquery: %s needs an argument", cmd)
+		}
+		return flag.Arg(i)
+	}
+
+	switch cmd {
+	case "search":
+		hits, meta := eng.ContextualSearch(arg(1), *k)
+		printHits(hits, meta)
+	case "textual":
+		printHits(eng.TextualSearch(arg(1), *k), query.Meta{})
+	case "personalize":
+		suggestions, meta := eng.Personalize(arg(1), *k)
+		for i, s := range suggestions {
+			fmt.Printf("%2d. %-24s %8.3f\n", i+1, s.Term, s.Weight)
+		}
+		printMeta(meta)
+	case "timectx":
+		hits, meta := eng.TimeContextualSearch(arg(1), arg(2), *k)
+		for i, h := range hits {
+			fmt.Printf("%2d. %-56s overlap=%.0fs score=%.3f\n", i+1, clip(h.URL, 56), h.Overlap, h.Score)
+		}
+		printMeta(meta)
+	case "lineage":
+		path := arg(1)
+		var dl provgraph.NodeID
+		for _, id := range store.Downloads() {
+			if n, ok := store.NodeByID(id); ok && (n.Text == path || n.URL == path) {
+				dl = id
+			}
+		}
+		if dl == 0 {
+			log.Fatalf("provquery: no download %q", path)
+		}
+		lin, meta := eng.DownloadLineage(dl)
+		if !lin.Found {
+			fmt.Println("no recognizable ancestor; full chain:")
+		}
+		for i, n := range lin.Path {
+			fmt.Printf("%2d. [%-11s] %s %s\n", i, n.Kind, n.URL, n.Text)
+		}
+		printMeta(meta)
+	case "downloads-from":
+		dls, meta := eng.DescendantDownloads(arg(1))
+		for i, d := range dls {
+			fmt.Printf("%2d. %s (from %s at %s)\n", i+1, d.Text, d.URL, d.Open.Format(time.RFC3339))
+		}
+		printMeta(meta)
+	case "pql":
+		res, err := pql.Eval(eng, arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.IsPath && !res.Found {
+			fmt.Println("no match; chain shown:")
+		}
+		for i, n := range res.Nodes {
+			fmt.Printf("%2d. [%-11s] %s %s %s\n", i+1, n.Kind, n.URL, n.Title, n.Text)
+		}
+	case "dot":
+		// Optional argument: a save path or URL whose neighborhood to
+		// export; otherwise the whole graph.
+		o := export.Options{}
+		if flag.NArg() > 1 {
+			root := flag.Arg(1)
+			for _, id := range store.Downloads() {
+				if n, ok := store.NodeByID(id); ok && (n.Text == root || n.URL == root) {
+					o.Roots = append(o.Roots, id)
+				}
+			}
+			if page, ok := store.PageByURL(root); ok {
+				o.Roots = append(o.Roots, store.VisitsOfPage(page.ID)...)
+			}
+			if len(o.Roots) == 0 {
+				log.Fatalf("provquery: no node matches %q", root)
+			}
+		}
+		if err := export.WriteDOT(os.Stdout, store, o); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := export.WriteJSON(os.Stdout, store, export.Options{IncludeEmbeds: true}); err != nil {
+			log.Fatal(err)
+		}
+	case "stats":
+		st := store.Stats()
+		fmt.Printf("nodes     %d\n  pages     %d\n  visits    %d\n  bookmarks %d\n  downloads %d\n  terms     %d\n  forms     %d\nedges     %d\nsize      %d bytes\n",
+			st.Nodes, st.Pages, st.Visits, st.Bookmarks, st.Downloads, st.Terms, st.Forms, st.Edges, store.SizeOnDisk())
+		if cycle := store.VerifyDAG(); cycle != nil {
+			fmt.Printf("DAG invariant: VIOLATED (%v)\n", cycle)
+		} else {
+			fmt.Println("DAG invariant: ok")
+		}
+	default:
+		log.Fatalf("provquery: unknown command %q", cmd)
+	}
+}
+
+func printHits(hits []query.PageHit, meta query.Meta) {
+	for i, h := range hits {
+		fmt.Printf("%2d. %-56s text=%.3f prov=%.3f\n", i+1, clip(h.URL+" "+h.Title, 56), h.TextScore, h.ProvScore)
+	}
+	printMeta(meta)
+}
+
+func printMeta(meta query.Meta) {
+	if meta.Elapsed > 0 {
+		fmt.Printf("-- %v%s\n", meta.Elapsed.Round(10*time.Microsecond), map[bool]string{true: " (truncated by budget)", false: ""}[meta.Truncated])
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

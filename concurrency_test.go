@@ -1,0 +1,178 @@
+package browserprov
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentApplyAndQuery hammers the public API from concurrent
+// writers and readers; run with -race to validate the locking story.
+func TestConcurrentApplyAndQuery(t *testing.T) {
+	h := openHistory(t)
+	feedRosebud(t, h)
+
+	const (
+		writers = 4
+		readers = 4
+		perG    = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perG)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := t0.Add(time.Duration(w) * time.Hour)
+			for i := 0; i < perG; i++ {
+				ev := &Event{
+					Time: base.Add(time.Duration(i) * time.Second),
+					Type: TypeVisit, Tab: 100 + w,
+					URL:        fmt.Sprintf("http://w%d.example/p%d", w, i),
+					Title:      "concurrent page",
+					Transition: TransTyped,
+				}
+				if err := h.Apply(ev); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 4 {
+				case 0:
+					h.Search("rosebud", 5)
+				case 1:
+					h.TextualSearch("concurrent", 5)
+				case 2:
+					h.Stats()
+				case 3:
+					h.TimeContextualSearch("concurrent", "rosebud", 3)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Everything written is present and the invariant held throughout.
+	st := h.Stats()
+	if st.Visits < writers*perG {
+		t.Fatalf("visits = %d, want >= %d", st.Visits, writers*perG)
+	}
+	if cycle := h.VerifyDAG(); cycle != nil {
+		t.Fatalf("cycle after concurrent load: %v", cycle)
+	}
+}
+
+// TestConcurrentCheckpoint interleaves checkpoints with writes.
+func TestConcurrentCheckpoint(t *testing.T) {
+	h := openHistory(t)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			ev := &Event{
+				Time: t0.Add(time.Duration(i) * time.Second),
+				Type: TypeVisit, Tab: 1,
+				URL:        fmt.Sprintf("http://cp.example/p%d", i),
+				Transition: TransTyped,
+			}
+			if err := h.Apply(ev); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := h.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if h.Stats().Visits != 300 {
+		t.Fatalf("visits = %d", h.Stats().Visits)
+	}
+}
+
+// TestPublicAPIExpireBefore covers retention through the facade,
+// including index rebuild after expiration.
+func TestPublicAPIExpireBefore(t *testing.T) {
+	h := openHistory(t)
+	feedRosebud(t, h)
+	// An old page outside the download's ancestor closure — the only
+	// thing eligible to expire (the rosebud chain is pinned by the
+	// poster download's lineage).
+	if err := h.Apply(&Event{Time: t0.Add(time.Hour), Type: TypeVisit, Tab: 3,
+		URL: "http://ephemeral.example/", Title: "Ephemeral", Transition: TransTyped}); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the engine.
+	if hits, _ := h.Search("rosebud", 5); len(hits) == 0 {
+		t.Fatal("no hits before expiration")
+	}
+	// Add recent unrelated history far in the future.
+	future := t0.Add(90 * 24 * time.Hour)
+	if err := h.Apply(&Event{Time: future, Type: TypeVisit, Tab: 2,
+		URL: "http://fresh.example/", Title: "Fresh zebra page", Transition: TransTyped}); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := h.ExpireBefore(t0.Add(30 * 24 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("nothing expired")
+	}
+	// The download and its lineage survive (pinned).
+	if _, _, err := h.DownloadLineage("/downloads/kane-poster.jpg"); err != nil {
+		t.Fatalf("download lineage lost: %v", err)
+	}
+	// The rebuilt index serves fresh content and drops expired-only
+	// pages from textual search.
+	if hits := h.TextualSearch("zebra", 5); len(hits) != 1 {
+		t.Fatalf("fresh page not searchable after expire: %+v", hits)
+	}
+}
+
+// TestPublicAPIExportDOT smoke-tests graph export through the facade.
+func TestPublicAPIExportDOT(t *testing.T) {
+	h := openHistory(t)
+	feedRosebud(t, h)
+	var buf syncBuffer
+	if err := h.WriteDOT(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty DOT output")
+	}
+	buf.Reset()
+	if err := h.WriteJSON(&buf, ExportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON output")
+	}
+}
+
+// syncBuffer is a tiny bytes.Buffer clone avoiding an extra import.
+type syncBuffer struct{ b []byte }
+
+func (s *syncBuffer) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *syncBuffer) Len() int                    { return len(s.b) }
+func (s *syncBuffer) Reset()                      { s.b = s.b[:0] }

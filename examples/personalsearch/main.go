@@ -1,0 +1,74 @@
+// Personalised web search (§2.2 of the paper): the gardener whose
+// "rosebud" means a flower, not a sled. The browser mines her own
+// provenance graph for associated terms and augments the outgoing web
+// query — no history ever leaves the machine.
+//
+//	go run ./examples/personalsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"browserprov"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "browserprov-personal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	h, err := browserprov.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	// The gardener's browsing: rosebud searches landing on flower pages.
+	now := time.Date(2009, 3, 1, 10, 0, 0, 0, time.UTC)
+	tick := func() time.Time { now = now.Add(45 * time.Second); return now }
+	apply := func(ev *browserprov.Event) {
+		if err := h.Apply(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	visit := func(url, title, ref string, tr browserprov.Transition) {
+		apply(&browserprov.Event{Time: tick(), Type: browserprov.TypeVisit, Tab: 1,
+			URL: url, Title: title, Referrer: ref, Transition: tr})
+	}
+
+	visit("http://home.example/", "Home", "", browserprov.TransTyped)
+	apply(&browserprov.Event{Time: tick(), Type: browserprov.TypeSearch, Tab: 1,
+		Terms: "rosebud care", URL: "http://search.example/?q=rosebud+care"})
+	visit("http://search.example/?q=rosebud+care", "rosebud care - Web Search",
+		"http://home.example/", browserprov.TransLink)
+	visit("http://garden.example/rosebud-care", "Rosebud care guide - flower gardening",
+		"http://search.example/?q=rosebud+care", browserprov.TransSearchResult)
+	visit("http://garden.example/pruning", "Pruning flower shrubs in spring",
+		"http://garden.example/rosebud-care", browserprov.TransLink)
+	visit("http://garden.example/soil", "Flower bed soil preparation",
+		"http://garden.example/pruning", browserprov.TransLink)
+	// Unrelated noise so the association is earned, not trivial.
+	for i := 0; i < 15; i++ {
+		visit(fmt.Sprintf("http://news.example/story-%d", i), "Evening news roundup", "",
+			browserprov.TransTyped)
+	}
+
+	// What does this user's history associate with "rosebud"?
+	fmt.Println(`personalisation terms for "rosebud":`)
+	suggestions, meta := h.Personalize("rosebud", 5)
+	for i, s := range suggestions {
+		fmt.Printf("  %d. %-20s %.3f\n", i+1, s.Term, s.Weight)
+	}
+	fmt.Printf("  (%v)\n\n", meta.Elapsed.Round(10*time.Microsecond))
+
+	// The query that actually goes to the search engine. Note what it
+	// does NOT contain: any page, visit or timestamp from history.
+	augmented, _ := h.AugmentQuery("rosebud", 0.01)
+	fmt.Printf("query sent to the web search engine: %q\n", augmented)
+	fmt.Println("(the engine learns one extra term — never the history that produced it)")
+}

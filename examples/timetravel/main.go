@@ -1,0 +1,79 @@
+// Time-contextual history search (§2.3 of the paper): "the wine page I
+// had open while shopping for plane tickets". Textual search drowns in
+// wine pages; interval-overlap provenance pinpoints the one.
+//
+//	go run ./examples/timetravel
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"browserprov"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "browserprov-timectx-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	h, err := browserprov.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	now := time.Date(2009, 1, 10, 19, 0, 0, 0, time.UTC)
+	apply := func(ev *browserprov.Event) {
+		if err := h.Apply(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Weeks of assorted wine browsing (the haystack).
+	for i := 0; i < 12; i++ {
+		url := fmt.Sprintf("http://wine.example/review-%02d", i)
+		apply(&browserprov.Event{Time: now, Type: browserprov.TypeVisit, Tab: 1,
+			URL: url, Title: "Weekly wine review", Transition: browserprov.TransTyped})
+		now = now.Add(10 * time.Minute)
+		apply(&browserprov.Event{Time: now, Type: browserprov.TypeClose, Tab: 1, URL: url})
+		now = now.Add(19 * time.Hour)
+	}
+
+	// The needle: one evening with plane tickets open in another tab.
+	now = now.Add(30 * time.Hour)
+	apply(&browserprov.Event{Time: now, Type: browserprov.TypeVisit, Tab: 1,
+		URL: "http://travel.example/paris", Title: "Plane tickets to Paris",
+		Transition: browserprov.TransTyped})
+	now = now.Add(2 * time.Minute)
+	apply(&browserprov.Event{Time: now, Type: browserprov.TypeVisit, Tab: 2,
+		URL: "http://wine.example/chateau-margaux", Title: "Chateau Margaux 1995 - wine cellar",
+		Transition: browserprov.TransTyped})
+	now = now.Add(15 * time.Minute)
+	apply(&browserprov.Event{Time: now, Type: browserprov.TypeClose, Tab: 2,
+		URL: "http://wine.example/chateau-margaux"})
+	now = now.Add(5 * time.Minute)
+	apply(&browserprov.Event{Time: now, Type: browserprov.TypeClose, Tab: 1,
+		URL: "http://travel.example/paris"})
+
+	// Plain search: every wine page matches; the one she wants is lost.
+	fmt.Println(`textual search "wine" (the stock browser experience):`)
+	plain := h.TextualSearch("wine", 0)
+	fmt.Printf("  %d matching pages — which one was it?\n\n", len(plain))
+
+	// §2.3: "wine associated with plane tickets".
+	fmt.Println(`time-contextual search: "wine" associated with "plane tickets":`)
+	hits, meta := h.TimeContextualSearch("wine", "plane tickets", 5)
+	for i, hit := range hits {
+		fmt.Printf("  %d. %-44s overlap=%.0fs\n", i+1, hit.URL, hit.Overlap)
+	}
+	fmt.Printf("  (%v)\n", meta.Elapsed.Round(10*time.Microsecond))
+
+	if len(hits) > 0 && hits[0].URL == "http://wine.example/chateau-margaux" {
+		fmt.Println("\nfound it: the bottle she saw while booking Paris.")
+	}
+}

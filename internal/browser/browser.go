@@ -1,0 +1,395 @@
+// Package browser implements the simulated browser: tabs with
+// back/forward stacks, a location bar, bookmarks, and a download
+// manager. Driving it produces the event stream (internal/event) that
+// both history stores consume. The browser emits exactly the provenance
+// signals the paper's taxonomy discusses — including the ones real
+// browsers drop, such as close times, typed-navigation context and
+// first-class search events.
+package browser
+
+import (
+	"fmt"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/webgen"
+)
+
+// Sink consumes browsing events (a history store's Apply method).
+type Sink func(*event.Event) error
+
+// Browser is the simulated user agent over a synthetic web.
+type Browser struct {
+	web   *webgen.Web
+	sinks []Sink
+
+	tabs    map[int]*tab
+	nextTab int
+	active  int
+
+	bookmarks map[string]string // url -> title
+
+	// Clock is the simulated time; every action advances it.
+	clock time.Time
+}
+
+type tab struct {
+	id int
+	// stack is the back/forward history; cur indexes the current page.
+	stack []stackEntry
+	cur   int
+}
+
+type stackEntry struct {
+	url   string
+	title string
+}
+
+// New creates a browser over web starting its clock at start.
+func New(web *webgen.Web, start time.Time, sinks ...Sink) *Browser {
+	b := &Browser{
+		web:       web,
+		sinks:     sinks,
+		tabs:      make(map[int]*tab),
+		bookmarks: make(map[string]string),
+		clock:     start,
+		nextTab:   1,
+	}
+	b.active = b.newTab()
+	return b
+}
+
+// Clock returns the simulated time.
+func (b *Browser) Clock() time.Time { return b.clock }
+
+// Advance moves the simulated clock forward.
+func (b *Browser) Advance(d time.Duration) { b.clock = b.clock.Add(d) }
+
+// ActiveTab returns the active tab ID.
+func (b *Browser) ActiveTab() int { return b.active }
+
+// NumTabs returns the number of open tabs.
+func (b *Browser) NumTabs() int { return len(b.tabs) }
+
+// CurrentURL returns the active tab's current URL ("" on a fresh tab).
+func (b *Browser) CurrentURL() string {
+	t := b.tabs[b.active]
+	if t == nil || t.cur < 0 || t.cur >= len(t.stack) {
+		return ""
+	}
+	return t.stack[t.cur].url
+}
+
+// Bookmarks returns a copy of the bookmark map.
+func (b *Browser) Bookmarks() map[string]string {
+	out := make(map[string]string, len(b.bookmarks))
+	for u, t := range b.bookmarks {
+		out[u] = t
+	}
+	return out
+}
+
+func (b *Browser) newTab() int {
+	id := b.nextTab
+	b.nextTab++
+	b.tabs[id] = &tab{id: id, cur: -1}
+	return id
+}
+
+func (b *Browser) emit(ev *event.Event) error {
+	for _, sink := range b.sinks {
+		if err := sink(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step advances the clock by a small, deterministic "think time".
+func (b *Browser) step() time.Time {
+	b.clock = b.clock.Add(7 * time.Second)
+	return b.clock
+}
+
+// navigate performs the full page-load protocol on tab id: the visit
+// event, any redirect chain, and the target's embedded resources.
+// It returns the final landed page (after redirects).
+func (b *Browser) navigate(tabID int, url, referrer string, tr event.Transition) (*webgen.Page, error) {
+	t := b.tabs[tabID]
+	if t == nil {
+		return nil, fmt.Errorf("browser: no tab %d", tabID)
+	}
+	page, known := b.web.PageByURL(url)
+	title := ""
+	if known {
+		title = page.Title
+	}
+	if err := b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeVisit, Tab: tabID,
+		URL: url, Title: title, Referrer: referrer, Transition: tr,
+	}); err != nil {
+		return nil, err
+	}
+	// Follow the redirect chain.
+	cur := page
+	curURL := url
+	for cur != nil && cur.RedirectTo >= 0 {
+		next := b.web.PageByID(cur.RedirectTo)
+		if next == nil {
+			break
+		}
+		if err := b.emit(&event.Event{
+			Time: b.step(), Type: event.TypeVisit, Tab: tabID,
+			URL: next.URL, Title: next.Title, Referrer: curURL,
+			Transition: event.TransRedirectTemporary,
+		}); err != nil {
+			return nil, err
+		}
+		curURL = next.URL
+		cur = next
+	}
+	// Embedded content of the landed page.
+	if cur != nil {
+		for _, em := range cur.Embeds {
+			if err := b.emit(&event.Event{
+				Time: b.clock, Type: event.TypeVisit, Tab: tabID,
+				URL: em, Referrer: curURL, Transition: event.TransEmbed,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	finalTitle := title
+	if cur != nil {
+		finalTitle = cur.Title
+	}
+	// Push onto the tab's back stack (dropping any forward entries).
+	t.stack = append(t.stack[:t.cur+1], stackEntry{url: curURL, title: finalTitle})
+	t.cur = len(t.stack) - 1
+	return cur, nil
+}
+
+// NavigateTyped simulates the user typing a URL (or picking an
+// autocomplete entry) in the active tab's location bar.
+func (b *Browser) NavigateTyped(url string) (*webgen.Page, error) {
+	// Real typed navigations have no referrer; the provenance store
+	// still links from the tab's current page (§3.2).
+	return b.navigate(b.active, url, "", event.TransTyped)
+}
+
+// FollowLink clicks the i-th link of the active tab's current page.
+func (b *Browser) FollowLink(i int) (*webgen.Page, error) {
+	cur, err := b.currentPage()
+	if err != nil {
+		return nil, err
+	}
+	if len(cur.Links) == 0 {
+		return nil, fmt.Errorf("browser: page %s has no links", cur.URL)
+	}
+	target := b.web.PageByID(cur.Links[i%len(cur.Links)])
+	return b.navigate(b.active, target.URL, cur.URL, event.TransLink)
+}
+
+// Search issues a web search from the active tab and lands on the
+// results page.
+func (b *Browser) Search(terms string) error {
+	resultsURL := b.web.ResultsURL(terms)
+	ref := b.CurrentURL()
+	if err := b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeSearch, Tab: b.active,
+		Terms: terms, URL: resultsURL,
+	}); err != nil {
+		return err
+	}
+	// The results page is a dynamic page outside the synthetic site
+	// graph; emit its visit directly.
+	if err := b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeVisit, Tab: b.active,
+		URL: resultsURL, Title: terms + " - Web Search", Referrer: ref,
+		Transition: event.TransLink,
+	}); err != nil {
+		return err
+	}
+	t := b.tabs[b.active]
+	t.stack = append(t.stack[:t.cur+1], stackEntry{url: resultsURL, title: terms + " - Web Search"})
+	t.cur = len(t.stack) - 1
+	return nil
+}
+
+// ClickResult opens the i-th search result for terms (the engine is
+// re-queried deterministically).
+func (b *Browser) ClickResult(terms string, i int) (*webgen.Page, error) {
+	results := b.web.Search(terms, 10)
+	if len(results) == 0 {
+		return nil, fmt.Errorf("browser: no results for %q", terms)
+	}
+	target := results[i%len(results)]
+	return b.navigate(b.active, target.URL, b.web.ResultsURL(terms), event.TransSearchResult)
+}
+
+// Download saves the i-th file offered by the current page.
+func (b *Browser) Download(i int) (string, error) {
+	cur, err := b.currentPage()
+	if err != nil {
+		return "", err
+	}
+	if len(cur.Downloads) == 0 {
+		return "", fmt.Errorf("browser: page %s offers no downloads", cur.URL)
+	}
+	fileURL := cur.Downloads[i%len(cur.Downloads)]
+	save := "/home/user/downloads/" + pathBase(fileURL)
+	err = b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeDownload, Tab: b.active,
+		URL: fileURL, Referrer: cur.URL, SavePath: save,
+		ContentType: "application/zip",
+	})
+	return save, err
+}
+
+// BookmarkCurrent bookmarks the active tab's page.
+func (b *Browser) BookmarkCurrent() error {
+	t := b.tabs[b.active]
+	if t == nil || t.cur < 0 {
+		return fmt.Errorf("browser: nothing to bookmark")
+	}
+	e := t.stack[t.cur]
+	b.bookmarks[e.url] = e.title
+	return b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeBookmarkAdd, Tab: b.active,
+		URL: e.url, Title: e.title,
+	})
+}
+
+// VisitBookmark navigates the active tab to a bookmarked URL.
+func (b *Browser) VisitBookmark(url string) (*webgen.Page, error) {
+	if _, ok := b.bookmarks[url]; !ok {
+		return nil, fmt.Errorf("browser: %s is not bookmarked", url)
+	}
+	return b.navigate(b.active, url, "", event.TransBookmark)
+}
+
+// OpenInNewTab opens the i-th link of the current page in a fresh tab
+// and switches to it.
+func (b *Browser) OpenInNewTab(i int) (*webgen.Page, error) {
+	cur, err := b.currentPage()
+	if err != nil {
+		return nil, err
+	}
+	if len(cur.Links) == 0 {
+		return nil, fmt.Errorf("browser: page %s has no links", cur.URL)
+	}
+	target := b.web.PageByID(cur.Links[i%len(cur.Links)])
+	id := b.newTab()
+	if err := b.emit(&event.Event{
+		Time: b.step(), Type: event.TypeTabOpen, Tab: id, URL: cur.URL,
+	}); err != nil {
+		return nil, err
+	}
+	page, err := b.navigate(id, target.URL, cur.URL, event.TransNewTab)
+	if err != nil {
+		return nil, err
+	}
+	b.active = id
+	return page, nil
+}
+
+// SwitchTab makes tab id active.
+func (b *Browser) SwitchTab(id int) error {
+	if _, ok := b.tabs[id]; !ok {
+		return fmt.Errorf("browser: no tab %d", id)
+	}
+	b.active = id
+	return nil
+}
+
+// TabIDs returns the open tab IDs in creation order.
+func (b *Browser) TabIDs() []int {
+	var out []int
+	for id := 1; id < b.nextTab; id++ {
+		if _, ok := b.tabs[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Back navigates the active tab one step back in its history stack.
+// Browsers record back navigations as link transitions from the current
+// page; we keep that fidelity (the provenance store sees a fresh visit
+// instance, which is exactly the §3.1 versioning behaviour).
+func (b *Browser) Back() (*webgen.Page, error) {
+	t := b.tabs[b.active]
+	if t == nil || t.cur <= 0 {
+		return nil, fmt.Errorf("browser: nothing to go back to")
+	}
+	orig := t.cur
+	from := t.stack[orig]
+	dest := t.stack[orig-1]
+	page, err := b.navigate(b.active, dest.url, from.url, event.TransLink)
+	if err != nil {
+		return nil, err
+	}
+	// navigate pushed a new entry; collapse the stack so the tab really
+	// is one step back.
+	t.stack = t.stack[:orig]
+	t.cur = orig - 1
+	return page, nil
+}
+
+// CloseTab closes tab id, emitting the close event the paper says
+// browsers should record (§3.2). Closing the last tab leaves an empty
+// fresh tab active.
+func (b *Browser) CloseTab(id int) error {
+	t, ok := b.tabs[id]
+	if !ok {
+		return fmt.Errorf("browser: no tab %d", id)
+	}
+	if t.cur >= 0 {
+		if err := b.emit(&event.Event{
+			Time: b.step(), Type: event.TypeClose, Tab: id,
+			URL: t.stack[t.cur].url,
+		}); err != nil {
+			return err
+		}
+	}
+	delete(b.tabs, id)
+	if b.active == id {
+		if ids := b.TabIDs(); len(ids) > 0 {
+			b.active = ids[0]
+		} else {
+			b.active = b.newTab()
+		}
+	}
+	return nil
+}
+
+// CloseAll closes every tab (end of a browsing session).
+func (b *Browser) CloseAll() error {
+	for _, id := range b.TabIDs() {
+		if err := b.CloseTab(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Browser) currentPage() (*webgen.Page, error) {
+	url := b.CurrentURL()
+	if url == "" {
+		return nil, fmt.Errorf("browser: tab %d is empty", b.active)
+	}
+	page, ok := b.web.PageByURL(url)
+	if !ok {
+		return nil, fmt.Errorf("browser: current page %s is off the synthetic web", url)
+	}
+	return page, nil
+}
+
+func pathBase(url string) string {
+	for i := len(url) - 1; i >= 0; i-- {
+		if url[i] == '/' {
+			return url[i+1:]
+		}
+	}
+	return url
+}

@@ -1,0 +1,337 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/webgen"
+)
+
+var t0 = time.Date(2008, 11, 1, 9, 0, 0, 0, time.UTC)
+
+// recorder collects emitted events.
+type recorder struct {
+	events []event.Event
+}
+
+func (r *recorder) sink(ev *event.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	r.events = append(r.events, *ev)
+	return nil
+}
+
+func newBrowser(t *testing.T) (*Browser, *webgen.Web, *recorder) {
+	t.Helper()
+	w := webgen.Generate(webgen.Config{Seed: 99})
+	rec := &recorder{}
+	return New(w, t0, rec.sink), w, rec
+}
+
+// firstNormalPage returns a page that is not a redirect and has links.
+func firstNormalPage(w *webgen.Web) *webgen.Page {
+	for _, p := range w.Pages {
+		if p.RedirectTo < 0 && len(p.Links) > 0 {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestNavigateTypedEmitsVisit(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) < 1 {
+		t.Fatal("no events")
+	}
+	ev := rec.events[0]
+	if ev.Type != event.TypeVisit || ev.Transition != event.TransTyped || ev.URL != p.URL {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Referrer != "" {
+		t.Fatalf("typed navigation carries referrer %q", ev.Referrer)
+	}
+	if b.CurrentURL() != p.URL {
+		t.Fatalf("CurrentURL = %s", b.CurrentURL())
+	}
+}
+
+func TestFollowLinkReferrer(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	n := len(rec.events)
+	landed, err := b.FollowLink(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First new event is the link visit with the right referrer.
+	ev := rec.events[n]
+	if ev.Transition != event.TransLink || ev.Referrer != p.URL {
+		t.Fatalf("link event = %+v", ev)
+	}
+	if landed == nil {
+		t.Fatal("no landed page")
+	}
+}
+
+func TestRedirectChainEmitted(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	// Find a page that links to a redirect page.
+	var src *webgen.Page
+	var hopIdx int
+	for _, p := range w.Pages {
+		if p.RedirectTo >= 0 {
+			continue
+		}
+		for i, l := range p.Links {
+			if w.PageByID(l).RedirectTo >= 0 {
+				src, hopIdx = p, i
+				break
+			}
+		}
+		if src != nil {
+			break
+		}
+	}
+	if src == nil {
+		t.Skip("no page links to a redirect in this web")
+	}
+	if _, err := b.NavigateTyped(src.URL); err != nil {
+		t.Fatal(err)
+	}
+	n := len(rec.events)
+	landed, err := b.FollowLink(hopIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawRedirect := false
+	for _, ev := range rec.events[n:] {
+		if ev.Transition.IsRedirect() {
+			sawRedirect = true
+		}
+	}
+	if !sawRedirect {
+		t.Fatal("no redirect event emitted")
+	}
+	if landed.RedirectTo >= 0 {
+		t.Fatal("landed on a redirect hop")
+	}
+	if b.CurrentURL() != landed.URL {
+		t.Fatalf("CurrentURL = %s, want %s", b.CurrentURL(), landed.URL)
+	}
+}
+
+func TestEmbedsEmitted(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	var p *webgen.Page
+	for _, q := range w.Pages {
+		if q.RedirectTo < 0 && len(q.Embeds) > 0 {
+			p = q
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no pages with embeds")
+	}
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range rec.events {
+		if ev.Transition == event.TransEmbed {
+			n++
+		}
+	}
+	if n != len(p.Embeds) {
+		t.Fatalf("embed events = %d, want %d", n, len(p.Embeds))
+	}
+}
+
+func TestSearchAndClickResult(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	word := w.Topics[0].Words[0]
+	if err := b.Search(word); err != nil {
+		t.Fatal(err)
+	}
+	// Search event then results visit.
+	var searchEv, visitEv *event.Event
+	for i := range rec.events {
+		switch rec.events[i].Type {
+		case event.TypeSearch:
+			searchEv = &rec.events[i]
+		case event.TypeVisit:
+			visitEv = &rec.events[i]
+		}
+	}
+	if searchEv == nil || searchEv.Terms != word {
+		t.Fatalf("search event = %+v", searchEv)
+	}
+	if visitEv == nil || visitEv.URL != w.ResultsURL(word) {
+		t.Fatalf("results visit = %+v", visitEv)
+	}
+	n := len(rec.events)
+	if _, err := b.ClickResult(word, 0); err != nil {
+		t.Fatal(err)
+	}
+	click := rec.events[n]
+	if click.Transition != event.TransSearchResult || click.Referrer != w.ResultsURL(word) {
+		t.Fatalf("click event = %+v", click)
+	}
+}
+
+func TestDownload(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	var p *webgen.Page
+	for _, q := range w.Pages {
+		if q.RedirectTo < 0 && len(q.Downloads) > 0 {
+			p = q
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no download pages")
+	}
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	save, err := b.Download(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rec.events[len(rec.events)-1]
+	if last.Type != event.TypeDownload || last.SavePath != save || last.Referrer != p.URL {
+		t.Fatalf("download event = %+v", last)
+	}
+}
+
+func TestBookmarkFlow(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BookmarkCurrent(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bookmarks()) != 1 {
+		t.Fatal("bookmark not stored")
+	}
+	n := len(rec.events)
+	if _, err := b.VisitBookmark(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.events[n]
+	if ev.Transition != event.TransBookmark {
+		t.Fatalf("bookmark visit = %+v", ev)
+	}
+	if _, err := b.VisitBookmark("http://not-bookmarked.example/"); err == nil {
+		t.Fatal("visited a non-bookmark")
+	}
+}
+
+func TestNewTabFlow(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	before := b.ActiveTab()
+	if _, err := b.OpenInNewTab(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.ActiveTab() == before {
+		t.Fatal("active tab unchanged")
+	}
+	if b.NumTabs() != 2 {
+		t.Fatalf("NumTabs = %d", b.NumTabs())
+	}
+	sawOpen, sawNewTabVisit := false, false
+	for _, ev := range rec.events {
+		if ev.Type == event.TypeTabOpen {
+			sawOpen = true
+		}
+		if ev.Type == event.TypeVisit && ev.Transition == event.TransNewTab && ev.Referrer == p.URL {
+			sawNewTabVisit = true
+		}
+	}
+	if !sawOpen || !sawNewTabVisit {
+		t.Fatalf("tab-open=%v new-tab-visit=%v", sawOpen, sawNewTabVisit)
+	}
+	if err := b.SwitchTab(before); err != nil {
+		t.Fatal(err)
+	}
+	if b.ActiveTab() != before {
+		t.Fatal("switch failed")
+	}
+}
+
+func TestBackNavigation(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	landed, err := b.FollowLink(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rec.events)
+	back, err := b.Back()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.URL != p.URL {
+		t.Fatalf("Back landed on %s, want %s", back.URL, p.URL)
+	}
+	ev := rec.events[n]
+	if ev.Referrer != landed.URL {
+		t.Fatalf("back event referrer = %s, want %s", ev.Referrer, landed.URL)
+	}
+	if _, err := b.Back(); err == nil {
+		t.Fatal("Back succeeded with empty stack")
+	}
+}
+
+func TestCloseEmitsCloseEvent(t *testing.T) {
+	b, w, rec := newBrowser(t)
+	p := firstNormalPage(w)
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	cur := b.CurrentURL()
+	if err := b.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	last := rec.events[len(rec.events)-1]
+	if last.Type != event.TypeClose || last.URL != cur {
+		t.Fatalf("close event = %+v", last)
+	}
+	// A fresh empty tab is active.
+	if b.NumTabs() != 1 || b.CurrentURL() != "" {
+		t.Fatalf("tabs=%d cur=%q after CloseAll", b.NumTabs(), b.CurrentURL())
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	b, w, _ := newBrowser(t)
+	p := firstNormalPage(w)
+	start := b.Clock()
+	if _, err := b.NavigateTyped(p.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Clock().After(start) {
+		t.Fatal("clock did not advance")
+	}
+	b.Advance(time.Hour)
+	if b.Clock().Sub(start) < time.Hour {
+		t.Fatal("Advance ineffective")
+	}
+}

@@ -1,0 +1,262 @@
+// Package capture implements proxy-based history capture: an HTTP
+// forward proxy that watches the browsing traffic and reconstructs
+// provenance events from what HTTP exposes — Referer chains, 3xx
+// redirects, content types, download dispositions and search-engine
+// query strings.
+//
+// The paper instruments Firefox itself; we have no browser hooks (see
+// DESIGN.md), so the proxy captures the HTTP-visible subset of the
+// taxonomy. Browser-only signals (bookmark clicks, typed navigations,
+// tab identity, close times) are delivered by the simulated browser
+// through the same event API; a deployment against a real browser would
+// capture them with a thin extension. What matters for the experiments
+// is that both capture paths feed identical stores.
+package capture
+
+import (
+	"mime"
+	"net/http"
+	"net/url"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"browserprov/internal/event"
+)
+
+// Sink consumes reconstructed events (a history store's Apply method).
+type Sink func(*event.Event) error
+
+// Observer converts HTTP request/response observations into events.
+// It is safe for concurrent use (proxies handle requests concurrently).
+type Observer struct {
+	mu    sync.Mutex
+	sinks []Sink
+
+	// searchHosts are hosts treated as search engines; a request with a
+	// "q" query parameter on one of them is a search.
+	searchHosts map[string]bool
+
+	// pendingRedirects maps a redirect target URL to its source and
+	// kind, recorded when a 3xx response passes through.
+	pendingRedirects map[string]redirectInfo
+
+	// Now provides the clock (overridable in tests / simulation).
+	Now func() time.Time
+
+	// errs counts sink errors (exposed for monitoring).
+	errs int
+}
+
+type redirectInfo struct {
+	source string
+	kind   event.Transition
+	at     time.Time
+}
+
+// redirectTTL bounds how long a pending redirect stays joinable.
+const redirectTTL = 30 * time.Second
+
+// NewObserver builds an observer delivering to sinks. searchHosts lists
+// search-engine hosts (e.g. "search.example", "www.google.com").
+func NewObserver(searchHosts []string, sinks ...Sink) *Observer {
+	hosts := make(map[string]bool, len(searchHosts))
+	for _, h := range searchHosts {
+		hosts[strings.ToLower(h)] = true
+	}
+	return &Observer{
+		sinks:            sinks,
+		searchHosts:      hosts,
+		pendingRedirects: make(map[string]redirectInfo),
+		Now:              time.Now,
+	}
+}
+
+// Errs returns the number of sink failures so far.
+func (o *Observer) Errs() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.errs
+}
+
+func (o *Observer) emit(ev *event.Event) {
+	for _, s := range o.sinks {
+		if err := s(ev); err != nil {
+			o.errs++
+		}
+	}
+}
+
+// Observation is what the proxy saw for one exchange.
+type Observation struct {
+	// URL is the full request URL.
+	URL *url.URL
+	// Referer is the request's Referer header ("" if absent).
+	Referer string
+	// Status is the response status code.
+	Status int
+	// ContentType is the response Content-Type (may include parameters).
+	ContentType string
+	// ContentDisposition is the response Content-Disposition header.
+	ContentDisposition string
+	// Location is the response Location header (redirects).
+	Location string
+	// Title is the parsed <title> of an HTML response ("" otherwise).
+	Title string
+}
+
+// Observe ingests one HTTP exchange and emits the events it implies.
+func (o *Observer) Observe(obs Observation) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.Now()
+	urlStr := obs.URL.String()
+
+	// Expire stale pending redirects.
+	for k, v := range o.pendingRedirects {
+		if now.Sub(v.at) > redirectTTL {
+			delete(o.pendingRedirects, k)
+		}
+	}
+
+	// Redirect response: the *source* page visit is recorded now, and
+	// the target (fetched next) will arrive as a redirect transition.
+	if obs.Status >= 300 && obs.Status < 400 && obs.Location != "" {
+		kind := event.TransRedirectTemporary
+		if obs.Status == http.StatusMovedPermanently || obs.Status == http.StatusPermanentRedirect {
+			kind = event.TransRedirectPermanent
+		}
+		target := obs.Location
+		if u, err := obs.URL.Parse(obs.Location); err == nil {
+			target = u.String()
+		}
+		o.emitVisitLocked(urlStr, "", obs.Referer, now)
+		o.pendingRedirects[target] = redirectInfo{source: urlStr, kind: kind, at: now}
+		return
+	}
+	if obs.Status >= 400 || obs.Status == 0 {
+		return // failed fetches don't become history
+	}
+
+	ct := contentTypeBase(obs.ContentType)
+
+	// Download? Content-Disposition attachment or a binary type. A
+	// download reached through a redirect chains from the redirect
+	// source, keeping the shortlink hop in the lineage.
+	if isDownload(ct, obs.ContentDisposition) {
+		ref := obs.Referer
+		if ri, ok := o.pendingRedirects[urlStr]; ok {
+			delete(o.pendingRedirects, urlStr)
+			ref = ri.source
+		}
+		save := downloadFilename(obs.URL, obs.ContentDisposition)
+		o.emit(&event.Event{
+			Time: now, Type: event.TypeDownload,
+			URL: urlStr, Referrer: ref,
+			SavePath: "/downloads/" + save, ContentType: ct,
+		})
+		return
+	}
+
+	// Subresource (script/style/image/font): an embed visit.
+	if ct != "" && ct != "text/html" && ct != "application/xhtml+xml" {
+		if obs.Referer != "" {
+			o.emit(&event.Event{
+				Time: now, Type: event.TypeVisit,
+				URL: urlStr, Referrer: obs.Referer,
+				Transition: event.TransEmbed, ContentType: ct,
+			})
+		}
+		return
+	}
+
+	// A search-engine results request is a search plus the page visit.
+	if o.searchHosts[strings.ToLower(obs.URL.Hostname())] {
+		if q := obs.URL.Query().Get("q"); q != "" {
+			o.emit(&event.Event{
+				Time: now, Type: event.TypeSearch, Terms: q, URL: urlStr,
+			})
+		}
+	}
+
+	o.emitVisitLocked(urlStr, obs.Title, obs.Referer, now)
+}
+
+// emitVisitLocked emits a top-level page visit, resolving its transition
+// from the pending-redirect table and the Referer header.
+func (o *Observer) emitVisitLocked(urlStr, title, referer string, now time.Time) {
+	tr := event.TransTyped // no referrer and no redirect: typed/unknown
+	ref := referer
+	if ri, ok := o.pendingRedirects[urlStr]; ok {
+		delete(o.pendingRedirects, urlStr)
+		tr = ri.kind
+		ref = ri.source
+	} else if referer != "" {
+		tr = event.TransLink
+	}
+	o.emit(&event.Event{
+		Time: now, Type: event.TypeVisit,
+		URL: urlStr, Title: title, Referrer: ref, Transition: tr,
+	})
+}
+
+// contentTypeBase strips parameters from a Content-Type value.
+func contentTypeBase(ct string) string {
+	if ct == "" {
+		return ""
+	}
+	base, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		if i := strings.IndexByte(ct, ';'); i >= 0 {
+			return strings.TrimSpace(strings.ToLower(ct[:i]))
+		}
+		return strings.TrimSpace(strings.ToLower(ct))
+	}
+	return base
+}
+
+// binaryTypes are content types treated as downloads even without a
+// Content-Disposition header.
+var binaryTypes = map[string]bool{
+	"application/octet-stream":     true,
+	"application/zip":              true,
+	"application/x-gzip":           true,
+	"application/gzip":             true,
+	"application/x-tar":            true,
+	"application/pdf":              true,
+	"application/x-msdownload":     true,
+	"application/x-executable":     true,
+	"application/vnd.ms-excel":     true,
+	"application/x-7z-compressed":  true,
+	"application/x-rar-compressed": true,
+}
+
+func isDownload(ct, disposition string) bool {
+	if disposition != "" {
+		if d, _, err := mime.ParseMediaType(disposition); err == nil && d == "attachment" {
+			return true
+		}
+		if strings.HasPrefix(strings.ToLower(disposition), "attachment") {
+			return true
+		}
+	}
+	return binaryTypes[ct]
+}
+
+// downloadFilename picks the saved file name: the Content-Disposition
+// filename if present, else the URL path base.
+func downloadFilename(u *url.URL, disposition string) string {
+	if disposition != "" {
+		if _, params, err := mime.ParseMediaType(disposition); err == nil {
+			if fn := params["filename"]; fn != "" {
+				return path.Base(fn)
+			}
+		}
+	}
+	base := path.Base(u.Path)
+	if base == "/" || base == "." || base == "" {
+		return "download"
+	}
+	return base
+}

@@ -1,0 +1,161 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"browserprov/internal/event"
+)
+
+func TestContentTypeBase(t *testing.T) {
+	cases := map[string]string{
+		"text/html; charset=utf-8": "text/html",
+		"TEXT/HTML":                "text/html",
+		"application/pdf":          "application/pdf",
+		"":                         "",
+		"garbage;;;":               "garbage",
+		"application/json; q=0.9":  "application/json",
+	}
+	for in, want := range cases {
+		if got := contentTypeBase(in); got != want {
+			t.Fatalf("contentTypeBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDownloadFilename(t *testing.T) {
+	u := mustURL(t, "http://files.example/path/archive.zip?sig=abc")
+	if got := downloadFilename(u, ""); got != "archive.zip" {
+		t.Fatalf("filename from URL = %q", got)
+	}
+	if got := downloadFilename(u, `attachment; filename="report.pdf"`); got != "report.pdf" {
+		t.Fatalf("filename from disposition = %q", got)
+	}
+	// Path traversal in disposition filenames is stripped.
+	if got := downloadFilename(u, `attachment; filename="../../etc/passwd"`); got != "passwd" {
+		t.Fatalf("traversal not stripped: %q", got)
+	}
+	root := mustURL(t, "http://files.example/")
+	if got := downloadFilename(root, ""); got != "download" {
+		t.Fatalf("fallback filename = %q", got)
+	}
+}
+
+func TestIsDownload(t *testing.T) {
+	if !isDownload("application/zip", "") {
+		t.Fatal("zip not a download")
+	}
+	if !isDownload("text/plain", "attachment") {
+		t.Fatal("attachment disposition ignored")
+	}
+	if isDownload("text/html", "inline") {
+		t.Fatal("inline html treated as download")
+	}
+}
+
+func TestRedirectPendingExpiry(t *testing.T) {
+	c := &collector{}
+	o := NewObserver(nil, c.sink)
+	clock := fixedClock()
+	o.Now = clock
+	o.Observe(Observation{
+		URL: mustURL(t, "http://old.example/"), Status: 302, Location: "http://t.example/",
+	})
+	// Let far more than the TTL pass.
+	for i := 0; i < 60; i++ {
+		clock()
+	}
+	o.Observe(Observation{
+		URL: mustURL(t, "http://t.example/"), Status: 200, ContentType: "text/html",
+	})
+	// The stale pending redirect must not be joined.
+	last := c.events[len(c.events)-1]
+	if last.Transition.IsRedirect() {
+		t.Fatal("expired pending redirect still joined")
+	}
+}
+
+func TestProxyTitleSniffLimit(t *testing.T) {
+	// A huge HTML page: the title appears after the sniff limit and must
+	// simply be missed (not break the relay).
+	mux := http.NewServeMux()
+	mux.HandleFunc("/big", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><head>")                      //nolint:errcheck
+		io.WriteString(w, strings.Repeat("<!-- pad -->", 1e4)) //nolint:errcheck
+		io.WriteString(w, "<title>Late Title</title></head><body>done</body></html>")
+	})
+	origin := httptest.NewServer(mux)
+	defer origin.Close()
+
+	c := &collector{}
+	obs := NewObserver(nil, c.sink)
+	obs.Now = fixedClock()
+	p := NewProxy(obs)
+	p.titleSniffLimit = 1024
+	proxySrv := httptest.NewServer(p)
+	defer proxySrv.Close()
+
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(mustURL(t, proxySrv.URL))}}
+	resp, err := client.Get(origin.URL + "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client still receives the full body.
+	if !strings.Contains(string(body), "Late Title") {
+		t.Fatal("body truncated by title sniffing")
+	}
+	if len(c.events) != 1 {
+		t.Fatalf("events = %d", len(c.events))
+	}
+	if c.events[0].Title != "" {
+		t.Fatalf("title %q found past sniff limit?", c.events[0].Title)
+	}
+}
+
+func TestProxyHopByHopHeadersStripped(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("Proxy-Connection"); got != "" {
+			t.Errorf("hop-by-hop header reached origin: %q", got)
+		}
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<html><title>x</title></html>")
+	})
+	origin := httptest.NewServer(mux)
+	defer origin.Close()
+
+	obs := NewObserver(nil)
+	obs.Now = fixedClock()
+	proxySrv := httptest.NewServer(NewProxy(obs))
+	defer proxySrv.Close()
+
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(mustURL(t, proxySrv.URL))}}
+	req, _ := http.NewRequest(http.MethodGet, origin.URL+"/", nil)
+	req.Header.Set("Proxy-Connection", "keep-alive")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+}
+
+func TestObserverSinkErrorCounted(t *testing.T) {
+	bad := func(ev *event.Event) error { return fmt.Errorf("sink broken") }
+	o := NewObserver(nil, bad)
+	o.Now = fixedClock()
+	o.Observe(Observation{URL: mustURL(t, "http://a.example/"), Status: 200, ContentType: "text/html"})
+	if o.Errs() != 1 {
+		t.Fatalf("Errs = %d", o.Errs())
+	}
+}

@@ -1,0 +1,210 @@
+// Package event defines the browsing event model shared by the whole
+// pipeline. The simulated browser (internal/browser) and the capture
+// proxy (internal/capture) both emit Events; the Places store and the
+// provenance graph store both consume them. Keeping one event vocabulary
+// is what lets experiment E1 dual-write identical activity into the two
+// schemas under comparison.
+package event
+
+import (
+	"fmt"
+	"time"
+)
+
+// Type enumerates browsing events.
+type Type int
+
+const (
+	// TypeVisit is a navigation that loaded a page into a tab.
+	TypeVisit Type = iota
+	// TypeClose records a page leaving display (tab closed or replaced).
+	// The paper (§3.2) observes that browsers record page "open" but not
+	// "close", making co-display time relationships unrecoverable; this
+	// event is the proposed fix.
+	TypeClose
+	// TypeBookmarkAdd records the user bookmarking a page.
+	TypeBookmarkAdd
+	// TypeDownload records a file download completing.
+	TypeDownload
+	// TypeSearch records the user issuing a search (the query string is a
+	// first-class provenance node per §3.3).
+	TypeSearch
+	// TypeFormSubmit records a form submission with its field values
+	// ("deep web" content per §3.3).
+	TypeFormSubmit
+	// TypeTabOpen records a new tab/window being opened from a page.
+	TypeTabOpen
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeVisit:
+		return "visit"
+	case TypeClose:
+		return "close"
+	case TypeBookmarkAdd:
+		return "bookmark-add"
+	case TypeDownload:
+		return "download"
+	case TypeSearch:
+		return "search"
+	case TypeFormSubmit:
+		return "form-submit"
+	case TypeTabOpen:
+		return "tab-open"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Transition mirrors the Firefox Places visit transition vocabulary: the
+// action that loaded a page. Transitions are "a superset of the referrer"
+// (§3) and are the edge labels of the provenance graph.
+type Transition int
+
+const (
+	// TransLink: the user followed a hyperlink.
+	TransLink Transition = iota + 1
+	// TransTyped: the user typed the URL in the location bar (or picked
+	// an autocomplete suggestion). Most browsers record no relationship
+	// for these; the provenance store does (§3.2).
+	TransTyped
+	// TransBookmark: the user clicked a bookmark.
+	TransBookmark
+	// TransEmbed: inner content loaded by a top-level page.
+	TransEmbed
+	// TransRedirectPermanent: HTTP 301 redirect.
+	TransRedirectPermanent
+	// TransRedirectTemporary: HTTP 302/303/307 redirect.
+	TransRedirectTemporary
+	// TransDownload: the navigation saved a file rather than loading a page.
+	TransDownload
+	// TransFramedLink: a link inside a frame.
+	TransFramedLink
+	// TransSearchResult: the user clicked a result on a search page.
+	// Firefox folds this into link; keeping it distinct lets contextual
+	// search weight search descent explicitly.
+	TransSearchResult
+	// TransFormSubmit: a form submission led to this page.
+	TransFormSubmit
+	// TransNewTab: the page was opened in a fresh tab from another page.
+	TransNewTab
+)
+
+// String implements fmt.Stringer.
+func (tr Transition) String() string {
+	switch tr {
+	case TransLink:
+		return "link"
+	case TransTyped:
+		return "typed"
+	case TransBookmark:
+		return "bookmark"
+	case TransEmbed:
+		return "embed"
+	case TransRedirectPermanent:
+		return "redirect-permanent"
+	case TransRedirectTemporary:
+		return "redirect-temporary"
+	case TransDownload:
+		return "download"
+	case TransFramedLink:
+		return "framed-link"
+	case TransSearchResult:
+		return "search-result"
+	case TransFormSubmit:
+		return "form-submit"
+	case TransNewTab:
+		return "new-tab"
+	default:
+		return fmt.Sprintf("transition(%d)", int(tr))
+	}
+}
+
+// IsRedirect reports whether the transition is an HTTP redirect. Redirect
+// edges are "not generated as the result of a user action" (§3.2) and
+// personalisation algorithms may splice them out.
+func (tr Transition) IsRedirect() bool {
+	return tr == TransRedirectPermanent || tr == TransRedirectTemporary
+}
+
+// IsAutomatic reports whether the transition happened without a user
+// action (redirects and embedded/inner content).
+func (tr Transition) IsAutomatic() bool {
+	return tr.IsRedirect() || tr == TransEmbed || tr == TransFramedLink
+}
+
+// Event is one observed browsing action. Fields are populated according
+// to Type; unused fields are zero.
+type Event struct {
+	// Time is when the event occurred.
+	Time time.Time
+	// Type discriminates the remaining fields.
+	Type Type
+	// Tab identifies the tab the event happened in (simulator-assigned;
+	// the proxy assembler infers it).
+	Tab int
+
+	// URL is the subject page (visited, bookmarked, downloaded from...).
+	URL string
+	// Title is the page title when known.
+	Title string
+
+	// Referrer is the URL of the page the action originated from ("" if
+	// none: first navigation, typed URL with no prior page, etc.).
+	Referrer string
+	// Transition is how the navigation happened (TypeVisit, TypeDownload).
+	Transition Transition
+
+	// Terms holds the search query (TypeSearch) or the user's typed input
+	// for location-bar navigations.
+	Terms string
+	// SavePath is the local destination of a download (TypeDownload).
+	SavePath string
+	// ContentType is the MIME type for downloads and visits when known.
+	ContentType string
+}
+
+// Validate reports structural problems with the event: every event needs
+// a time, and each type has required fields. The stores reject invalid
+// events so that malformed capture input cannot corrupt history.
+func (e *Event) Validate() error {
+	if e.Time.IsZero() {
+		return fmt.Errorf("event: %s has zero time", e.Type)
+	}
+	switch e.Type {
+	case TypeVisit:
+		if e.URL == "" {
+			return fmt.Errorf("event: visit without URL")
+		}
+		if e.Transition == 0 {
+			return fmt.Errorf("event: visit %s without transition", e.URL)
+		}
+	case TypeClose, TypeBookmarkAdd, TypeTabOpen:
+		if e.URL == "" {
+			return fmt.Errorf("event: %s without URL", e.Type)
+		}
+	case TypeDownload:
+		if e.URL == "" {
+			return fmt.Errorf("event: download without URL")
+		}
+		if e.SavePath == "" {
+			return fmt.Errorf("event: download %s without save path", e.URL)
+		}
+	case TypeSearch:
+		if e.Terms == "" {
+			return fmt.Errorf("event: search without terms")
+		}
+		if e.URL == "" {
+			return fmt.Errorf("event: search without results URL")
+		}
+	case TypeFormSubmit:
+		if e.URL == "" {
+			return fmt.Errorf("event: form submit without URL")
+		}
+	default:
+		return fmt.Errorf("event: unknown type %d", int(e.Type))
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2008, 11, 1, 9, 0, 0, 0, time.UTC)
+
+func TestValidateVisit(t *testing.T) {
+	ok := &Event{Time: t0, Type: TypeVisit, URL: "http://a/", Transition: TransLink}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Event{
+		{Type: TypeVisit, URL: "http://a/", Transition: TransLink}, // no time
+		{Time: t0, Type: TypeVisit, Transition: TransLink},         // no URL
+		{Time: t0, Type: TypeVisit, URL: "http://a/"},              // no transition
+	}
+	for i, ev := range cases {
+		if err := ev.Validate(); err == nil {
+			t.Fatalf("case %d: invalid visit accepted", i)
+		}
+	}
+}
+
+func TestValidatePerType(t *testing.T) {
+	valid := []*Event{
+		{Time: t0, Type: TypeClose, URL: "http://a/"},
+		{Time: t0, Type: TypeBookmarkAdd, URL: "http://a/"},
+		{Time: t0, Type: TypeTabOpen, URL: "http://a/"},
+		{Time: t0, Type: TypeDownload, URL: "http://a/f.zip", SavePath: "/tmp/f.zip"},
+		{Time: t0, Type: TypeSearch, Terms: "q", URL: "http://s/?q=q"},
+		{Time: t0, Type: TypeFormSubmit, URL: "http://a/submit", Terms: "x"},
+	}
+	for i, ev := range valid {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("valid case %d rejected: %v", i, err)
+		}
+	}
+	invalid := []*Event{
+		{Time: t0, Type: TypeClose},                        // no URL
+		{Time: t0, Type: TypeDownload, URL: "http://a/"},   // no save path
+		{Time: t0, Type: TypeDownload, SavePath: "/tmp/x"}, // no URL
+		{Time: t0, Type: TypeSearch, URL: "http://s/"},     // no terms
+		{Time: t0, Type: TypeSearch, Terms: "q"},           // no URL
+		{Time: t0, Type: TypeFormSubmit},                   // no URL
+		{Time: t0, Type: Type(99), URL: "http://a/"},       // unknown type
+	}
+	for i, ev := range invalid {
+		if err := ev.Validate(); err == nil {
+			t.Fatalf("invalid case %d accepted", i)
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeVisit: "visit", TypeClose: "close", TypeBookmarkAdd: "bookmark-add",
+		TypeDownload: "download", TypeSearch: "search",
+		TypeFormSubmit: "form-submit", TypeTabOpen: "tab-open",
+	} {
+		if got := ty.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(ty), got, want)
+		}
+	}
+	if !strings.Contains(Type(42).String(), "42") {
+		t.Fatal("unknown type string should include the value")
+	}
+}
+
+func TestTransitionStrings(t *testing.T) {
+	all := []Transition{
+		TransLink, TransTyped, TransBookmark, TransEmbed,
+		TransRedirectPermanent, TransRedirectTemporary, TransDownload,
+		TransFramedLink, TransSearchResult, TransFormSubmit, TransNewTab,
+	}
+	seen := map[string]bool{}
+	for _, tr := range all {
+		s := tr.String()
+		if s == "" || strings.HasPrefix(s, "transition(") {
+			t.Fatalf("transition %d has no name", int(tr))
+		}
+		if seen[s] {
+			t.Fatalf("duplicate transition name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Transition(99).String(), "99") {
+		t.Fatal("unknown transition string should include the value")
+	}
+}
+
+func TestRedirectPredicates(t *testing.T) {
+	if !TransRedirectPermanent.IsRedirect() || !TransRedirectTemporary.IsRedirect() {
+		t.Fatal("redirects not flagged")
+	}
+	if TransLink.IsRedirect() {
+		t.Fatal("link flagged as redirect")
+	}
+	for _, tr := range []Transition{TransRedirectPermanent, TransRedirectTemporary, TransEmbed, TransFramedLink} {
+		if !tr.IsAutomatic() {
+			t.Fatalf("%v not automatic", tr)
+		}
+	}
+	for _, tr := range []Transition{TransLink, TransTyped, TransBookmark, TransSearchResult, TransNewTab} {
+		if tr.IsAutomatic() {
+			t.Fatalf("%v wrongly automatic", tr)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a layered random DAG shaped like a browsing history:
+// ~25k nodes in time order with edges pointing forward.
+func benchGraph(nodes, outDeg int, seed int64) (*Mem, []NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewMem()
+	ids := make([]NodeID, nodes)
+	for i := 0; i < nodes; i++ {
+		ids[i] = NodeID(i)
+		g.AddNode(NodeID(i))
+		for d := 0; d < outDeg; d++ {
+			if i == 0 {
+				break
+			}
+			// Edge from an earlier node (mostly recent, like referrers).
+			back := 1 + rng.Intn(min(i, 50))
+			g.AddEdge(NodeID(i-back), NodeID(i))
+		}
+	}
+	return g, ids
+}
+
+func BenchmarkBFSFullHistory(b *testing.B) {
+	g, _ := benchGraph(25000, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		BFS(g, []NodeID{0}, Forward, func(NodeID, int) bool {
+			count++
+			return true
+		})
+	}
+}
+
+func BenchmarkFindFirstAncestor(b *testing.B) {
+	g, ids := benchGraph(25000, 2, 2)
+	target := ids[10]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindFirst(g, ids[len(ids)-1], Backward, false, func(n NodeID) bool { return n == target })
+	}
+}
+
+func BenchmarkExpandDepth3(b *testing.B) {
+	g, ids := benchGraph(25000, 3, 3)
+	seeds := map[NodeID]float64{ids[20000]: 1, ids[20100]: 1, ids[20200]: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Expand(g, seeds, Undirected, 0.5, 3, 5000, nil)
+	}
+}
+
+func BenchmarkHITS100Nodes(b *testing.B) {
+	g, ids := benchGraph(25000, 3, 4)
+	sub := ids[12000:12100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HITS(g, sub, 20, 1e-6)
+	}
+}
+
+func BenchmarkPageRank1kNodes(b *testing.B) {
+	g, ids := benchGraph(25000, 3, 5)
+	sub := ids[10000:11000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageRank(g, sub, 0.85, 30, 1e-9)
+	}
+}
+
+func BenchmarkTopoSort(b *testing.B) {
+	g, ids := benchGraph(25000, 2, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopoSort(g, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsDAG(b *testing.B) {
+	g, ids := benchGraph(25000, 2, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsDAG(g, ids) {
+			b.Fatal("cyclic")
+		}
+	}
+}

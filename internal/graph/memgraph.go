@@ -1,0 +1,61 @@
+package graph
+
+// Mem is a simple adjacency-list graph used by tests, the synthetic web
+// generator, and anywhere a standalone mutable graph is handy. It
+// implements Graph.
+type Mem struct {
+	out map[NodeID][]NodeID
+	in  map[NodeID][]NodeID
+	n   int // edge count
+}
+
+// NewMem returns an empty in-memory graph.
+func NewMem() *Mem {
+	return &Mem{out: make(map[NodeID][]NodeID), in: make(map[NodeID][]NodeID)}
+}
+
+// AddEdge inserts the directed edge u -> v. Parallel edges are kept.
+func (m *Mem) AddEdge(u, v NodeID) {
+	m.out[u] = append(m.out[u], v)
+	m.in[v] = append(m.in[v], u)
+	m.n++
+}
+
+// AddNode ensures n exists even with no edges.
+func (m *Mem) AddNode(n NodeID) {
+	if _, ok := m.out[n]; !ok {
+		m.out[n] = nil
+	}
+	if _, ok := m.in[n]; !ok {
+		m.in[n] = nil
+	}
+}
+
+// Out implements Graph.
+func (m *Mem) Out(n NodeID) []NodeID { return m.out[n] }
+
+// In implements Graph.
+func (m *Mem) In(n NodeID) []NodeID { return m.in[n] }
+
+// NumEdges returns the number of edges.
+func (m *Mem) NumEdges() int { return m.n }
+
+// Nodes returns every node that has appeared in an AddEdge or AddNode
+// call, in unspecified order.
+func (m *Mem) Nodes() []NodeID {
+	seen := make(map[NodeID]bool, len(m.out))
+	var out []NodeID
+	for n := range m.out {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for n := range m.in {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package graph
+
+import "math"
+
+// HITS runs Kleinberg's hubs-and-authorities algorithm on the induced
+// subgraph over nodes for the given number of iterations (or until the
+// scores converge to within tol, whichever comes first) and returns the
+// hub and authority score of every node. Scores are L2-normalised.
+//
+// The paper implements contextual history search "as a graph neighborhood
+// expansion algorithm, similar to web search algorithms such as
+// Kleinberg's HITS"; the query layer runs HITS over the expanded
+// neighborhood to rank it.
+func HITS(g Graph, nodes []NodeID, iters int, tol float64) (hubs, auths map[NodeID]float64) {
+	inSet := make(map[NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	hubs = make(map[NodeID]float64, len(nodes))
+	auths = make(map[NodeID]float64, len(nodes))
+	for _, n := range nodes {
+		hubs[n] = 1
+		auths[n] = 1
+	}
+	if len(nodes) == 0 {
+		return hubs, auths
+	}
+	prev := make(map[NodeID]float64, len(nodes))
+	for it := 0; it < iters; it++ {
+		// Authority update: a(v) = sum of h(u) over edges u->v.
+		for _, n := range nodes {
+			sum := 0.0
+			for _, u := range g.In(n) {
+				if inSet[u] {
+					sum += hubs[u]
+				}
+			}
+			auths[n] = sum
+		}
+		normalize(auths)
+		// Hub update: h(u) = sum of a(v) over edges u->v.
+		for _, n := range nodes {
+			sum := 0.0
+			for _, v := range g.Out(n) {
+				if inSet[v] {
+					sum += auths[v]
+				}
+			}
+			hubs[n] = sum
+		}
+		normalize(hubs)
+		// Convergence check on hub scores.
+		if it > 0 {
+			delta := 0.0
+			for n, h := range hubs {
+				d := h - prev[n]
+				delta += d * d
+			}
+			if math.Sqrt(delta) < tol {
+				break
+			}
+		}
+		for n, h := range hubs {
+			prev[n] = h
+		}
+	}
+	return hubs, auths
+}
+
+// PageRank runs the power iteration for PageRank with damping factor d on
+// the induced subgraph over nodes. Dangling mass is redistributed
+// uniformly. Scores sum to 1.
+func PageRank(g Graph, nodes []NodeID, d float64, iters int, tol float64) map[NodeID]float64 {
+	n := len(nodes)
+	rank := make(map[NodeID]float64, n)
+	if n == 0 {
+		return rank
+	}
+	inSet := make(map[NodeID]bool, n)
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	// Precompute in-set out-degrees.
+	outdeg := make(map[NodeID]int, n)
+	for _, v := range nodes {
+		cnt := 0
+		for _, m := range g.Out(v) {
+			if inSet[m] {
+				cnt++
+			}
+		}
+		outdeg[v] = cnt
+	}
+	init := 1.0 / float64(n)
+	for _, v := range nodes {
+		rank[v] = init
+	}
+	next := make(map[NodeID]float64, n)
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for _, v := range nodes {
+			if outdeg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		for _, v := range nodes {
+			sum := 0.0
+			for _, u := range g.In(v) {
+				if inSet[u] && outdeg[u] > 0 {
+					sum += rank[u] / float64(outdeg[u])
+				}
+			}
+			next[v] = base + d*sum
+		}
+		delta := 0.0
+		for _, v := range nodes {
+			delta += math.Abs(next[v] - rank[v])
+			rank[v] = next[v]
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+func normalize(m map[NodeID]float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v * v
+	}
+	if sum == 0 {
+		return
+	}
+	norm := math.Sqrt(sum)
+	for k, v := range m {
+		m[k] = v / norm
+	}
+}
+
+// Expand performs weighted neighborhood expansion from a seed set: each
+// seed's weight is propagated to neighbors with multiplicative decay per
+// hop, accumulating additively at each node. Expansion proceeds in
+// breadth-first rounds up to maxDepth; at most maxNodes distinct nodes
+// are scored (seeds included). The stop callback, if non-nil, is polled
+// between rounds so callers can impose a time budget.
+//
+// This is the core of the paper's contextual search: "the algorithm
+// performs a textual search and then reorders results by the relevance of
+// their provenance neighbors", with first-generation descendants of a
+// seed receiving "substantial weight".
+func Expand(g Graph, seeds map[NodeID]float64, dir Dir, decay float64, maxDepth, maxNodes int, stop func() bool) map[NodeID]float64 {
+	scores := make(map[NodeID]float64, len(seeds)*4)
+	frontier := make(map[NodeID]float64, len(seeds))
+	for n, w := range seeds {
+		scores[n] = w
+		frontier[n] = w
+	}
+	var buf []NodeID
+	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		if stop != nil && stop() {
+			break
+		}
+		next := make(map[NodeID]float64)
+		for n, w := range frontier {
+			propagate := w * decay
+			if propagate == 0 {
+				continue
+			}
+			buf = neighbors(g, n, dir, buf)
+			for _, m := range buf {
+				_, known := scores[m]
+				if !known && len(scores)+len(next) >= maxNodes {
+					continue
+				}
+				next[m] += propagate
+			}
+		}
+		for m, w := range next {
+			if _, known := scores[m]; known {
+				scores[m] += w
+			} else {
+				scores[m] = w
+			}
+		}
+		frontier = next
+	}
+	return scores
+}

@@ -1,0 +1,175 @@
+package places
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"browserprov/internal/event"
+)
+
+// genVisitStream produces a random valid stream of visit/bookmark/
+// download/search events.
+func genVisitStream(seed int64, n int) []*event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	now := t0
+	tick := func() time.Time {
+		now = now.Add(time.Duration(1+rng.Intn(600)) * time.Second)
+		return now
+	}
+	urls := make([]string, 20)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://p%d.example/", i)
+	}
+	var evs []*event.Event
+	last := ""
+	for i := 0; i < n; i++ {
+		u := urls[rng.Intn(len(urls))]
+		switch rng.Intn(8) {
+		case 0:
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeBookmarkAdd, URL: u, Title: "B"})
+		case 1:
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeDownload, URL: u + "f.zip", SavePath: "/dl/f.zip"})
+		case 2:
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeSearch, Terms: fmt.Sprintf("t%d", rng.Intn(6)), URL: u})
+		default:
+			tr := event.TransLink
+			ref := last
+			if last == "" || rng.Intn(3) == 0 {
+				tr = event.TransTyped
+				ref = ""
+			}
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, URL: u, Title: "T", Referrer: ref, Transition: tr})
+			last = u
+		}
+	}
+	return evs
+}
+
+// TestPropertyCountsConsistent: place visit counts must equal the
+// per-place visit list lengths and the global visit total.
+func TestPropertyCountsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		s := openStore(t, t.TempDir())
+		defer s.Close()
+		for _, ev := range genVisitStream(seed, 200) {
+			if err := s.Apply(ev); err != nil {
+				return false
+			}
+		}
+		total := 0
+		ok := true
+		s.EachPlace(func(p Place) bool {
+			vs := s.VisitsOfPlace(p.ID)
+			if len(vs) != p.VisitCount {
+				ok = false
+				return false
+			}
+			total += len(vs)
+			// Visits are chronological.
+			for i := 1; i < len(vs); i++ {
+				if vs[i].Date.Before(vs[i-1].Date) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok && total == s.Stats().Visits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRecoveryEquivalence: WAL replay and snapshot+WAL recovery
+// both reproduce identical observable state.
+func TestPropertyRecoveryEquivalence(t *testing.T) {
+	f := func(seed int64, checkpointAt uint8) bool {
+		dir := t.TempDir()
+		s := openStore(t, dir)
+		evs := genVisitStream(seed, 150)
+		cp := int(checkpointAt) % len(evs)
+		for i, ev := range evs {
+			if err := s.Apply(ev); err != nil {
+				s.Close()
+				return false
+			}
+			if i == cp {
+				if err := s.Checkpoint(); err != nil {
+					s.Close()
+					return false
+				}
+			}
+		}
+		want := s.Stats()
+		var wantFrec int
+		s.EachPlace(func(p Place) bool { wantFrec += p.Frecency; return true })
+		if err := s.Close(); err != nil {
+			return false
+		}
+
+		s2 := openStore(t, dir)
+		defer s2.Close()
+		if s2.Stats() != want {
+			return false
+		}
+		var gotFrec int
+		s2.EachPlace(func(p Place) bool { gotFrec += p.Frecency; return true })
+		return gotFrec == wantFrec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFromVisitReferencesExist: every nonzero from_visit points
+// at a real visit row that predates it.
+func TestPropertyFromVisitReferencesExist(t *testing.T) {
+	f := func(seed int64) bool {
+		s := openStore(t, t.TempDir())
+		defer s.Close()
+		for _, ev := range genVisitStream(seed, 200) {
+			if err := s.Apply(ev); err != nil {
+				return false
+			}
+		}
+		ok := true
+		s.EachPlace(func(p Place) bool {
+			for _, v := range s.VisitsOfPlace(p.ID) {
+				if v.FromVisit == 0 {
+					continue
+				}
+				from, found := s.VisitByID(v.FromVisit)
+				if !found || from.Date.After(v.Date) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrecencyBonuses(t *testing.T) {
+	// Typed > bookmark > link > download > embed/redirect, per the
+	// simplified Places table.
+	if frecencyBonus(event.TransTyped) <= frecencyBonus(event.TransBookmark) {
+		t.Fatal("typed <= bookmark")
+	}
+	if frecencyBonus(event.TransBookmark) <= frecencyBonus(event.TransLink) {
+		t.Fatal("bookmark <= link")
+	}
+	if frecencyBonus(event.TransLink) <= frecencyBonus(event.TransDownload) {
+		t.Fatal("link <= download")
+	}
+	if frecencyBonus(event.TransEmbed) != 0 || frecencyBonus(event.TransRedirectTemporary) != 0 {
+		t.Fatal("embed/redirect should add no frecency")
+	}
+}

@@ -1,0 +1,225 @@
+package pql
+
+import (
+	"fmt"
+	"strings"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/query"
+)
+
+// Result is a query's output: either a node set (ancestors/descendants)
+// or a path (first/lineage).
+type Result struct {
+	// Nodes holds the matches for set queries, or the path (source
+	// first) for path queries.
+	Nodes []provgraph.Node
+	// IsPath reports whether Nodes is an ordered path.
+	IsPath bool
+	// Found is false for path queries with no matching target.
+	Found bool
+}
+
+// Eval parses and runs a PQL query against the engine's store.
+func Eval(e *query.Engine, src string) (Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(e, q)
+}
+
+// Run executes a parsed query.
+func Run(e *query.Engine, q *Query) (Result, error) {
+	s := e.Store()
+	starts, err := resolveSource(s, q.Source)
+	if err != nil {
+		return Result{}, err
+	}
+	pred := compilePred(e, q.Where)
+
+	switch q.Op {
+	case OpAncestors, OpDescendants:
+		dir := graph.Backward
+		if q.Op == OpDescendants {
+			dir = graph.Forward
+		}
+		startSet := make(map[provgraph.NodeID]bool, len(starts))
+		for _, st := range starts {
+			startSet[st] = true
+		}
+		var out []provgraph.Node
+		graph.BFS(s, starts, dir, func(n graph.NodeID, depth int) bool {
+			if startSet[n] {
+				return true
+			}
+			node, ok := s.NodeByID(n)
+			if ok && pred(node) {
+				out = append(out, node)
+				if q.Limit > 0 && len(out) >= q.Limit {
+					return false
+				}
+			}
+			return true
+		})
+		return Result{Nodes: out, Found: len(out) > 0}, nil
+
+	case OpFirstAncestor, OpFirstDescendant, OpLineage:
+		dir := graph.Backward
+		if q.Op == OpFirstDescendant {
+			dir = graph.Forward
+		}
+		if q.Op == OpLineage {
+			pred = func(n provgraph.Node) bool { return e.Recognizable(n) }
+		}
+		if len(starts) == 0 {
+			return Result{IsPath: true}, nil
+		}
+		// Path queries take the first start node (sources resolving to a
+		// single object are the common case).
+		path, found := graph.FindFirst(s, starts[0], dir, false, func(n graph.NodeID) bool {
+			node, ok := s.NodeByID(n)
+			return ok && pred(node)
+		})
+		res := Result{IsPath: true, Found: found}
+		for _, id := range path {
+			if n, ok := s.NodeByID(id); ok {
+				res.Nodes = append(res.Nodes, n)
+			}
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("pql: unknown op %d", q.Op)
+	}
+}
+
+// resolveSource maps a source spec to start node IDs.
+func resolveSource(s *provgraph.Store, src Source) ([]provgraph.NodeID, error) {
+	switch src.Kind {
+	case SrcURL:
+		page, ok := s.PageByURL(src.Arg)
+		if !ok {
+			return nil, fmt.Errorf("pql: no page with url %q", src.Arg)
+		}
+		visits := s.VisitsOfPage(page.ID)
+		if len(visits) == 0 {
+			// VersionEdges mode: the page is its own instance.
+			return []provgraph.NodeID{page.ID}, nil
+		}
+		return visits, nil
+	case SrcDownload:
+		for _, id := range s.Downloads() {
+			n, ok := s.NodeByID(id)
+			if ok && (n.Text == src.Arg || n.URL == src.Arg) {
+				return []provgraph.NodeID{id}, nil
+			}
+		}
+		return nil, fmt.Errorf("pql: no download %q", src.Arg)
+	case SrcTerm:
+		t, ok := s.TermNode(src.Arg)
+		if !ok {
+			return nil, fmt.Errorf("pql: no search term %q", src.Arg)
+		}
+		return []provgraph.NodeID{t.ID}, nil
+	case SrcNode:
+		if _, ok := s.NodeByID(provgraph.NodeID(src.ID)); !ok {
+			return nil, fmt.Errorf("pql: no node %d", src.ID)
+		}
+		return []provgraph.NodeID{provgraph.NodeID(src.ID)}, nil
+	default:
+		return nil, fmt.Errorf("pql: unknown source kind %d", src.Kind)
+	}
+}
+
+// compilePred turns the AST predicate into a closure. A nil predicate
+// matches everything.
+func compilePred(e *query.Engine, p *Pred) func(provgraph.Node) bool {
+	if p == nil {
+		return func(provgraph.Node) bool { return true }
+	}
+	clauses := make([]func(provgraph.Node) bool, 0, len(p.Clauses))
+	for _, c := range p.Clauses {
+		clauses = append(clauses, compileClause(e, c))
+	}
+	return func(n provgraph.Node) bool {
+		for _, c := range clauses {
+			if !c(n) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func compileClause(e *query.Engine, c Clause) func(provgraph.Node) bool {
+	switch c.Field {
+	case "recognizable":
+		return func(n provgraph.Node) bool { return e.Recognizable(n) }
+	case "kind":
+		want := kindFromName(c.Str)
+		return func(n provgraph.Node) bool { return n.Kind == want }
+	case "visits":
+		return func(n provgraph.Node) bool {
+			page := n.ID
+			if n.Kind == provgraph.KindVisit {
+				page = n.Page
+			} else if n.Kind != provgraph.KindPage {
+				return false
+			}
+			v := e.Store().VisitCount(page)
+			switch c.Op {
+			case "=":
+				return v == c.Num
+			case "<":
+				return v < c.Num
+			case "<=":
+				return v <= c.Num
+			case ">":
+				return v > c.Num
+			case ">=":
+				return v >= c.Num
+			}
+			return false
+		}
+	case "url":
+		needle := strings.ToLower(c.Str)
+		return func(n provgraph.Node) bool {
+			return strings.Contains(strings.ToLower(n.URL), needle)
+		}
+	case "title":
+		needle := strings.ToLower(c.Str)
+		return func(n provgraph.Node) bool {
+			return strings.Contains(strings.ToLower(n.Title), needle)
+		}
+	case "text":
+		needle := strings.ToLower(c.Str)
+		return func(n provgraph.Node) bool {
+			return strings.Contains(strings.ToLower(n.Text), needle)
+		}
+	default:
+		return func(provgraph.Node) bool { return false }
+	}
+}
+
+// kindFromName maps predicate kind names to NodeKinds. Unknown names map
+// to an impossible kind so the clause matches nothing (the parser already
+// vets spelling in practice).
+func kindFromName(name string) provgraph.NodeKind {
+	switch name {
+	case "page":
+		return provgraph.KindPage
+	case "visit":
+		return provgraph.KindVisit
+	case "bookmark":
+		return provgraph.KindBookmark
+	case "download":
+		return provgraph.KindDownload
+	case "search-term", "term":
+		return provgraph.KindSearchTerm
+	case "form-entry", "form":
+		return provgraph.KindFormEntry
+	default:
+		return provgraph.NodeKind(-1)
+	}
+}

@@ -1,0 +1,312 @@
+package pql
+
+import "strconv"
+
+// Query is the parsed AST root.
+type Query struct {
+	// Op is the traversal form.
+	Op OpKind
+	// Source names the start node(s).
+	Source Source
+	// Where is the predicate (nil = match everything).
+	Where *Pred
+	// Limit caps result counts (0 = unlimited). Not used by OpFirst.
+	Limit int
+}
+
+// OpKind is the statement form.
+type OpKind int
+
+const (
+	// OpAncestors collects matching ancestors.
+	OpAncestors OpKind = iota + 1
+	// OpDescendants collects matching descendants.
+	OpDescendants
+	// OpFirstAncestor returns the path to the nearest matching ancestor.
+	OpFirstAncestor
+	// OpFirstDescendant returns the path to the nearest matching
+	// descendant.
+	OpFirstDescendant
+	// OpLineage is shorthand for "first ancestor of X where
+	// recognizable" (§2.4's download lineage).
+	OpLineage
+)
+
+// Source selects the query's start nodes.
+type Source struct {
+	Kind SourceKind
+	Arg  string // url / save path / term text
+	ID   uint64 // node(N)
+}
+
+// SourceKind enumerates node sources.
+type SourceKind int
+
+const (
+	// SrcURL starts from the visits of the page with the given URL.
+	SrcURL SourceKind = iota + 1
+	// SrcDownload starts from the download with the given save path (or
+	// source URL).
+	SrcDownload
+	// SrcTerm starts from a search-term node.
+	SrcTerm
+	// SrcNode starts from an explicit node ID.
+	SrcNode
+)
+
+// Pred is a conjunction of clauses.
+type Pred struct {
+	Clauses []Clause
+}
+
+// Clause is one predicate atom.
+type Clause struct {
+	Field string // "kind", "visits", "url", "title", "text", "recognizable"
+	Op    string // "=", "~", "<", "<=", ">", ">="
+	Str   string
+	Num   int
+}
+
+// Parse compiles a PQL query string.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, errf(p.peek().pos, "trailing input after query")
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, errf(t.pos, "expected %v, got %v %q", kind, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return errf(t.pos, "expected %q, got %q", word, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, errf(t.pos, "expected a query verb, got %q", t.text)
+	}
+	q := &Query{}
+	switch t.text {
+	case "ancestors", "descendants":
+		if t.text == "ancestors" {
+			q.Op = OpAncestors
+		} else {
+			q.Op = OpDescendants
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		src, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		q.Source = src
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	case "first":
+		dir := p.next()
+		if dir.kind != tokIdent || (dir.text != "ancestor" && dir.text != "descendant") {
+			return nil, errf(dir.pos, "expected 'ancestor' or 'descendant', got %q", dir.text)
+		}
+		if dir.text == "ancestor" {
+			q.Op = OpFirstAncestor
+		} else {
+			q.Op = OpFirstDescendant
+		}
+		if err := p.expectIdent("of"); err != nil {
+			return nil, err
+		}
+		src, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		q.Source = src
+	case "lineage":
+		q.Op = OpLineage
+		if err := p.expectIdent("of"); err != nil {
+			return nil, err
+		}
+		src, err := p.parseSource()
+		if err != nil {
+			return nil, err
+		}
+		q.Source = src
+	default:
+		return nil, errf(t.pos, "unknown query verb %q", t.text)
+	}
+
+	// Optional where clause.
+	if p.peek().kind == tokIdent && p.peek().text == "where" {
+		p.next()
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	// Optional limit.
+	if p.peek().kind == tokIdent && p.peek().text == "limit" {
+		p.next()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return nil, errf(n.pos, "invalid limit %q", n.text)
+		}
+		q.Limit = lim
+	}
+	if q.Op == OpFirstAncestor || q.Op == OpFirstDescendant {
+		if q.Where == nil {
+			return nil, errf(p.peek().pos, "'first' queries require a where clause")
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSource() (Source, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return Source{}, errf(t.pos, "expected a source (url/download/term/node), got %q", t.text)
+	}
+	var s Source
+	switch t.text {
+	case "url":
+		s.Kind = SrcURL
+	case "download":
+		s.Kind = SrcDownload
+	case "term":
+		s.Kind = SrcTerm
+	case "node":
+		s.Kind = SrcNode
+	default:
+		return Source{}, errf(t.pos, "unknown source %q", t.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Source{}, err
+	}
+	if s.Kind == SrcNode {
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return Source{}, err
+		}
+		id, err := strconv.ParseUint(n.text, 10, 64)
+		if err != nil {
+			return Source{}, errf(n.pos, "invalid node id %q", n.text)
+		}
+		s.ID = id
+	} else {
+		str, err := p.expect(tokString)
+		if err != nil {
+			return Source{}, err
+		}
+		s.Arg = str.text
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Source{}, err
+	}
+	return s, nil
+}
+
+func (p *parser) parsePred() (*Pred, error) {
+	pred := &Pred{}
+	for {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		pred.Clauses = append(pred.Clauses, c)
+		if p.peek().kind == tokIdent && p.peek().text == "and" {
+			p.next()
+			continue
+		}
+		return pred, nil
+	}
+}
+
+func (p *parser) parseClause() (Clause, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return Clause{}, errf(t.pos, "expected a predicate field, got %q", t.text)
+	}
+	switch t.text {
+	case "recognizable":
+		return Clause{Field: "recognizable"}, nil
+	case "kind":
+		if _, err := p.expect(tokEq); err != nil {
+			return Clause{}, err
+		}
+		v := p.next()
+		if v.kind != tokIdent {
+			return Clause{}, errf(v.pos, "expected a kind name, got %q", v.text)
+		}
+		return Clause{Field: "kind", Op: "=", Str: v.text}, nil
+	case "visits":
+		op := p.next()
+		var ops string
+		switch op.kind {
+		case tokEq:
+			ops = "="
+		case tokLT:
+			ops = "<"
+		case tokLE:
+			ops = "<="
+		case tokGT:
+			ops = ">"
+		case tokGE:
+			ops = ">="
+		default:
+			return Clause{}, errf(op.pos, "expected a comparison, got %q", op.text)
+		}
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return Clause{}, err
+		}
+		num, err := strconv.Atoi(n.text)
+		if err != nil {
+			return Clause{}, errf(n.pos, "invalid count %q", n.text)
+		}
+		return Clause{Field: "visits", Op: ops, Num: num}, nil
+	case "url", "title", "text":
+		if _, err := p.expect(tokTilde); err != nil {
+			return Clause{}, err
+		}
+		v, err := p.expect(tokString)
+		if err != nil {
+			return Clause{}, err
+		}
+		return Clause{Field: t.text, Op: "~", Str: v.text}, nil
+	default:
+		return Clause{}, errf(t.pos, "unknown predicate field %q", t.text)
+	}
+}

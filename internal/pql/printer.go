@@ -1,0 +1,90 @@
+package pql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the query back to canonical PQL source. Parsing the
+// result yields an identical AST (round-trip property, see tests).
+func (q *Query) String() string {
+	var sb strings.Builder
+	switch q.Op {
+	case OpAncestors:
+		fmt.Fprintf(&sb, "ancestors(%s)", q.Source)
+	case OpDescendants:
+		fmt.Fprintf(&sb, "descendants(%s)", q.Source)
+	case OpFirstAncestor:
+		fmt.Fprintf(&sb, "first ancestor of %s", q.Source)
+	case OpFirstDescendant:
+		fmt.Fprintf(&sb, "first descendant of %s", q.Source)
+	case OpLineage:
+		fmt.Fprintf(&sb, "lineage of %s", q.Source)
+	default:
+		fmt.Fprintf(&sb, "op(%d) %s", int(q.Op), q.Source)
+	}
+	if q.Where != nil && len(q.Where.Clauses) > 0 {
+		sb.WriteString(" where ")
+		sb.WriteString(q.Where.String())
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " limit %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// String renders a source expression.
+func (s Source) String() string {
+	switch s.Kind {
+	case SrcURL:
+		return fmt.Sprintf("url(%s)", quote(s.Arg))
+	case SrcDownload:
+		return fmt.Sprintf("download(%s)", quote(s.Arg))
+	case SrcTerm:
+		return fmt.Sprintf("term(%s)", quote(s.Arg))
+	case SrcNode:
+		return fmt.Sprintf("node(%d)", s.ID)
+	default:
+		return fmt.Sprintf("source(%d)", int(s.Kind))
+	}
+}
+
+// String renders a predicate conjunction.
+func (p *Pred) String() string {
+	parts := make([]string, 0, len(p.Clauses))
+	for _, c := range p.Clauses {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, " and ")
+}
+
+// String renders one clause.
+func (c Clause) String() string {
+	switch c.Field {
+	case "recognizable":
+		return "recognizable"
+	case "kind":
+		return "kind = " + c.Str
+	case "visits":
+		return fmt.Sprintf("visits %s %d", c.Op, c.Num)
+	case "url", "title", "text":
+		return fmt.Sprintf("%s ~ %s", c.Field, quote(c.Str))
+	default:
+		return fmt.Sprintf("field(%s)", c.Field)
+	}
+}
+
+// quote renders a PQL string literal with escaping.
+func quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

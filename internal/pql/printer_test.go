@@ -1,0 +1,116 @@
+package pql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrinterCanonicalForms(t *testing.T) {
+	cases := map[string]string{
+		`ancestors(url("http://a/"))`:                                 `ancestors(url("http://a/"))`,
+		`descendants( term( "rosebud" ) )   limit 5`:                  `descendants(term("rosebud")) limit 5`,
+		`first   ancestor of download("/x") where recognizable`:       `first ancestor of download("/x") where recognizable`,
+		`lineage of node(42)`:                                         `lineage of node(42)`,
+		`ancestors(node(7)) where visits >= 3 and title ~ "kane"`:     `ancestors(node(7)) where visits >= 3 and title ~ "kane"`,
+		`descendants(url("a")) where kind = download and url ~ "cdn"`: `descendants(url("a")) where kind = download and url ~ "cdn"`,
+	}
+	for in, want := range cases {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := q.String(); got != want {
+			t.Fatalf("String(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrinterEscapesStrings(t *testing.T) {
+	q := &Query{Op: OpAncestors, Source: Source{Kind: SrcURL, Arg: `he said "hi" \ bye`}}
+	src := q.String()
+	q2, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if q2.Source.Arg != q.Source.Arg {
+		t.Fatalf("escaped arg round trip: %q -> %q", q.Source.Arg, q2.Source.Arg)
+	}
+}
+
+// genQuery builds a random valid AST.
+func genQuery(rng *rand.Rand) *Query {
+	q := &Query{}
+	q.Op = OpKind(1 + rng.Intn(5))
+	switch rng.Intn(4) {
+	case 0:
+		q.Source = Source{Kind: SrcURL, Arg: randArg(rng)}
+	case 1:
+		q.Source = Source{Kind: SrcDownload, Arg: randArg(rng)}
+	case 2:
+		q.Source = Source{Kind: SrcTerm, Arg: randArg(rng)}
+	case 3:
+		q.Source = Source{Kind: SrcNode, ID: uint64(rng.Intn(10000))}
+	}
+	nClauses := rng.Intn(3)
+	if q.Op == OpFirstAncestor || q.Op == OpFirstDescendant {
+		nClauses = 1 + rng.Intn(2) // first-queries require a predicate
+	}
+	if nClauses > 0 {
+		q.Where = &Pred{}
+		for i := 0; i < nClauses; i++ {
+			q.Where.Clauses = append(q.Where.Clauses, randClause(rng))
+		}
+	}
+	if q.Op == OpAncestors || q.Op == OpDescendants {
+		if rng.Intn(2) == 0 {
+			q.Limit = 1 + rng.Intn(100)
+		}
+	}
+	return q
+}
+
+func randArg(rng *rand.Rand) string {
+	chars := []rune(`abcxyz019/:.-_ "\é`)
+	n := 1 + rng.Intn(12)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(out)
+}
+
+func randClause(rng *rand.Rand) Clause {
+	switch rng.Intn(4) {
+	case 0:
+		return Clause{Field: "recognizable"}
+	case 1:
+		kinds := []string{"page", "visit", "bookmark", "download", "search-term", "form-entry"}
+		return Clause{Field: "kind", Op: "=", Str: kinds[rng.Intn(len(kinds))]}
+	case 2:
+		ops := []string{"=", "<", "<=", ">", ">="}
+		return Clause{Field: "visits", Op: ops[rng.Intn(len(ops))], Num: rng.Intn(50)}
+	default:
+		fields := []string{"url", "title", "text"}
+		return Clause{Field: fields[rng.Intn(len(fields))], Op: "~", Str: randArg(rng)}
+	}
+}
+
+// TestPrinterRoundTripProperty: Parse(q.String()) == q for random ASTs.
+func TestPrinterRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := genQuery(rng)
+		src := q.String()
+		q2, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		return reflect.DeepEqual(q, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

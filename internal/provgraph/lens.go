@@ -1,0 +1,105 @@
+package provgraph
+
+import "browserprov/internal/graph"
+
+// Lens is a derived view of the provenance graph for personalisation
+// algorithms (§3.2): redirect chains are spliced out ("unify edges by
+// ignoring nodes from which a redirect or inner content link occurs") and
+// embedded/inner-content edges are dropped entirely. Lineage queries use
+// the raw store; ranking queries use a Lens.
+//
+// Lens implements graph.Graph. It holds a read-only reference to the
+// store plus a memo table; build a fresh Lens per query (it is cheap) —
+// a Lens must not outlive concurrent mutation of the store.
+type Lens struct {
+	s *Store
+	// resolved memoises redirect-chain resolution.
+	resolved map[NodeID]NodeID
+}
+
+// NewLens returns a personalisation view of s.
+func (s *Store) NewLens() *Lens {
+	return &Lens{s: s, resolved: make(map[NodeID]NodeID)}
+}
+
+// spliced reports whether n is removed from the unified view: a node from
+// which a redirect occurs.
+func (l *Lens) spliced(n NodeID) bool {
+	for _, e := range l.s.outE[n] {
+		if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve follows redirect out-edges from n to the final non-redirecting
+// node. Chains are bounded to guard against pathological input.
+func (l *Lens) resolve(n NodeID) NodeID {
+	if r, ok := l.resolved[n]; ok {
+		return r
+	}
+	cur := n
+	for hops := 0; hops < 32; hops++ {
+		next := NodeID(0)
+		for _, e := range l.s.outE[cur] {
+			if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
+				next = e.To
+				break
+			}
+		}
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	l.resolved[n] = cur
+	return cur
+}
+
+// Out implements graph.Graph: raw successors with embeds dropped and
+// redirect targets resolved to their chain ends.
+func (l *Lens) Out(n NodeID) []NodeID {
+	l.s.mu.RLock()
+	defer l.s.mu.RUnlock()
+	var out []NodeID
+	for _, e := range l.s.outE[n] {
+		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
+			continue
+		}
+		t := l.resolve(e.To)
+		if t != n {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// In implements graph.Graph: raw predecessors with embeds dropped and
+// spliced (redirecting) predecessors replaced by their own predecessors,
+// transitively.
+func (l *Lens) In(n NodeID) []NodeID {
+	l.s.mu.RLock()
+	defer l.s.mu.RUnlock()
+	return l.inLocked(n, 0)
+}
+
+func (l *Lens) inLocked(n NodeID, depth int) []NodeID {
+	if depth > 32 {
+		return nil
+	}
+	var out []NodeID
+	for _, e := range l.s.inE[n] {
+		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
+			continue
+		}
+		if l.spliced(e.From) {
+			out = append(out, l.inLocked(e.From, depth+1)...)
+			continue
+		}
+		out = append(out, e.From)
+	}
+	return out
+}
+
+var _ graph.Graph = (*Lens)(nil)

@@ -1,0 +1,233 @@
+package provgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"browserprov/internal/event"
+)
+
+// genEvents produces a random but valid browsing event stream: the kind
+// of arbitrary interleaving of visits, searches, downloads, bookmarks,
+// closes and tab switches a real user generates.
+func genEvents(seed int64, n int) []*event.Event {
+	rng := rand.New(rand.NewSource(seed))
+	now := t0
+	tick := func() time.Time {
+		now = now.Add(time.Duration(1+rng.Intn(300)) * time.Second)
+		return now
+	}
+	urls := make([]string, 30)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site%d.example/page%d", i%6, i)
+	}
+	// Track per-tab current URL so referrers are plausible.
+	tabURL := map[int]string{}
+	pickTab := func() int { return 1 + rng.Intn(3) }
+
+	var evs []*event.Event
+	for len(evs) < n {
+		tab := pickTab()
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // link or typed visit
+			u := urls[rng.Intn(len(urls))]
+			tr := event.TransLink
+			ref := tabURL[tab]
+			if ref == "" || rng.Intn(4) == 0 {
+				tr = event.TransTyped
+				ref = ""
+			}
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, Tab: tab,
+				URL: u, Title: "T " + u, Referrer: ref, Transition: tr})
+			tabURL[tab] = u
+		case 5: // search + results + click
+			terms := fmt.Sprintf("query%d word%d", rng.Intn(5), rng.Intn(8))
+			results := "http://search.example/?q=" + fmt.Sprint(rng.Intn(5))
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeSearch, Tab: tab, Terms: terms, URL: results})
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, Tab: tab,
+				URL: results, Title: terms + " - Search", Referrer: tabURL[tab], Transition: event.TransLink})
+			tabURL[tab] = results
+			u := urls[rng.Intn(len(urls))]
+			evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, Tab: tab,
+				URL: u, Title: "T " + u, Referrer: results, Transition: event.TransSearchResult})
+			tabURL[tab] = u
+		case 6: // download
+			if cur := tabURL[tab]; cur != "" {
+				evs = append(evs, &event.Event{Time: tick(), Type: event.TypeDownload, Tab: tab,
+					URL: cur + "/file.zip", Referrer: cur,
+					SavePath: fmt.Sprintf("/dl/f%d.zip", len(evs)), ContentType: "application/zip"})
+			}
+		case 7: // bookmark current
+			if cur := tabURL[tab]; cur != "" {
+				evs = append(evs, &event.Event{Time: tick(), Type: event.TypeBookmarkAdd, Tab: tab,
+					URL: cur, Title: "B " + cur})
+			}
+		case 8: // close tab
+			if cur := tabURL[tab]; cur != "" {
+				evs = append(evs, &event.Event{Time: tick(), Type: event.TypeClose, Tab: tab, URL: cur})
+				delete(tabURL, tab)
+			}
+		case 9: // redirect hop
+			if cur := tabURL[tab]; cur != "" {
+				mid := fmt.Sprintf("http://shrt.example/%d", rng.Intn(50))
+				dst := urls[rng.Intn(len(urls))]
+				evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, Tab: tab,
+					URL: mid, Referrer: cur, Transition: event.TransLink})
+				evs = append(evs, &event.Event{Time: tick(), Type: event.TypeVisit, Tab: tab,
+					URL: dst, Title: "T " + dst, Referrer: mid, Transition: event.TransRedirectTemporary})
+				tabURL[tab] = dst
+			}
+		}
+	}
+	return evs
+}
+
+// TestPropertyDAGUnderRandomStreams: the acyclicity invariant (§3.1)
+// must hold for every valid event stream.
+func TestPropertyDAGUnderRandomStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, ev := range genEvents(seed, 300) {
+			if err := s.Apply(ev); err != nil {
+				return false
+			}
+		}
+		return s.VerifyDAG() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEdgesRespectTime: every provenance edge points from an
+// earlier (or equal) instance to a later one.
+func TestPropertyEdgesRespectTime(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, ev := range genEvents(seed, 300) {
+			if err := s.Apply(ev); err != nil {
+				return false
+			}
+		}
+		ok := true
+		s.EachNode(func(n Node) bool {
+			for _, e := range s.OutEdges(n.ID) {
+				to, found := s.NodeByID(e.To)
+				if !found || to.Open.Before(n.Open) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRecoveryRoundTrip: crash recovery (WAL replay) and
+// checkpoint+reopen must both reconstruct the identical graph.
+func TestPropertyRecoveryRoundTrip(t *testing.T) {
+	f := func(seed int64, checkpoint bool) bool {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		evs := genEvents(seed, 200)
+		for _, ev := range evs {
+			if err := s.Apply(ev); err != nil {
+				s.Close()
+				return false
+			}
+		}
+		if checkpoint {
+			if err := s.Checkpoint(); err != nil {
+				s.Close()
+				return false
+			}
+		}
+		want := s.Stats()
+		wantEdges := edgeFingerprint(s)
+		if err := s.Close(); err != nil {
+			return false
+		}
+
+		s2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Stats() != want {
+			return false
+		}
+		return edgeFingerprint(s2) == wantEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// edgeFingerprint folds every edge (from, to, kind, at) into an
+// order-independent hash.
+func edgeFingerprint(s *Store) uint64 {
+	var h uint64
+	s.EachNode(func(n Node) bool {
+		for _, e := range s.OutEdges(n.ID) {
+			x := uint64(e.From)*1_000_003 ^ uint64(e.To)*7919 ^ uint64(e.Kind)*104729 ^ uint64(e.At.UnixMicro())
+			// Mix and fold commutatively so iteration order is moot.
+			x ^= x >> 33
+			x *= 0xff51afd7ed558ccd
+			x ^= x >> 33
+			h += x
+		}
+		return true
+	})
+	return h
+}
+
+// TestPropertyVisitCountsMatchVisits: per-page instance lists are
+// consistent with the global stats under random streams.
+func TestPropertyVisitCountsMatchVisits(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		for _, ev := range genEvents(seed, 250) {
+			if err := s.Apply(ev); err != nil {
+				return false
+			}
+		}
+		total := 0
+		for _, page := range s.NodesOfKind(KindPage) {
+			vs := s.VisitsOfPage(page)
+			total += len(vs)
+			// VisitSeq must be 1..len in order.
+			for i, v := range vs {
+				n, ok := s.NodeByID(v)
+				if !ok || n.VisitSeq != i+1 || n.Page != page {
+					return false
+				}
+			}
+		}
+		return total == s.Stats().Visits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

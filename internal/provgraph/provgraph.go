@@ -1,0 +1,572 @@
+// Package provgraph implements the paper's primary contribution: a
+// single, homogeneous provenance graph store for every kind of browser
+// history object (§3.4).
+//
+// Pages, page-visit instances, bookmarks, downloads, search terms and
+// form entries are all nodes of one graph; link traversals, typed
+// navigations, bookmark clicks, redirects, embedded content, downloads
+// and search descents are all typed, time-stamped edges. Cycles in the
+// page/link structure are broken by versioning: each visit is a new
+// instance node, and every edge points from an earlier instance to a
+// strictly later one, so the graph is acyclic by construction (§3.1).
+// Visits carry open and close timestamps (§3.2), enabling the
+// time-overlap relationships the paper's time-contextual search needs.
+//
+// The store journals raw browsing events (so the WAL doubles as a full
+// activity log) and checkpoints the materialised graph through
+// internal/storage. It implements graph.Graph, so every algorithm in
+// internal/graph runs on it directly.
+package provgraph
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/graph"
+	"browserprov/internal/storage"
+)
+
+// NodeID aliases graph.NodeID; provenance node IDs are dense from 1.
+type NodeID = graph.NodeID
+
+// NodeKind enumerates the heterogeneous history objects stored as
+// homogeneous graph nodes (§3.3).
+type NodeKind int
+
+const (
+	// KindPage is a page identity: one node per distinct URL. Page nodes
+	// anchor their visit instances but do not participate in provenance
+	// edges themselves (versioning happens at the visit level).
+	KindPage NodeKind = iota + 1
+	// KindVisit is one page-visit instance (a version of a page, §3.1).
+	KindVisit
+	// KindBookmark is a bookmark object.
+	KindBookmark
+	// KindDownload is a downloaded file.
+	KindDownload
+	// KindSearchTerm is a user-issued search query string (§3.3).
+	KindSearchTerm
+	// KindFormEntry is a submitted form's content (§3.3).
+	KindFormEntry
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindPage:
+		return "page"
+	case KindVisit:
+		return "visit"
+	case KindBookmark:
+		return "bookmark"
+	case KindDownload:
+		return "download"
+	case KindSearchTerm:
+		return "search-term"
+	case KindFormEntry:
+		return "form-entry"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// EdgeKind enumerates provenance relationships. Navigation kinds reuse
+// the event.Transition vocabulary; the remaining kinds cover the
+// relationships the paper promotes to first-class (§3.2–3.3).
+type EdgeKind int
+
+const (
+	// Navigation edge kinds (values mirror event.Transition).
+	EdgeLink              = EdgeKind(event.TransLink)
+	EdgeTyped             = EdgeKind(event.TransTyped)
+	EdgeBookmarkClick     = EdgeKind(event.TransBookmark)
+	EdgeEmbed             = EdgeKind(event.TransEmbed)
+	EdgeRedirectPermanent = EdgeKind(event.TransRedirectPermanent)
+	EdgeRedirectTemporary = EdgeKind(event.TransRedirectTemporary)
+	EdgeDownloadNav       = EdgeKind(event.TransDownload)
+	EdgeFramedLink        = EdgeKind(event.TransFramedLink)
+	EdgeSearchResult      = EdgeKind(event.TransSearchResult)
+	EdgeFormSubmitNav     = EdgeKind(event.TransFormSubmit)
+	EdgeNewTab            = EdgeKind(event.TransNewTab)
+
+	// Object edge kinds.
+	edgeObjectBase EdgeKind = 100
+	// EdgeSearchIssued connects the visit where the user typed a search
+	// to the search-term node.
+	EdgeSearchIssued EdgeKind = 101
+	// EdgeSearchResults connects a search-term node to the visit of the
+	// results page it produced.
+	EdgeSearchResults EdgeKind = 102
+	// EdgeBookmarkCreate connects the visit being bookmarked to the
+	// bookmark node.
+	EdgeBookmarkCreate EdgeKind = 103
+	// EdgeDownloadOf connects the visit a download originated from to the
+	// download node.
+	EdgeDownloadOf EdgeKind = 104
+	// EdgeFormFilled connects the visit where a form was filled to the
+	// form-entry node.
+	EdgeFormFilled EdgeKind = 105
+	// EdgeFormResults connects a form-entry node to the visit its
+	// submission produced.
+	EdgeFormResults EdgeKind = 106
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	if k < edgeObjectBase {
+		return event.Transition(k).String()
+	}
+	switch k {
+	case EdgeSearchIssued:
+		return "search-issued"
+	case EdgeSearchResults:
+		return "search-results"
+	case EdgeBookmarkCreate:
+		return "bookmark-create"
+	case EdgeDownloadOf:
+		return "download-of"
+	case EdgeFormFilled:
+		return "form-filled"
+	case EdgeFormResults:
+		return "form-results"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// IsAutomatic reports whether the relationship was not the result of a
+// user action (redirects, inner content; §3.2). The personalisation lens
+// splices these out.
+func (k EdgeKind) IsAutomatic() bool {
+	return k == EdgeRedirectPermanent || k == EdgeRedirectTemporary ||
+		k == EdgeEmbed || k == EdgeFramedLink
+}
+
+// Node is one homogeneous provenance node.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// URL is set for pages, visits and downloads (source URL).
+	URL string
+	// Title is set for pages and visits when known.
+	Title string
+	// Text holds a search term, form content, or a download's save path.
+	Text string
+	// Open is when the node came into being (visit open time, bookmark
+	// creation, download completion, first issue of a search term).
+	Open time.Time
+	// Close is when a visit left display (§3.2). Zero means the visit is
+	// still open or the close was never observed.
+	Close time.Time
+	// Page links a visit instance to its page identity node.
+	Page NodeID
+	// VisitSeq is the 1-based index of this visit among its page's
+	// visits (the "version number" of §3.1).
+	VisitSeq int
+	// Via is the transition that created a visit instance (the kind of
+	// its incoming navigation, recorded even when no origin node exists,
+	// e.g. the first typed navigation of a session).
+	Via EdgeKind
+}
+
+// Edge is one provenance relationship.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	Kind EdgeKind
+	// At is the edge timestamp (the action time).
+	At time.Time
+}
+
+// VersioningMode selects the §3.1 cycle-breaking scheme (experiment E5).
+type VersioningMode int
+
+const (
+	// VersionNodes (the default, what PASS does): every visit is a new
+	// node instance; edges connect instances, so the graph is a DAG by
+	// construction.
+	VersionNodes VersioningMode = iota
+	// VersionEdges: one node per page; edges carry timestamps and cycles
+	// are broken only by the traversal-order the timestamps induce. The
+	// node graph itself may be cyclic.
+	VersionEdges
+)
+
+// String implements fmt.Stringer.
+func (m VersioningMode) String() string {
+	if m == VersionEdges {
+		return "edge-timestamps"
+	}
+	return "versioned-nodes"
+}
+
+// Options configures a Store.
+type Options struct {
+	// Mode selects the versioning scheme. Default VersionNodes.
+	Mode VersioningMode
+}
+
+// Store is the provenance graph store.
+type Store struct {
+	mu sync.RWMutex
+	j  *storage.Journal
+
+	mode VersioningMode
+
+	nodes  map[NodeID]*Node
+	outE   map[NodeID][]Edge
+	inE    map[NodeID][]Edge
+	outIDs map[NodeID][]NodeID // parallel adjacency for graph.Graph
+	inIDs  map[NodeID][]NodeID
+
+	urlIndex   *storage.BTree // URL -> page NodeID
+	termIndex  *storage.BTree // term -> search-term NodeID
+	openIndex  *storage.BTree // open time || node -> visit NodeID
+	pageVisits map[NodeID][]NodeID
+
+	bookmarkByURL map[string]NodeID
+	downloads     []NodeID
+
+	// Assembly state (per-tab), part of the persistent state because it
+	// is reconstructed deterministically from the event log.
+	tabCur         map[int]NodeID
+	lastVisitByURL map[string]NodeID
+	pendingSearch  map[int]pending
+	pendingForm    map[int]pending
+
+	nextNode NodeID
+	numEdges int
+}
+
+type pending struct {
+	node NodeID
+	url  string
+}
+
+// Open opens (or creates) a provenance store in dir with default options.
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens (or creates) a provenance store in dir.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		mode:           opts.Mode,
+		nodes:          make(map[NodeID]*Node),
+		outE:           make(map[NodeID][]Edge),
+		inE:            make(map[NodeID][]Edge),
+		outIDs:         make(map[NodeID][]NodeID),
+		inIDs:          make(map[NodeID][]NodeID),
+		urlIndex:       storage.NewBTree(),
+		termIndex:      storage.NewBTree(),
+		openIndex:      storage.NewBTree(),
+		pageVisits:     make(map[NodeID][]NodeID),
+		bookmarkByURL:  make(map[string]NodeID),
+		tabCur:         make(map[int]NodeID),
+		lastVisitByURL: make(map[string]NodeID),
+		pendingSearch:  make(map[int]pending),
+		pendingForm:    make(map[int]pending),
+		nextNode:       1,
+	}
+	j, err := storage.OpenJournal(dir, "provgraph", storage.JournalCallbacks{
+		LoadSnapshot: s.loadSnapshot,
+		Replay:       s.replayEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.j = j
+	return s, nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Close()
+}
+
+// Sync forces journaled events to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Sync()
+}
+
+// Checkpoint snapshots the graph and resets the WAL.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Checkpoint(s.writeSnapshot)
+}
+
+// SizeOnDisk returns the durable footprint in bytes (experiment E1).
+func (s *Store) SizeOnDisk() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j.SizeOnDisk()
+}
+
+// Mode returns the versioning mode the store was opened with.
+func (s *Store) Mode() VersioningMode { return s.mode }
+
+// Apply journals ev and folds it into the graph.
+func (s *Store) Apply(ev *event.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := encodeEvent(ev)
+	if err := s.j.Log(payload); err != nil {
+		return err
+	}
+	s.applyEvent(ev)
+	return nil
+}
+
+// replayEvent is the journal recovery path.
+func (s *Store) replayEvent(payload []byte) error {
+	ev, err := decodeEvent(payload)
+	if err != nil {
+		return err
+	}
+	s.applyEvent(ev)
+	return nil
+}
+
+// ---- assembly ----
+
+func (s *Store) newNode(kind NodeKind, at time.Time) *Node {
+	n := &Node{ID: s.nextNode, Kind: kind, Open: at}
+	s.nextNode++
+	s.nodes[n.ID] = n
+	return n
+}
+
+// addEdge inserts a provenance edge and maintains both adjacency views.
+func (s *Store) addEdge(from, to NodeID, kind EdgeKind, at time.Time) {
+	if from == 0 || to == 0 || from == to {
+		return
+	}
+	e := Edge{From: from, To: to, Kind: kind, At: at}
+	s.outE[from] = append(s.outE[from], e)
+	s.inE[to] = append(s.inE[to], e)
+	s.outIDs[from] = append(s.outIDs[from], to)
+	s.inIDs[to] = append(s.inIDs[to], from)
+	s.numEdges++
+}
+
+// ensurePage returns the page identity node for url, creating it at time
+// at if needed.
+func (s *Store) ensurePage(url, title string, at time.Time) *Node {
+	if id, ok := s.urlIndex.Get([]byte(url)); ok {
+		p := s.nodes[NodeID(id)]
+		if p.Title == "" && title != "" {
+			p.Title = title
+		}
+		return p
+	}
+	p := s.newNode(KindPage, at)
+	p.URL = url
+	p.Title = title
+	s.urlIndex.Put([]byte(url), uint64(p.ID))
+	return p
+}
+
+func (s *Store) applyEvent(ev *event.Event) {
+	switch ev.Type {
+	case event.TypeVisit:
+		s.applyVisit(ev)
+	case event.TypeClose:
+		s.applyClose(ev)
+	case event.TypeBookmarkAdd:
+		s.applyBookmarkAdd(ev)
+	case event.TypeDownload:
+		s.applyDownload(ev)
+	case event.TypeSearch:
+		s.applySearch(ev)
+	case event.TypeFormSubmit:
+		s.applyFormSubmit(ev)
+	case event.TypeTabOpen:
+		// The new tab's first visit arrives as TransNewTab; nothing to do
+		// beyond what that visit records.
+	}
+}
+
+// originFor locates the instance node a navigation came from: the current
+// visit in the same tab when it matches the referrer (or when the
+// navigation is typed/bookmark, where the "referrer" is simply the page
+// the user was looking at), otherwise the most recent visit of the
+// referrer URL in any tab.
+func (s *Store) originFor(ev *event.Event) NodeID {
+	cur := s.tabCur[ev.Tab]
+	if ev.Referrer == "" {
+		// Typed/bookmark navigations carry no referrer; the context edge
+		// still points from what was on screen in that tab (§3.2).
+		if ev.Transition == event.TransTyped || ev.Transition == event.TransBookmark {
+			return cur
+		}
+		return 0
+	}
+	if cur != 0 && s.nodes[cur].URL == ev.Referrer {
+		return cur
+	}
+	// Another tab may hold the referrer (e.g. "open in new tab").
+	for _, v := range s.tabCur {
+		if v != 0 && s.nodes[v].URL == ev.Referrer {
+			return v
+		}
+	}
+	return s.lastVisitByURL[ev.Referrer]
+}
+
+func (s *Store) applyVisit(ev *event.Event) {
+	page := s.ensurePage(ev.URL, ev.Title, ev.Time)
+	origin := s.originFor(ev)
+
+	var v *Node
+	if s.mode == VersionEdges {
+		// E5 ablation: the page node doubles as the visit; edges carry
+		// the time stamps and the node graph may be cyclic.
+		v = page
+		if v.Open.IsZero() || ev.Time.Before(v.Open) {
+			v.Open = ev.Time
+		}
+	} else {
+		v = s.newNode(KindVisit, ev.Time)
+		v.URL = ev.URL
+		v.Title = ev.Title
+		v.Page = page.ID
+		v.Via = EdgeKind(ev.Transition)
+		s.pageVisits[page.ID] = append(s.pageVisits[page.ID], v.ID)
+		v.VisitSeq = len(s.pageVisits[page.ID])
+		s.openIndex.Put(timeKey(ev.Time, v.ID), uint64(v.ID))
+	}
+
+	if origin != 0 {
+		s.addEdge(origin, v.ID, EdgeKind(ev.Transition), ev.Time)
+	}
+
+	// Bookmark clicks also descend from the bookmark object itself.
+	if ev.Transition == event.TransBookmark {
+		if b, ok := s.bookmarkByURL[ev.URL]; ok {
+			s.addEdge(b, v.ID, EdgeBookmarkClick, ev.Time)
+		}
+	}
+
+	// Resolve a pending search/form submission for this tab: the results
+	// page descends from the term node.
+	if p, ok := s.pendingSearch[ev.Tab]; ok && p.url == ev.URL {
+		s.addEdge(p.node, v.ID, EdgeSearchResults, ev.Time)
+		delete(s.pendingSearch, ev.Tab)
+	}
+	if p, ok := s.pendingForm[ev.Tab]; ok && p.url == ev.URL {
+		s.addEdge(p.node, v.ID, EdgeFormResults, ev.Time)
+		delete(s.pendingForm, ev.Tab)
+	}
+
+	// Inner content does not replace the page on display.
+	if ev.Transition == event.TransEmbed || ev.Transition == event.TransFramedLink {
+		if s.mode == VersionNodes {
+			// An embed is never "open" in a tab; close it instantly.
+			v.Close = ev.Time
+		}
+		return
+	}
+
+	// The navigation replaces the tab's current page: close it (§3.2).
+	if s.mode == VersionNodes {
+		if prev := s.tabCur[ev.Tab]; prev != 0 && prev != v.ID {
+			if pn := s.nodes[prev]; pn.Close.IsZero() {
+				pn.Close = ev.Time
+			}
+		}
+	}
+	s.tabCur[ev.Tab] = v.ID
+	s.lastVisitByURL[ev.URL] = v.ID
+}
+
+func (s *Store) applyClose(ev *event.Event) {
+	cur := s.tabCur[ev.Tab]
+	if cur == 0 {
+		return
+	}
+	if s.mode == VersionNodes {
+		if n := s.nodes[cur]; n.Close.IsZero() {
+			n.Close = ev.Time
+		}
+	}
+	delete(s.tabCur, ev.Tab)
+}
+
+func (s *Store) applyBookmarkAdd(ev *event.Event) {
+	b := s.newNode(KindBookmark, ev.Time)
+	b.URL = ev.URL
+	b.Title = ev.Title
+	s.bookmarkByURL[ev.URL] = b.ID
+	// The bookmark descends from the visit being bookmarked.
+	origin := s.tabCur[ev.Tab]
+	if origin == 0 || s.nodes[origin].URL != ev.URL {
+		origin = s.lastVisitByURL[ev.URL]
+	}
+	s.addEdge(origin, b.ID, EdgeBookmarkCreate, ev.Time)
+}
+
+func (s *Store) applyDownload(ev *event.Event) {
+	d := s.newNode(KindDownload, ev.Time)
+	d.URL = ev.URL
+	d.Text = ev.SavePath
+	d.Title = ev.ContentType
+	s.downloads = append(s.downloads, d.ID)
+	origin := s.tabCur[ev.Tab]
+	if ev.Referrer != "" {
+		if o := s.lastVisitByURL[ev.Referrer]; o != 0 {
+			origin = o
+		}
+	}
+	s.addEdge(origin, d.ID, EdgeDownloadOf, ev.Time)
+}
+
+func (s *Store) applySearch(ev *event.Event) {
+	// Every issuance creates a fresh term instance. Reusing one node per
+	// term string would let a visit that descends from the term's
+	// earlier results point back at it — exactly the cycle class §3.1
+	// breaks by versioning ("a new version of some object in the cycle
+	// must be created"). The term index tracks the latest instance.
+	t := s.newNode(KindSearchTerm, ev.Time)
+	t.Text = ev.Terms
+	if prev, ok := s.termIndex.Get([]byte(ev.Terms)); ok {
+		if pn := s.nodes[NodeID(prev)]; pn != nil {
+			t.VisitSeq = pn.VisitSeq + 1
+		}
+	} else {
+		t.VisitSeq = 1
+	}
+	s.termIndex.Put([]byte(ev.Terms), uint64(t.ID))
+	// The term descends from the visit where it was issued.
+	s.addEdge(s.tabCur[ev.Tab], t.ID, EdgeSearchIssued, ev.Time)
+	s.pendingSearch[ev.Tab] = pending{node: t.ID, url: ev.URL}
+}
+
+func (s *Store) applyFormSubmit(ev *event.Event) {
+	f := s.newNode(KindFormEntry, ev.Time)
+	f.Text = ev.Terms
+	f.URL = ev.URL
+	s.addEdge(s.tabCur[ev.Tab], f.ID, EdgeFormFilled, ev.Time)
+	s.pendingForm[ev.Tab] = pending{node: f.ID, url: ev.URL}
+}
+
+// timeKey builds the open-time index key: big-endian shifted micros
+// followed by the node ID for uniqueness.
+func timeKey(t time.Time, id NodeID) []byte {
+	key := make([]byte, 16)
+	u := uint64(t.UnixMicro()) + (1 << 63)
+	for i := 0; i < 8; i++ {
+		key[i] = byte(u >> (56 - 8*i))
+	}
+	for i := 0; i < 8; i++ {
+		key[8+i] = byte(uint64(id) >> (56 - 8*i))
+	}
+	return key
+}

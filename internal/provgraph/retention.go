@@ -1,0 +1,205 @@
+package provgraph
+
+import (
+	"sort"
+	"time"
+
+	"browserprov/internal/storage"
+)
+
+// EdgeExpiredSplice marks an edge synthesised by expiration: it stands
+// for a path that ran through since-expired instances, preserving
+// reachability between retained nodes.
+const EdgeExpiredSplice EdgeKind = 107
+
+// spliceFanoutLimit bounds the in×out product when splicing around one
+// expired node; beyond it, connectivity through that node is dropped
+// rather than exploding the edge count.
+const spliceFanoutLimit = 64
+
+// ExpireBefore removes history older than cutoff, the way browsers
+// expire visits — but provenance-aware:
+//
+//   - downloads and bookmarks never expire, and neither does their
+//     ancestor closure: the lineage answering "how did I get this file?"
+//     (§2.4) must survive history expiration;
+//   - everything else opened before cutoff is removed;
+//   - where an expired instance connected retained nodes, a splice edge
+//     preserves the reachability (so descendant queries stay sound);
+//   - page identity nodes survive only while they have retained visits
+//     or retained objects referencing their URL.
+//
+// The post-expiration state is immediately checkpointed (the event log
+// cannot replay an expiration, so the snapshot must capture it); if the
+// checkpoint fails the store is closed-unsafe and the error is returned.
+// ExpireBefore returns the number of nodes removed.
+func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	retained := s.retainedSet(cutoff)
+
+	// Collect splice edges before mutating anything.
+	type splice struct {
+		from, to NodeID
+		at       time.Time
+	}
+	var splices []splice
+	for id, n := range s.nodes {
+		if retained[id] || n.Kind == KindPage {
+			continue
+		}
+		ins := s.inE[id]
+		outs := s.outE[id]
+		if len(ins)*len(outs) > spliceFanoutLimit {
+			continue
+		}
+		for _, ie := range ins {
+			if !retained[ie.From] {
+				continue
+			}
+			for _, oe := range outs {
+				if !retained[oe.To] {
+					continue
+				}
+				splices = append(splices, splice{from: ie.From, to: oe.To, at: n.Open})
+			}
+		}
+	}
+
+	// Rebuild node and edge state from the retained set.
+	removed := 0
+	oldNodes := s.nodes
+	oldOut := s.outE
+	s.nodes = make(map[NodeID]*Node, len(retained))
+	s.outE = make(map[NodeID][]Edge, len(retained))
+	s.inE = make(map[NodeID][]Edge, len(retained))
+	s.outIDs = make(map[NodeID][]NodeID, len(retained))
+	s.inIDs = make(map[NodeID][]NodeID, len(retained))
+	s.urlIndex = storage.NewBTree()
+	s.termIndex = storage.NewBTree()
+	s.openIndex = storage.NewBTree()
+	s.pageVisits = make(map[NodeID][]NodeID)
+	s.bookmarkByURL = make(map[string]NodeID)
+	s.downloads = nil
+	s.numEdges = 0
+
+	ids := make([]NodeID, 0, len(oldNodes))
+	for id := range oldNodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		n := oldNodes[id]
+		if !retained[id] {
+			removed++
+			continue
+		}
+		s.nodes[id] = n
+		s.indexNode(n)
+	}
+	for _, id := range ids {
+		if !retained[id] {
+			continue
+		}
+		for _, e := range oldOut[id] {
+			if retained[e.To] {
+				s.addEdge(e.From, e.To, e.Kind, e.At)
+			}
+		}
+	}
+	for _, sp := range splices {
+		s.addEdge(sp.from, sp.to, EdgeExpiredSplice, sp.at)
+	}
+
+	// Assembly state referencing expired nodes is dropped.
+	for tab, v := range s.tabCur {
+		if !retained[v] {
+			delete(s.tabCur, tab)
+		}
+	}
+	for url, v := range s.lastVisitByURL {
+		if !retained[v] {
+			delete(s.lastVisitByURL, url)
+		}
+	}
+	for tab, p := range s.pendingSearch {
+		if !retained[p.node] {
+			delete(s.pendingSearch, tab)
+		}
+	}
+	for tab, p := range s.pendingForm {
+		if !retained[p.node] {
+			delete(s.pendingForm, tab)
+		}
+	}
+
+	// The event log cannot reproduce this state; checkpoint now.
+	if err := s.j.Checkpoint(s.writeSnapshot); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// retainedSet computes the survivors of an expiration at cutoff.
+func (s *Store) retainedSet(cutoff time.Time) map[NodeID]bool {
+	retained := make(map[NodeID]bool, len(s.nodes))
+
+	// Recent instances and permanent objects survive.
+	var pins []NodeID
+	for id, n := range s.nodes {
+		switch {
+		case n.Kind == KindPage:
+			// Decided after visits are known.
+		case n.Kind == KindDownload || n.Kind == KindBookmark:
+			retained[id] = true
+			pins = append(pins, id)
+		case !n.Open.Before(cutoff):
+			retained[id] = true
+		}
+	}
+	// Lineage pinning: the full ancestor closure of downloads and
+	// bookmarks survives regardless of age. (Traverses raw adjacency —
+	// the caller holds the write lock, so the locking graph.Graph view
+	// must not be used here.)
+	seen := make(map[NodeID]bool, len(pins)*4)
+	queue := append([]NodeID(nil), pins...)
+	for _, p := range pins {
+		seen[p] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		retained[n] = true
+		for _, m := range s.inIDs[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	// Pages survive while something retained references them.
+	for id, n := range s.nodes {
+		if n.Kind != KindPage {
+			continue
+		}
+		for _, v := range s.pageVisits[id] {
+			if retained[v] {
+				retained[id] = true
+				break
+			}
+		}
+	}
+	// Bookmarks keep their page identity alive too (the URL remains
+	// meaningful in the UI even with zero retained visits).
+	for url := range s.bookmarkByURL {
+		if pid, ok := s.urlIndex.Get([]byte(url)); ok {
+			retained[NodeID(pid)] = true
+		}
+	}
+	return retained
+}
+
+func sortNodeIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,378 @@
+package provgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/storage"
+)
+
+// ---- event codec (WAL payloads) ----
+
+// encodeEvent serialises a browsing event for the journal. The WAL is
+// therefore a complete, replayable activity log — the provenance store's
+// ground truth.
+func encodeEvent(ev *event.Event) []byte {
+	e := storage.NewEncoder(96)
+	e.Uvarint(uint64(ev.Type))
+	e.Time(ev.Time)
+	e.Varint(int64(ev.Tab))
+	e.String(ev.URL)
+	e.String(ev.Title)
+	e.String(ev.Referrer)
+	e.Uvarint(uint64(ev.Transition))
+	e.String(ev.Terms)
+	e.String(ev.SavePath)
+	e.String(ev.ContentType)
+	return e.Bytes()
+}
+
+func decodeEvent(payload []byte) (*event.Event, error) {
+	d := storage.NewDecoder(payload)
+	var ev event.Event
+	ty, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Type = event.Type(ty)
+	if ev.Time, err = d.Time(); err != nil {
+		return nil, err
+	}
+	tab, err := d.Varint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Tab = int(tab)
+	if ev.URL, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.Title, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.Referrer, err = d.String(); err != nil {
+		return nil, err
+	}
+	tr, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Transition = event.Transition(tr)
+	if ev.Terms, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.SavePath, err = d.String(); err != nil {
+		return nil, err
+	}
+	if ev.ContentType, err = d.String(); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// ---- snapshot ----
+
+// Snapshot record kinds.
+const (
+	snapNode     = 1
+	snapEdges    = 2 // one record per source node, all its out-edges
+	snapAssembly = 3
+)
+
+// writeSnapshot dumps the graph into the checkpoint heap file: all nodes
+// in ID order, all edges in (from, insertion) order, then the assembly
+// state needed to keep ingesting after recovery.
+func (s *Store) writeSnapshot(h *storage.HeapFile) error {
+	enc := storage.NewEncoder(256)
+	put := func() error {
+		_, err := h.Append(enc.Bytes())
+		return err
+	}
+	ids := make([]NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := s.nodes[id]
+		enc.Reset()
+		enc.Uvarint(snapNode)
+		enc.Uvarint(uint64(n.ID))
+		enc.Uvarint(uint64(n.Kind))
+		// Visit instances inherit URL and title from their page node;
+		// storing them again would bloat the dominant table (and is the
+		// normalisation Places itself applies via place_id).
+		if n.Kind == KindVisit {
+			enc.String("")
+			enc.String("")
+		} else {
+			enc.String(n.URL)
+			enc.String(n.Title)
+		}
+		enc.String(n.Text)
+		enc.Time(n.Open)
+		enc.Time(n.Close)
+		enc.Uvarint(uint64(n.Page))
+		enc.Varint(int64(n.VisitSeq))
+		enc.Uvarint(uint64(n.Via))
+		if err := put(); err != nil {
+			return err
+		}
+	}
+	// Edges, grouped per source node to amortise record framing. The
+	// timestamp is omitted when it equals the target node's open time
+	// (the overwhelmingly common case: the action that created the edge
+	// also created the target instance), mirroring how Places stores
+	// from_visit without a second date column.
+	for _, id := range ids {
+		edges := s.outE[id]
+		if len(edges) == 0 {
+			continue
+		}
+		enc.Reset()
+		enc.Uvarint(snapEdges)
+		enc.Uvarint(uint64(id))
+		enc.Uvarint(uint64(len(edges)))
+		for _, e := range edges {
+			enc.Uvarint(uint64(e.To))
+			hasAt := uint64(0)
+			if to := s.nodes[e.To]; to == nil || !e.At.Equal(to.Open) {
+				hasAt = 1
+			}
+			enc.Uvarint(uint64(e.Kind)<<1 | hasAt)
+			if hasAt == 1 {
+				enc.Time(e.At)
+			}
+		}
+		if err := put(); err != nil {
+			return err
+		}
+	}
+	// Assembly state: counters, per-tab cursors, pending joins.
+	enc.Reset()
+	enc.Uvarint(snapAssembly)
+	enc.Uvarint(uint64(s.nextNode))
+	enc.Uvarint(uint64(s.mode))
+	enc.Uvarint(uint64(len(s.tabCur)))
+	tabs := make([]int, 0, len(s.tabCur))
+	for t := range s.tabCur {
+		tabs = append(tabs, t)
+	}
+	sort.Ints(tabs)
+	for _, t := range tabs {
+		enc.Varint(int64(t))
+		enc.Uvarint(uint64(s.tabCur[t]))
+	}
+	writePending := func(m map[int]pending) {
+		enc.Uvarint(uint64(len(m)))
+		ks := make([]int, 0, len(m))
+		for t := range m {
+			ks = append(ks, t)
+		}
+		sort.Ints(ks)
+		for _, t := range ks {
+			enc.Varint(int64(t))
+			enc.Uvarint(uint64(m[t].node))
+			enc.String(m[t].url)
+		}
+	}
+	writePending(s.pendingSearch)
+	writePending(s.pendingForm)
+	return put()
+}
+
+// loadSnapshot rebuilds the graph and all derived indexes.
+func (s *Store) loadSnapshot(h *storage.HeapFile) error {
+	err := h.Scan(func(_ storage.RecordID, rec []byte) error {
+		d := storage.NewDecoder(rec)
+		kind, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case snapNode:
+			var n Node
+			id, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			n.ID = NodeID(id)
+			nk, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			n.Kind = NodeKind(nk)
+			if n.URL, err = d.String(); err != nil {
+				return err
+			}
+			if n.Title, err = d.String(); err != nil {
+				return err
+			}
+			if n.Text, err = d.String(); err != nil {
+				return err
+			}
+			if n.Open, err = d.Time(); err != nil {
+				return err
+			}
+			if n.Close, err = d.Time(); err != nil {
+				return err
+			}
+			pg, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			n.Page = NodeID(pg)
+			seq, err := d.Varint()
+			if err != nil {
+				return err
+			}
+			n.VisitSeq = int(seq)
+			via, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			n.Via = EdgeKind(via)
+			// Rehydrate visit URL/title from the page node (page IDs
+			// always precede their visits, and nodes are written in ID
+			// order).
+			if n.Kind == KindVisit && n.URL == "" {
+				if p, ok := s.nodes[n.Page]; ok {
+					n.URL = p.URL
+					n.Title = p.Title
+				}
+			}
+			s.nodes[n.ID] = &n
+			s.indexNode(&n)
+		case snapEdges:
+			from, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			count, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < count; i++ {
+				to, err := d.Uvarint()
+				if err != nil {
+					return err
+				}
+				kf, err := d.Uvarint()
+				if err != nil {
+					return err
+				}
+				kind := EdgeKind(kf >> 1)
+				var at time.Time
+				if kf&1 == 1 {
+					if at, err = d.Time(); err != nil {
+						return err
+					}
+				} else if tn, ok := s.nodes[NodeID(to)]; ok {
+					at = tn.Open
+				}
+				s.addEdge(NodeID(from), NodeID(to), kind, at)
+			}
+		case snapAssembly:
+			nn, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			s.nextNode = NodeID(nn)
+			md, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			s.mode = VersioningMode(md)
+			ntabs, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < ntabs; i++ {
+				t, err := d.Varint()
+				if err != nil {
+					return err
+				}
+				v, err := d.Uvarint()
+				if err != nil {
+					return err
+				}
+				s.tabCur[int(t)] = NodeID(v)
+			}
+			readPending := func(m map[int]pending) error {
+				np, err := d.Uvarint()
+				if err != nil {
+					return err
+				}
+				for i := uint64(0); i < np; i++ {
+					t, err := d.Varint()
+					if err != nil {
+						return err
+					}
+					nd, err := d.Uvarint()
+					if err != nil {
+						return err
+					}
+					u, err := d.String()
+					if err != nil {
+						return err
+					}
+					m[int(t)] = pending{node: NodeID(nd), url: u}
+				}
+				return nil
+			}
+			if err := readPending(s.pendingSearch); err != nil {
+				return err
+			}
+			if err := readPending(s.pendingForm); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("provgraph: unknown snapshot record kind %d", kind)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.rebuildLastVisit()
+	return nil
+}
+
+// indexNode rebuilds the secondary index entries for n during recovery.
+func (s *Store) indexNode(n *Node) {
+	switch n.Kind {
+	case KindPage:
+		s.urlIndex.Put([]byte(n.URL), uint64(n.ID))
+	case KindVisit:
+		s.pageVisits[n.Page] = append(s.pageVisits[n.Page], n.ID)
+		s.openIndex.Put(timeKey(n.Open, n.ID), uint64(n.ID))
+	case KindSearchTerm:
+		s.termIndex.Put([]byte(n.Text), uint64(n.ID))
+	case KindBookmark:
+		s.bookmarkByURL[n.URL] = n.ID
+	case KindDownload:
+		s.downloads = append(s.downloads, n.ID)
+	}
+}
+
+// rebuildLastVisit reconstructs the URL -> latest visit map from the
+// per-page visit lists (snapshot nodes arrive in ID order, so the last
+// entry of each list is the latest instance).
+func (s *Store) rebuildLastVisit() {
+	if s.mode == VersionEdges {
+		// Pages are their own instances.
+		s.urlIndex.Ascend(func(k []byte, v uint64) bool {
+			s.lastVisitByURL[string(k)] = NodeID(v)
+			return true
+		})
+		return
+	}
+	for page, visits := range s.pageVisits {
+		if len(visits) == 0 {
+			continue
+		}
+		p := s.nodes[page]
+		s.lastVisitByURL[p.URL] = visits[len(visits)-1]
+	}
+}

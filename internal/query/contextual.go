@@ -1,0 +1,167 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/provgraph"
+)
+
+// PageHit is one contextual history search result.
+type PageHit struct {
+	// Page is the page identity node.
+	Page  provgraph.NodeID
+	URL   string
+	Title string
+	// TextScore is the TF-IDF score of the page itself (0 if the page
+	// did not match the query textually).
+	TextScore float64
+	// ProvScore is the provenance-neighborhood score: weight received
+	// from query-matching seeds through graph expansion.
+	ProvScore float64
+	// Score is the blended ranking score.
+	Score float64
+}
+
+// contextualWeights blends text and provenance scores. Provenance weight
+// dominates for first-generation descendants (the paper: Citizen Kane
+// "would receive substantial weight").
+const (
+	wText = 1.0
+	wProv = 1.0
+	wHITS = 0.5
+)
+
+// ContextualSearch implements §2.1: a textual search whose results are
+// re-ranked — and extended — by the relevance of their provenance
+// neighbors. Pages that never matched the query textually but descend
+// from matching nodes (e.g. a page reached from a search-term node) are
+// admitted into the result set.
+func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
+	start := time.Now()
+	stop, _ := e.deadlineStop()
+
+	// Stage 1: textual search over all indexed nodes (pages, terms,
+	// downloads, forms). Matches seed the expansion.
+	textHits := e.index.Search(q, 200)
+	seeds := make(map[graph.NodeID]float64, len(textHits)*2)
+	textScore := make(map[provgraph.NodeID]float64, len(textHits))
+	for _, h := range textHits {
+		id := provgraph.NodeID(h.Doc)
+		n, ok := e.store.NodeByID(id)
+		if !ok {
+			continue
+		}
+		switch n.Kind {
+		case provgraph.KindPage:
+			textScore[id] = h.Score
+			// Seed the page's visit instances: provenance lives on the
+			// instance level (§3.1).
+			for _, v := range e.store.VisitsOfPage(id) {
+				seeds[v] = h.Score
+			}
+			if e.store.Mode() == provgraph.VersionEdges {
+				seeds[id] = h.Score
+			}
+		default:
+			// Term/download/form nodes participate directly.
+			seeds[id] = h.Score
+		}
+	}
+
+	// Stage 2: neighborhood expansion through the personalisation lens.
+	g := e.view()
+	scores := graph.Expand(g, seeds, graph.Undirected, e.opts.decay(), e.opts.maxDepth(), e.opts.maxNodes(), stop)
+
+	// Optional stage 2b: HITS over the expanded subgraph, blended in.
+	var auth map[graph.NodeID]float64
+	if e.opts.UseHITS && !stop() {
+		sub := make([]graph.NodeID, 0, len(scores))
+		for n := range scores {
+			sub = append(sub, n)
+		}
+		sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
+		_, auth = graph.HITS(g, sub, 20, 1e-6)
+	}
+
+	// Stage 3: fold instance scores back onto page identities.
+	pageProv := make(map[provgraph.NodeID]float64, len(scores))
+	for id, w := range scores {
+		n, ok := e.store.NodeByID(id)
+		if !ok {
+			continue
+		}
+		var page provgraph.NodeID
+		switch n.Kind {
+		case provgraph.KindVisit:
+			page = n.Page
+		case provgraph.KindPage:
+			page = n.ID
+		default:
+			continue // object nodes don't surface as history results
+		}
+		contrib := w
+		if auth != nil {
+			contrib += wHITS * auth[id] * w
+		}
+		if contrib > pageProv[page] {
+			// Max over instances: one strongly-related visit suffices
+			// to make the page relevant; summing would conflate
+			// popularity with relevance.
+			pageProv[page] = contrib
+		}
+	}
+
+	hits := make([]PageHit, 0, len(pageProv))
+	for page, prov := range pageProv {
+		n, ok := e.store.NodeByID(page)
+		if !ok {
+			continue
+		}
+		ts := textScore[page]
+		hits = append(hits, PageHit{
+			Page: page, URL: n.URL, Title: n.Title,
+			TextScore: ts, ProvScore: prov,
+			Score: wText*ts + wProv*prov,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Page < hits[j].Page
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, Meta{Elapsed: time.Since(start), Truncated: stop(), Expanded: len(scores)}
+}
+
+// TextualSearch is the baseline a provenance-unaware browser offers:
+// pure TF-IDF over page titles and URLs. It is exposed so experiments
+// can compare (E4).
+func (e *Engine) TextualSearch(q string, k int) []PageHit {
+	var hits []PageHit
+	for _, h := range e.index.Search(q, 0) {
+		id := provgraph.NodeID(h.Doc)
+		n, ok := e.store.NodeByID(id)
+		if !ok || n.Kind != provgraph.KindPage {
+			continue
+		}
+		hits = append(hits, PageHit{
+			Page: id, URL: n.URL, Title: n.Title,
+			TextScore: h.Score, Score: h.Score,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Page < hits[j].Page
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,165 @@
+// Package query implements the paper's four use-case queries (§2) over
+// the provenance graph store:
+//
+//   - Contextual history search (§2.1): textual search re-ranked and
+//     extended by provenance neighborhood expansion (after Shah et al.),
+//     optionally refined with HITS over the expanded subgraph.
+//   - Personalised web search (§2.2): term-frequency analysis over the
+//     contextual neighborhood to find user-specific terms to add to a
+//     web query — personalisation without sending history to the engine.
+//   - Time-contextual history search (§2.3): "wine associated with plane
+//     tickets" — matches ranked by co-display interval overlap.
+//   - Download lineage (§2.4): breadth-first ancestor search to the
+//     first recognizable page, and descendant scans for downloads.
+//
+// Every query runs under a time budget (default 200 ms, the bound the
+// paper reports); expansion checks the budget between frontier rounds,
+// so results degrade gracefully instead of blowing the deadline.
+package query
+
+import (
+	"time"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/textindex"
+)
+
+// DefaultBudget is the paper's 200 ms interactive bound (§4).
+const DefaultBudget = 200 * time.Millisecond
+
+// Options tunes the engine. The zero value gives the defaults used in
+// the experiments.
+type Options struct {
+	// Budget bounds each query's wall-clock time. 0 means DefaultBudget;
+	// negative means unlimited.
+	Budget time.Duration
+	// Decay is the per-hop weight decay of neighborhood expansion.
+	// 0 means 0.5.
+	Decay float64
+	// MaxDepth bounds expansion depth. 0 means 3.
+	MaxDepth int
+	// MaxNodes bounds the expanded neighborhood size. 0 means 5000.
+	MaxNodes int
+	// UseHITS additionally runs HITS over the expanded neighborhood and
+	// blends authority scores into the ranking.
+	UseHITS bool
+	// UseLens routes expansion through the redirect-splicing
+	// personalisation lens (§3.2) instead of the raw graph. Defaults on
+	// for contextual/personalised search; set RawGraph to disable.
+	RawGraph bool
+	// RecognizableVisits is the visit-count threshold for "a page the
+	// user is likely to recognize" in lineage queries (§2.4). 0 means 3.
+	RecognizableVisits int
+}
+
+func (o Options) budget() time.Duration {
+	switch {
+	case o.Budget == 0:
+		return DefaultBudget
+	case o.Budget < 0:
+		return 365 * 24 * time.Hour
+	default:
+		return o.Budget
+	}
+}
+
+func (o Options) decay() float64 {
+	if o.Decay == 0 {
+		return 0.5
+	}
+	return o.Decay
+}
+
+func (o Options) maxDepth() int {
+	if o.MaxDepth == 0 {
+		return 3
+	}
+	return o.MaxDepth
+}
+
+func (o Options) maxNodes() int {
+	if o.MaxNodes == 0 {
+		return 5000
+	}
+	return o.MaxNodes
+}
+
+func (o Options) recognizable() int {
+	if o.RecognizableVisits == 0 {
+		return 3
+	}
+	return o.RecognizableVisits
+}
+
+// Engine evaluates use-case queries against one provenance store.
+type Engine struct {
+	store *provgraph.Store
+	index *textindex.Index
+	opts  Options
+}
+
+// NewEngine builds an engine over store, indexing every page, search
+// term, download and form node for textual search. Pass Options{} for
+// the defaults.
+func NewEngine(store *provgraph.Store, opts Options) *Engine {
+	e := &Engine{store: store, index: textindex.New(), opts: opts}
+	store.EachNode(func(n provgraph.Node) bool {
+		e.indexNode(n)
+		return true
+	})
+	return e
+}
+
+// indexNode adds one node to the text index. Visit instances are not
+// indexed separately — they share their page's identity; queries seed
+// expansion from the page's instances.
+func (e *Engine) indexNode(n provgraph.Node) {
+	switch n.Kind {
+	case provgraph.KindPage:
+		e.index.Add(textindex.DocID(n.ID), n.URL, n.Title)
+	case provgraph.KindSearchTerm:
+		e.index.Add(textindex.DocID(n.ID), n.Text)
+	case provgraph.KindDownload:
+		e.index.Add(textindex.DocID(n.ID), n.URL, n.Text)
+	case provgraph.KindFormEntry:
+		e.index.Add(textindex.DocID(n.ID), n.Text)
+	}
+}
+
+// ObserveNode keeps the index current as the store grows (call after
+// ingesting new events; the engine does not watch the store).
+func (e *Engine) ObserveNode(n provgraph.Node) { e.indexNode(n) }
+
+// Index exposes the engine's text index (used by the personalisation
+// term analysis and by benchmarks).
+func (e *Engine) Index() *textindex.Index { return e.index }
+
+// Store returns the underlying provenance store.
+func (e *Engine) Store() *provgraph.Store { return e.store }
+
+// deadlineStop returns a stop predicate that trips after the engine's
+// budget, plus the deadline itself.
+func (e *Engine) deadlineStop() (func() bool, time.Time) {
+	deadline := time.Now().Add(e.opts.budget())
+	return func() bool { return !time.Now().Before(deadline) }, deadline
+}
+
+// view returns the graph the ranking queries traverse: the
+// personalisation lens by default, the raw store if configured.
+func (e *Engine) view() graph.Graph {
+	if e.opts.RawGraph {
+		return e.store
+	}
+	return e.store.NewLens()
+}
+
+// Meta describes how a query execution went.
+type Meta struct {
+	// Elapsed is the query's wall-clock time.
+	Elapsed time.Duration
+	// Truncated reports whether the time budget cut the work short.
+	Truncated bool
+	// Expanded is the number of nodes the neighborhood expansion scored.
+	Expanded int
+}

@@ -1,0 +1,164 @@
+package query
+
+import (
+	"time"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/provgraph"
+)
+
+// Lineage is the answer to §2.4's path query: the chain of actions from
+// a recognizable page to the download.
+type Lineage struct {
+	// Path runs from the download back to the recognizable ancestor:
+	// Path[0] is the download node, Path[len-1] the recognizable page
+	// visit (order matches the user's forensic reading: "how did I get
+	// this file?").
+	Path []provgraph.Node
+	// Found reports whether a recognizable ancestor exists; if false,
+	// Path holds the chain to the download's root ancestor instead.
+	Found bool
+}
+
+// Recognizable is the §2.4 predicate: "'likely to recognize' can be
+// defined in terms of history, e.g., the number of visits the user has
+// made to the page." A page is recognizable if it has been visited at
+// least the configured number of times, was bookmarked, or was reached
+// by typing its URL.
+func (e *Engine) Recognizable(n provgraph.Node) bool {
+	var page provgraph.NodeID
+	switch n.Kind {
+	case provgraph.KindVisit:
+		page = n.Page
+	case provgraph.KindPage:
+		page = n.ID
+	default:
+		return false
+	}
+	if e.store.VisitCount(page) >= e.opts.recognizable() {
+		return true
+	}
+	// Bookmarked pages are recognizable by definition, as are pages the
+	// user has reached by typing their URL.
+	for _, v := range e.store.VisitsOfPage(page) {
+		vn, ok := e.store.NodeByID(v)
+		if ok && vn.Via == provgraph.EdgeTyped {
+			return true
+		}
+		for _, edge := range e.store.OutEdges(v) {
+			if edge.Kind == provgraph.EdgeBookmarkCreate {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DownloadLineage implements §2.4: starting from a download node, walk
+// ancestors breadth-first to the nearest page the user is likely to
+// recognize. Lineage uses the raw graph — redirects are part of the
+// forensic story, not noise.
+func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
+	start := time.Now()
+	stop, _ := e.deadlineStop()
+
+	var path []graph.NodeID
+	found := false
+	budgetBlown := false
+	path, found = graph.FindFirst(e.store, download, graph.Backward, false, func(n graph.NodeID) bool {
+		if stop() {
+			budgetBlown = true
+			return true // abort traversal by "finding" the current node
+		}
+		node, ok := e.store.NodeByID(n)
+		return ok && e.Recognizable(node)
+	})
+	if budgetBlown {
+		found = false
+	}
+	if !found {
+		// Fall back to the deepest ancestor chain we can show.
+		path = e.rootChain(download)
+	}
+	// FindFirst and rootChain both return the path download-first, which
+	// matches the user's forensic reading order.
+	nodes := make([]provgraph.Node, 0, len(path))
+	for _, id := range path {
+		if n, ok := e.store.NodeByID(id); ok {
+			nodes = append(nodes, n)
+		}
+	}
+	return Lineage{Path: nodes, Found: found},
+		Meta{Elapsed: time.Since(start), Truncated: budgetBlown}
+}
+
+// rootChain walks the first-parent chain from n to a root, returning the
+// path n..root (download-first).
+func (e *Engine) rootChain(n provgraph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	cur := n
+	for hops := 0; hops < 1000; hops++ {
+		out = append(out, cur)
+		ins := e.store.In(cur)
+		if len(ins) == 0 {
+			break
+		}
+		cur = ins[0]
+	}
+	return out
+}
+
+// DescendantDownloads implements §2.4's second query: "find all
+// descendants of this page that are downloads" — e.g. everything pulled
+// from a page later found to be malicious. The scan covers every visit
+// instance of the page.
+func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
+	start := time.Now()
+	stop, _ := e.deadlineStop()
+
+	page, ok := e.store.PageByURL(pageURL)
+	if !ok {
+		return nil, Meta{Elapsed: time.Since(start)}
+	}
+	roots := e.store.VisitsOfPage(page.ID)
+	if e.store.Mode() == provgraph.VersionEdges {
+		roots = []provgraph.NodeID{page.ID}
+	}
+	seen := make(map[provgraph.NodeID]bool)
+	var out []provgraph.Node
+	truncated := false
+	graph.BFS(e.store, roots, graph.Forward, func(n graph.NodeID, depth int) bool {
+		if stop() {
+			truncated = true
+			return false
+		}
+		node, ok := e.store.NodeByID(n)
+		if ok && node.Kind == provgraph.KindDownload && !seen[n] {
+			seen[n] = true
+			out = append(out, node)
+		}
+		return true
+	})
+	return out, Meta{Elapsed: time.Since(start), Truncated: truncated}
+}
+
+// AncestorTerms returns the search terms in a node's lineage — the
+// descriptors that led to it (§3.3: search terms "are in the lineage of
+// the page they generate and that page's descendants").
+func (e *Engine) AncestorTerms(n provgraph.NodeID) ([]string, Meta) {
+	start := time.Now()
+	stop, _ := e.deadlineStop()
+	var out []string
+	truncated := false
+	graph.BFS(e.store, []graph.NodeID{n}, graph.Backward, func(m graph.NodeID, depth int) bool {
+		if stop() {
+			truncated = true
+			return false
+		}
+		if node, ok := e.store.NodeByID(m); ok && node.Kind == provgraph.KindSearchTerm {
+			out = append(out, node.Text)
+		}
+		return true
+	})
+	return out, Meta{Elapsed: time.Since(start), Truncated: truncated}
+}

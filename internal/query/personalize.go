@@ -1,0 +1,105 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"browserprov/internal/provgraph"
+	"browserprov/internal/textindex"
+)
+
+// TermSuggestion is one query-expansion candidate produced by the
+// personalisation analysis.
+type TermSuggestion struct {
+	Term string
+	// Weight combines the term's frequency across the contextual
+	// neighborhood with its rarity in the whole history.
+	Weight float64
+}
+
+// Personalize implements §2.2: find the terms this user's history
+// associates with the query, suitable for augmenting a web search
+// ("rosebud" -> "flower" for the gardener) without sending any history
+// to the search engine.
+//
+// Method, following the paper: run a contextual history search, then
+// perform term-frequency analysis over the results — each result page's
+// terms are accumulated weighted by the page's contextual score, then
+// IDF-weighted against the whole history so that globally common terms
+// do not dominate. Query terms themselves are excluded.
+func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
+	start := time.Now()
+	hits, meta := e.ContextualSearch(q, 50)
+
+	queryTerms := make(map[string]bool)
+	for _, t := range textindex.Tokenize(q) {
+		queryTerms[t] = true
+	}
+
+	weights := make(map[string]float64)
+	for _, h := range hits {
+		if h.Score <= 0 {
+			continue
+		}
+		for term, tf := range e.index.TermsOf(textindex.DocID(h.Page)) {
+			if queryTerms[term] {
+				continue
+			}
+			weights[term] += float64(tf) * h.Score
+		}
+	}
+	// Also fold in the search-term nodes adjacent to the neighborhood:
+	// the user's own past queries are the most concise descriptors
+	// (§3.3: "concise, conceptual, user-generated descriptors").
+	for _, h := range hits {
+		for _, v := range e.store.VisitsOfPage(h.Page) {
+			for _, edge := range e.store.InEdges(v) {
+				if edge.Kind != provgraph.EdgeSearchResults {
+					continue
+				}
+				if tn, ok := e.store.NodeByID(edge.From); ok {
+					for _, t := range textindex.Tokenize(tn.Text) {
+						if !queryTerms[t] && !textindex.IsStopword(t) {
+							weights[t] += h.Score
+						}
+					}
+				}
+			}
+		}
+	}
+
+	total := e.index.NumDocs()
+	out := make([]TermSuggestion, 0, len(weights))
+	for term, w := range weights {
+		df := e.index.DocFreq(term)
+		idf := 1.0
+		if df > 0 && total > 0 {
+			idf = math.Log(1 + float64(total)/float64(df))
+		}
+		out = append(out, TermSuggestion{Term: term, Weight: w * idf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Term < out[j].Term
+	})
+	if nTerms > 0 && len(out) > nTerms {
+		out = out[:nTerms]
+	}
+	meta.Elapsed = time.Since(start)
+	return out, meta
+}
+
+// AugmentQuery returns the query string a provenance-aware browser would
+// actually send to the web search engine: the original query plus the
+// top personalisation term (if any clears minWeight). Only the expanded
+// string leaves the machine — no history does.
+func (e *Engine) AugmentQuery(q string, minWeight float64) (string, Meta) {
+	suggestions, meta := e.Personalize(q, 1)
+	if len(suggestions) == 0 || suggestions[0].Weight < minWeight {
+		return q, meta
+	}
+	return q + " " + suggestions[0].Term, meta
+}

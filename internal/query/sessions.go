@@ -1,0 +1,103 @@
+package query
+
+import (
+	"time"
+
+	"browserprov/internal/provgraph"
+)
+
+// Session is a contiguous sitting of browsing activity: visits whose
+// open times are separated by less than the session gap. Sessions are
+// the paper's "similar time span" (§2.3) made first-class: Gyllstrom &
+// Soules built retrieval on exactly this notion of temporal context.
+type Session struct {
+	Start  time.Time
+	End    time.Time
+	Visits []provgraph.NodeID
+}
+
+// sessionGap splits sessions: a quiet period this long ends a sitting.
+const sessionGap = 30 * time.Minute
+
+// Sessions reconstructs the history's sittings in chronological order by
+// splitting the visit timeline at gaps of 30 minutes or more.
+func (e *Engine) Sessions() []Session {
+	var out []Session
+	var cur *Session
+	// OpenBetween over all time yields visits in open order.
+	for _, v := range e.store.OpenBetween(time.Time{}, time.Unix(1<<40, 0)) {
+		n, ok := e.store.NodeByID(v)
+		if !ok {
+			continue
+		}
+		if cur == nil || n.Open.Sub(cur.End) >= sessionGap {
+			out = append(out, Session{Start: n.Open, End: n.Open})
+			cur = &out[len(out)-1]
+		}
+		cur.Visits = append(cur.Visits, v)
+		if n.Open.After(cur.End) {
+			cur.End = n.Open
+		}
+		// A close extends the sitting only if it happened while the user
+		// was plausibly still active; a close recorded hours later (tab
+		// replaced long after reading ended) is not activity.
+		if !n.Close.IsZero() && n.Close.After(cur.End) && n.Close.Sub(n.Open) < sessionGap {
+			cur.End = n.Close
+		}
+	}
+	return out
+}
+
+// SessionOf returns the session containing the given visit node, and
+// whether one was found. For non-visit nodes (downloads, terms), the
+// session is located by the node's creation time.
+func (e *Engine) SessionOf(id provgraph.NodeID) (Session, bool) {
+	n, ok := e.store.NodeByID(id)
+	if !ok {
+		return Session{}, false
+	}
+	for _, s := range e.Sessions() {
+		// A node belongs to the session whose span (padded by the gap)
+		// covers its open time.
+		if !n.Open.Before(s.Start) && n.Open.Sub(s.End) < sessionGap {
+			return s, true
+		}
+	}
+	return Session{}, false
+}
+
+// SessionSummary describes a session for display: its span and the
+// most-visited pages within it.
+type SessionSummary struct {
+	Start  time.Time
+	End    time.Time
+	Pages  []provgraph.Node
+	Visits int
+}
+
+// SummarizeSessions returns display summaries of the most recent n
+// sessions (newest first).
+func (e *Engine) SummarizeSessions(n int) []SessionSummary {
+	sessions := e.Sessions()
+	if n > 0 && len(sessions) > n {
+		sessions = sessions[len(sessions)-n:]
+	}
+	out := make([]SessionSummary, 0, len(sessions))
+	for i := len(sessions) - 1; i >= 0; i-- {
+		s := sessions[i]
+		sum := SessionSummary{Start: s.Start, End: s.End, Visits: len(s.Visits)}
+		seen := map[provgraph.NodeID]bool{}
+		for _, v := range s.Visits {
+			vn, ok := e.store.NodeByID(v)
+			if !ok || seen[vn.Page] {
+				continue
+			}
+			seen[vn.Page] = true
+			if pn, ok := e.store.NodeByID(vn.Page); ok && len(sum.Pages) < 5 {
+				sum.Pages = append(sum.Pages, pn)
+			}
+		}
+		out = append(out, sum)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"browserprov/internal/provgraph"
+)
+
+// TimeHit is one time-contextual search result: a page matching the
+// query whose visits were on display together with visits of pages
+// matching the anchor.
+type TimeHit struct {
+	Page  provgraph.NodeID
+	URL   string
+	Title string
+	// Overlap is the accumulated co-display evidence in seconds
+	// (interval overlap against the anchor timeline, which is padded by
+	// sessionSlack so near-misses within the same sitting still count).
+	Overlap float64
+	// TextScore is the page's textual match against the primary query.
+	TextScore float64
+	// Score blends both.
+	Score float64
+}
+
+// sessionSlack pads anchor display intervals: visits that do not
+// strictly overlap but fall within this window of each other are still
+// associated — "pages viewed within a similar time span" (§2.3).
+// Blanc-Brude & Scapin: users recall events associated with documents,
+// not exact timestamps.
+const sessionSlack = 30 * time.Minute
+
+// assumedDwell bounds the display interval of a visit whose close was
+// never observed. Treating it as open forever would associate it with
+// all later history (§3.2's "every page is always open" failure mode).
+const assumedDwell = 30 * time.Minute
+
+// maxDwell caps any visit's display interval for association purposes.
+// A tab left open in the background for days is technically co-displayed
+// with everything that follows, but the user's *sitting* — the thing
+// they remember (§2.3) — is bounded; without the cap, one stale tab
+// associates with all later history.
+const maxDwell = 4 * time.Hour
+
+// span is a half-open display interval.
+type span struct{ start, end int64 } // unix micros
+
+// TimeContextualSearch implements §2.3: "wine associated with plane
+// tickets". Pages matching q are ranked by how much their visits
+// overlapped in time with visits of pages matching anchor.
+//
+// The anchor visits' padded intervals are merged into a sorted timeline,
+// so each query visit costs one binary search — the whole query is
+// O((|q visits| + |anchor visits|) log |anchor visits|), comfortably
+// inside the 200 ms budget at the paper's 25k-node scale.
+func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
+	start := time.Now()
+	stop, _ := e.deadlineStop()
+
+	qPages := e.matchPages(q, 200)
+	aPages := e.matchPages(anchor, 200)
+
+	timeline := e.anchorTimeline(aPages)
+
+	var hits []TimeHit
+	for _, qp := range qPages {
+		if stop() {
+			break
+		}
+		overlap := 0.0
+		for _, v := range e.store.VisitsOfPage(qp.page) {
+			n, ok := e.store.NodeByID(v)
+			if !ok {
+				continue
+			}
+			overlap += timelineOverlap(timeline, visitSpan(n, 0))
+		}
+		if overlap <= 0 {
+			continue
+		}
+		n, _ := e.store.NodeByID(qp.page)
+		hits = append(hits, TimeHit{
+			Page: qp.page, URL: n.URL, Title: n.Title,
+			Overlap: overlap, TextScore: qp.score,
+			Score: qp.score * (1 + overlap),
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Page < hits[j].Page
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, Meta{Elapsed: time.Since(start), Truncated: stop()}
+}
+
+// visitSpan returns a visit's display interval padded by pad on both
+// sides, with assumedDwell substituted for a missing close.
+func visitSpan(n provgraph.Node, pad time.Duration) span {
+	open := n.Open
+	close := n.Close
+	if close.IsZero() || close.Before(open) {
+		close = open.Add(assumedDwell)
+	}
+	if close.Sub(open) > maxDwell {
+		close = open.Add(maxDwell)
+	}
+	return span{
+		start: open.Add(-pad).UnixMicro(),
+		end:   close.Add(pad).UnixMicro(),
+	}
+}
+
+// anchorTimeline collects all anchor visits' intervals, padded by
+// sessionSlack, merged and sorted by start.
+func (e *Engine) anchorTimeline(aPages []pageMatch) []span {
+	var spans []span
+	for _, ap := range aPages {
+		for _, v := range e.store.VisitsOfPage(ap.page) {
+			n, ok := e.store.NodeByID(v)
+			if !ok {
+				continue
+			}
+			spans = append(spans, visitSpan(n, sessionSlack))
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	merged := spans[:1]
+	for _, s := range spans[1:] {
+		last := &merged[len(merged)-1]
+		if s.start <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return merged
+}
+
+// timelineOverlap returns the overlap, in seconds, between v and the
+// merged timeline.
+func timelineOverlap(timeline []span, v span) float64 {
+	if len(timeline) == 0 || v.end <= v.start {
+		return 0
+	}
+	// First span that could overlap: the one before the first span whose
+	// start exceeds v.start, and everything after until starts pass
+	// v.end.
+	i := sort.Search(len(timeline), func(i int) bool { return timeline[i].end > v.start })
+	total := int64(0)
+	for ; i < len(timeline) && timeline[i].start < v.end; i++ {
+		lo := max64(timeline[i].start, v.start)
+		hi := min64(timeline[i].end, v.end)
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return float64(total) / 1e6
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type pageMatch struct {
+	page  provgraph.NodeID
+	score float64
+}
+
+// matchPages runs a textual search restricted to page nodes.
+func (e *Engine) matchPages(q string, limit int) []pageMatch {
+	var out []pageMatch
+	for _, h := range e.index.Search(q, 0) {
+		id := provgraph.NodeID(h.Doc)
+		if n, ok := e.store.NodeByID(id); ok && n.Kind == provgraph.KindPage {
+			out = append(out, pageMatch{page: id, score: h.Score})
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}

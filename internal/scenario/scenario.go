@@ -1,0 +1,189 @@
+// Package scenario scripts the paper's four §2 use cases as event
+// streams that can be injected into any history store, typically on top
+// of a large synthetic background history. Each scenario returns the
+// ground truth the E4 quality experiment checks against.
+package scenario
+
+import (
+	"time"
+
+	"browserprov/internal/event"
+)
+
+// Sink consumes events (a store's Apply method).
+type Sink func(*event.Event) error
+
+// emitter sequences events on a private tab with its own clock.
+type emitter struct {
+	sinks []Sink
+	now   time.Time
+	tab   int
+	err   error
+}
+
+func (e *emitter) tick() time.Time {
+	e.now = e.now.Add(20 * time.Second)
+	return e.now
+}
+
+func (e *emitter) emit(ev *event.Event) {
+	if e.err != nil {
+		return
+	}
+	for _, s := range e.sinks {
+		if err := s(ev); err != nil {
+			e.err = err
+			return
+		}
+	}
+}
+
+func (e *emitter) visit(url, title, ref string, tr event.Transition) {
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeVisit, Tab: e.tab, URL: url, Title: title, Referrer: ref, Transition: tr})
+}
+
+func (e *emitter) search(fromURL, terms, resultsURL string) {
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeSearch, Tab: e.tab, Terms: terms, URL: resultsURL})
+	e.visit(resultsURL, terms+" - Web Search", fromURL, event.TransLink)
+}
+
+// Rosebud is §2.1's ground truth.
+type Rosebud struct {
+	// Query is the history search the user later issues.
+	Query string
+	// Expected is the page the search must return (Citizen Kane).
+	Expected string
+	// ResultsURL is the web-search results page (the only page a
+	// textual history search can find).
+	ResultsURL string
+}
+
+// InjectRosebud scripts §2.1: search the web for "rosebud", open the
+// Citizen Kane result. The film page's own text never mentions rosebud.
+func InjectRosebud(at time.Time, tab int, sinks ...Sink) (Rosebud, error) {
+	e := &emitter{sinks: sinks, now: at, tab: tab}
+	results := "http://search.example/?q=rosebud"
+	kane := "http://films7.example/citizen-kane"
+	e.visit("http://home.example/", "Start page", "", event.TransTyped)
+	e.search("http://home.example/", "rosebud", results)
+	e.visit(kane, "Citizen Kane (1941) - Film Archive", results, event.TransSearchResult)
+	e.visit(kane+"/cast", "Cast and crew - Film Archive", kane, event.TransLink)
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeClose, Tab: tab, URL: kane + "/cast"})
+	return Rosebud{Query: "rosebud", Expected: kane, ResultsURL: results}, e.err
+}
+
+// Gardener is §2.2's ground truth.
+type Gardener struct {
+	// Query is the ambiguous web query.
+	Query string
+	// AssociatedTerms are terms the personalisation must surface (any
+	// one of them counts as success).
+	AssociatedTerms []string
+}
+
+// InjectGardener scripts §2.2: the user's rosebud browsing is all about
+// flowers, so "flower"/"gardening" must become the personalisation term.
+func InjectGardener(at time.Time, tab int, sinks ...Sink) (Gardener, error) {
+	e := &emitter{sinks: sinks, now: at, tab: tab}
+	results := "http://search.example/?q=rosebud+care"
+	e.visit("http://home.example/", "Start page", "", event.TransTyped)
+	e.search("http://home.example/", "rosebud care", results)
+	e.visit("http://garden3.example/rosebud-care", "Rosebud care guide - flower gardening", results, event.TransSearchResult)
+	e.visit("http://garden3.example/pruning", "Pruning flower shrubs in spring", "http://garden3.example/rosebud-care", event.TransLink)
+	e.visit("http://garden3.example/soil", "Flower bed soil preparation", "http://garden3.example/pruning", event.TransLink)
+	results2 := "http://search.example/?q=rosebud+fertilizer"
+	e.search("http://garden3.example/soil", "rosebud fertilizer", results2)
+	e.visit("http://garden9.example/fertilizer", "Organic flower fertilizer guide", results2, event.TransSearchResult)
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeClose, Tab: tab, URL: "http://garden9.example/fertilizer"})
+	return Gardener{Query: "rosebud", AssociatedTerms: []string{"flower", "gardening", "care", "fertilizer"}}, e.err
+}
+
+// Wine is §2.3's ground truth.
+type Wine struct {
+	Query    string
+	Anchor   string
+	Expected string
+	// Distractors are wine pages from other times that must NOT win.
+	Distractors []string
+}
+
+// InjectWine scripts §2.3: one specific wine page was open while the
+// user shopped for plane tickets; many other wine pages exist elsewhere
+// in history.
+func InjectWine(at time.Time, tab int, sinks ...Sink) (Wine, error) {
+	e := &emitter{sinks: sinks, now: at, tab: tab}
+	w := Wine{Query: "wine", Anchor: "plane tickets"}
+	// Distractor wine browsing, well before the target session.
+	for i := 0; i < 6; i++ {
+		url := "http://wine2.example/review-" + string(rune('a'+i))
+		e.visit(url, "Wine review of the week", "", event.TransTyped)
+		w.Distractors = append(w.Distractors, url)
+		e.emit(&event.Event{Time: e.tick(), Type: event.TypeClose, Tab: tab, URL: url})
+		e.now = e.now.Add(3 * time.Hour)
+	}
+	// Two days later: the wine + plane tickets session, in two tabs.
+	e.now = e.now.Add(48 * time.Hour)
+	e.visit("http://travel4.example/paris-flights", "Cheap plane tickets to Paris", "", event.TransTyped)
+	tab2 := tab + 1
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeTabOpen, Tab: tab2, URL: "http://travel4.example/paris-flights"})
+	e2 := &emitter{sinks: sinks, now: e.now, tab: tab2}
+	w.Expected = "http://wine2.example/chateau-lafite-1996"
+	e2.visit(w.Expected, "Chateau Lafite 1996 tasting notes - wine cellar", "http://travel4.example/paris-flights", event.TransNewTab)
+	e2.now = e2.now.Add(12 * time.Minute)
+	e2.emit(&event.Event{Time: e2.tick(), Type: event.TypeClose, Tab: tab2, URL: w.Expected})
+	e.now = e2.now
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeClose, Tab: tab, URL: "http://travel4.example/paris-flights"})
+	if e2.err != nil {
+		return w, e2.err
+	}
+	return w, e.err
+}
+
+// Malware is §2.4's ground truth.
+type Malware struct {
+	// SavePath identifies the infected download.
+	SavePath string
+	// RecognizableAncestor is where the lineage must stop.
+	RecognizableAncestor string
+	// UntrustedPage is the page whose descendant downloads must all be
+	// found.
+	UntrustedPage string
+	// AllDownloads from the untrusted page.
+	AllDownloads []string
+}
+
+// InjectMalware scripts §2.4: a frequently-visited forum leads through
+// an unfamiliar redirect chain to malicious downloads.
+func InjectMalware(at time.Time, tab int, sinks ...Sink) (Malware, error) {
+	e := &emitter{sinks: sinks, now: at, tab: tab}
+	forum := "http://forum11.example/"
+	m := Malware{
+		RecognizableAncestor: forum,
+		UntrustedPage:        "http://freebies13.example/landing",
+		SavePath:             "/home/user/downloads/codecpack.exe",
+	}
+	// Habitual forum visits: clearly recognizable.
+	for i := 0; i < 5; i++ {
+		e.visit(forum, "The Big Forum", "", event.TransTyped)
+		e.now = e.now.Add(2 * time.Hour)
+	}
+	e.visit(forum+"thread/8841", "free codec pack?? - The Big Forum", forum, event.TransLink)
+	e.visit("http://shrt5.example/x9", "", forum+"thread/8841", event.TransLink)
+	e.visit(m.UntrustedPage, "FREE CODEC PACK 100% WORKING", "http://shrt5.example/x9", event.TransRedirectTemporary)
+	e.emit(&event.Event{
+		Time: e.tick(), Type: event.TypeDownload, Tab: tab,
+		URL: "http://cdn-freebies.example/codecpack.exe", Referrer: m.UntrustedPage,
+		SavePath: m.SavePath, ContentType: "application/octet-stream",
+	})
+	m.AllDownloads = append(m.AllDownloads, m.SavePath)
+	// A second payload grabbed in the same sitting.
+	e.visit(m.UntrustedPage+"/more", "MORE FREE STUFF", m.UntrustedPage, event.TransLink)
+	e.emit(&event.Event{
+		Time: e.tick(), Type: event.TypeDownload, Tab: tab,
+		URL: "http://cdn-freebies.example/speedup.exe", Referrer: m.UntrustedPage + "/more",
+		SavePath: "/home/user/downloads/speedup.exe", ContentType: "application/octet-stream",
+	})
+	m.AllDownloads = append(m.AllDownloads, "/home/user/downloads/speedup.exe")
+	e.emit(&event.Event{Time: e.tick(), Type: event.TypeClose, Tab: tab, URL: m.UntrustedPage + "/more"})
+	return m, e.err
+}

@@ -1,0 +1,316 @@
+// Package session implements the user behaviour model that drives the
+// simulated browser over the synthetic web. A Profile parameterises how
+// a user browses (action mix, topic interests, session cadence); Run
+// plays out a configurable number of days and produces a history whose
+// scale is calibrated to the paper's real trace: more than 25,000
+// provenance nodes over 79 days (§3, §4).
+package session
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"browserprov/internal/browser"
+	"browserprov/internal/webgen"
+)
+
+// Profile parameterises the simulated user.
+type Profile struct {
+	// Seed drives the behaviour stream.
+	Seed int64
+	// Days of browsing to simulate (paper: 79).
+	Days int
+	// SessionsPerDay is the mean number of browsing sessions a day.
+	SessionsPerDay float64
+	// ActionsPerSession is the mean number of actions per session.
+	ActionsPerSession float64
+	// TopicZipf skews topic interest: higher = narrower interests.
+	TopicZipf float64
+
+	// Action mix (relative weights; normalised internally).
+	WSearch      float64 // issue a web search, then click a result
+	WFollowLink  float64 // click a link on the current page
+	WTyped       float64 // type a known URL
+	WBookmarkAdd float64 // bookmark the current page
+	WBookmarkUse float64 // navigate via an existing bookmark
+	WDownload    float64 // download a file from the current page
+	WNewTab      float64 // open a link in a new tab
+	WBack        float64 // press the back button
+	WSwitchTab   float64 // switch between open tabs
+}
+
+// Default returns the profile used by the experiments, calibrated so 79
+// days yield >25k provenance nodes (E3).
+func Default(seed int64) Profile {
+	return Profile{
+		Seed:              seed,
+		Days:              79,
+		SessionsPerDay:    4.0,
+		ActionsPerSession: 34,
+		TopicZipf:         1.3,
+		WSearch:           0.14,
+		WFollowLink:       0.42,
+		WTyped:            0.10,
+		WBookmarkAdd:      0.02,
+		WBookmarkUse:      0.06,
+		WDownload:         0.03,
+		WNewTab:           0.07,
+		WBack:             0.10,
+		WSwitchTab:        0.06,
+	}
+}
+
+// Stats summarises a simulation run.
+type Stats struct {
+	Days      int
+	Sessions  int
+	Actions   int
+	Searches  int
+	Downloads int
+	Bookmarks int
+}
+
+// Runner drives a browser according to a profile.
+type Runner struct {
+	web           *webgen.Web
+	b             *browser.Browser
+	p             Profile
+	rng           *rand.Rand
+	typedVocab    []string // URLs the user "knows" and types
+	downloadPages []string // pages offering files, for deliberate fetches
+	lastSearch    string
+	stats         Stats
+}
+
+// NewRunner builds a runner. The browser's clock must already be set to
+// the simulation start.
+func NewRunner(web *webgen.Web, b *browser.Browser, p Profile) *Runner {
+	r := &Runner{web: web, b: b, p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	// The user knows a handful of site front pages by heart.
+	for i := 0; i < len(web.Pages); i += 97 {
+		pg := web.Pages[i]
+		if pg.RedirectTo < 0 && strings.HasSuffix(pg.URL, "/") {
+			r.typedVocab = append(r.typedVocab, pg.URL)
+		}
+	}
+	if len(r.typedVocab) == 0 {
+		r.typedVocab = []string{web.Pages[0].URL}
+	}
+	for _, pg := range web.Pages {
+		if pg.RedirectTo < 0 && len(pg.Downloads) > 0 {
+			r.downloadPages = append(r.downloadPages, pg.URL)
+		}
+	}
+	return r
+}
+
+// Run simulates p.Days of browsing and returns run statistics.
+func (r *Runner) Run() (Stats, error) {
+	for day := 0; day < r.p.Days; day++ {
+		nSessions := poissonish(r.rng, r.p.SessionsPerDay)
+		for s := 0; s < nSessions; s++ {
+			if err := r.session(); err != nil {
+				return r.stats, fmt.Errorf("session: day %d session %d: %w", day, s, err)
+			}
+			r.stats.Sessions++
+			// Gap between sessions: 1-5 hours.
+			r.b.Advance(time.Duration(1+r.rng.Intn(4)) * time.Hour)
+		}
+		// Overnight gap to keep days aligned-ish.
+		r.b.Advance(time.Duration(8+r.rng.Intn(6)) * time.Hour)
+		r.stats.Days++
+	}
+	return r.stats, nil
+}
+
+// session plays one browsing session: start somewhere, take actions,
+// close all tabs.
+func (r *Runner) session() error {
+	// Sessions start with a typed URL or a search.
+	if r.rng.Float64() < 0.5 {
+		if err := r.doTyped(); err != nil {
+			return err
+		}
+	} else {
+		if err := r.doSearch(); err != nil {
+			return err
+		}
+	}
+	n := poissonish(r.rng, r.p.ActionsPerSession)
+	for i := 0; i < n; i++ {
+		if err := r.action(); err != nil {
+			return err
+		}
+	}
+	return r.b.CloseAll()
+}
+
+// action performs one weighted-random action. Failures of preconditions
+// (no links on page, empty tab, ...) fall back to a typed navigation so
+// the stream never stalls.
+func (r *Runner) action() error {
+	w := []float64{
+		r.p.WSearch, r.p.WFollowLink, r.p.WTyped, r.p.WBookmarkAdd,
+		r.p.WBookmarkUse, r.p.WDownload, r.p.WNewTab, r.p.WBack, r.p.WSwitchTab,
+	}
+	var err error
+	switch pick(r.rng, w) {
+	case 0:
+		err = r.doSearch()
+	case 1:
+		_, err = r.b.FollowLink(r.rng.Intn(1 << 20))
+	case 2:
+		err = r.doTyped()
+	case 3:
+		if err = r.b.BookmarkCurrent(); err == nil {
+			r.stats.Bookmarks++
+		}
+	case 4:
+		err = r.doBookmarkUse()
+	case 5:
+		err = r.doDownload()
+	case 6:
+		_, err = r.b.OpenInNewTab(r.rng.Intn(1 << 20))
+	case 7:
+		_, err = r.b.Back()
+	case 8:
+		err = r.doSwitchTab()
+	}
+	if err != nil {
+		// Precondition failure: recover with a typed navigation.
+		if terr := r.doTyped(); terr != nil {
+			return terr
+		}
+	}
+	r.stats.Actions++
+	return nil
+}
+
+func (r *Runner) doTyped() error {
+	url := r.typedVocab[r.rng.Intn(len(r.typedVocab))]
+	_, err := r.b.NavigateTyped(url)
+	return err
+}
+
+// doDownload fetches a file: if the current page offers none, the user
+// deliberately navigates to a page that does (a "go get the file" trip).
+func (r *Runner) doDownload() error {
+	if len(r.downloadPages) == 0 {
+		return fmt.Errorf("web offers no downloads")
+	}
+	if _, err := r.b.Download(r.rng.Intn(1 << 20)); err == nil {
+		r.stats.Downloads++
+		return nil
+	}
+	url := r.downloadPages[r.rng.Intn(len(r.downloadPages))]
+	if _, err := r.b.NavigateTyped(url); err != nil {
+		return err
+	}
+	if _, err := r.b.Download(r.rng.Intn(1 << 20)); err != nil {
+		return err
+	}
+	r.stats.Downloads++
+	return nil
+}
+
+// doSearch issues a topic-biased query and clicks a result.
+func (r *Runner) doSearch() error {
+	topic := zipfPick(r.rng, len(r.web.Topics), r.p.TopicZipf)
+	words := r.web.TopicWords(topic)
+	n := 1 + r.rng.Intn(2)
+	var qs []string
+	for i := 0; i < n; i++ {
+		qs = append(qs, words[r.rng.Intn(len(words))])
+	}
+	query := strings.Join(qs, " ")
+	if err := r.b.Search(query); err != nil {
+		return err
+	}
+	r.lastSearch = query
+	r.stats.Searches++
+	if _, err := r.b.ClickResult(query, r.rng.Intn(5)); err != nil {
+		// Queries can miss (rare with topic words); recover by typing.
+		return r.doTyped()
+	}
+	return nil
+}
+
+func (r *Runner) doBookmarkUse() error {
+	bms := r.b.Bookmarks()
+	if len(bms) == 0 {
+		return fmt.Errorf("no bookmarks yet")
+	}
+	// Deterministic pick: lowest URL after an rng skip.
+	var urls []string
+	for u := range bms {
+		urls = append(urls, u)
+	}
+	sortStrings(urls)
+	_, err := r.b.VisitBookmark(urls[r.rng.Intn(len(urls))])
+	return err
+}
+
+func (r *Runner) doSwitchTab() error {
+	ids := r.b.TabIDs()
+	if len(ids) < 2 {
+		return fmt.Errorf("only one tab")
+	}
+	return r.b.SwitchTab(ids[r.rng.Intn(len(ids))])
+}
+
+// pick samples an index proportional to weights.
+func pick(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// zipfPick samples 0..n-1 with probability proportional to 1/(i+1)^s.
+func zipfPick(rng *rand.Rand, n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+	}
+	x := rng.Float64() * total
+	for i := 0; i < n; i++ {
+		x -= 1 / math.Pow(float64(i+1), s)
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// poissonish samples a small positive count with the given mean (a
+// geometric-ish approximation is fine for workload shaping; we only need
+// dispersion, not exact Poisson tails).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Sum of two uniforms around the mean gives mild concentration.
+	v := mean * (0.5 + rng.Float64())
+	n := int(v + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

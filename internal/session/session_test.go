@@ -1,0 +1,153 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"browserprov/internal/browser"
+	"browserprov/internal/event"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/webgen"
+)
+
+var t0 = time.Date(2008, 11, 1, 9, 0, 0, 0, time.UTC)
+
+// runDays simulates n days into a provenance store and returns both.
+func runDays(t *testing.T, days int, seed int64) (*provgraph.Store, Stats) {
+	t.Helper()
+	s, err := provgraph.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	w := webgen.Generate(webgen.Config{Seed: seed})
+	b := browser.New(w, t0, s.Apply)
+	p := Default(seed)
+	p.Days = days
+	st, err := NewRunner(w, b, p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+func TestShortRunProducesActivity(t *testing.T) {
+	s, st := runDays(t, 3, 7)
+	if st.Sessions == 0 || st.Actions == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	gs := s.Stats()
+	if gs.Visits == 0 || gs.Pages == 0 {
+		t.Fatalf("graph stats = %+v", gs)
+	}
+	if gs.Edges == 0 {
+		t.Fatal("no provenance edges generated")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	s1, _ := runDays(t, 2, 11)
+	s2, _ := runDays(t, 2, 11)
+	if s1.Stats() != s2.Stats() {
+		t.Fatalf("same seed, different histories: %+v vs %+v", s1.Stats(), s2.Stats())
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	s1, _ := runDays(t, 2, 11)
+	s2, _ := runDays(t, 2, 12)
+	if s1.Stats() == s2.Stats() {
+		t.Fatal("different seeds produced identical histories")
+	}
+}
+
+func TestHistoryIsDAG(t *testing.T) {
+	s, _ := runDays(t, 4, 13)
+	if cycle := s.VerifyDAG(); cycle != nil {
+		t.Fatalf("simulated history has a provenance cycle: %v", cycle)
+	}
+}
+
+func TestActionMixRepresented(t *testing.T) {
+	s, st := runDays(t, 6, 17)
+	if st.Searches == 0 {
+		t.Fatal("no searches in 6 days")
+	}
+	gs := s.Stats()
+	if gs.Terms == 0 {
+		t.Fatal("no search-term nodes")
+	}
+	if gs.Downloads == 0 {
+		t.Fatal("no downloads in 6 days")
+	}
+	if gs.Bookmarks == 0 {
+		t.Fatal("no bookmarks in 6 days")
+	}
+}
+
+func TestVisitsHaveCloseTimes(t *testing.T) {
+	s, _ := runDays(t, 2, 19)
+	open, closed := 0, 0
+	s.EachNode(func(n provgraph.Node) bool {
+		if n.Kind == provgraph.KindVisit {
+			if n.Close.IsZero() {
+				open++
+			} else {
+				closed++
+			}
+		}
+		return true
+	})
+	// Sessions end with CloseAll, so nearly every visit is closed.
+	if closed == 0 {
+		t.Fatal("no closed visits")
+	}
+	if open > closed/10 {
+		t.Fatalf("too many unclosed visits: %d open vs %d closed", open, closed)
+	}
+}
+
+func TestNodesPerDayCalibration(t *testing.T) {
+	// The paper's trace: >25,000 nodes in 79 days ≈ 316 nodes/day.
+	// Check the default profile is in that range on a short run (scaled
+	// tolerance: simulation noise over 5 days is noticeable).
+	s, st := runDays(t, 5, 23)
+	gs := s.Stats()
+	perDay := float64(gs.Nodes) / float64(st.Days)
+	if perDay < 150 || perDay > 900 {
+		t.Fatalf("nodes/day = %.0f; calibration off (want ~316, generous band 150-900)", perDay)
+	}
+}
+
+func TestEventStreamValid(t *testing.T) {
+	// Every event the browser emits must validate.
+	w := webgen.Generate(webgen.Config{Seed: 29})
+	var bad []string
+	validate := func(ev *event.Event) error {
+		if err := ev.Validate(); err != nil {
+			bad = append(bad, err.Error())
+		}
+		return nil
+	}
+	b := browser.New(w, t0, validate)
+	p := Default(29)
+	p.Days = 2
+	if _, err := NewRunner(w, b, p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("%d invalid events, first: %s", len(bad), bad[0])
+	}
+}
+
+func TestZipfPick(t *testing.T) {
+	// Heavier skew concentrates mass on topic 0.
+	counts := make([]int, 10)
+	r := NewRunner(webgen.Generate(webgen.Config{Seed: 1}), nil, Profile{Seed: 1})
+	for i := 0; i < 10000; i++ {
+		counts[zipfPick(r.rng, 10, 1.5)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkEncoderRecord(b *testing.B) {
+	e := NewEncoder(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.Uvarint(uint64(i))
+		e.String("http://site.example/some/page/path")
+		e.String("A page title of typical length")
+		e.Varint(int64(i) * 1e6)
+		e.Uvarint(3)
+	}
+}
+
+func BenchmarkDecoderRecord(b *testing.B) {
+	e := NewEncoder(128)
+	e.Uvarint(42)
+	e.String("http://site.example/some/page/path")
+	e.String("A page title of typical length")
+	e.Varint(1234567890123)
+	e.Uvarint(3)
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		if _, err := d.Uvarint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.String(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.String(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Varint(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Uvarint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := CreateWAL(filepath.Join(b.TempDir(), "bench.wal"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 100)
+	b.SetBytes(int64(len(payload) + walFrameHeader))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendSyncEvery256(b *testing.B) {
+	w, err := CreateWAL(filepath.Join(b.TempDir(), "bench.wal"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%256 == 255 {
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkHeapAppend(b *testing.B) {
+	h, err := CreateHeapFile(filepath.Join(b.TempDir(), "bench.heap"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	rec := make([]byte, 80)
+	b.SetBytes(int64(len(rec)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	h, err := CreateHeapFile(filepath.Join(b.TempDir(), "bench.heap"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if _, err := h.Append([]byte(fmt.Sprintf("record-%d-with-some-payload", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := h.Scan(func(_ RecordID, _ []byte) error {
+			count++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("scanned %d", count)
+		}
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	bt := NewBTree()
+	keys := make([][]byte, 100000)
+	for i := range keys {
+		keys[i] = make([]byte, 8)
+		binary.BigEndian.PutUint64(keys[i], rand.New(rand.NewSource(int64(i))).Uint64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Put(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bt := NewBTree()
+	const n = 100000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = make([]byte, 8)
+		binary.BigEndian.PutUint64(keys[i], uint64(i)*2654435761)
+		bt.Put(keys[i], uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := bt.Get(keys[i%n]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkBTreeAscendRange(b *testing.B) {
+	bt := NewBTree()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		bt.Put(k[:], uint64(i))
+	}
+	var lo, hi [8]byte
+	binary.BigEndian.PutUint64(lo[:], n/4)
+	binary.BigEndian.PutUint64(hi[:], n/4+1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		bt.AscendRange(lo[:], hi[:], func(_ []byte, _ uint64) bool {
+			count++
+			return true
+		})
+		if count != 1000 {
+			b.Fatalf("range visited %d", count)
+		}
+	}
+}
+
+func BenchmarkJournalLogApply(b *testing.B) {
+	dir := b.TempDir()
+	s := &kvStore{m: make(map[string]string)}
+	j, err := OpenJournal(dir, "bench", JournalCallbacks{Replay: s.apply})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.j = j
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.set(fmt.Sprintf("key-%d", i%1000), "value-payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

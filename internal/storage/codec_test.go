@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCodecRoundTripBasic(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uvarint(0)
+	e.Uvarint(300)
+	e.Varint(-42)
+	e.Uint32(0xDEADBEEF)
+	e.Uint64(1 << 60)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(3.5)
+	e.String("hello, 世界")
+	e.Bytes2([]byte{0, 1, 2, 255})
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uvarint(); err != nil || v != 0 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	if v, err := d.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	if v, err := d.Varint(); err != nil || v != -42 {
+		t.Fatalf("Varint = %d, %v", v, err)
+	}
+	if v, err := d.Uint32(); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Uint32 = %x, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<60 {
+		t.Fatalf("Uint64 = %x, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != 3.5 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if v, err := d.String(); err != nil || v != "hello, 世界" {
+		t.Fatalf("String = %q, %v", v, err)
+	}
+	if v, err := d.Bytes2(); err != nil || !bytes.Equal(v, []byte{0, 1, 2, 255}) {
+		t.Fatalf("Bytes2 = %v, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestCodecTimeRoundTrip(t *testing.T) {
+	times := []time.Time{
+		{},
+		time.Date(2009, 2, 23, 9, 30, 0, 0, time.UTC), // TaPP '09
+		time.UnixMicro(1).UTC(),
+		time.UnixMicro(-1).UTC(),
+		time.Date(2026, 6, 12, 12, 0, 0, 123456000, time.UTC),
+	}
+	for _, want := range times {
+		e := NewEncoder(16)
+		e.Time(want)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Time()
+		if err != nil {
+			t.Fatalf("Time(%v): %v", want, err)
+		}
+		if want.IsZero() {
+			if !got.IsZero() {
+				t.Fatalf("zero time decoded as %v", got)
+			}
+			continue
+		}
+		if !got.Equal(want.Truncate(time.Microsecond)) {
+			t.Fatalf("Time = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCodecPropertyVarints(t *testing.T) {
+	f := func(u uint64, s int64) bool {
+		e := NewEncoder(32)
+		e.Uvarint(u)
+		e.Varint(s)
+		d := NewDecoder(e.Bytes())
+		gu, err1 := d.Uvarint()
+		gs, err2 := d.Varint()
+		return err1 == nil && err2 == nil && gu == u && gs == s && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecPropertyStringsAndBytes(t *testing.T) {
+	f := func(s string, b []byte) bool {
+		e := NewEncoder(len(s) + len(b) + 16)
+		e.String(s)
+		e.Bytes2(b)
+		d := NewDecoder(e.Bytes())
+		gs, err1 := d.String()
+		gb, err2 := d.Bytes2()
+		return err1 == nil && err2 == nil && gs == s && bytes.Equal(gb, b) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecPropertyFloats(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(8)
+		e.Float64(v)
+		got, err := NewDecoder(e.Bytes()).Float64()
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder(nil)
+	if _, err := d.Uvarint(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uvarint on empty = %v, want ErrShortBuffer", err)
+	}
+	if _, err := d.Uint32(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uint32 on empty = %v, want ErrShortBuffer", err)
+	}
+	if _, err := d.Uint64(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Uint64 on empty = %v, want ErrShortBuffer", err)
+	}
+	if _, err := d.Bool(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Bool on empty = %v, want ErrShortBuffer", err)
+	}
+	if _, err := d.Bytes2(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Bytes2 on empty = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecoderTruncatedString(t *testing.T) {
+	e := NewEncoder(16)
+	e.String("hello world")
+	buf := e.Bytes()
+	d := NewDecoder(buf[:len(buf)-3])
+	if _, err := d.String(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated string = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestDecoderAbsurdLength(t *testing.T) {
+	e := NewEncoder(16)
+	e.Uvarint(uint64(maxFieldLen) + 1)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bytes2(); !errors.Is(err, ErrStringTooLong) {
+		t.Fatalf("absurd length = %v, want ErrStringTooLong", err)
+	}
+}
+
+func TestDecoderInvalidBool(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	if _, err := d.Bool(); err == nil {
+		t.Fatal("invalid bool byte accepted")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.String("abc")
+	if e.Len() == 0 {
+		t.Fatal("encoder empty after write")
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.Uvarint(7)
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uvarint(); err != nil || v != 7 {
+		t.Fatalf("after reset Uvarint = %d, %v", v, err)
+	}
+}

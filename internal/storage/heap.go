@@ -1,0 +1,329 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// A HeapFile is an append-oriented collection of variable-length records
+// stored in slotted pages inside a PageFile. It is the on-disk format for
+// store snapshots (checkpoints): records are appended sequentially and
+// later read back with Get or a full Scan.
+//
+// Every page payload begins with a one-byte page kind so that slotted and
+// overflow pages can never be confused during a scan.
+//
+// Slotted page payout:
+//
+//	[kind u8][numSlots u16][dataEnd u16] [slot0 off u16,len u16] ... free ... [recN]...[rec0]
+//
+// Slot data grows from the end of the payload toward the slot array.
+// Records larger than inlineLimit spill into an overflow chain; the
+// in-page record then holds a 1-byte marker, the first overflow page
+// number and the total length. Small records carry a 0x00 marker byte.
+//
+// Overflow page payload:
+//
+//	[kind u8][next page u32][chunk length u32][chunk bytes]
+type HeapFile struct {
+	pf *PageFile
+
+	// curPage is the page currently receiving appends (0 = none yet).
+	curPage    uint32
+	curPayload []byte // cached full-size payload of curPage
+}
+
+const (
+	pageKindSlotted  = 0x51
+	pageKindOverflow = 0x0F
+
+	heapPageHeader = 5 // kind u8 + numSlots u16 + dataEnd u16
+	slotSize       = 4 // offset u16 + length u16
+
+	recInline   = 0x00
+	recOverflow = 0x01
+
+	overflowHeader = 9 // kind u8 + next page u32 + chunk length u32
+)
+
+// ErrBadRecordID indicates a RecordID that does not name a live record.
+var ErrBadRecordID = errors.New("storage: invalid record id")
+
+// RecordID names a record in a HeapFile: page number in the high 48 bits,
+// slot index in the low 16.
+type RecordID uint64
+
+// NewRecordID composes a RecordID from a page number and slot index.
+func NewRecordID(page uint32, slot uint16) RecordID {
+	return RecordID(uint64(page)<<16 | uint64(slot))
+}
+
+// Page returns the page number component.
+func (id RecordID) Page() uint32 { return uint32(id >> 16) }
+
+// Slot returns the slot index component.
+func (id RecordID) Slot() uint16 { return uint16(id & 0xFFFF) }
+
+// String implements fmt.Stringer.
+func (id RecordID) String() string {
+	return fmt.Sprintf("%d/%d", id.Page(), id.Slot())
+}
+
+// CreateHeapFile creates a new heap file at path.
+func CreateHeapFile(path string) (*HeapFile, error) {
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &HeapFile{pf: pf}, nil
+}
+
+// OpenHeapFile opens an existing heap file at path.
+func OpenHeapFile(path string) (*HeapFile, error) {
+	pf, err := OpenPageFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &HeapFile{pf: pf}, nil
+}
+
+// Size returns the file size in bytes.
+func (h *HeapFile) Size() int64 { return h.pf.Size() }
+
+// Path returns the underlying file path.
+func (h *HeapFile) Path() string { return h.pf.Path() }
+
+// Sync flushes the heap file to stable storage.
+func (h *HeapFile) Sync() error { return h.flushCur() }
+
+// Close flushes and closes the heap file.
+func (h *HeapFile) Close() error {
+	if h.curPage != 0 && h.curPayload != nil {
+		if err := h.pf.WritePage(h.curPage, h.curPayload); err != nil {
+			h.pf.Close()
+			return err
+		}
+	}
+	return h.pf.Close()
+}
+
+func (h *HeapFile) flushCur() error {
+	if h.curPage != 0 && h.curPayload != nil {
+		if err := h.pf.WritePage(h.curPage, h.curPayload); err != nil {
+			return err
+		}
+	}
+	return h.pf.Sync()
+}
+
+func heapNumSlots(p []byte) uint16 { return binary.LittleEndian.Uint16(p[1:]) }
+func heapDataEnd(p []byte) uint16  { return binary.LittleEndian.Uint16(p[3:]) }
+
+func heapSetNumSlots(p []byte, v uint16) { binary.LittleEndian.PutUint16(p[1:], v) }
+func heapSetDataEnd(p []byte, v uint16)  { binary.LittleEndian.PutUint16(p[3:], v) }
+
+func heapSlot(p []byte, i uint16) (off, length uint16) {
+	base := heapPageHeader + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p[base:]), binary.LittleEndian.Uint16(p[base+2:])
+}
+
+func heapSetSlot(p []byte, i uint16, off, length uint16) {
+	base := heapPageHeader + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p[base:], off)
+	binary.LittleEndian.PutUint16(p[base+2:], length)
+}
+
+// heapFreeSpace reports the bytes available for a new record (including
+// its slot entry) in payload p.
+func heapFreeSpace(p []byte) int {
+	slots := int(heapNumSlots(p))
+	slotEnd := heapPageHeader + slots*slotSize
+	return int(heapDataEnd(p)) - slotEnd - slotSize
+}
+
+// newHeapPayload returns an initialised empty slotted-page payload.
+func newHeapPayload() []byte {
+	p := make([]byte, PagePayload)
+	p[0] = pageKindSlotted
+	heapSetNumSlots(p, 0)
+	heapSetDataEnd(p, PagePayload)
+	return p
+}
+
+// inlineLimit is the largest record body (marker byte included) stored
+// inline; larger records use an overflow chain. Chosen so that at least
+// four large records fit per page.
+const inlineLimit = PagePayload / 4
+
+// Append stores rec and returns its RecordID. The record bytes are copied.
+func (h *HeapFile) Append(rec []byte) (RecordID, error) {
+	if len(rec)+1 <= inlineLimit {
+		body := make([]byte, 0, len(rec)+1)
+		body = append(body, recInline)
+		body = append(body, rec...)
+		return h.appendBody(body)
+	}
+	first, err := h.writeOverflow(rec)
+	if err != nil {
+		return 0, err
+	}
+	var body [9]byte
+	body[0] = recOverflow
+	binary.LittleEndian.PutUint32(body[1:], first)
+	binary.LittleEndian.PutUint32(body[5:], uint32(len(rec)))
+	return h.appendBody(body[:])
+}
+
+func (h *HeapFile) appendBody(body []byte) (RecordID, error) {
+	need := len(body) + slotSize
+	if h.curPage == 0 || heapFreeSpace(h.curPayload) < need {
+		// Flush the current page and start a fresh one.
+		if h.curPage != 0 {
+			if err := h.pf.WritePage(h.curPage, h.curPayload); err != nil {
+				return 0, err
+			}
+		}
+		n, err := h.pf.AllocPage()
+		if err != nil {
+			return 0, err
+		}
+		h.curPage = n
+		h.curPayload = newHeapPayload()
+	}
+	p := h.curPayload
+	slot := heapNumSlots(p)
+	end := heapDataEnd(p)
+	off := end - uint16(len(body))
+	copy(p[off:end], body)
+	heapSetSlot(p, slot, off, uint16(len(body)))
+	heapSetNumSlots(p, slot+1)
+	heapSetDataEnd(p, off)
+	return NewRecordID(h.curPage, slot), nil
+}
+
+// writeOverflow writes rec across a chain of overflow pages, returning the
+// first page number. Pages are written last-chunk-first so each page knows
+// its successor when written.
+func (h *HeapFile) writeOverflow(rec []byte) (uint32, error) {
+	const chunk = PagePayload - overflowHeader
+	var chunks [][]byte
+	for len(rec) > 0 {
+		n := min(chunk, len(rec))
+		chunks = append(chunks, rec[:n])
+		rec = rec[n:]
+	}
+	next := uint32(0)
+	for i := len(chunks) - 1; i >= 0; i-- {
+		n, err := h.pf.AllocPage()
+		if err != nil {
+			return 0, err
+		}
+		payload := make([]byte, overflowHeader+len(chunks[i]))
+		payload[0] = pageKindOverflow
+		binary.LittleEndian.PutUint32(payload[1:], next)
+		binary.LittleEndian.PutUint32(payload[5:], uint32(len(chunks[i])))
+		copy(payload[overflowHeader:], chunks[i])
+		if err := h.pf.WritePage(n, payload); err != nil {
+			return 0, err
+		}
+		next = n
+	}
+	return next, nil
+}
+
+func (h *HeapFile) readPage(n uint32) ([]byte, error) {
+	if n == h.curPage && h.curPayload != nil {
+		return h.curPayload, nil
+	}
+	return h.pf.ReadPage(n)
+}
+
+// Get returns the record named by id. The returned slice is fresh.
+func (h *HeapFile) Get(id RecordID) ([]byte, error) {
+	page, slot := id.Page(), id.Slot()
+	if page == 0 || page >= h.pf.NumPages() {
+		return nil, fmt.Errorf("%w: %s", ErrBadRecordID, id)
+	}
+	p, err := h.readPage(page)
+	if err != nil {
+		return nil, err
+	}
+	if len(p) < heapPageHeader || p[0] != pageKindSlotted || slot >= heapNumSlots(p) {
+		return nil, fmt.Errorf("%w: %s", ErrBadRecordID, id)
+	}
+	off, length := heapSlot(p, slot)
+	if int(off)+int(length) > len(p) || length == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrBadRecordID, id)
+	}
+	return h.materialize(p[off : off+length])
+}
+
+func (h *HeapFile) materialize(body []byte) ([]byte, error) {
+	switch body[0] {
+	case recInline:
+		out := make([]byte, len(body)-1)
+		copy(out, body[1:])
+		return out, nil
+	case recOverflow:
+		if len(body) != 9 {
+			return nil, fmt.Errorf("storage: malformed overflow stub")
+		}
+		first := binary.LittleEndian.Uint32(body[1:])
+		total := binary.LittleEndian.Uint32(body[5:])
+		out := make([]byte, 0, total)
+		page := first
+		for page != 0 {
+			p, err := h.readPage(page)
+			if err != nil {
+				return nil, err
+			}
+			if len(p) < overflowHeader || p[0] != pageKindOverflow {
+				return nil, fmt.Errorf("storage: page %d is not an overflow page", page)
+			}
+			next := binary.LittleEndian.Uint32(p[1:])
+			clen := binary.LittleEndian.Uint32(p[5:])
+			if overflowHeader+int(clen) > len(p) {
+				return nil, fmt.Errorf("storage: bad overflow chunk length on page %d", page)
+			}
+			out = append(out, p[overflowHeader:overflowHeader+int(clen)]...)
+			page = next
+		}
+		if uint32(len(out)) != total {
+			return nil, fmt.Errorf("storage: overflow chain length %d != %d", len(out), total)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown record marker %#x", body[0])
+	}
+}
+
+// Scan calls fn for every record in append order. If fn returns an error
+// the scan stops and returns it. The record slice passed to fn is freshly
+// allocated and owned by fn.
+func (h *HeapFile) Scan(fn func(id RecordID, rec []byte) error) error {
+	for page := uint32(1); page < h.pf.NumPages(); page++ {
+		p, err := h.readPage(page)
+		if err != nil {
+			return err
+		}
+		if len(p) < heapPageHeader || p[0] != pageKindSlotted {
+			continue
+		}
+		slots := heapNumSlots(p)
+		for s := uint16(0); s < slots; s++ {
+			off, length := heapSlot(p, s)
+			if int(off)+int(length) > len(p) || length == 0 {
+				return fmt.Errorf("storage: corrupt slot %d on page %d", s, page)
+			}
+			rec, err := h.materialize(p[off : off+length])
+			if err != nil {
+				return err
+			}
+			if err := fn(NewRecordID(page, s), rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newTestHeap(t *testing.T) *HeapFile {
+	t.Helper()
+	h, err := CreateHeapFile(filepath.Join(t.TempDir(), "h.heap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+func TestHeapAppendGet(t *testing.T) {
+	h := newTestHeap(t)
+	recs := [][]byte{
+		[]byte("alpha"),
+		[]byte(""),
+		[]byte("a slightly longer record with some text in it"),
+		bytes.Repeat([]byte{0x42}, 1000),
+	}
+	var ids []RecordID
+	for _, r := range recs {
+		id, err := h.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		got, err := h.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(recs[i]))
+		}
+	}
+}
+
+func TestHeapOverflowRecords(t *testing.T) {
+	h := newTestHeap(t)
+	sizes := []int{inlineLimit, inlineLimit + 1, PagePayload, PagePayload * 3, 100_000}
+	var ids []RecordID
+	var want [][]byte
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range sizes {
+		rec := make([]byte, n)
+		rng.Read(rec)
+		id, err := h.Append(rec)
+		if err != nil {
+			t.Fatalf("Append(%d bytes): %v", n, err)
+		}
+		ids = append(ids, id)
+		want = append(want, rec)
+	}
+	for i, id := range ids {
+		got, err := h.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("overflow record %d (%d bytes) mismatched", i, len(want[i]))
+		}
+	}
+}
+
+func TestHeapScanOrder(t *testing.T) {
+	h := newTestHeap(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%06d", i))
+		if _, err := h.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	err := h.Scan(func(_ RecordID, rec []byte) error {
+		want := fmt.Sprintf("record-%06d", i)
+		if string(rec) != want {
+			return fmt.Errorf("scan %d: got %q, want %q", i, rec, want)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d records, want %d", i, n)
+	}
+}
+
+func TestHeapScanSkipsOverflowPages(t *testing.T) {
+	h := newTestHeap(t)
+	big := bytes.Repeat([]byte("x"), PagePayload*2)
+	if _, err := h.Append([]byte("small-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Append([]byte("small-2")); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	if err := h.Scan(func(_ RecordID, rec []byte) error {
+		got = append(got, len(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{len("small-1"), len(big), len("small-2")}
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: length %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeapPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.heap")
+	h, err := CreateHeapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []RecordID
+	for i := 0; i < 1000; i++ {
+		id, err := h.Append([]byte(fmt.Sprintf("persist-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := OpenHeapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	for i, id := range ids {
+		got, err := h2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after reopen: %v", id, err)
+		}
+		if want := fmt.Sprintf("persist-%d", i); string(got) != want {
+			t.Fatalf("record %d after reopen = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestHeapBadRecordID(t *testing.T) {
+	h := newTestHeap(t)
+	if _, err := h.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []RecordID{
+		0,                     // page 0 is the file header
+		NewRecordID(1, 999),   // slot out of range
+		NewRecordID(999, 0),   // page out of range
+		NewRecordID(1<<20, 5), // far out of range
+	}
+	for _, id := range cases {
+		if _, err := h.Get(id); !errors.Is(err, ErrBadRecordID) {
+			t.Fatalf("Get(%s) = %v, want ErrBadRecordID", id, err)
+		}
+	}
+}
+
+func TestHeapRecordIDComposition(t *testing.T) {
+	id := NewRecordID(0xABCDEF, 0x1234)
+	if id.Page() != 0xABCDEF {
+		t.Fatalf("Page = %x", id.Page())
+	}
+	if id.Slot() != 0x1234 {
+		t.Fatalf("Slot = %x", id.Slot())
+	}
+}
+
+func TestHeapManyRecordsRandomSizes(t *testing.T) {
+	h := newTestHeap(t)
+	rng := rand.New(rand.NewSource(7))
+	type entry struct {
+		id  RecordID
+		rec []byte
+	}
+	var entries []entry
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(200)
+		if rng.Intn(50) == 0 {
+			n = rng.Intn(3 * PagePayload) // occasional overflow record
+		}
+		rec := make([]byte, n)
+		rng.Read(rec)
+		id, err := h.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, entry{id, rec})
+	}
+	for i, e := range entries {
+		got, err := h.Get(e.id)
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, e.rec) {
+			t.Fatalf("record %d (%d bytes) mismatched", i, len(e.rec))
+		}
+	}
+	// Scan must visit exactly the inserted records in order.
+	i := 0
+	if err := h.Scan(func(_ RecordID, rec []byte) error {
+		if !bytes.Equal(rec, entries[i].rec) {
+			return fmt.Errorf("scan %d mismatched (%d bytes vs %d)", i, len(rec), len(entries[i].rec))
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(entries) {
+		t.Fatalf("scan count = %d, want %d", i, len(entries))
+	}
+}

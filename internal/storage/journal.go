@@ -1,0 +1,247 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Journal is the durability harness shared by every store in the system.
+// A store keeps its working state in memory; the journal makes that state
+// durable with the classic snapshot-plus-log recipe:
+//
+//   - every mutation is encoded and appended to a WAL before it is
+//     applied in memory;
+//   - a checkpoint streams the full in-memory state into a fresh heap
+//     file snapshot, atomically switches the metadata to point at it,
+//     and resets the WAL;
+//   - on open, the journal loads the newest snapshot and replays the
+//     WAL suffix over it.
+//
+// The on-disk footprint (snapshot + WAL) is what experiment E1 measures.
+type Journal struct {
+	dir  string
+	name string
+
+	wal      *WAL
+	snapPath string
+	snapSize int64
+	gen      uint64
+
+	// SyncEvery controls group commit: the WAL is fsynced after this
+	// many logged entries (1 = every entry). Checkpoint and Close always
+	// sync. The default, 0, is treated as 256.
+	SyncEvery int
+	unsynced  int
+}
+
+// JournalCallbacks supplies the store-specific halves of recovery.
+type JournalCallbacks struct {
+	// LoadSnapshot is called with the snapshot heap file, if one exists.
+	LoadSnapshot func(h *HeapFile) error
+	// Replay applies one logged mutation during recovery.
+	Replay func(payload []byte) error
+}
+
+type journalMeta struct {
+	gen      uint64 // snapshot generation (0 = no snapshot)
+	startLSN uint64 // first LSN not covered by the snapshot
+}
+
+// ErrCorruptMeta indicates an unreadable journal metadata file.
+var ErrCorruptMeta = errors.New("storage: corrupt journal metadata")
+
+// OpenJournal opens (or creates) the journal named name in dir and runs
+// recovery through cb.
+func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, name: name}
+	meta, err := j.readMeta()
+	if err != nil {
+		return nil, err
+	}
+	j.gen = meta.gen
+	if meta.gen > 0 {
+		j.snapPath = j.snapFile(meta.gen)
+		h, err := OpenHeapFile(j.snapPath)
+		if err != nil {
+			return nil, fmt.Errorf("storage: open snapshot: %w", err)
+		}
+		j.snapSize = h.Size()
+		if cb.LoadSnapshot != nil {
+			if err := cb.LoadSnapshot(h); err != nil {
+				h.Close()
+				return nil, fmt.Errorf("storage: load snapshot: %w", err)
+			}
+		}
+		if err := h.Close(); err != nil {
+			return nil, err
+		}
+	}
+	replay := func(_ uint64, payload []byte) error {
+		if cb.Replay == nil {
+			return nil
+		}
+		return cb.Replay(payload)
+	}
+	wal, err := OpenWAL(j.walFile(), meta.startLSN, replay)
+	if err != nil {
+		return nil, err
+	}
+	j.wal = wal
+	return j, nil
+}
+
+func (j *Journal) snapFile(gen uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s.snap.%06d", j.name, gen))
+}
+func (j *Journal) walFile() string {
+	return filepath.Join(j.dir, j.name+".wal")
+}
+func (j *Journal) metaFile() string {
+	return filepath.Join(j.dir, j.name+".meta")
+}
+
+// readMeta loads the metadata file, returning the zero meta if absent.
+func (j *Journal) readMeta() (journalMeta, error) {
+	b, err := os.ReadFile(j.metaFile())
+	if errors.Is(err, os.ErrNotExist) {
+		return journalMeta{}, nil
+	}
+	if err != nil {
+		return journalMeta{}, err
+	}
+	if len(b) != 20 {
+		return journalMeta{}, fmt.Errorf("%w: length %d", ErrCorruptMeta, len(b))
+	}
+	if crc32.Checksum(b[4:], castagnoli) != binary.LittleEndian.Uint32(b[0:]) {
+		return journalMeta{}, ErrCorruptMeta
+	}
+	return journalMeta{
+		gen:      binary.LittleEndian.Uint64(b[4:]),
+		startLSN: binary.LittleEndian.Uint64(b[12:]),
+	}, nil
+}
+
+// writeMeta atomically replaces the metadata file.
+func (j *Journal) writeMeta(m journalMeta) error {
+	var b [20]byte
+	binary.LittleEndian.PutUint64(b[4:], m.gen)
+	binary.LittleEndian.PutUint64(b[12:], m.startLSN)
+	binary.LittleEndian.PutUint32(b[0:], crc32.Checksum(b[4:], castagnoli))
+	tmp := j.metaFile() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, j.metaFile())
+}
+
+// Log appends one encoded mutation to the WAL. The caller applies the
+// mutation to its in-memory state after Log returns.
+func (j *Journal) Log(payload []byte) error {
+	if _, err := j.wal.Append(payload); err != nil {
+		return err
+	}
+	j.unsynced++
+	every := j.SyncEvery
+	if every <= 0 {
+		every = 256
+	}
+	if j.unsynced >= every {
+		j.unsynced = 0
+		return j.wal.Sync()
+	}
+	return nil
+}
+
+// Sync forces buffered WAL entries to stable storage.
+func (j *Journal) Sync() error {
+	j.unsynced = 0
+	return j.wal.Sync()
+}
+
+// Checkpoint writes a fresh snapshot through write, switches the journal
+// to it, and resets the WAL. After Checkpoint returns, recovery needs
+// only the new snapshot.
+func (j *Journal) Checkpoint(write func(h *HeapFile) error) error {
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
+	newGen := j.gen + 1
+	path := j.snapFile(newGen)
+	h, err := CreateHeapFile(path)
+	if err != nil {
+		return err
+	}
+	if err := write(h); err != nil {
+		h.Close()
+		os.Remove(path)
+		return fmt.Errorf("storage: checkpoint write: %w", err)
+	}
+	if err := h.Sync(); err != nil {
+		h.Close()
+		os.Remove(path)
+		return err
+	}
+	size := h.Size()
+	if err := h.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	startLSN := j.wal.NextLSN()
+	if err := j.writeMeta(journalMeta{gen: newGen, startLSN: startLSN}); err != nil {
+		os.Remove(path)
+		return err
+	}
+	if err := j.wal.Reset(startLSN); err != nil {
+		return err
+	}
+	// Best-effort removal of the superseded snapshot.
+	if j.snapPath != "" {
+		os.Remove(j.snapPath)
+	}
+	j.gen = newGen
+	j.snapPath = path
+	j.snapSize = size
+	j.unsynced = 0
+	return nil
+}
+
+// SizeOnDisk returns the journal's durable footprint in bytes: the
+// snapshot, the WAL (including buffered bytes), and the metadata file.
+func (j *Journal) SizeOnDisk() int64 {
+	size := j.wal.Size()
+	size += j.snapSize
+	if fi, err := os.Stat(j.metaFile()); err == nil {
+		size += fi.Size()
+	}
+	return size
+}
+
+// WALSize returns the current WAL size in bytes.
+func (j *Journal) WALSize() int64 { return j.wal.Size() }
+
+// SnapshotSize returns the current snapshot size in bytes (0 if none).
+func (j *Journal) SnapshotSize() int64 { return j.snapSize }
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	return j.wal.Close()
+}

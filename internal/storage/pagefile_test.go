@@ -1,0 +1,176 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPageFileCreateOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.pf")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NumPages() != 1 {
+		t.Fatalf("NumPages = %d, want 1 (header only)", pf.NumPages())
+	}
+	n, err := pf.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("first data page = %d, want 1", n)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	if err := pf.WritePage(n, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	got, err := pf2.ReadPage(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadPage = %d bytes, want %d identical bytes", len(got), len(payload))
+	}
+}
+
+func TestPageFileRejectsHeaderWrite(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "b.pf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := pf.WritePage(0, []byte("x")); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("WritePage(0) = %v, want ErrPageBounds", err)
+	}
+}
+
+func TestPageFileOutOfRange(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "c.pf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.ReadPage(99); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("ReadPage(99) = %v, want ErrPageBounds", err)
+	}
+	if err := pf.WritePage(99, nil); !errors.Is(err, ErrPageBounds) {
+		t.Fatalf("WritePage(99) = %v, want ErrPageBounds", err)
+	}
+}
+
+func TestPageFilePayloadTooLarge(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "d.pf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	n, err := pf.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WritePage(n, make([]byte, PagePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestPageFileChecksumDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.pf")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := pf.AllocPage()
+	if err := pf.WritePage(n, []byte("important data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte in the middle of the data page.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[PageSize+20] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if _, err := pf2.ReadPage(n); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted ReadPage = %v, want ErrChecksum", err)
+	}
+}
+
+func TestPageFileBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.pf")
+	if err := os.WriteFile(path, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(path); err == nil {
+		t.Fatal("page file with zeroed header accepted")
+	}
+}
+
+func TestPageFileUnalignedSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.pf")
+	if err := os.WriteFile(path, make([]byte, PageSize+7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPageFile(path); err == nil {
+		t.Fatal("unaligned page file accepted")
+	}
+}
+
+func TestPageFileUseAfterClose(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "h.pf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+	if _, err := pf.ReadPage(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadPage after close = %v, want ErrClosed", err)
+	}
+	if _, err := pf.AllocPage(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AllocPage after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPageFileSizeAccounting(t *testing.T) {
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "i.pf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := pf.AllocPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := pf.Size(), int64(6*PageSize); got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL is a write-ahead log of opaque, checksummed entries. Stores log
+// every mutation to the WAL before applying it to their in-memory state;
+// a checkpoint writes a heap-file snapshot and resets the log. On open,
+// the store loads the latest snapshot and replays the log over it.
+//
+// Entry frame layout:
+//
+//	[crc32c u32][length u32][lsn u64][payload ...]
+//
+// The CRC covers length, LSN and payload. A torn or corrupt tail entry
+// terminates replay cleanly: the file is truncated at the last valid
+// entry boundary, which is the standard recovery contract for a log.
+type WAL struct {
+	f      *os.File
+	path   string
+	w      *bufio.Writer
+	lsn    uint64 // LSN of the next entry to be appended
+	size   int64
+	closed bool
+}
+
+const walFrameHeader = 16
+
+// ErrWALClosed indicates use of a closed WAL.
+var ErrWALClosed = errors.New("storage: wal is closed")
+
+// CreateWAL creates (or truncates) a WAL at path, starting at startLSN.
+func CreateWAL(path string, startLSN uint64) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create wal %s: %w", path, err)
+	}
+	return &WAL{f: f, path: path, w: bufio.NewWriterSize(f, 64<<10), lsn: startLSN}, nil
+}
+
+// OpenWAL opens the WAL at path (creating it empty at startLSN if absent),
+// replays every valid entry with lsn >= fromLSN through apply, truncates
+// any corrupt tail, and leaves the log positioned for appending.
+//
+// Entries with lsn < fromLSN are skipped: they precede the snapshot the
+// caller already loaded.
+func OpenWAL(path string, fromLSN uint64, apply func(lsn uint64, payload []byte) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
+	}
+	wal := &WAL{f: f, path: path, lsn: fromLSN}
+	validEnd, lastLSN, seen, err := wal.replay(fromLSN, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate wal %s: %w", path, err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	wal.size = validEnd
+	if seen && lastLSN >= fromLSN {
+		wal.lsn = lastLSN + 1
+	}
+	wal.w = bufio.NewWriterSize(f, 64<<10)
+	return wal, nil
+}
+
+// replay scans the log from the start, applying entries with
+// lsn >= fromLSN. It returns the offset just past the last valid entry,
+// the highest LSN seen, and whether any valid entry was seen at all.
+func (w *WAL) replay(fromLSN uint64, apply func(lsn uint64, payload []byte) error) (int64, uint64, bool, error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, false, err
+	}
+	r := bufio.NewReaderSize(w.f, 256<<10)
+	var (
+		off     int64
+		lastLSN uint64
+		seen    bool
+		header  [walFrameHeader]byte
+	)
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// io.EOF: clean end. ErrUnexpectedEOF: torn header; stop.
+			return off, lastLSN, seen, nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(header[0:])
+		length := binary.LittleEndian.Uint32(header[4:])
+		lsn := binary.LittleEndian.Uint64(header[8:])
+		if length > maxFieldLen {
+			return off, lastLSN, seen, nil // corrupt length; treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, lastLSN, seen, nil // torn payload
+		}
+		crc := crc32.Checksum(header[4:], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != wantCRC {
+			return off, lastLSN, seen, nil // corrupt entry terminates replay
+		}
+		if lsn >= fromLSN && apply != nil {
+			if err := apply(lsn, payload); err != nil {
+				return 0, 0, false, fmt.Errorf("storage: wal replay lsn %d: %w", lsn, err)
+			}
+		}
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+		seen = true
+		off += int64(walFrameHeader) + int64(length)
+	}
+}
+
+// Append logs payload and returns its LSN. The entry is buffered; call
+// Sync to make it durable.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if w.closed {
+		return 0, ErrWALClosed
+	}
+	var header [walFrameHeader]byte
+	binary.LittleEndian.PutUint32(header[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(header[8:], w.lsn)
+	crc := crc32.Checksum(header[4:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(header[0:], crc)
+	if _, err := w.w.Write(header[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return 0, err
+	}
+	lsn := w.lsn
+	w.lsn++
+	w.size += int64(walFrameHeader) + int64(len(payload))
+	return lsn, nil
+}
+
+// NextLSN returns the LSN the next appended entry will receive.
+func (w *WAL) NextLSN() uint64 { return w.lsn }
+
+// Size returns the current log size in bytes, including buffered entries.
+func (w *WAL) Size() int64 { return w.size }
+
+// Sync flushes buffered entries and fsyncs the log.
+func (w *WAL) Sync() error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Reset discards all entries (after a checkpoint has made them redundant)
+// and restarts the log at startLSN.
+func (w *WAL) Reset(startLSN uint64) error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	w.lsn = startLSN
+	w.size = 0
+	return nil
+}
+
+// Close flushes, syncs and closes the log. Close is idempotent.
+func (w *WAL) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

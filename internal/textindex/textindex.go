@@ -1,0 +1,233 @@
+// Package textindex implements the textual search baseline: a tokenizer,
+// an in-memory inverted index with TF-IDF scoring, and postings
+// compression for the on-disk form.
+//
+// Textual history search over titles and URLs is what stock browsers
+// ship (Firefox 3's "smart location bar", Chrome's New Tab history
+// search); the paper's contextual search uses it as its first stage and
+// its comparison baseline: "the algorithm performs a textual search and
+// then reorders results by the relevance of their provenance neighbors."
+package textindex
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// DocID identifies an indexed document (the caller's node or place ID).
+type DocID uint64
+
+// Tokenize splits text into lowercase alphanumeric terms. URL separators
+// count as breaks, so "films.example/citizen-kane" yields "films",
+// "example", "citizen", "kane".
+func Tokenize(text string) []string {
+	var terms []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			terms = append(terms, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return terms
+}
+
+// stopwords are dropped at both index and query time. The list covers
+// URL plumbing, browser chrome ("... - Web Search" result-page titles,
+// "q=" parameters) and trivial English function words only.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "the": true, "of": true,
+	"in": true, "on": true, "to": true, "for": true, "is": true,
+	"http": true, "https": true, "www": true, "com": true, "org": true,
+	"net": true, "html": true, "htm": true, "php": true, "index": true,
+	"example": true, // the synthetic web's TLD
+	"search":  true, "web": true, "q": true, "home": true, "page": true,
+}
+
+// IsStopword reports whether term is dropped by the index.
+func IsStopword(term string) bool { return stopwords[term] }
+
+type posting struct {
+	doc DocID
+	tf  uint32
+}
+
+// Index is an inverted index with TF-IDF ranking. It is safe for
+// concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	forward  map[DocID]map[string]int // doc -> term -> tf
+	docLen   map[DocID]int
+	numDocs  int
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		forward:  make(map[DocID]map[string]int),
+		docLen:   make(map[DocID]int),
+	}
+}
+
+// Add indexes the given fields of doc. Adding the same doc twice stacks
+// its terms (useful for incremental title upgrades); documents are never
+// removed (history is append-only).
+func (ix *Index) Add(doc DocID, fields ...string) {
+	counts := make(map[string]uint32)
+	total := 0
+	for _, f := range fields {
+		for _, term := range Tokenize(f) {
+			if stopwords[term] {
+				continue
+			}
+			counts[term]++
+			total++
+		}
+	}
+	if total == 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, known := ix.docLen[doc]; !known {
+		ix.numDocs++
+		ix.forward[doc] = make(map[string]int)
+	}
+	ix.docLen[doc] += total
+	fwd := ix.forward[doc]
+	for term, tf := range counts {
+		fwd[term] += int(tf)
+		pl := ix.postings[term]
+		// Merge with an existing posting for this doc if present.
+		merged := false
+		for i := range pl {
+			if pl[i].doc == doc {
+				pl[i].tf += tf
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			pl = append(pl, posting{doc: doc, tf: tf})
+		}
+		ix.postings[term] = pl
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.numDocs
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[strings.ToLower(term)])
+}
+
+// Result is one search hit.
+type Result struct {
+	Doc   DocID
+	Score float64
+}
+
+// Search ranks documents against the query by TF-IDF with length
+// normalisation. All query terms are optional (OR semantics); documents
+// matching more terms naturally score higher. Results are sorted by
+// descending score (ties by DocID for determinism) and truncated to
+// limit if limit > 0.
+func (ix *Index) Search(query string, limit int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	scores := make(map[DocID]float64)
+	for _, term := range Tokenize(query) {
+		if stopwords[term] {
+			continue
+		}
+		pl := ix.postings[term]
+		if len(pl) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(ix.numDocs)/float64(len(pl)))
+		for _, p := range pl {
+			tf := 1 + math.Log(float64(p.tf))
+			norm := math.Sqrt(float64(ix.docLen[p.doc]))
+			scores[p.doc] += tf * idf / norm
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, Result{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Terms returns up to limit indexed terms in descending document
+// frequency (0 = all). Experiments use it to draw realistic query terms
+// from the history's own vocabulary.
+func (ix *Index) Terms(limit int) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		di, dj := len(ix.postings[terms[i]]), len(ix.postings[terms[j]])
+		if di != dj {
+			return di > dj
+		}
+		return terms[i] < terms[j]
+	})
+	if limit > 0 && len(terms) > limit {
+		terms = terms[:limit]
+	}
+	return terms
+}
+
+// TermsOf returns the indexed terms of doc with their frequencies.
+// It is used by the personalisation query's term-frequency analysis.
+// The returned map is a copy.
+func (ix *Index) TermsOf(doc DocID) map[string]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	fwd := ix.forward[doc]
+	out := make(map[string]int, len(fwd))
+	for term, tf := range fwd {
+		out[term] = tf
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package textindex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Citizen Kane (1941)", []string{"citizen", "kane", "1941"}},
+		// Tokenize keeps stopwords; the index drops them at Add time.
+		{"http://films.example/citizen-kane", []string{"http", "films", "example", "citizen", "kane"}},
+		{"", nil},
+		{"---", nil},
+		{"Rosebud!", []string{"rosebud"}},
+		{"Wine & Plane Tickets", []string{"wine", "plane", "tickets"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizePropertyLowercaseAlnum(t *testing.T) {
+	f := func(s string) bool {
+		for _, term := range Tokenize(s) {
+			if term == "" {
+				return false
+			}
+			for _, r := range term {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Lowercasing must be idempotent (some letters, e.g.
+				// mathematical capitals, have no lowercase mapping).
+				if unicode.ToLower(r) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchRanksExactMatchHigh(t *testing.T) {
+	ix := New()
+	ix.Add(1, "rosebud - Web Search", "search.example/?q=rosebud")
+	ix.Add(2, "Citizen Kane (1941)", "films.example/citizen-kane")
+	ix.Add(3, "Gardening weekly", "garden.example/weekly")
+	res := ix.Search("rosebud", 10)
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("Search(rosebud) = %+v, want doc 1 only", res)
+	}
+}
+
+func TestSearchMultiTermOR(t *testing.T) {
+	ix := New()
+	ix.Add(1, "wine reviews")
+	ix.Add(2, "plane tickets cheap")
+	ix.Add(3, "wine with plane tickets")
+	res := ix.Search("wine plane", 10)
+	if len(res) != 3 {
+		t.Fatalf("OR search = %d docs, want 3", len(res))
+	}
+	if res[0].Doc != 3 {
+		t.Fatalf("doc matching both terms should rank first, got %d", res[0].Doc)
+	}
+}
+
+func TestSearchIDFPrefersRareTerms(t *testing.T) {
+	ix := New()
+	// "page" appears everywhere, "kane" in one doc.
+	for i := 1; i <= 20; i++ {
+		ix.Add(DocID(i), fmt.Sprintf("page number %d", i))
+	}
+	ix.Add(100, "page kane")
+	res := ix.Search("kane page", 5)
+	if res[0].Doc != 100 {
+		t.Fatalf("rare-term doc should rank first, got %d", res[0].Doc)
+	}
+}
+
+func TestSearchStopwordsIgnored(t *testing.T) {
+	ix := New()
+	ix.Add(1, "the of and in")
+	ix.Add(2, "substantive content")
+	if got := ix.Search("the of", 10); len(got) != 0 {
+		t.Fatalf("stopword query returned %+v", got)
+	}
+	if ix.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d; stopword-only doc should not be indexed", ix.NumDocs())
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	ix := New()
+	ix.Add(1, "content")
+	if got := ix.Search("", 10); len(got) != 0 {
+		t.Fatalf("empty query returned %+v", got)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := New()
+	for i := 1; i <= 50; i++ {
+		ix.Add(DocID(i), "wine")
+	}
+	if got := ix.Search("wine", 7); len(got) != 7 {
+		t.Fatalf("limit ignored: %d results", len(got))
+	}
+	if got := ix.Search("wine", 0); len(got) != 50 {
+		t.Fatalf("limit 0 should mean unlimited: %d results", len(got))
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := New()
+	ix.Add(7, "wine")
+	ix.Add(3, "wine")
+	res := ix.Search("wine", 10)
+	if res[0].Doc != 3 || res[1].Doc != 7 {
+		t.Fatalf("tie break not by DocID: %+v", res)
+	}
+}
+
+func TestAddIncrementalTitleUpgrade(t *testing.T) {
+	ix := New()
+	ix.Add(1, "citizen")
+	ix.Add(1, "kane")
+	res := ix.Search("citizen kane", 10)
+	if len(res) != 1 || res[0].Doc != 1 {
+		t.Fatalf("incremental add broken: %+v", res)
+	}
+	if ix.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d after double add", ix.NumDocs())
+	}
+}
+
+func TestTermsOf(t *testing.T) {
+	ix := New()
+	ix.Add(1, "wine wine tickets")
+	terms := ix.TermsOf(1)
+	if terms["wine"] != 2 || terms["tickets"] != 1 {
+		t.Fatalf("TermsOf = %v", terms)
+	}
+	// Returned map is a copy.
+	terms["wine"] = 99
+	if ix.TermsOf(1)["wine"] != 2 {
+		t.Fatal("TermsOf returned aliased map")
+	}
+}
+
+func TestDocFreq(t *testing.T) {
+	ix := New()
+	ix.Add(1, "wine")
+	ix.Add(2, "wine cheese")
+	if ix.DocFreq("wine") != 2 || ix.DocFreq("cheese") != 1 || ix.DocFreq("absent") != 0 {
+		t.Fatalf("DocFreq wrong: wine=%d cheese=%d absent=%d",
+			ix.DocFreq("wine"), ix.DocFreq("cheese"), ix.DocFreq("absent"))
+	}
+	if ix.NumTerms() != 2 {
+		t.Fatalf("NumTerms = %d", ix.NumTerms())
+	}
+}
+
+func TestSearchCaseInsensitive(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Citizen KANE")
+	if got := ix.Search("cItIzEn", 10); len(got) != 1 {
+		t.Fatalf("case-insensitive search failed: %+v", got)
+	}
+}

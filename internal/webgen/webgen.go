@@ -1,0 +1,300 @@
+// Package webgen generates the synthetic web the experiments browse.
+//
+// The paper evaluates on a real user's Firefox history (25,000+ nodes
+// over 79 days), which we cannot ship. The substitution (see DESIGN.md)
+// is a deterministic synthetic web — topical sites with power-law-ish
+// link structure, redirect hops, embedded resources, downloadable files
+// — plus a simulated search engine, all seeded so experiments reproduce
+// bit-for-bit.
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Config sizes the synthetic web.
+type Config struct {
+	// Seed drives all generation; equal seeds give identical webs.
+	Seed int64
+	// Topics is the number of subject areas (default 12).
+	Topics int
+	// Sites is the number of sites (default 60).
+	Sites int
+	// PagesPerSite is the mean pages per site (default 40).
+	PagesPerSite int
+	// RedirectFraction is the fraction of pages that are pure redirect
+	// hops, like link shorteners (default 0.03).
+	RedirectFraction float64
+	// DownloadFraction is the fraction of pages offering file downloads
+	// (default 0.05).
+	DownloadFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topics == 0 {
+		c.Topics = 12
+	}
+	if c.Sites == 0 {
+		c.Sites = 60
+	}
+	if c.PagesPerSite == 0 {
+		c.PagesPerSite = 40
+	}
+	if c.RedirectFraction == 0 {
+		c.RedirectFraction = 0.03
+	}
+	if c.DownloadFraction == 0 {
+		c.DownloadFraction = 0.05
+	}
+	return c
+}
+
+// Page is one synthetic web page.
+type Page struct {
+	ID    int
+	URL   string
+	Title string
+	// Topic indexes Web.Topics.
+	Topic int
+	// Words is the page's content vocabulary (topic words + general).
+	Words []string
+	// Links are the IDs of pages this page links to.
+	Links []int
+	// RedirectTo, when >= 0, makes this page an HTTP redirect hop.
+	RedirectTo int
+	// Embeds are URLs of inner content the page loads automatically.
+	Embeds []string
+	// Downloads are file URLs offered by this page.
+	Downloads []string
+}
+
+// Topic is a subject area with its own vocabulary.
+type Topic struct {
+	Name  string
+	Words []string
+}
+
+// Web is the generated site graph plus a simulated search engine.
+type Web struct {
+	Topics []Topic
+	Pages  []*Page
+	// SearchHost is the simulated engine's host.
+	SearchHost string
+
+	byURL map[string]*Page
+	// index: word -> page IDs containing it (for the search engine).
+	index map[string][]int
+}
+
+// Generate builds a web from cfg.
+func Generate(cfg Config) *Web {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Web{
+		SearchHost: "search.example",
+		byURL:      make(map[string]*Page),
+		index:      make(map[string][]int),
+	}
+
+	general := makeWords(rng, 80, 2, 3)
+	for i := 0; i < cfg.Topics; i++ {
+		words := makeWords(rng, 50, 2, 4)
+		w.Topics = append(w.Topics, Topic{Name: words[0], Words: words})
+	}
+
+	// Sites: each gets a topic and a page tree.
+	for s := 0; s < cfg.Sites; s++ {
+		topic := rng.Intn(cfg.Topics)
+		host := fmt.Sprintf("%s%d.example", w.Topics[topic].Name, s)
+		nPages := 1 + rng.Intn(2*cfg.PagesPerSite)
+		first := len(w.Pages)
+		for p := 0; p < nPages; p++ {
+			pg := &Page{
+				ID:         len(w.Pages),
+				Topic:      topic,
+				RedirectTo: -1,
+			}
+			tw := w.Topics[topic].Words
+			// Title: 2-4 topic words + maybe a general word.
+			nt := 2 + rng.Intn(3)
+			var title []string
+			for i := 0; i < nt; i++ {
+				title = append(title, tw[rng.Intn(len(tw))])
+			}
+			if rng.Intn(3) == 0 {
+				title = append(title, general[rng.Intn(len(general))])
+			}
+			pg.Title = strings.Join(title, " ")
+			if p == 0 {
+				pg.URL = fmt.Sprintf("http://%s/", host)
+			} else {
+				pg.URL = fmt.Sprintf("http://%s/%s-%d", host, title[0], p)
+			}
+			// Content words: title words + samples from topic + general.
+			pg.Words = append(pg.Words, title...)
+			for i := 0; i < 10; i++ {
+				pg.Words = append(pg.Words, tw[rng.Intn(len(tw))])
+			}
+			for i := 0; i < 3; i++ {
+				pg.Words = append(pg.Words, general[rng.Intn(len(general))])
+			}
+			// Embedded resources.
+			for i := 0; i < rng.Intn(3); i++ {
+				pg.Embeds = append(pg.Embeds, fmt.Sprintf("http://cdn%d.example/asset-%d-%d.js", rng.Intn(5), pg.ID, i))
+			}
+			// Downloads.
+			if rng.Float64() < cfg.DownloadFraction {
+				for i := 0; i <= rng.Intn(3); i++ {
+					pg.Downloads = append(pg.Downloads, fmt.Sprintf("http://files%d.example/%s-%d-%d.zip", rng.Intn(5), title[0], pg.ID, i))
+				}
+			}
+			w.Pages = append(w.Pages, pg)
+			w.byURL[pg.URL] = pg
+		}
+		// Intra-site links: each page links to 2-6 site-mates, with the
+		// front page favoured (preferential attachment within the site).
+		for p := first; p < len(w.Pages); p++ {
+			pg := w.Pages[p]
+			n := 2 + rng.Intn(5)
+			for i := 0; i < n; i++ {
+				var target int
+				if rng.Intn(3) == 0 {
+					target = first // home page hub
+				} else {
+					target = first + rng.Intn(len(w.Pages)-first)
+				}
+				if target != p {
+					pg.Links = append(pg.Links, target)
+				}
+			}
+		}
+	}
+
+	// Cross-site links: preferential attachment on global degree.
+	nCross := len(w.Pages) / 2
+	for i := 0; i < nCross; i++ {
+		src := w.Pages[rng.Intn(len(w.Pages))]
+		dst := w.preferentialPick(rng)
+		if dst != src.ID {
+			src.Links = append(src.Links, dst)
+		}
+	}
+
+	// Redirect hops: rewrite a fraction of pages into shortener-style
+	// redirects pointing at a same-topic page.
+	for _, pg := range w.Pages {
+		if rng.Float64() < cfg.RedirectFraction && len(pg.Links) > 0 {
+			pg.RedirectTo = pg.Links[rng.Intn(len(pg.Links))]
+			pg.Downloads = nil
+		}
+	}
+
+	// Build the search index.
+	for _, pg := range w.Pages {
+		if pg.RedirectTo >= 0 {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, word := range pg.Words {
+			if !seen[word] {
+				seen[word] = true
+				w.index[word] = append(w.index[word], pg.ID)
+			}
+		}
+	}
+	return w
+}
+
+// preferentialPick chooses a page weighted by (1 + inlink count),
+// approximated by sampling link endpoints.
+func (w *Web) preferentialPick(rng *rand.Rand) int {
+	// Sample a random page's random link 50% of the time (endpoint bias
+	// = degree bias), else uniform.
+	if rng.Intn(2) == 0 {
+		p := w.Pages[rng.Intn(len(w.Pages))]
+		if len(p.Links) > 0 {
+			return p.Links[rng.Intn(len(p.Links))]
+		}
+	}
+	return rng.Intn(len(w.Pages))
+}
+
+// makeWords builds n distinct pronounceable words of sylMin..sylMax
+// syllables.
+func makeWords(rng *rand.Rand, n, sylMin, sylMax int) []string {
+	consonants := []string{"b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st", "br"}
+	vowels := []string{"a", "e", "i", "o", "u", "ea", "ou"}
+	seen := make(map[string]bool, n)
+	var out []string
+	for len(out) < n {
+		var sb strings.Builder
+		syl := sylMin + rng.Intn(sylMax-sylMin+1)
+		for i := 0; i < syl; i++ {
+			sb.WriteString(consonants[rng.Intn(len(consonants))])
+			sb.WriteString(vowels[rng.Intn(len(vowels))])
+		}
+		word := sb.String()
+		if !seen[word] {
+			seen[word] = true
+			out = append(out, word)
+		}
+	}
+	return out
+}
+
+// PageByURL returns the page at url.
+func (w *Web) PageByURL(url string) (*Page, bool) {
+	p, ok := w.byURL[url]
+	return p, ok
+}
+
+// PageByID returns the page with the given ID.
+func (w *Web) PageByID(id int) *Page {
+	if id < 0 || id >= len(w.Pages) {
+		return nil
+	}
+	return w.Pages[id]
+}
+
+// ResultsURL is the URL of the engine's results page for a query.
+func (w *Web) ResultsURL(query string) string {
+	return fmt.Sprintf("http://%s/?q=%s", w.SearchHost, strings.ReplaceAll(query, " ", "+"))
+}
+
+// Search simulates the web search engine: pages are ranked by the number
+// of query words they contain (ties broken by inlink-independent page ID
+// for determinism). It returns up to k pages.
+func (w *Web) Search(query string, k int) []*Page {
+	scores := make(map[int]int)
+	for _, word := range strings.Fields(strings.ToLower(query)) {
+		for _, id := range w.index[word] {
+			scores[id]++
+		}
+	}
+	ids := make([]int, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > 0 && len(ids) > k {
+		ids = ids[:k]
+	}
+	out := make([]*Page, len(ids))
+	for i, id := range ids {
+		out[i] = w.Pages[id]
+	}
+	return out
+}
+
+// TopicWords returns topic t's vocabulary.
+func (w *Web) TopicWords(t int) []string {
+	return w.Topics[t%len(w.Topics)].Words
+}

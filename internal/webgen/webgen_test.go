@@ -1,0 +1,166 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatalf("page counts differ: %d vs %d", len(a.Pages), len(b.Pages))
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URL != b.Pages[i].URL || a.Pages[i].Title != b.Pages[i].Title {
+			t.Fatalf("page %d differs between equal seeds", i)
+		}
+	}
+	c := Generate(Config{Seed: 43})
+	same := len(a.Pages) == len(c.Pages)
+	if same {
+		diff := false
+		for i := range a.Pages {
+			if a.Pages[i].URL != c.Pages[i].URL {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical webs")
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	w := Generate(Config{Seed: 1})
+	if len(w.Pages) < 500 {
+		t.Fatalf("web too small: %d pages", len(w.Pages))
+	}
+	if len(w.Topics) != 12 {
+		t.Fatalf("topics = %d", len(w.Topics))
+	}
+}
+
+func TestLinksAreValid(t *testing.T) {
+	w := Generate(Config{Seed: 2})
+	for _, p := range w.Pages {
+		for _, l := range p.Links {
+			if l < 0 || l >= len(w.Pages) {
+				t.Fatalf("page %d links to invalid %d", p.ID, l)
+			}
+			if l == p.ID {
+				t.Fatalf("page %d links to itself", p.ID)
+			}
+		}
+		if p.RedirectTo >= len(w.Pages) {
+			t.Fatalf("page %d redirects to invalid %d", p.ID, p.RedirectTo)
+		}
+	}
+}
+
+func TestRedirectsExist(t *testing.T) {
+	w := Generate(Config{Seed: 3})
+	n := 0
+	for _, p := range w.Pages {
+		if p.RedirectTo >= 0 {
+			n++
+			if len(p.Downloads) != 0 {
+				t.Fatal("redirect page offers downloads")
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no redirect pages generated")
+	}
+}
+
+func TestDownloadsExist(t *testing.T) {
+	w := Generate(Config{Seed: 4})
+	n := 0
+	for _, p := range w.Pages {
+		n += len(p.Downloads)
+	}
+	if n == 0 {
+		t.Fatal("no downloadable files generated")
+	}
+}
+
+func TestPageByURL(t *testing.T) {
+	w := Generate(Config{Seed: 5})
+	p := w.Pages[10]
+	got, ok := w.PageByURL(p.URL)
+	if !ok || got.ID != p.ID {
+		t.Fatalf("PageByURL(%s) = %v, %v", p.URL, got, ok)
+	}
+	if _, ok := w.PageByURL("http://nope.example/"); ok {
+		t.Fatal("unknown URL resolved")
+	}
+}
+
+func TestSearchFindsTopicPages(t *testing.T) {
+	w := Generate(Config{Seed: 6})
+	// Search for a topic word: results must contain it.
+	word := w.Topics[0].Words[3]
+	results := w.Search(word, 10)
+	if len(results) == 0 {
+		t.Fatalf("no results for topic word %q", word)
+	}
+	for _, p := range results {
+		found := false
+		for _, pw := range p.Words {
+			if pw == word {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("result %s does not contain %q", p.URL, word)
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	w := Generate(Config{Seed: 7})
+	word := w.Topics[1].Words[0]
+	a := w.Search(word, 5)
+	b := w.Search(word, 5)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("search not deterministic")
+		}
+	}
+}
+
+func TestSearchExcludesRedirectPages(t *testing.T) {
+	w := Generate(Config{Seed: 8})
+	for _, topic := range w.Topics {
+		for _, word := range topic.Words[:5] {
+			for _, p := range w.Search(word, 20) {
+				if p.RedirectTo >= 0 {
+					t.Fatalf("redirect page %s in search results", p.URL)
+				}
+			}
+		}
+	}
+}
+
+func TestResultsURL(t *testing.T) {
+	w := Generate(Config{Seed: 9})
+	got := w.ResultsURL("red wine")
+	if !strings.Contains(got, "q=red+wine") || !strings.Contains(got, w.SearchHost) {
+		t.Fatalf("ResultsURL = %s", got)
+	}
+}
+
+func TestURLsUnique(t *testing.T) {
+	w := Generate(Config{Seed: 10})
+	seen := make(map[string]bool, len(w.Pages))
+	for _, p := range w.Pages {
+		if seen[p.URL] {
+			t.Fatalf("duplicate URL %s", p.URL)
+		}
+		seen[p.URL] = true
+	}
+}
