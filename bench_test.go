@@ -238,6 +238,134 @@ func BenchmarkPublicAPISearch(b *testing.B) {
 	}
 }
 
+// buildParallelHistory builds a ≥50k-node history for the concurrent
+// read-path benchmarks. 30k visit events yield ~60k nodes (page + visit
+// per distinct URL, visit-only for repeats).
+func buildParallelHistory() *History {
+	dir, err := os.MkdirTemp("", "browserprov-par-*")
+	if err != nil {
+		panic(err)
+	}
+	h, err := Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	base := time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 30000; i++ {
+		ev := &Event{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Type: TypeVisit, Tab: 1 + i%4,
+			URL:        fmt.Sprintf("http://s%d.example/page-%d", i%500, i),
+			Title:      fmt.Sprintf("Topic %d article %d", i%97, i),
+			Transition: TransLink,
+		}
+		if i%31 == 0 {
+			ev.Transition = TransTyped
+		}
+		if err := h.Apply(ev); err != nil {
+			panic(err)
+		}
+	}
+	// Prime the engine and index once so benchmarks measure
+	// steady-state queries, not first-call indexing.
+	h.Search("topic", 10)
+	return h
+}
+
+// The read-only benchmarks share one history; the contended benchmark
+// gets its own (its background writer grows the store, which must not
+// skew the read-only measurements).
+var (
+	parallelOnce sync.Once
+	parallelHist *History
+
+	contendedOnce sync.Once
+	contendedHist *History
+)
+
+func parallelWorkload(b *testing.B) *History {
+	b.Helper()
+	parallelOnce.Do(func() { parallelHist = buildParallelHistory() })
+	return parallelHist
+}
+
+func contendedWorkload(b *testing.B) *History {
+	b.Helper()
+	contendedOnce.Do(func() { contendedHist = buildParallelHistory() })
+	return contendedHist
+}
+
+// BenchmarkParallelSearch measures aggregate contextual-search throughput
+// with GOMAXPROCS concurrent readers on a ~60k-node history. This is the
+// concurrency headline: the epoch-snapshot read path lets readers run
+// lock-free on immutable views, so throughput should scale with cores
+// instead of serialising on a global engine mutex.
+func BenchmarkParallelSearch(b *testing.B) {
+	h := parallelWorkload(b)
+	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Search(terms[i%len(terms)], 10)
+			i++
+		}
+	})
+}
+
+// BenchmarkParallelSearchContended is the same workload with one
+// background writer applying an event every millisecond (a far higher
+// rate than real browsing), so generation bumps keep forcing snapshot
+// refreshes on the read path.
+func BenchmarkParallelSearchContended(b *testing.B) {
+	h := contendedWorkload(b)
+	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			h.Apply(&Event{
+				Time: base.Add(time.Duration(i) * time.Second),
+				Type: TypeVisit, Tab: 9,
+				URL:        fmt.Sprintf("http://w.example/bg-%d", i),
+				Title:      "background write",
+				Transition: TransLink,
+			})
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Search(terms[i%len(terms)], 10)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkSingleSearch is the single-threaded latency guard for the
+// same workload: the snapshot refactor must not regress it.
+func BenchmarkSingleSearch(b *testing.B) {
+	h := parallelWorkload(b)
+	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Search(terms[i%len(terms)], 10)
+	}
+}
+
 func boolMetric(v bool) float64 {
 	if v {
 		return 1

@@ -28,7 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"browserprov/internal/capture"
@@ -106,14 +106,19 @@ type QueryResult = pql.Result
 type Options = query.Options
 
 // History is a provenance-aware browser history: the homogeneous graph
-// store plus the query engine. It is safe for concurrent use.
+// store plus the query engine. It is safe for concurrent use: queries
+// run lock-free against immutable epoch snapshots of the graph, so
+// concurrent searches never contend with each other — only snapshot
+// refresh synchronises with writers.
 type History struct {
 	store *provgraph.Store
 	opts  Options
 
-	mu          sync.Mutex
-	engine      *query.Engine
-	lastIndexed NodeID
+	// engine is created lazily on first query and replaced wholesale
+	// when the text index must be rebuilt (after expiration). All
+	// finer-grained refresh (snapshotting, incremental indexing) lives
+	// inside the engine itself.
+	engine atomic.Pointer[query.Engine]
 }
 
 // Open opens (or creates) a history in dir with default options.
@@ -150,29 +155,20 @@ func (h *History) SizeOnDisk() int64 { return h.store.SizeOnDisk() }
 // algorithms, raw edge inspection).
 func (h *History) Graph() *provgraph.Store { return h.store }
 
-// engineRef returns a query engine whose text index covers every node
-// currently in the store, indexing only what is new since the last call.
+// engineRef returns the query engine, creating it on first use. The
+// engine keeps itself current: each query re-snapshots the store and
+// catches the text index up incrementally only when the store's
+// generation has moved, so this call is two atomic loads on the hot
+// path and never serialises concurrent readers.
 func (h *History) engineRef() *query.Engine {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.engine == nil {
-		h.engine = query.NewEngine(h.store, h.opts)
-		ids := h.store.AllNodeIDs()
-		if len(ids) > 0 {
-			h.lastIndexed = ids[len(ids)-1]
-		}
-		return h.engine
+	if e := h.engine.Load(); e != nil {
+		return e
 	}
-	for _, id := range h.store.AllNodeIDs() {
-		if id <= h.lastIndexed {
-			continue
-		}
-		if n, ok := h.store.NodeByID(id); ok {
-			h.engine.ObserveNode(n)
-		}
-		h.lastIndexed = id
+	e := query.NewEngine(h.store, h.opts)
+	if h.engine.CompareAndSwap(nil, e) {
+		return e
 	}
-	return h.engine
+	return h.engine.Load()
 }
 
 // Search runs the contextual history search (§2.1 of the paper):
@@ -203,14 +199,11 @@ func (h *History) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta
 	return h.engineRef().TimeContextualSearch(q, anchor, k)
 }
 
-// DownloadBySavePath finds the download node saved at path.
+// DownloadBySavePath finds the download node saved at path via the
+// store's save-path index (O(1); the most recent download wins when
+// several share a path).
 func (h *History) DownloadBySavePath(path string) (Node, bool) {
-	for _, id := range h.store.Downloads() {
-		if n, ok := h.store.NodeByID(id); ok && n.Text == path {
-			return n, true
-		}
-	}
-	return Node{}, false
+	return h.store.DownloadBySavePath(path)
 }
 
 // DownloadLineage answers "how did I get this file?" (§2.4) for the
@@ -261,11 +254,12 @@ func (h *History) NewProxy(searchHosts []string) http.Handler {
 // number of nodes removed.
 func (h *History) ExpireBefore(cutoff time.Time) (int, error) {
 	removed, err := h.store.ExpireBefore(cutoff)
-	// The text index may reference expired nodes; rebuild lazily.
-	h.mu.Lock()
-	h.engine = nil
-	h.lastIndexed = 0
-	h.mu.Unlock()
+	// The text index may reference expired nodes; drop the engine so the
+	// next query rebuilds a clean one. In-flight queries finish against
+	// the old engine's snapshot, which stays valid (immutable) even as
+	// its index serves stale doc IDs — those miss on NodeByID and fall
+	// out of results.
+	h.engine.Store(nil)
 	return removed, err
 }
 

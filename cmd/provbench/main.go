@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"browserprov/internal/experiment"
 	"browserprov/internal/query"
@@ -90,6 +91,14 @@ func main() {
 	fmt.Printf("  %-44s %10s %10s\n", "wine-with-plane-tickets (rank)", rankStr(e4.WineBaselineRank), rankStr(e4.WineRank))
 	fmt.Printf("  %-44s %10s %10s\n", "malware lineage reaches known forum", "n/a", yesNo(e4.MalwareLineageOK))
 	fmt.Printf("  %-44s %10s %7d/%d\n", "payloads found from untrusted page", "n/a", e4.MalwareDescendants, e4.MalwareDescendantsWant)
+	fmt.Println()
+
+	e6 := experiment.RunE6(w, query.Options{})
+	fmt.Printf("== E6: concurrent query throughput (epoch-snapshot read path, GOMAXPROCS=%d) ==\n", e6.Procs)
+	fmt.Printf("  %-12s %10s %12s %12s\n", "readers", "queries", "wall", "agg qps")
+	for _, r := range e6.Rounds {
+		fmt.Printf("  %-12d %10d %12s %12.0f\n", r.Readers, r.Queries, r.Wall.Round(time.Millisecond), r.QPS)
+	}
 	fmt.Println()
 
 	e5, err := experiment.RunE5(experiment.Config{Seed: *seed, Days: *ablationDays, Dir: workDir + "/ablation"})

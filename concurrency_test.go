@@ -2,7 +2,9 @@ package browserprov
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -69,6 +71,106 @@ func TestConcurrentApplyAndQuery(t *testing.T) {
 	st := h.Stats()
 	if st.Visits < writers*perG {
 		t.Fatalf("visits = %d, want >= %d", st.Visits, writers*perG)
+	}
+	if cycle := h.VerifyDAG(); cycle != nil {
+		t.Fatalf("cycle after concurrent load: %v", cycle)
+	}
+}
+
+// TestConcurrentSnapshotReadsNoStaleMisses is the epoch read path's
+// freshness contract under -race: one writer applies events while
+// reader goroutines run Search/Personalize/DownloadLineage against live
+// snapshots. Once Apply has returned for event i (the watermark),
+// any subsequent query MUST see it — a re-snapshot plus incremental
+// index catch-up happens on the first read after every generation
+// bump, so stale-index misses past the watermark are bugs.
+func TestConcurrentSnapshotReadsNoStaleMisses(t *testing.T) {
+	h := openHistory(t)
+	feedRosebud(t, h)
+
+	const (
+		writes  = 300
+		readers = 4
+		reads   = 150
+	)
+	var applied atomic.Int64
+	applied.Store(-1)
+	errCh := make(chan error, readers+1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			at := t0.Add(time.Duration(i) * time.Second)
+			if err := h.Apply(&Event{
+				Time: at, Type: TypeVisit, Tab: 7,
+				URL:        fmt.Sprintf("http://wm.example/p%d", i),
+				Title:      fmt.Sprintf("sentinelw%d fresh", i),
+				Transition: TransTyped,
+			}); err != nil {
+				errCh <- err
+				return
+			}
+			if i%10 == 0 {
+				if err := h.Apply(&Event{
+					Time: at.Add(time.Millisecond), Type: TypeDownload, Tab: 7,
+					URL:      fmt.Sprintf("http://wm.example/p%d/f.bin", i),
+					SavePath: fmt.Sprintf("/dl/wm-%d.bin", i), ContentType: "application/octet-stream",
+				}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			// Publish the watermark only after Apply returned: readers
+			// may now rely on seeing event i.
+			applied.Store(int64(i))
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for k := 0; k < reads; k++ {
+				w := applied.Load()
+				if w < 0 {
+					continue
+				}
+				switch k % 3 {
+				case 0:
+					term := fmt.Sprintf("sentinelw%d", w)
+					wantURL := fmt.Sprintf("http://wm.example/p%d", w)
+					hits, _ := h.Search(term, 5)
+					found := false
+					for _, hit := range hits {
+						if hit.URL == wantURL {
+							found = true
+							break
+						}
+					}
+					if !found {
+						errCh <- fmt.Errorf("reader %d: stale index: %q missing past watermark %d", r, term, w)
+						return
+					}
+				case 1:
+					h.Personalize("rosebud", 3)
+				case 2:
+					path := fmt.Sprintf("/dl/wm-%d.bin", (w/10)*10)
+					if _, _, err := h.DownloadLineage(path); err != nil &&
+						strings.Contains(err.Error(), "no download") {
+						errCh <- fmt.Errorf("reader %d: stale save-path index past watermark %d: %v", r, w, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 	if cycle := h.VerifyDAG(); cycle != nil {
 		t.Fatalf("cycle after concurrent load: %v", cycle)

@@ -1,0 +1,3 @@
+module browserprov
+
+go 1.21

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"browserprov/internal/query"
+)
+
+// E6 measures concurrent query throughput over the epoch-snapshot read
+// path. The paper's 200 ms bound is a single-user latency target; this
+// experiment is the scale side: N readers issuing contextual searches
+// concurrently against one engine, which the snapshot design serves
+// lock-free from immutable graph views. Aggregate throughput should
+// hold (single-core) or scale (multi-core) as readers are added,
+// where a global-mutex engine would serialise them.
+
+// E6Round is one concurrency level's measurement.
+type E6Round struct {
+	// Readers is the number of concurrent query goroutines.
+	Readers int
+	// Queries is the total number of queries completed.
+	Queries int
+	// Wall is the round's wall-clock time.
+	Wall time.Duration
+	// QPS is aggregate queries per second.
+	QPS float64
+}
+
+// E6Result is the concurrent-throughput experiment outcome.
+type E6Result struct {
+	Rounds []E6Round
+	// Procs is runtime.GOMAXPROCS(0) at measurement time.
+	Procs int
+}
+
+// RunE6 measures aggregate contextual-search throughput at increasing
+// reader counts over the workload's provenance store.
+func RunE6(w *Workload, opts query.Options) E6Result {
+	eng := query.NewEngine(w.Prov, opts)
+	vocab := eng.Index().Terms(64)
+	if len(vocab) == 0 {
+		vocab = []string{"wine"}
+	}
+	// Warm the snapshot and lens once so rounds compare steady state.
+	eng.ContextualSearch(vocab[0], 10)
+
+	procs := runtime.GOMAXPROCS(0)
+	levels := []int{1, 2, 4}
+	if procs > 4 {
+		levels = append(levels, procs)
+	}
+	const perReader = 50
+
+	res := E6Result{Procs: procs}
+	for _, readers := range levels {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < perReader; i++ {
+					eng.ContextualSearch(vocab[(r*perReader+i)%len(vocab)], 10)
+				}
+			}(r)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		total := readers * perReader
+		res.Rounds = append(res.Rounds, E6Round{
+			Readers: readers,
+			Queries: total,
+			Wall:    wall,
+			QPS:     float64(total) / wall.Seconds(),
+		})
+	}
+	return res
+}

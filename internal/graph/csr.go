@@ -1,0 +1,110 @@
+package graph
+
+// Arc is one directed edge for CSR construction.
+type Arc struct{ From, To NodeID }
+
+// CSR is a frozen directed graph in compressed-sparse-row form: both
+// adjacency directions packed into flat arrays with per-node offset
+// indexes. It implements Graph with zero-allocation Out/In — the
+// returned slices are views into the packed arrays and must not be
+// modified.
+//
+// CSR is the sealed-epoch layout of the provenance store's snapshot
+// read path: once packed, a CSR is immutable and safe for concurrent
+// use without any locking.
+type CSR struct {
+	maxID  NodeID
+	outOff []uint32
+	outAdj []NodeID
+	inOff  []uint32
+	inAdj  []NodeID
+	// inArc maps each in-adjacency slot back to the index of the arc
+	// that produced it, so callers can keep attribute arrays aligned
+	// with the arc list for both directions.
+	inArc []uint32
+}
+
+// NewCSR packs arcs into a frozen CSR over node IDs [0, maxID]. Arcs
+// referencing IDs beyond maxID are the caller's bug and will panic.
+//
+// Out-slot order: arcs are bucketed by From in arc order, so if the
+// input is grouped by From (all arcs sharing a From contiguous), the
+// out-adjacency of every node preserves the input order and out slot i
+// of the whole array corresponds to arc i.
+func NewCSR(maxID NodeID, arcs []Arc) *CSR {
+	c := &CSR{
+		maxID:  maxID,
+		outOff: make([]uint32, maxID+2),
+		inOff:  make([]uint32, maxID+2),
+		outAdj: make([]NodeID, len(arcs)),
+		inAdj:  make([]NodeID, len(arcs)),
+		inArc:  make([]uint32, len(arcs)),
+	}
+	// Pass 1: degree counts (shifted by one so the prefix sum yields
+	// start offsets directly).
+	for _, a := range arcs {
+		c.outOff[a.From+1]++
+		c.inOff[a.To+1]++
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		c.outOff[i] += c.outOff[i-1]
+		c.inOff[i] += c.inOff[i-1]
+	}
+	// Pass 2: fill, using the offset arrays as write cursors.
+	outCur := make([]uint32, maxID+1)
+	inCur := make([]uint32, maxID+1)
+	for i, a := range arcs {
+		o := c.outOff[a.From] + outCur[a.From]
+		outCur[a.From]++
+		c.outAdj[o] = a.To
+		in := c.inOff[a.To] + inCur[a.To]
+		inCur[a.To]++
+		c.inAdj[in] = a.From
+		c.inArc[in] = uint32(i)
+	}
+	return c
+}
+
+// Out implements Graph. The returned slice is shared; do not modify.
+func (c *CSR) Out(n NodeID) []NodeID {
+	if n > c.maxID {
+		return nil
+	}
+	return c.outAdj[c.outOff[n]:c.outOff[n+1]]
+}
+
+// In implements Graph. The returned slice is shared; do not modify.
+func (c *CSR) In(n NodeID) []NodeID {
+	if n > c.maxID {
+		return nil
+	}
+	return c.inAdj[c.inOff[n]:c.inOff[n+1]]
+}
+
+// OutRange returns the [lo, hi) slot range of n's out-adjacency. With
+// From-grouped input arcs, these slots index the arc list directly.
+func (c *CSR) OutRange(n NodeID) (lo, hi int) {
+	if n > c.maxID {
+		return 0, 0
+	}
+	return int(c.outOff[n]), int(c.outOff[n+1])
+}
+
+// InRange returns the [lo, hi) slot range of n's in-adjacency.
+func (c *CSR) InRange(n NodeID) (lo, hi int) {
+	if n > c.maxID {
+		return 0, 0
+	}
+	return int(c.inOff[n]), int(c.inOff[n+1])
+}
+
+// InArc returns the index of the arc behind in-adjacency slot.
+func (c *CSR) InArc(slot int) int { return int(c.inArc[slot]) }
+
+// MaxID returns the highest node ID the CSR covers.
+func (c *CSR) MaxID() NodeID { return c.maxID }
+
+// NumArcs returns the number of packed arcs.
+func (c *CSR) NumArcs() int { return len(c.outAdj) }
+
+var _ Graph = (*CSR)(nil)

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestCSRMatchesMem(t *testing.T) {
+	m := NewMem()
+	arcs := []Arc{
+		{1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {2, 5}, {5, 6}, {1, 6},
+	}
+	for _, a := range arcs {
+		m.AddEdge(a.From, a.To)
+	}
+	c := NewCSR(6, arcs)
+	if c.NumArcs() != len(arcs) {
+		t.Fatalf("NumArcs = %d, want %d", c.NumArcs(), len(arcs))
+	}
+	for n := NodeID(0); n <= 7; n++ {
+		got := append([]NodeID(nil), c.Out(n)...)
+		want := append([]NodeID(nil), m.Out(n)...)
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Errorf("Out(%d) = %v, want %v", n, got, want)
+		}
+		got = append([]NodeID(nil), c.In(n)...)
+		want = append([]NodeID(nil), m.In(n)...)
+		sortIDs(got)
+		sortIDs(want)
+		if !equalIDs(got, want) {
+			t.Errorf("In(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestCSRGroupedArcOrder verifies the documented invariant the sealed
+// epoch relies on: with From-grouped input, out slot i is arc i.
+func TestCSRGroupedArcOrder(t *testing.T) {
+	arcs := []Arc{{1, 3}, {1, 2}, {2, 4}, {2, 1}, {4, 2}}
+	c := NewCSR(4, arcs)
+	for n := NodeID(0); n <= 4; n++ {
+		lo, hi := c.OutRange(n)
+		for slot := lo; slot < hi; slot++ {
+			if arcs[slot].From != n {
+				t.Fatalf("slot %d: arc From = %d, want %d", slot, arcs[slot].From, n)
+			}
+			if arcs[slot].To != c.Out(n)[slot-lo] {
+				t.Fatalf("slot %d: adjacency disagrees with arc list", slot)
+			}
+		}
+	}
+	// InArc must map every in-slot back to an arc pointing at the node.
+	for n := NodeID(0); n <= 4; n++ {
+		lo, hi := c.InRange(n)
+		for slot := lo; slot < hi; slot++ {
+			a := arcs[c.InArc(slot)]
+			if a.To != n {
+				t.Fatalf("InArc(%d) = arc %v, want To = %d", slot, a, n)
+			}
+			if a.From != c.In(n)[slot-lo] {
+				t.Fatalf("in slot %d: adjacency disagrees with arc list", slot)
+			}
+		}
+	}
+}
+
+func TestCSREmptyAndIsolated(t *testing.T) {
+	c := NewCSR(3, nil)
+	for n := NodeID(0); n <= 5; n++ {
+		if len(c.Out(n)) != 0 || len(c.In(n)) != 0 {
+			t.Fatalf("node %d: expected empty adjacency", n)
+		}
+	}
+	// BFS over an empty CSR terminates immediately.
+	visited := 0
+	BFS(c, []NodeID{1}, Forward, func(NodeID, int) bool { visited++; return true })
+	if visited != 1 {
+		t.Fatalf("visited = %d, want 1", visited)
+	}
+}
+
+func TestCSRParallelEdgesKept(t *testing.T) {
+	arcs := []Arc{{1, 2}, {1, 2}, {2, 3}}
+	c := NewCSR(3, arcs)
+	if got := c.Out(1); !reflect.DeepEqual(got, []NodeID{2, 2}) {
+		t.Fatalf("Out(1) = %v, want [2 2]", got)
+	}
+	if got := c.In(2); len(got) != 2 {
+		t.Fatalf("In(2) = %v, want two slots", got)
+	}
+}
+
+func sortIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -30,14 +30,16 @@ func Eval(e *query.Engine, src string) (Result, error) {
 	return Run(e, q)
 }
 
-// Run executes a parsed query.
+// Run executes a parsed query. The whole evaluation runs against one
+// immutable snapshot, so traversal and predicates see a consistent
+// point-in-time graph and take no locks.
 func Run(e *query.Engine, q *Query) (Result, error) {
-	s := e.Store()
+	s := e.Snapshot()
 	starts, err := resolveSource(s, q.Source)
 	if err != nil {
 		return Result{}, err
 	}
-	pred := compilePred(e, q.Where)
+	pred := compilePred(e, s, q.Where)
 
 	switch q.Op {
 	case OpAncestors, OpDescendants:
@@ -71,7 +73,7 @@ func Run(e *query.Engine, q *Query) (Result, error) {
 			dir = graph.Forward
 		}
 		if q.Op == OpLineage {
-			pred = func(n provgraph.Node) bool { return e.Recognizable(n) }
+			pred = func(n provgraph.Node) bool { return e.RecognizableIn(s, n) }
 		}
 		if len(starts) == 0 {
 			return Result{IsPath: true}, nil
@@ -95,7 +97,7 @@ func Run(e *query.Engine, q *Query) (Result, error) {
 }
 
 // resolveSource maps a source spec to start node IDs.
-func resolveSource(s *provgraph.Store, src Source) ([]provgraph.NodeID, error) {
+func resolveSource(s *provgraph.Snapshot, src Source) ([]provgraph.NodeID, error) {
 	switch src.Kind {
 	case SrcURL:
 		page, ok := s.PageByURL(src.Arg)
@@ -134,13 +136,13 @@ func resolveSource(s *provgraph.Store, src Source) ([]provgraph.NodeID, error) {
 
 // compilePred turns the AST predicate into a closure. A nil predicate
 // matches everything.
-func compilePred(e *query.Engine, p *Pred) func(provgraph.Node) bool {
+func compilePred(e *query.Engine, s *provgraph.Snapshot, p *Pred) func(provgraph.Node) bool {
 	if p == nil {
 		return func(provgraph.Node) bool { return true }
 	}
 	clauses := make([]func(provgraph.Node) bool, 0, len(p.Clauses))
 	for _, c := range p.Clauses {
-		clauses = append(clauses, compileClause(e, c))
+		clauses = append(clauses, compileClause(e, s, c))
 	}
 	return func(n provgraph.Node) bool {
 		for _, c := range clauses {
@@ -152,10 +154,10 @@ func compilePred(e *query.Engine, p *Pred) func(provgraph.Node) bool {
 	}
 }
 
-func compileClause(e *query.Engine, c Clause) func(provgraph.Node) bool {
+func compileClause(e *query.Engine, s *provgraph.Snapshot, c Clause) func(provgraph.Node) bool {
 	switch c.Field {
 	case "recognizable":
-		return func(n provgraph.Node) bool { return e.Recognizable(n) }
+		return func(n provgraph.Node) bool { return e.RecognizableIn(s, n) }
 	case "kind":
 		want := kindFromName(c.Str)
 		return func(n provgraph.Node) bool { return n.Kind == want }
@@ -167,7 +169,7 @@ func compileClause(e *query.Engine, c Clause) func(provgraph.Node) bool {
 			} else if n.Kind != provgraph.KindPage {
 				return false
 			}
-			v := e.Store().VisitCount(page)
+			v := s.VisitCount(page)
 			switch c.Op {
 			case "=":
 				return v == c.Num

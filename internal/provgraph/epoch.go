@@ -1,0 +1,655 @@
+package provgraph
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"browserprov/internal/graph"
+)
+
+// This file implements the epoch-snapshot read path: queries run
+// lock-free against an immutable Snapshot while writers keep mutating
+// the live store.
+//
+// The structure mirrors the sealed-block / active-frontier split of
+// block-based fast marching: the bulk of the graph — everything older
+// than the last seal — lives in a sealedEpoch, CSR-packed flat arrays
+// shared by reference across snapshots; only the small unsealed tail
+// (nodes and adjacency created or changed since the seal) is captured
+// per snapshot. Snapshot cost is therefore O(tail), and the O(n) reseal
+// is amortised by only resealing once the tail outgrows a fraction of
+// the sealed prefix.
+//
+// Concurrency contract:
+//   - Store.Generation is bumped (atomically, under the store write
+//     lock) by every mutation.
+//   - Store.Snapshot returns a cached *Snapshot while the generation is
+//     unchanged; otherwise it rebuilds one under the store lock.
+//   - A Snapshot is deeply immutable. Tail adjacency shares backing
+//     arrays with the live store, which is safe because adjacency
+//     slices are strictly append-only between seals: the writer may
+//     append past a snapshot's slice length but never rewrites the
+//     elements a snapshot can see. (Wholesale rewrites — retention —
+//     invalidate the epoch and force a full reseal.)
+
+// sealThresholdMin is the smallest tail size that triggers a reseal.
+const sealThresholdMin = 1024
+
+// openEnt is one entry of the snapshot's open-time timeline.
+type openEnt struct {
+	at int64 // unix micros
+	id NodeID
+}
+
+// sealedEpoch is the immutable CSR-packed core shared across snapshots.
+type sealedEpoch struct {
+	maxID NodeID
+	// nodes is indexed by NodeID (dense from 1); Kind == 0 marks a gap
+	// left by retention.
+	nodes []Node
+	// csr packs the out-adjacency over node IDs (its in-direction is
+	// unused: CSR in-order is From-grouped, which would not preserve
+	// the store's insertion order — see inOff below).
+	csr *graph.CSR
+	// edges is arc-ordered and From-grouped, so the out-edges of n are
+	// edges[lo:hi] for (lo, hi) = csr.OutRange(n).
+	edges []Edge
+	// inOff/inIDs/inEdges pack the in-adjacency in the store's exact
+	// insertion order per node, so first-parent choices (rootChain,
+	// BFS tie-breaks) are stable across reseals.
+	inOff   []uint32
+	inIDs   []NodeID
+	inEdges []Edge
+	// visitsOff/visitIDs are a CSR of per-page visit instance lists.
+	visitsOff []uint32
+	visitIDs  []NodeID
+	urlToPage map[string]NodeID
+	termNode  map[string]NodeID // term -> latest instance at seal time
+	saveNode  map[string]NodeID // save path -> download
+	downloads []NodeID
+	// open is every visit sorted by (open time, id) — the snapshot's
+	// time index.
+	open []openEnt
+}
+
+// Snapshot is an immutable, lock-free view of the provenance graph at
+// one generation. It implements graph.Graph and mirrors the store's
+// read surface, so the query engine can run entirely against it.
+type Snapshot struct {
+	gen    uint64
+	mode   VersioningMode
+	maxID  NodeID
+	nNodes int
+	nEdges int
+	sealed *sealedEpoch // nil while the store has never sealed
+
+	// Tail state: nodes created since the seal plus sealed nodes whose
+	// fields, adjacency or visit lists changed. Lookups consult the
+	// tail first, then the sealed arrays.
+	tailNodes  map[NodeID]Node
+	tailOut    map[NodeID][]Edge
+	tailIn     map[NodeID][]Edge
+	tailOutIDs map[NodeID][]NodeID
+	tailInIDs  map[NodeID][]NodeID
+	tailVisits map[NodeID][]NodeID
+	tailURL    map[string]NodeID
+	tailTerm   map[string]NodeID
+	tailSave   map[string]NodeID
+	tailDls    []NodeID
+	tailOpen   []openEnt
+
+	lensOnce sync.Once
+	lens     *SnapLens
+}
+
+// Generation returns the store generation the snapshot was taken at.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// Snapshot returns an immutable view of the store at its current
+// generation. The snapshot is cached: repeated calls without intervening
+// mutation return the same pointer, so the fast path is two atomic
+// loads. Reading a Snapshot never takes a lock.
+func (s *Store) Snapshot() *Snapshot {
+	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
+		return sn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
+		return sn
+	}
+	if s.tailSize() > s.sealThreshold() {
+		s.reseal()
+	}
+	sn := s.buildSnapshot()
+	s.snap.Store(sn)
+	return sn
+}
+
+// epochInit prepares the store's epoch-tracking state (called from
+// OpenWith before journal recovery).
+func (s *Store) epochInit() {
+	s.dirtyNode = make(map[NodeID]struct{})
+	s.dirtyOut = make(map[NodeID]struct{})
+	s.dirtyIn = make(map[NodeID]struct{})
+	s.dirtyVisits = make(map[NodeID]struct{})
+}
+
+// epochReset discards the sealed epoch after a wholesale rewrite
+// (retention). Caller holds the write lock.
+func (s *Store) epochReset() {
+	s.sealed = nil
+	s.epochInit()
+	s.snap.Store(nil)
+}
+
+// sealedMax returns the sealed ID high-water mark (0 when unsealed).
+func (s *Store) sealedMax() NodeID {
+	if s.sealed == nil {
+		return 0
+	}
+	return s.sealed.maxID
+}
+
+// markDirtyNode records an in-place field mutation of a sealed node.
+func (s *Store) markDirtyNode(id NodeID) {
+	if s.sealed != nil && id <= s.sealed.maxID {
+		s.dirtyNode[id] = struct{}{}
+	}
+}
+
+func (s *Store) tailSize() int {
+	return int(s.nextNode-1-s.sealedMax()) +
+		len(s.dirtyNode) + len(s.dirtyOut) + len(s.dirtyIn) + len(s.dirtyVisits)
+}
+
+// sealThreshold grows with the sealed prefix so reseals amortise to
+// O(1) per mutation while the tail stays a bounded fraction of the
+// whole graph.
+func (s *Store) sealThreshold() int {
+	t := int(s.sealedMax()) / 8
+	if t < sealThresholdMin {
+		t = sealThresholdMin
+	}
+	return t
+}
+
+// reseal rebuilds the sealed epoch from the live maps. O(nodes+edges);
+// caller holds the write lock.
+func (s *Store) reseal() {
+	maxID := s.nextNode - 1
+	ep := &sealedEpoch{
+		maxID:     maxID,
+		nodes:     make([]Node, maxID+1),
+		urlToPage: make(map[string]NodeID),
+		termNode:  make(map[string]NodeID, len(s.nodes)/16),
+		saveNode:  make(map[string]NodeID, len(s.saveIndex)),
+		downloads: append([]NodeID(nil), s.downloads...),
+	}
+	// Flat node table + kind-derived indexes.
+	for id, n := range s.nodes {
+		ep.nodes[id] = *n
+		switch n.Kind {
+		case KindPage:
+			ep.urlToPage[n.URL] = id
+		case KindVisit:
+			ep.open = append(ep.open, openEnt{at: n.Open.UnixMicro(), id: id})
+		}
+	}
+	sort.Slice(ep.open, func(i, j int) bool {
+		if ep.open[i].at != ep.open[j].at {
+			return ep.open[i].at < ep.open[j].at
+		}
+		return ep.open[i].id < ep.open[j].id
+	})
+	// The term index maps each term to its latest instance; copy it
+	// rather than deriving from node order so VisitSeq-bumping reissues
+	// resolve identically to the store.
+	s.termIndex.Ascend(func(k []byte, v uint64) bool {
+		ep.termNode[string(k)] = NodeID(v)
+		return true
+	})
+	for p, id := range s.saveIndex {
+		ep.saveNode[p] = id
+	}
+	// Out-adjacency: From-grouped arcs so out slot i == arc i and the
+	// per-node order matches the store's insertion order.
+	arcs := make([]graph.Arc, 0, s.numEdges)
+	ep.edges = make([]Edge, 0, s.numEdges)
+	for id := NodeID(1); id <= maxID; id++ {
+		for _, e := range s.outE[id] {
+			arcs = append(arcs, graph.Arc{From: e.From, To: e.To})
+			ep.edges = append(ep.edges, e)
+		}
+	}
+	ep.csr = graph.NewCSR(maxID, arcs)
+	// In-adjacency: packed straight from the live in-edge lists so the
+	// per-node insertion order is preserved exactly.
+	ep.inOff = make([]uint32, maxID+2)
+	for id := NodeID(1); id <= maxID; id++ {
+		ep.inOff[id+1] = uint32(len(s.inE[id]))
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		ep.inOff[i] += ep.inOff[i-1]
+	}
+	ep.inIDs = make([]NodeID, s.numEdges)
+	ep.inEdges = make([]Edge, s.numEdges)
+	for id := NodeID(1); id <= maxID; id++ {
+		o := ep.inOff[id]
+		for j, e := range s.inE[id] {
+			ep.inIDs[o+uint32(j)] = e.From
+			ep.inEdges[o+uint32(j)] = e
+		}
+	}
+	// Per-page visit lists, CSR-packed.
+	ep.visitsOff = make([]uint32, maxID+2)
+	total := 0
+	for page, vs := range s.pageVisits {
+		ep.visitsOff[page+1] = uint32(len(vs))
+		total += len(vs)
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		ep.visitsOff[i] += ep.visitsOff[i-1]
+	}
+	ep.visitIDs = make([]NodeID, total)
+	for page, vs := range s.pageVisits {
+		copy(ep.visitIDs[ep.visitsOff[page]:], vs)
+	}
+
+	s.sealed = ep
+	s.dirtyNode = make(map[NodeID]struct{})
+	s.dirtyOut = make(map[NodeID]struct{})
+	s.dirtyIn = make(map[NodeID]struct{})
+	s.dirtyVisits = make(map[NodeID]struct{})
+}
+
+// buildSnapshot captures the unsealed tail. O(tail); caller holds the
+// write lock.
+func (s *Store) buildSnapshot() *Snapshot {
+	sn := &Snapshot{
+		gen:        s.gen.Load(),
+		mode:       s.mode,
+		maxID:      s.nextNode - 1,
+		nNodes:     len(s.nodes),
+		nEdges:     s.numEdges,
+		sealed:     s.sealed,
+		tailNodes:  make(map[NodeID]Node),
+		tailOut:    make(map[NodeID][]Edge),
+		tailIn:     make(map[NodeID][]Edge),
+		tailOutIDs: make(map[NodeID][]NodeID),
+		tailInIDs:  make(map[NodeID][]NodeID),
+		tailVisits: make(map[NodeID][]NodeID),
+		tailURL:    make(map[string]NodeID),
+		tailTerm:   make(map[string]NodeID),
+		tailSave:   make(map[string]NodeID),
+	}
+	captureAdj := func(id NodeID) {
+		if es := s.outE[id]; len(es) > 0 {
+			sn.tailOut[id] = es
+			sn.tailOutIDs[id] = s.outIDs[id]
+		}
+		if es := s.inE[id]; len(es) > 0 {
+			sn.tailIn[id] = es
+			sn.tailInIDs[id] = s.inIDs[id]
+		}
+	}
+	// New nodes since the seal (IDs are dense, so the tail is a range).
+	for id := s.sealedMax() + 1; id <= sn.maxID; id++ {
+		n, ok := s.nodes[id]
+		if !ok {
+			continue
+		}
+		sn.tailNodes[id] = *n
+		captureAdj(id)
+		switch n.Kind {
+		case KindPage:
+			sn.tailURL[n.URL] = id
+			if vs := s.pageVisits[id]; len(vs) > 0 {
+				sn.tailVisits[id] = vs
+			}
+		case KindVisit:
+			sn.tailOpen = append(sn.tailOpen, openEnt{at: n.Open.UnixMicro(), id: id})
+		case KindSearchTerm:
+			// Ascending scan: the last instance of a term wins, matching
+			// the store's latest-instance term index.
+			sn.tailTerm[n.Text] = id
+		case KindDownload:
+			sn.tailSave[n.Text] = id
+			sn.tailDls = append(sn.tailDls, id)
+		}
+	}
+	sort.Slice(sn.tailOpen, func(i, j int) bool {
+		if sn.tailOpen[i].at != sn.tailOpen[j].at {
+			return sn.tailOpen[i].at < sn.tailOpen[j].at
+		}
+		return sn.tailOpen[i].id < sn.tailOpen[j].id
+	})
+	// Sealed nodes touched since the seal.
+	for id := range s.dirtyNode {
+		sn.tailNodes[id] = *s.nodes[id]
+	}
+	for id := range s.dirtyOut {
+		sn.tailOut[id] = s.outE[id]
+		sn.tailOutIDs[id] = s.outIDs[id]
+	}
+	for id := range s.dirtyIn {
+		sn.tailIn[id] = s.inE[id]
+		sn.tailInIDs[id] = s.inIDs[id]
+	}
+	for page := range s.dirtyVisits {
+		sn.tailVisits[page] = s.pageVisits[page]
+	}
+	return sn
+}
+
+// ---- Snapshot read surface ----
+
+// Generation returns the generation the snapshot captures.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Mode returns the store's versioning mode.
+func (sn *Snapshot) Mode() VersioningMode { return sn.mode }
+
+// MaxNodeID returns the highest node ID in the snapshot — the watermark
+// for incremental consumers (see NodesSince).
+func (sn *Snapshot) MaxNodeID() NodeID { return sn.maxID }
+
+// NumNodes returns the number of live nodes.
+func (sn *Snapshot) NumNodes() int { return sn.nNodes }
+
+// NumEdges returns the number of edges.
+func (sn *Snapshot) NumEdges() int { return sn.nEdges }
+
+// NodeByID returns the node with the given ID.
+func (sn *Snapshot) NodeByID(id NodeID) (Node, bool) {
+	if n, ok := sn.tailNodes[id]; ok {
+		return n, true
+	}
+	if sn.sealed != nil && id <= sn.sealed.maxID {
+		n := sn.sealed.nodes[id]
+		return n, n.Kind != 0
+	}
+	return Node{}, false
+}
+
+// NodesSince streams every node with ID > watermark in ID order,
+// stopping early if fn returns false. This is the incremental-indexing
+// hook: consumers remember MaxNodeID as their watermark and only ever
+// visit the delta.
+func (sn *Snapshot) NodesSince(watermark NodeID, fn func(Node) bool) {
+	for id := watermark + 1; id <= sn.maxID; id++ {
+		if n, ok := sn.NodeByID(id); ok {
+			if !fn(n) {
+				return
+			}
+		}
+	}
+}
+
+// Out implements graph.Graph. The returned slice is shared; do not
+// modify.
+func (sn *Snapshot) Out(n NodeID) []NodeID {
+	if ids, ok := sn.tailOutIDs[n]; ok {
+		return ids
+	}
+	if sn.sealed != nil {
+		return sn.sealed.csr.Out(n)
+	}
+	return nil
+}
+
+// In implements graph.Graph. The returned slice is shared; do not
+// modify.
+func (sn *Snapshot) In(n NodeID) []NodeID {
+	if ids, ok := sn.tailInIDs[n]; ok {
+		return ids
+	}
+	if sn.sealed != nil && n <= sn.sealed.maxID {
+		return sn.sealed.inIDs[sn.sealed.inOff[n]:sn.sealed.inOff[n+1]]
+	}
+	return nil
+}
+
+// OutEdges returns n's outgoing edges. The slice is shared; do not
+// modify.
+func (sn *Snapshot) OutEdges(n NodeID) []Edge {
+	if es, ok := sn.tailOut[n]; ok {
+		return es
+	}
+	if sn.sealed != nil && n <= sn.sealed.maxID {
+		lo, hi := sn.sealed.csr.OutRange(n)
+		return sn.sealed.edges[lo:hi]
+	}
+	return nil
+}
+
+// InEdges returns n's incoming edges. The slice is shared; do not
+// modify.
+func (sn *Snapshot) InEdges(n NodeID) []Edge {
+	if es, ok := sn.tailIn[n]; ok {
+		return es
+	}
+	if sn.sealed != nil && n <= sn.sealed.maxID {
+		return sn.sealed.inEdges[sn.sealed.inOff[n]:sn.sealed.inOff[n+1]]
+	}
+	return nil
+}
+
+// PageByURL returns the page identity node for url.
+func (sn *Snapshot) PageByURL(url string) (Node, bool) {
+	if id, ok := sn.tailURL[url]; ok {
+		return sn.NodeByID(id)
+	}
+	if sn.sealed != nil {
+		if id, ok := sn.sealed.urlToPage[url]; ok {
+			return sn.NodeByID(id)
+		}
+	}
+	return Node{}, false
+}
+
+// TermNode returns the latest search-term instance for the exact term
+// string.
+func (sn *Snapshot) TermNode(term string) (Node, bool) {
+	if id, ok := sn.tailTerm[term]; ok {
+		return sn.NodeByID(id)
+	}
+	if sn.sealed != nil {
+		if id, ok := sn.sealed.termNode[term]; ok {
+			return sn.NodeByID(id)
+		}
+	}
+	return Node{}, false
+}
+
+// DownloadBySavePath returns the download node saved at path.
+func (sn *Snapshot) DownloadBySavePath(path string) (Node, bool) {
+	if id, ok := sn.tailSave[path]; ok {
+		return sn.NodeByID(id)
+	}
+	if sn.sealed != nil {
+		if id, ok := sn.sealed.saveNode[path]; ok {
+			return sn.NodeByID(id)
+		}
+	}
+	return Node{}, false
+}
+
+// Downloads returns the IDs of every download node in creation order.
+func (sn *Snapshot) Downloads() []NodeID {
+	var sealed []NodeID
+	if sn.sealed != nil {
+		sealed = sn.sealed.downloads
+	}
+	if len(sn.tailDls) == 0 {
+		return sealed
+	}
+	out := make([]NodeID, 0, len(sealed)+len(sn.tailDls))
+	out = append(out, sealed...)
+	return append(out, sn.tailDls...)
+}
+
+// VisitsOfPage returns the visit instance IDs of a page in visit order.
+// The slice is shared; do not modify.
+func (sn *Snapshot) VisitsOfPage(page NodeID) []NodeID {
+	if vs, ok := sn.tailVisits[page]; ok {
+		return vs
+	}
+	if sn.sealed != nil && page <= sn.sealed.maxID {
+		return sn.sealed.visitIDs[sn.sealed.visitsOff[page]:sn.sealed.visitsOff[page+1]]
+	}
+	return nil
+}
+
+// VisitCount mirrors Store.VisitCount over the snapshot.
+func (sn *Snapshot) VisitCount(page NodeID) int {
+	if sn.mode == VersionEdges {
+		n := len(sn.In(page))
+		if n == 0 {
+			if _, ok := sn.NodeByID(page); ok {
+				return 1
+			}
+		}
+		return n
+	}
+	return len(sn.VisitsOfPage(page))
+}
+
+// OpenBetween returns visit nodes whose open time t satisfies
+// lo <= t < hi, in (open, id) order.
+func (sn *Snapshot) OpenBetween(lo, hi time.Time) []NodeID {
+	loU, hiU := lo.UnixMicro(), hi.UnixMicro()
+	var sealed, tail []openEnt
+	if sn.sealed != nil {
+		sealed = openRange(sn.sealed.open, loU, hiU)
+	}
+	tail = openRange(sn.tailOpen, loU, hiU)
+	out := make([]NodeID, 0, len(sealed)+len(tail))
+	// Merge the two sorted runs; events may arrive with out-of-order
+	// timestamps, so the tail can interleave with the sealed range.
+	i, j := 0, 0
+	for i < len(sealed) && j < len(tail) {
+		if sealed[i].at < tail[j].at || (sealed[i].at == tail[j].at && sealed[i].id < tail[j].id) {
+			out = append(out, sealed[i].id)
+			i++
+		} else {
+			out = append(out, tail[j].id)
+			j++
+		}
+	}
+	for ; i < len(sealed); i++ {
+		out = append(out, sealed[i].id)
+	}
+	for ; j < len(tail); j++ {
+		out = append(out, tail[j].id)
+	}
+	return out
+}
+
+// openRange returns the subrange of ents with lo <= at < hi.
+func openRange(ents []openEnt, lo, hi int64) []openEnt {
+	a := sort.Search(len(ents), func(i int) bool { return ents[i].at >= lo })
+	b := sort.Search(len(ents), func(i int) bool { return ents[i].at >= hi })
+	return ents[a:b]
+}
+
+var _ graph.Graph = (*Snapshot)(nil)
+
+// ---- snapshot lens ----
+
+// SnapLens is the redirect-splicing personalisation lens (§3.2) over an
+// immutable snapshot. Unlike the store Lens it takes no locks and its
+// redirect-resolution memo table is shared by every query on the same
+// epoch: chains are resolved once per generation, not once per query.
+// It is safe for concurrent use.
+type SnapLens struct {
+	sn       *Snapshot
+	resolved sync.Map // NodeID -> NodeID
+}
+
+// Lens returns the snapshot's personalisation lens, building it on
+// first use. The same lens (and memo table) is returned for the
+// snapshot's whole lifetime.
+func (sn *Snapshot) Lens() *SnapLens {
+	sn.lensOnce.Do(func() { sn.lens = &SnapLens{sn: sn} })
+	return sn.lens
+}
+
+// spliced reports whether n is removed from the unified view: a node
+// from which a redirect occurs.
+func (l *SnapLens) spliced(n NodeID) bool {
+	for _, e := range l.sn.OutEdges(n) {
+		if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
+			return true
+		}
+	}
+	return false
+}
+
+// resolve follows redirect out-edges from n to the final
+// non-redirecting node, memoised per epoch.
+func (l *SnapLens) resolve(n NodeID) NodeID {
+	if r, ok := l.resolved.Load(n); ok {
+		return r.(NodeID)
+	}
+	cur := n
+	for hops := 0; hops < 32; hops++ {
+		next := NodeID(0)
+		for _, e := range l.sn.OutEdges(cur) {
+			if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
+				next = e.To
+				break
+			}
+		}
+		if next == 0 {
+			break
+		}
+		cur = next
+	}
+	l.resolved.Store(n, cur)
+	return cur
+}
+
+// Out implements graph.Graph: successors with embeds dropped and
+// redirect targets resolved to their chain ends.
+func (l *SnapLens) Out(n NodeID) []NodeID {
+	var out []NodeID
+	for _, e := range l.sn.OutEdges(n) {
+		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
+			continue
+		}
+		t := l.resolve(e.To)
+		if t != n {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// In implements graph.Graph: predecessors with embeds dropped and
+// spliced (redirecting) predecessors replaced by their own
+// predecessors, transitively.
+func (l *SnapLens) In(n NodeID) []NodeID {
+	return l.in(n, 0)
+}
+
+func (l *SnapLens) in(n NodeID, depth int) []NodeID {
+	if depth > 32 {
+		return nil
+	}
+	var out []NodeID
+	for _, e := range l.sn.InEdges(n) {
+		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
+			continue
+		}
+		if l.spliced(e.From) {
+			out = append(out, l.in(e.From, depth+1)...)
+			continue
+		}
+		out = append(out, e.From)
+	}
+	return out
+}
+
+var _ graph.Graph = (*SnapLens)(nil)

@@ -11,6 +11,11 @@ import "browserprov/internal/graph"
 // Lens implements graph.Graph. It holds a read-only reference to the
 // store plus a memo table; build a fresh Lens per query (it is cheap) —
 // a Lens must not outlive concurrent mutation of the store.
+//
+// The query engine's read path uses SnapLens (epoch.go) instead: the
+// same view over an immutable Snapshot, lock-free and with the memo
+// table shared across every query of the epoch. Lens remains for
+// store-side callers that want a live view.
 type Lens struct {
 	s *Store
 	// resolved memoises redirect-chain resolution.

@@ -21,6 +21,7 @@ package provgraph
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"browserprov/internal/event"
@@ -228,6 +229,18 @@ type Store struct {
 
 	bookmarkByURL map[string]NodeID
 	downloads     []NodeID
+	saveIndex     map[string]NodeID // download save path -> NodeID
+
+	// Epoch-snapshot state (see epoch.go). gen is bumped on every
+	// mutation; the dirty sets record sealed entries invalidated since
+	// the last seal so snapshots can overlay just the changed tail.
+	gen         atomic.Uint64
+	snap        atomic.Pointer[Snapshot]
+	sealed      *sealedEpoch
+	dirtyNode   map[NodeID]struct{}
+	dirtyOut    map[NodeID]struct{}
+	dirtyIn     map[NodeID]struct{}
+	dirtyVisits map[NodeID]struct{}
 
 	// Assembly state (per-tab), part of the persistent state because it
 	// is reconstructed deterministically from the event log.
@@ -262,12 +275,14 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		openIndex:      storage.NewBTree(),
 		pageVisits:     make(map[NodeID][]NodeID),
 		bookmarkByURL:  make(map[string]NodeID),
+		saveIndex:      make(map[string]NodeID),
 		tabCur:         make(map[int]NodeID),
 		lastVisitByURL: make(map[string]NodeID),
 		pendingSearch:  make(map[int]pending),
 		pendingForm:    make(map[int]pending),
 		nextNode:       1,
 	}
+	s.epochInit()
 	j, err := storage.OpenJournal(dir, "provgraph", storage.JournalCallbacks{
 		LoadSnapshot: s.loadSnapshot,
 		Replay:       s.replayEvent,
@@ -355,6 +370,14 @@ func (s *Store) addEdge(from, to NodeID, kind EdgeKind, at time.Time) {
 	s.outIDs[from] = append(s.outIDs[from], to)
 	s.inIDs[to] = append(s.inIDs[to], from)
 	s.numEdges++
+	if s.sealed != nil {
+		if from <= s.sealed.maxID {
+			s.dirtyOut[from] = struct{}{}
+		}
+		if to <= s.sealed.maxID {
+			s.dirtyIn[to] = struct{}{}
+		}
+	}
 }
 
 // ensurePage returns the page identity node for url, creating it at time
@@ -364,6 +387,7 @@ func (s *Store) ensurePage(url, title string, at time.Time) *Node {
 		p := s.nodes[NodeID(id)]
 		if p.Title == "" && title != "" {
 			p.Title = title
+			s.markDirtyNode(p.ID)
 		}
 		return p
 	}
@@ -375,6 +399,9 @@ func (s *Store) ensurePage(url, title string, at time.Time) *Node {
 }
 
 func (s *Store) applyEvent(ev *event.Event) {
+	// Every mutation moves the store to a new generation; lock-free
+	// readers use this to decide when a cached snapshot went stale.
+	defer s.gen.Add(1)
 	switch ev.Type {
 	case event.TypeVisit:
 		s.applyVisit(ev)
@@ -432,6 +459,7 @@ func (s *Store) applyVisit(ev *event.Event) {
 		v = page
 		if v.Open.IsZero() || ev.Time.Before(v.Open) {
 			v.Open = ev.Time
+			s.markDirtyNode(v.ID)
 		}
 	} else {
 		v = s.newNode(KindVisit, ev.Time)
@@ -442,6 +470,9 @@ func (s *Store) applyVisit(ev *event.Event) {
 		s.pageVisits[page.ID] = append(s.pageVisits[page.ID], v.ID)
 		v.VisitSeq = len(s.pageVisits[page.ID])
 		s.openIndex.Put(timeKey(ev.Time, v.ID), uint64(v.ID))
+		if s.sealed != nil && page.ID <= s.sealed.maxID {
+			s.dirtyVisits[page.ID] = struct{}{}
+		}
 	}
 
 	if origin != 0 {
@@ -480,6 +511,7 @@ func (s *Store) applyVisit(ev *event.Event) {
 		if prev := s.tabCur[ev.Tab]; prev != 0 && prev != v.ID {
 			if pn := s.nodes[prev]; pn.Close.IsZero() {
 				pn.Close = ev.Time
+				s.markDirtyNode(prev)
 			}
 		}
 	}
@@ -495,6 +527,7 @@ func (s *Store) applyClose(ev *event.Event) {
 	if s.mode == VersionNodes {
 		if n := s.nodes[cur]; n.Close.IsZero() {
 			n.Close = ev.Time
+			s.markDirtyNode(cur)
 		}
 	}
 	delete(s.tabCur, ev.Tab)
@@ -519,6 +552,7 @@ func (s *Store) applyDownload(ev *event.Event) {
 	d.Text = ev.SavePath
 	d.Title = ev.ContentType
 	s.downloads = append(s.downloads, d.ID)
+	s.saveIndex[ev.SavePath] = d.ID
 	origin := s.tabCur[ev.Tab]
 	if ev.Referrer != "" {
 		if o := s.lastVisitByURL[ev.Referrer]; o != 0 {

@@ -93,6 +93,34 @@ func (s *Store) Downloads() []NodeID {
 	return append([]NodeID(nil), s.downloads...)
 }
 
+// DownloadBySavePath returns the download node saved at path (the most
+// recent one, if several downloads share a save path).
+func (s *Store) DownloadBySavePath(path string) (Node, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.saveIndex[path]
+	if !ok {
+		return Node{}, false
+	}
+	return *s.nodes[id], true
+}
+
+// NodesSince returns copies of every node with ID > watermark in ID
+// order. Node IDs are dense and monotonic, so incremental consumers
+// (e.g. the query engine's text index) can catch up in O(delta) instead
+// of rescanning all node IDs.
+func (s *Store) NodesSince(watermark NodeID) []Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Node
+	for id := watermark + 1; id < s.nextNode; id++ {
+		if n, ok := s.nodes[id]; ok {
+			out = append(out, *n)
+		}
+	}
+	return out
+}
+
 // OutEdges returns copies of n's outgoing edges.
 func (s *Store) OutEdges(n NodeID) []Edge {
 	s.mu.RLock()

@@ -82,7 +82,12 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	s.pageVisits = make(map[NodeID][]NodeID)
 	s.bookmarkByURL = make(map[string]NodeID)
 	s.downloads = nil
+	s.saveIndex = make(map[string]NodeID)
 	s.numEdges = 0
+	// The wholesale rewrite invalidates the sealed epoch: discard it and
+	// move to a new generation so cached snapshots expire.
+	s.epochReset()
+	s.gen.Add(1)
 
 	ids := make([]NodeID, 0, len(oldNodes))
 	for id := range oldNodes {

@@ -353,6 +353,7 @@ func (s *Store) indexNode(n *Node) {
 		s.bookmarkByURL[n.URL] = n.ID
 	case KindDownload:
 		s.downloads = append(s.downloads, n.ID)
+		s.saveIndex[n.Text] = n.ID
 	}
 }
 

@@ -39,6 +39,12 @@ const (
 // from matching nodes (e.g. a page reached from a search-term node) are
 // admitted into the result set.
 func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
+	return e.contextualSearchIn(e.snapshot(), q, k)
+}
+
+// contextualSearchIn is ContextualSearch pinned to one snapshot, so
+// multi-stage callers (Personalize) keep a single consistent view.
+func (e *Engine) contextualSearchIn(sn *provgraph.Snapshot, q string, k int) ([]PageHit, Meta) {
 	start := time.Now()
 	stop, _ := e.deadlineStop()
 
@@ -49,7 +55,7 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 	textScore := make(map[provgraph.NodeID]float64, len(textHits))
 	for _, h := range textHits {
 		id := provgraph.NodeID(h.Doc)
-		n, ok := e.store.NodeByID(id)
+		n, ok := sn.NodeByID(id)
 		if !ok {
 			continue
 		}
@@ -58,10 +64,10 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 			textScore[id] = h.Score
 			// Seed the page's visit instances: provenance lives on the
 			// instance level (§3.1).
-			for _, v := range e.store.VisitsOfPage(id) {
+			for _, v := range sn.VisitsOfPage(id) {
 				seeds[v] = h.Score
 			}
-			if e.store.Mode() == provgraph.VersionEdges {
+			if sn.Mode() == provgraph.VersionEdges {
 				seeds[id] = h.Score
 			}
 		default:
@@ -71,7 +77,7 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 	}
 
 	// Stage 2: neighborhood expansion through the personalisation lens.
-	g := e.view()
+	g := e.viewOf(sn)
 	scores := graph.Expand(g, seeds, graph.Undirected, e.opts.decay(), e.opts.maxDepth(), e.opts.maxNodes(), stop)
 
 	// Optional stage 2b: HITS over the expanded subgraph, blended in.
@@ -88,7 +94,7 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 	// Stage 3: fold instance scores back onto page identities.
 	pageProv := make(map[provgraph.NodeID]float64, len(scores))
 	for id, w := range scores {
-		n, ok := e.store.NodeByID(id)
+		n, ok := sn.NodeByID(id)
 		if !ok {
 			continue
 		}
@@ -115,7 +121,7 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 
 	hits := make([]PageHit, 0, len(pageProv))
 	for page, prov := range pageProv {
-		n, ok := e.store.NodeByID(page)
+		n, ok := sn.NodeByID(page)
 		if !ok {
 			continue
 		}
@@ -142,10 +148,11 @@ func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
 // pure TF-IDF over page titles and URLs. It is exposed so experiments
 // can compare (E4).
 func (e *Engine) TextualSearch(q string, k int) []PageHit {
+	sn := e.snapshot()
 	var hits []PageHit
 	for _, h := range e.index.Search(q, 0) {
 		id := provgraph.NodeID(h.Doc)
-		n, ok := e.store.NodeByID(id)
+		n, ok := sn.NodeByID(id)
 		if !ok || n.Kind != provgraph.KindPage {
 			continue
 		}

@@ -18,6 +18,8 @@
 package query
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"browserprov/internal/graph"
@@ -93,23 +95,66 @@ func (o Options) recognizable() int {
 }
 
 // Engine evaluates use-case queries against one provenance store.
+//
+// Queries never touch the live store: each runs against an immutable
+// epoch snapshot (provgraph.Snapshot), so concurrent queries proceed
+// lock-free and never contend with each other. The engine caches the
+// snapshot and its text index per store generation; when the store
+// moves, the next query re-snapshots and catches the index up
+// incrementally from its node-ID watermark.
 type Engine struct {
 	store *provgraph.Store
-	index *textindex.Index
 	opts  Options
+
+	// curr is the cached per-generation view; the read fast path is two
+	// atomic loads (store generation + cached snapshot).
+	curr atomic.Pointer[provgraph.Snapshot]
+
+	// mu serialises snapshot refresh and index catch-up. The index is
+	// monotonic (history is append-only between expirations), so it is
+	// shared across generations; lastIndexed is the watermark.
+	mu          sync.Mutex
+	index       *textindex.Index
+	lastIndexed provgraph.NodeID
 }
 
 // NewEngine builds an engine over store, indexing every page, search
 // term, download and form node for textual search. Pass Options{} for
 // the defaults.
 func NewEngine(store *provgraph.Store, opts Options) *Engine {
-	e := &Engine{store: store, index: textindex.New(), opts: opts}
-	store.EachNode(func(n provgraph.Node) bool {
+	e := &Engine{store: store, opts: opts, index: textindex.New()}
+	e.snapshot() // prime the first view and index the existing history
+	return e
+}
+
+// snapshot returns the engine's current immutable view, refreshing the
+// cached snapshot and catching the text index up when the store moved.
+func (e *Engine) snapshot() *provgraph.Snapshot {
+	if sn := e.curr.Load(); sn != nil && sn.Generation() == e.store.Generation() {
+		return sn
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sn := e.curr.Load(); sn != nil && sn.Generation() == e.store.Generation() {
+		return sn
+	}
+	sn := e.store.Snapshot()
+	// Index only the delta: node IDs are dense and monotonic, so
+	// everything new since the last refresh is (watermark, maxID].
+	sn.NodesSince(e.lastIndexed, func(n provgraph.Node) bool {
 		e.indexNode(n)
 		return true
 	})
-	return e
+	e.lastIndexed = sn.MaxNodeID()
+	e.curr.Store(sn)
+	return sn
 }
+
+// Snapshot returns the immutable graph view queries currently run
+// against, refreshing it if the store has moved. Callers composing
+// multi-step reads (e.g. the PQL evaluator) use one Snapshot for the
+// whole evaluation to get a consistent point-in-time answer.
+func (e *Engine) Snapshot() *provgraph.Snapshot { return e.snapshot() }
 
 // indexNode adds one node to the text index. Visit instances are not
 // indexed separately — they share their page's identity; queries seed
@@ -127,13 +172,13 @@ func (e *Engine) indexNode(n provgraph.Node) {
 	}
 }
 
-// ObserveNode keeps the index current as the store grows (call after
-// ingesting new events; the engine does not watch the store).
-func (e *Engine) ObserveNode(n provgraph.Node) { e.indexNode(n) }
-
 // Index exposes the engine's text index (used by the personalisation
-// term analysis and by benchmarks).
-func (e *Engine) Index() *textindex.Index { return e.index }
+// term analysis and by benchmarks). It is caught up to the store's
+// current generation first.
+func (e *Engine) Index() *textindex.Index {
+	e.snapshot()
+	return e.index
+}
 
 // Store returns the underlying provenance store.
 func (e *Engine) Store() *provgraph.Store { return e.store }
@@ -145,13 +190,15 @@ func (e *Engine) deadlineStop() (func() bool, time.Time) {
 	return func() bool { return !time.Now().Before(deadline) }, deadline
 }
 
-// view returns the graph the ranking queries traverse: the
-// personalisation lens by default, the raw store if configured.
-func (e *Engine) view() graph.Graph {
+// viewOf returns the graph the ranking queries traverse over sn: the
+// personalisation lens by default, the raw snapshot if configured. The
+// lens (and its redirect-resolution memo) is shared by every query on
+// the same epoch.
+func (e *Engine) viewOf(sn *provgraph.Snapshot) graph.Graph {
 	if e.opts.RawGraph {
-		return e.store
+		return sn
 	}
-	return e.store.NewLens()
+	return sn.Lens()
 }
 
 // Meta describes how a query execution went.

@@ -26,6 +26,13 @@ type Lineage struct {
 // least the configured number of times, was bookmarked, or was reached
 // by typing its URL.
 func (e *Engine) Recognizable(n provgraph.Node) bool {
+	return e.RecognizableIn(e.snapshot(), n)
+}
+
+// RecognizableIn is Recognizable evaluated against a specific snapshot,
+// for callers (download lineage, the PQL evaluator) that must judge
+// every node of one traversal against the same point-in-time view.
+func (e *Engine) RecognizableIn(sn *provgraph.Snapshot, n provgraph.Node) bool {
 	var page provgraph.NodeID
 	switch n.Kind {
 	case provgraph.KindVisit:
@@ -35,17 +42,17 @@ func (e *Engine) Recognizable(n provgraph.Node) bool {
 	default:
 		return false
 	}
-	if e.store.VisitCount(page) >= e.opts.recognizable() {
+	if sn.VisitCount(page) >= e.opts.recognizable() {
 		return true
 	}
 	// Bookmarked pages are recognizable by definition, as are pages the
 	// user has reached by typing their URL.
-	for _, v := range e.store.VisitsOfPage(page) {
-		vn, ok := e.store.NodeByID(v)
+	for _, v := range sn.VisitsOfPage(page) {
+		vn, ok := sn.NodeByID(v)
 		if ok && vn.Via == provgraph.EdgeTyped {
 			return true
 		}
-		for _, edge := range e.store.OutEdges(v) {
+		for _, edge := range sn.OutEdges(v) {
 			if edge.Kind == provgraph.EdgeBookmarkCreate {
 				return true
 			}
@@ -61,30 +68,31 @@ func (e *Engine) Recognizable(n provgraph.Node) bool {
 func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
 	start := time.Now()
 	stop, _ := e.deadlineStop()
+	sn := e.snapshot()
 
 	var path []graph.NodeID
 	found := false
 	budgetBlown := false
-	path, found = graph.FindFirst(e.store, download, graph.Backward, false, func(n graph.NodeID) bool {
+	path, found = graph.FindFirst(sn, download, graph.Backward, false, func(n graph.NodeID) bool {
 		if stop() {
 			budgetBlown = true
 			return true // abort traversal by "finding" the current node
 		}
-		node, ok := e.store.NodeByID(n)
-		return ok && e.Recognizable(node)
+		node, ok := sn.NodeByID(n)
+		return ok && e.RecognizableIn(sn, node)
 	})
 	if budgetBlown {
 		found = false
 	}
 	if !found {
 		// Fall back to the deepest ancestor chain we can show.
-		path = e.rootChain(download)
+		path = rootChain(sn, download)
 	}
 	// FindFirst and rootChain both return the path download-first, which
 	// matches the user's forensic reading order.
 	nodes := make([]provgraph.Node, 0, len(path))
 	for _, id := range path {
-		if n, ok := e.store.NodeByID(id); ok {
+		if n, ok := sn.NodeByID(id); ok {
 			nodes = append(nodes, n)
 		}
 	}
@@ -94,12 +102,12 @@ func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
 
 // rootChain walks the first-parent chain from n to a root, returning the
 // path n..root (download-first).
-func (e *Engine) rootChain(n provgraph.NodeID) []graph.NodeID {
+func rootChain(sn *provgraph.Snapshot, n provgraph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
 	cur := n
 	for hops := 0; hops < 1000; hops++ {
 		out = append(out, cur)
-		ins := e.store.In(cur)
+		ins := sn.In(cur)
 		if len(ins) == 0 {
 			break
 		}
@@ -115,24 +123,25 @@ func (e *Engine) rootChain(n provgraph.NodeID) []graph.NodeID {
 func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
 	start := time.Now()
 	stop, _ := e.deadlineStop()
+	sn := e.snapshot()
 
-	page, ok := e.store.PageByURL(pageURL)
+	page, ok := sn.PageByURL(pageURL)
 	if !ok {
 		return nil, Meta{Elapsed: time.Since(start)}
 	}
-	roots := e.store.VisitsOfPage(page.ID)
-	if e.store.Mode() == provgraph.VersionEdges {
+	roots := sn.VisitsOfPage(page.ID)
+	if sn.Mode() == provgraph.VersionEdges {
 		roots = []provgraph.NodeID{page.ID}
 	}
 	seen := make(map[provgraph.NodeID]bool)
 	var out []provgraph.Node
 	truncated := false
-	graph.BFS(e.store, roots, graph.Forward, func(n graph.NodeID, depth int) bool {
+	graph.BFS(sn, roots, graph.Forward, func(n graph.NodeID, depth int) bool {
 		if stop() {
 			truncated = true
 			return false
 		}
-		node, ok := e.store.NodeByID(n)
+		node, ok := sn.NodeByID(n)
 		if ok && node.Kind == provgraph.KindDownload && !seen[n] {
 			seen[n] = true
 			out = append(out, node)
@@ -148,14 +157,15 @@ func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
 func (e *Engine) AncestorTerms(n provgraph.NodeID) ([]string, Meta) {
 	start := time.Now()
 	stop, _ := e.deadlineStop()
+	sn := e.snapshot()
 	var out []string
 	truncated := false
-	graph.BFS(e.store, []graph.NodeID{n}, graph.Backward, func(m graph.NodeID, depth int) bool {
+	graph.BFS(sn, []graph.NodeID{n}, graph.Backward, func(m graph.NodeID, depth int) bool {
 		if stop() {
 			truncated = true
 			return false
 		}
-		if node, ok := e.store.NodeByID(m); ok && node.Kind == provgraph.KindSearchTerm {
+		if node, ok := sn.NodeByID(m); ok && node.Kind == provgraph.KindSearchTerm {
 			out = append(out, node.Text)
 		}
 		return true

@@ -30,7 +30,10 @@ type TermSuggestion struct {
 // do not dominate. Query terms themselves are excluded.
 func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
 	start := time.Now()
-	hits, meta := e.ContextualSearch(q, 50)
+	// One snapshot for the whole query: the contextual stage and the
+	// term-folding stage below must see the same graph.
+	sn := e.snapshot()
+	hits, meta := e.contextualSearchIn(sn, q, 50)
 
 	queryTerms := make(map[string]bool)
 	for _, t := range textindex.Tokenize(q) {
@@ -53,12 +56,12 @@ func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
 	// the user's own past queries are the most concise descriptors
 	// (§3.3: "concise, conceptual, user-generated descriptors").
 	for _, h := range hits {
-		for _, v := range e.store.VisitsOfPage(h.Page) {
-			for _, edge := range e.store.InEdges(v) {
+		for _, v := range sn.VisitsOfPage(h.Page) {
+			for _, edge := range sn.InEdges(v) {
 				if edge.Kind != provgraph.EdgeSearchResults {
 					continue
 				}
-				if tn, ok := e.store.NodeByID(edge.From); ok {
+				if tn, ok := sn.NodeByID(edge.From); ok {
 					for _, t := range textindex.Tokenize(tn.Text) {
 						if !queryTerms[t] && !textindex.IsStopword(t) {
 							weights[t] += h.Score

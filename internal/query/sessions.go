@@ -22,11 +22,12 @@ const sessionGap = 30 * time.Minute
 // Sessions reconstructs the history's sittings in chronological order by
 // splitting the visit timeline at gaps of 30 minutes or more.
 func (e *Engine) Sessions() []Session {
+	sn := e.snapshot()
 	var out []Session
 	var cur *Session
 	// OpenBetween over all time yields visits in open order.
-	for _, v := range e.store.OpenBetween(time.Time{}, time.Unix(1<<40, 0)) {
-		n, ok := e.store.NodeByID(v)
+	for _, v := range sn.OpenBetween(time.Time{}, time.Unix(1<<40, 0)) {
+		n, ok := sn.NodeByID(v)
 		if !ok {
 			continue
 		}
@@ -52,7 +53,7 @@ func (e *Engine) Sessions() []Session {
 // whether one was found. For non-visit nodes (downloads, terms), the
 // session is located by the node's creation time.
 func (e *Engine) SessionOf(id provgraph.NodeID) (Session, bool) {
-	n, ok := e.store.NodeByID(id)
+	n, ok := e.snapshot().NodeByID(id)
 	if !ok {
 		return Session{}, false
 	}
@@ -78,6 +79,7 @@ type SessionSummary struct {
 // SummarizeSessions returns display summaries of the most recent n
 // sessions (newest first).
 func (e *Engine) SummarizeSessions(n int) []SessionSummary {
+	sn := e.snapshot()
 	sessions := e.Sessions()
 	if n > 0 && len(sessions) > n {
 		sessions = sessions[len(sessions)-n:]
@@ -88,12 +90,12 @@ func (e *Engine) SummarizeSessions(n int) []SessionSummary {
 		sum := SessionSummary{Start: s.Start, End: s.End, Visits: len(s.Visits)}
 		seen := map[provgraph.NodeID]bool{}
 		for _, v := range s.Visits {
-			vn, ok := e.store.NodeByID(v)
+			vn, ok := sn.NodeByID(v)
 			if !ok || seen[vn.Page] {
 				continue
 			}
 			seen[vn.Page] = true
-			if pn, ok := e.store.NodeByID(vn.Page); ok && len(sum.Pages) < 5 {
+			if pn, ok := sn.NodeByID(vn.Page); ok && len(sum.Pages) < 5 {
 				sum.Pages = append(sum.Pages, pn)
 			}
 		}

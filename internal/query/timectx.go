@@ -57,11 +57,12 @@ type span struct{ start, end int64 } // unix micros
 func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
 	start := time.Now()
 	stop, _ := e.deadlineStop()
+	sn := e.snapshot()
 
-	qPages := e.matchPages(q, 200)
-	aPages := e.matchPages(anchor, 200)
+	qPages := e.matchPages(sn, q, 200)
+	aPages := e.matchPages(sn, anchor, 200)
 
-	timeline := e.anchorTimeline(aPages)
+	timeline := anchorTimeline(sn, aPages)
 
 	var hits []TimeHit
 	for _, qp := range qPages {
@@ -69,8 +70,8 @@ func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta)
 			break
 		}
 		overlap := 0.0
-		for _, v := range e.store.VisitsOfPage(qp.page) {
-			n, ok := e.store.NodeByID(v)
+		for _, v := range sn.VisitsOfPage(qp.page) {
+			n, ok := sn.NodeByID(v)
 			if !ok {
 				continue
 			}
@@ -79,7 +80,7 @@ func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta)
 		if overlap <= 0 {
 			continue
 		}
-		n, _ := e.store.NodeByID(qp.page)
+		n, _ := sn.NodeByID(qp.page)
 		hits = append(hits, TimeHit{
 			Page: qp.page, URL: n.URL, Title: n.Title,
 			Overlap: overlap, TextScore: qp.score,
@@ -117,11 +118,11 @@ func visitSpan(n provgraph.Node, pad time.Duration) span {
 
 // anchorTimeline collects all anchor visits' intervals, padded by
 // sessionSlack, merged and sorted by start.
-func (e *Engine) anchorTimeline(aPages []pageMatch) []span {
+func anchorTimeline(sn *provgraph.Snapshot, aPages []pageMatch) []span {
 	var spans []span
 	for _, ap := range aPages {
-		for _, v := range e.store.VisitsOfPage(ap.page) {
-			n, ok := e.store.NodeByID(v)
+		for _, v := range sn.VisitsOfPage(ap.page) {
+			n, ok := sn.NodeByID(v)
 			if !ok {
 				continue
 			}
@@ -187,11 +188,11 @@ type pageMatch struct {
 }
 
 // matchPages runs a textual search restricted to page nodes.
-func (e *Engine) matchPages(q string, limit int) []pageMatch {
+func (e *Engine) matchPages(sn *provgraph.Snapshot, q string, limit int) []pageMatch {
 	var out []pageMatch
 	for _, h := range e.index.Search(q, 0) {
 		id := provgraph.NodeID(h.Doc)
-		if n, ok := e.store.NodeByID(id); ok && n.Kind == provgraph.KindPage {
+		if n, ok := sn.NodeByID(id); ok && n.Kind == provgraph.KindPage {
 			out = append(out, pageMatch{page: id, score: h.Score})
 			if limit > 0 && len(out) >= limit {
 				break

@@ -110,20 +110,30 @@ func (ix *Index) Add(doc DocID, fields ...string) {
 	ix.docLen[doc] += total
 	fwd := ix.forward[doc]
 	for term, tf := range counts {
+		// The forward map knows whether this doc already holds the term,
+		// so a re-add never scans the posting list; posting lists are
+		// kept sorted by doc, so the merge target is a binary search
+		// away. Common terms therefore cost O(log postings) instead of
+		// the O(postings) scan that made bulk indexing quadratic.
+		had := fwd[term] > 0
 		fwd[term] += int(tf)
 		pl := ix.postings[term]
-		// Merge with an existing posting for this doc if present.
-		merged := false
-		for i := range pl {
-			if pl[i].doc == doc {
-				pl[i].tf += tf
-				merged = true
-				break
-			}
+		if had {
+			i := sort.Search(len(pl), func(i int) bool { return pl[i].doc >= doc })
+			pl[i].tf += tf
+			continue
 		}
-		if !merged {
-			pl = append(pl, posting{doc: doc, tf: tf})
+		// New (term, doc) pair: docs are indexed in ascending ID order in
+		// the common case, so appending keeps the list sorted; otherwise
+		// insert at the sorted position.
+		if n := len(pl); n == 0 || pl[n-1].doc < doc {
+			ix.postings[term] = append(pl, posting{doc: doc, tf: tf})
+			continue
 		}
+		i := sort.Search(len(pl), func(i int) bool { return pl[i].doc >= doc })
+		pl = append(pl, posting{})
+		copy(pl[i+1:], pl[i:])
+		pl[i] = posting{doc: doc, tf: tf}
 		ix.postings[term] = pl
 	}
 }

@@ -181,3 +181,55 @@ func TestSearchCaseInsensitive(t *testing.T) {
 		t.Fatalf("case-insensitive search failed: %+v", got)
 	}
 }
+
+// TestAddPostingsSortedInvariant pins the sorted-postings invariant the
+// binary-search merge relies on, including out-of-order doc additions
+// and repeated re-adds of a common term.
+func TestAddPostingsSortedInvariant(t *testing.T) {
+	ix := New()
+	docs := []DocID{50, 10, 90, 20, 80, 10, 50, 3, 90, 61}
+	for _, d := range docs {
+		ix.Add(d, "common shared term", "doc specific")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for term, pl := range ix.postings {
+		for i := 1; i < len(pl); i++ {
+			if pl[i-1].doc >= pl[i].doc {
+				t.Fatalf("postings[%q] not strictly sorted: %v then %v", term, pl[i-1], pl[i])
+			}
+		}
+	}
+	// Re-adds merged, not duplicated: doc 10, 50, 90 appear once each.
+	if got := len(ix.postings["common"]); got != 7 {
+		t.Fatalf("postings[common] has %d entries, want 7 distinct docs", got)
+	}
+	// Merged term frequencies accumulate.
+	for _, p := range ix.postings["common"] {
+		want := uint32(1)
+		if p.doc == 10 || p.doc == 50 || p.doc == 90 {
+			want = 2
+		}
+		if p.tf != want {
+			t.Fatalf("doc %d tf = %d, want %d", p.doc, p.tf, want)
+		}
+	}
+}
+
+// TestAddManyCommonTermDocs covers the regression that made indexing a
+// very common term quadratic: this completes near-instantly with the
+// binary-search merge, and used to take O(n²) posting scans.
+func TestAddManyCommonTermDocs(t *testing.T) {
+	ix := New()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ix.Add(DocID(i+1), "everywhere")
+	}
+	if df := ix.DocFreq("everywhere"); df != n {
+		t.Fatalf("DocFreq = %d, want %d", df, n)
+	}
+	hits := ix.Search("everywhere", 5)
+	if len(hits) != 5 {
+		t.Fatalf("Search returned %d hits", len(hits))
+	}
+}
