@@ -10,6 +10,7 @@
 package browserprov
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -363,6 +364,34 @@ func BenchmarkSingleSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Search(terms[i%len(terms)], 10)
+	}
+}
+
+// BenchmarkPerCallOptions is the no-rebuild guard for the v2 API: the
+// same View answers queries that alternate expansion depth (and HITS)
+// per call. If option changes re-built the engine or re-indexed the
+// ~60k-node history, this would be orders of magnitude slower than
+// BenchmarkSingleSearch instead of within noise of it.
+func BenchmarkPerCallOptions(b *testing.B) {
+	h := parallelWorkload(b)
+	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	variants := [][]Option{
+		{WithDepth(2)},
+		{WithDepth(4)},
+		{WithDepth(3), WithHITS(true)},
+	}
+	ctx := context.Background()
+	v := h.View()
+	sn := v.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := v.Search(ctx, terms[i%len(terms)], 10, variants[i%len(variants)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if v.Snapshot() != sn {
+		b.Fatal("per-call options rebuilt the snapshot")
 	}
 }
 

@@ -17,7 +17,15 @@
 //	h, err := browserprov.Open("historydir")
 //	...
 //	h.Apply(&browserprov.Event{Type: browserprov.TypeVisit, ...})
-//	hits, _, err := h.Search("rosebud", 10)
+//	v := h.View() // pin one epoch for the whole investigation
+//	hits, meta, err := v.Search(ctx, "rosebud", 10)
+//
+// A View is pinned to one store generation: every query on it — Search,
+// Personalize, TimeContextualSearch, DownloadLineage, Sessions, PQL via
+// QueryOn — sees the same immutable snapshot, so multi-query forensics
+// are transactionally consistent under concurrent writers. Queries take
+// a context and per-call options (WithBudget, WithDepth, ...), and
+// report Meta.Generation, Meta.Truncated and Meta.Canceled.
 //
 // Events come from any source: the bundled capture proxy (NewProxy),
 // the simulated browser used by the experiments, or your own
@@ -25,7 +33,7 @@
 package browserprov
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"net/http"
 	"sync/atomic"
@@ -95,15 +103,50 @@ type TimeHit = query.TimeHit
 // Lineage is a download-lineage answer.
 type Lineage = query.Lineage
 
-// Meta describes a query execution (latency, truncation).
+// Meta describes a query execution (latency, generation, truncation,
+// cancellation).
 type Meta = query.Meta
 
 // QueryResult is a PQL result.
 type QueryResult = pql.Result
 
 // Options tunes query behaviour; the zero value gives the paper's
-// defaults (200 ms budget, depth-3 expansion, lens view).
+// defaults (200 ms budget, depth-3 expansion, lens view). Any knob can
+// be overridden per query call with the With* options.
 type Options = query.Options
+
+// View is a snapshot-pinned read handle over the history; see
+// History.View.
+type View = query.View
+
+// Option is a per-call query option.
+type Option = query.Option
+
+// Per-call query options, applied on top of the engine's base Options
+// for one call only — same snapshot, same text index, no rebuild.
+var (
+	WithBudget             = query.WithBudget
+	WithDecay              = query.WithDecay
+	WithDepth              = query.WithDepth
+	WithMaxNodes           = query.WithMaxNodes
+	WithHITS               = query.WithHITS
+	WithRawGraph           = query.WithRawGraph
+	WithRecognizableVisits = query.WithRecognizableVisits
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrNoSuchDownload reports a lineage query for a path or node that
+	// is not a download.
+	ErrNoSuchDownload = query.ErrNoSuchDownload
+	// ErrClosed reports a query against a closed History.
+	ErrClosed = query.ErrClosed
+	// ErrBadQuery reports an unparseable PQL query.
+	ErrBadQuery = query.ErrBadQuery
+	// ErrNoSuchGeneration reports ViewAt of a generation no longer
+	// retained.
+	ErrNoSuchGeneration = query.ErrNoSuchGeneration
+)
 
 // History is a provenance-aware browser history: the homogeneous graph
 // store plus the query engine. It is safe for concurrent use: queries
@@ -113,6 +156,9 @@ type Options = query.Options
 type History struct {
 	store *provgraph.Store
 	opts  Options
+
+	// closed flips on Close; Views created afterwards fail ErrClosed.
+	closed atomic.Bool
 
 	// engine is created lazily on first query and replaced wholesale
 	// when the text index must be rebuilt (after expiration). All
@@ -133,8 +179,13 @@ func OpenWith(dir string, opts Options) (*History, error) {
 	return &History{store: s, opts: opts}, nil
 }
 
-// Close flushes and closes the history.
-func (h *History) Close() error { return h.store.Close() }
+// Close flushes and closes the history. Views created after Close fail
+// with ErrClosed; Views already held keep serving their immutable
+// snapshot.
+func (h *History) Close() error {
+	h.closed.Store(true)
+	return h.store.Close()
+}
 
 // Apply ingests one browsing event.
 func (h *History) Apply(ev *Event) error { return h.store.Apply(ev) }
@@ -156,7 +207,7 @@ func (h *History) SizeOnDisk() int64 { return h.store.SizeOnDisk() }
 func (h *History) Graph() *provgraph.Store { return h.store }
 
 // engineRef returns the query engine, creating it on first use. The
-// engine keeps itself current: each query re-snapshots the store and
+// engine keeps itself current: each View pin re-snapshots the store and
 // catches the text index up incrementally only when the store's
 // generation has moved, so this call is two atomic loads on the hot
 // path and never serialises concurrent readers.
@@ -171,32 +222,87 @@ func (h *History) engineRef() *query.Engine {
 	return h.engine.Load()
 }
 
-// Search runs the contextual history search (§2.1 of the paper):
-// a textual match re-ranked and extended through provenance neighbors.
-func (h *History) Search(q string, k int) ([]PageHit, Meta) {
-	return h.engineRef().ContextualSearch(q, k)
+// View pins the history's current epoch and returns the read handle the
+// whole query API hangs off. Every query on the returned View sees the
+// same generation; concurrent writers never move it. On a closed
+// History the View's queries fail with ErrClosed (check View.Err to
+// find out eagerly).
+func (h *History) View() *View {
+	if h.closed.Load() {
+		return query.ErrorView(ErrClosed)
+	}
+	return h.engineRef().View()
 }
 
-// TextualSearch is the provenance-unaware baseline search.
-func (h *History) TextualSearch(q string, k int) []PageHit {
-	return h.engineRef().TextualSearch(q, k)
+// ViewAt pins a recently retained past generation (the engine keeps the
+// last few); queries on the result fail with ErrNoSuchGeneration if gen
+// is gone.
+func (h *History) ViewAt(gen uint64) *View {
+	if h.closed.Load() {
+		return query.ErrorView(ErrClosed)
+	}
+	return h.engineRef().ViewAt(gen)
+}
+
+// QueryOn evaluates a PQL provenance path query on a pinned View, e.g.
+//
+//	first ancestor of download("/downloads/x.exe") where recognizable
+//	descendants(url("http://shady.example/")) where kind = download
+//
+// Parse errors wrap ErrBadQuery; a missing download source wraps
+// ErrNoSuchDownload.
+func QueryOn(ctx context.Context, v *View, src string, opts ...Option) (QueryResult, Meta, error) {
+	return pql.Eval(ctx, v, src, opts...)
+}
+
+// ---- deprecated convenience wrappers ----
+//
+// The pre-View API: each call pins a fresh View, runs with
+// context.Background() and the history's base options. Kept working so
+// callers migrate incrementally; new code should hold a View.
+
+// Search runs the contextual history search (§2.1 of the paper):
+// a textual match re-ranked and extended through provenance neighbors.
+//
+// Deprecated: use View().Search(ctx, q, k, opts...).
+func (h *History) Search(q string, k int) ([]PageHit, Meta) {
+	hits, meta, _ := h.View().Search(context.Background(), q, k)
+	return hits, meta
+}
+
+// TextualSearch is the provenance-unaware baseline search. Unlike the
+// other deprecated wrappers it returns the unified (result, Meta,
+// error) shape — its old bare-slice form reported nothing.
+//
+// Deprecated: use View().TextualSearch(ctx, q, k, opts...).
+func (h *History) TextualSearch(q string, k int) ([]PageHit, Meta, error) {
+	return h.View().TextualSearch(context.Background(), q, k)
 }
 
 // Personalize returns history-derived terms associated with q (§2.2).
+//
+// Deprecated: use View().Personalize(ctx, q, n, opts...).
 func (h *History) Personalize(q string, n int) ([]TermSuggestion, Meta) {
-	return h.engineRef().Personalize(q, n)
+	s, meta, _ := h.View().Personalize(context.Background(), q, n)
+	return s, meta
 }
 
 // AugmentQuery returns q extended with the strongest associated term —
 // the string a provenance-aware browser would send to a web engine.
+//
+// Deprecated: use View().AugmentQuery(ctx, q, minWeight, opts...).
 func (h *History) AugmentQuery(q string, minWeight float64) (string, Meta) {
-	return h.engineRef().AugmentQuery(q, minWeight)
+	out, meta, _ := h.View().AugmentQuery(context.Background(), q, minWeight)
+	return out, meta
 }
 
 // TimeContextualSearch ranks pages matching q by co-display with pages
 // matching anchor (§2.3).
+//
+// Deprecated: use View().TimeContextualSearch(ctx, q, anchor, k, opts...).
 func (h *History) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
-	return h.engineRef().TimeContextualSearch(q, anchor, k)
+	hits, meta, _ := h.View().TimeContextualSearch(context.Background(), q, anchor, k)
+	return hits, meta
 }
 
 // DownloadBySavePath finds the download node saved at path via the
@@ -207,28 +313,29 @@ func (h *History) DownloadBySavePath(path string) (Node, bool) {
 }
 
 // DownloadLineage answers "how did I get this file?" (§2.4) for the
-// download saved at path.
+// download saved at path. A path with no download fails with
+// ErrNoSuchDownload.
+//
+// Deprecated: use View().DownloadLineageByPath(ctx, path, opts...).
 func (h *History) DownloadLineage(path string) (Lineage, Meta, error) {
-	d, ok := h.DownloadBySavePath(path)
-	if !ok {
-		return Lineage{}, Meta{}, fmt.Errorf("browserprov: no download saved at %q", path)
-	}
-	lin, meta := h.engineRef().DownloadLineage(d.ID)
-	return lin, meta, nil
+	return h.View().DownloadLineageByPath(context.Background(), path)
 }
 
 // DescendantDownloads lists everything downloaded, directly or
 // transitively, from the page at url (§2.4).
+//
+// Deprecated: use View().DescendantDownloads(ctx, url, opts...).
 func (h *History) DescendantDownloads(url string) ([]Node, Meta) {
-	return h.engineRef().DescendantDownloads(url)
+	dls, meta, _ := h.View().DescendantDownloads(context.Background(), url)
+	return dls, meta
 }
 
-// Query evaluates a PQL provenance path query, e.g.
+// Query evaluates a PQL provenance path query on a fresh View.
 //
-//	first ancestor of download("/downloads/x.exe") where recognizable
-//	descendants(url("http://shady.example/")) where kind = download
+// Deprecated: use QueryOn(ctx, h.View(), src, opts...).
 func (h *History) Query(src string) (QueryResult, error) {
-	return pql.Eval(h.engineRef(), src)
+	res, _, err := QueryOn(context.Background(), h.View(), src)
+	return res, err
 }
 
 // VerifyDAG checks the acyclicity invariant, returning a violating cycle
@@ -271,13 +378,19 @@ type SessionSummary = query.SessionSummary
 
 // Sessions reconstructs the history's sittings (visits separated by
 // less than 30 minutes) in chronological order.
+//
+// Deprecated: use View().Sessions(ctx, opts...).
 func (h *History) Sessions() []Session {
-	return h.engineRef().Sessions()
+	s, _, _ := h.View().Sessions(context.Background())
+	return s
 }
 
 // RecentSessions summarises the latest n sessions, newest first.
+//
+// Deprecated: use View().SummarizeSessions(ctx, n, opts...).
 func (h *History) RecentSessions(n int) []SessionSummary {
-	return h.engineRef().SummarizeSessions(n)
+	s, _, _ := h.View().SummarizeSessions(context.Background(), n)
+	return s
 }
 
 // ExportOptions selects what graph exports include.

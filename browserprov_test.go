@@ -1,6 +1,7 @@
 package browserprov
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -54,11 +55,18 @@ func TestPublicAPISearch(t *testing.T) {
 	if meta.Elapsed <= 0 {
 		t.Fatal("no latency recorded")
 	}
-	// Baseline misses it.
-	for _, hit := range h.TextualSearch("rosebud", 10) {
+	// Baseline misses it — and now reports Meta like every other query.
+	base, bmeta, err := h.TextualSearch("rosebud", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hit := range base {
 		if strings.Contains(hit.URL, "citizen-kane") {
 			t.Fatal("textual baseline found the causal page")
 		}
+	}
+	if bmeta.Elapsed <= 0 || bmeta.Generation == 0 {
+		t.Fatalf("textual search meta = %+v, want latency and generation", bmeta)
 	}
 }
 
@@ -73,7 +81,10 @@ func TestPublicAPIIncrementalIndex(t *testing.T) {
 	if err := h.Apply(&Event{Time: t0.Add(time.Hour), Type: TypeVisit, Tab: 2, URL: "http://xylophone.example/", Title: "Xylophone lessons", Transition: TransTyped}); err != nil {
 		t.Fatal(err)
 	}
-	hits := h.TextualSearch("xylophone", 10)
+	hits, _, err := h.TextualSearch("xylophone", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hits) != 1 {
 		t.Fatalf("new page not indexed: %+v", hits)
 	}
@@ -89,8 +100,8 @@ func TestPublicAPILineage(t *testing.T) {
 	if len(lin.Path) < 2 {
 		t.Fatalf("path = %+v", lin.Path)
 	}
-	if _, _, err := h.DownloadLineage("/nope"); err == nil {
-		t.Fatal("missing download did not error")
+	if _, _, err := h.DownloadLineage("/nope"); !errors.Is(err, ErrNoSuchDownload) {
+		t.Fatalf("missing download err = %v, want ErrNoSuchDownload", err)
 	}
 }
 
@@ -104,8 +115,8 @@ func TestPublicAPIPQL(t *testing.T) {
 	if len(res.Nodes) != 1 || res.Nodes[0].Text != "/downloads/kane-poster.jpg" {
 		t.Fatalf("PQL result = %+v", res.Nodes)
 	}
-	if _, err := h.Query(`this is not pql`); err == nil {
-		t.Fatal("bad query accepted")
+	if _, err := h.Query(`this is not pql`); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("bad query err = %v, want ErrBadQuery", err)
 	}
 }
 

@@ -4,7 +4,14 @@
 //
 //	provd -dir ./history -listen 127.0.0.1:8888 &
 //	curl -x http://127.0.0.1:8888 http://example.com/
+//	curl http://127.0.0.1:8889/stats
 //	provquery -dir ./history search example
+//
+// Beside the proxy it serves a small admin endpoint for deployment
+// probes: GET /healthz answers 200 while the daemon is live, and GET
+// /stats reports node/edge counts, the store generation and the size on
+// disk as JSON — both served off a snapshot-pinned query View, so a
+// probe never contends with capture traffic.
 //
 // HTTPS CONNECT tunnels are relayed but not observed (encrypted traffic
 // carries no provenance the proxy can see); plain-HTTP browsing is fully
@@ -13,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,11 +33,81 @@ import (
 
 	"browserprov/internal/capture"
 	"browserprov/internal/provgraph"
+	"browserprov/internal/query"
 )
+
+// statsReply is the /stats JSON shape.
+type statsReply struct {
+	Generation uint64 `json:"generation"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Pages      int    `json:"pages"`
+	Visits     int    `json:"visits"`
+	Downloads  int    `json:"downloads"`
+	Bookmarks  int    `json:"bookmarks"`
+	Terms      int    `json:"terms"`
+	Forms      int    `json:"forms"`
+	SizeOnDisk int64  `json:"size_on_disk_bytes"`
+}
+
+// adminHandler serves /healthz and /stats off a fresh View per request:
+// every field of a reply comes from the one pinned snapshot (only the
+// disk size is a live read — the checkpoint file is not part of the
+// epoch), so the counts are internally consistent under capture load.
+func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		v := eng.View()
+		if err := v.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok gen=%d\n", v.Generation())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		v := eng.View()
+		if err := v.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		sn := v.Snapshot()
+		reply := statsReply{
+			Generation: v.Generation(),
+			Nodes:      sn.NumNodes(),
+			Edges:      sn.NumEdges(),
+			SizeOnDisk: store.SizeOnDisk(),
+		}
+		// Per-kind counts from the same snapshot the totals came from.
+		sn.NodesSince(0, func(n provgraph.Node) bool {
+			switch n.Kind {
+			case provgraph.KindPage:
+				reply.Pages++
+			case provgraph.KindVisit:
+				reply.Visits++
+			case provgraph.KindDownload:
+				reply.Downloads++
+			case provgraph.KindBookmark:
+				reply.Bookmarks++
+			case provgraph.KindSearchTerm:
+				reply.Terms++
+			case provgraph.KindFormEntry:
+				reply.Forms++
+			}
+			return true
+		})
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(reply); err != nil {
+			log.Printf("provd: stats encode: %v", err)
+		}
+	})
+	return mux
+}
 
 func main() {
 	dir := flag.String("dir", "", "provenance store directory (required)")
 	listen := flag.String("listen", "127.0.0.1:8888", "proxy listen address")
+	admin := flag.String("admin", "127.0.0.1:8889", "admin (healthz/stats) listen address; empty disables")
 	searchHosts := flag.String("search-hosts", "search.example,www.google.com,duckduckgo.com,www.bing.com",
 		"comma-separated hosts whose q= parameter is a web search")
 	checkpointEvery := flag.Duration("checkpoint", 5*time.Minute, "checkpoint interval")
@@ -54,6 +132,20 @@ func main() {
 		}
 	}()
 
+	var adminSrv *http.Server
+	if *admin != "" {
+		eng := query.NewEngine(store, query.Options{})
+		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng)}
+		go func() {
+			log.Printf("provd: admin endpoints on http://%s/{healthz,stats}", *admin)
+			// A failed probe listener must not take the capture proxy
+			// down with it: log and keep capturing.
+			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("provd: admin listener: %v (continuing without probes)", err)
+			}
+		}()
+	}
+
 	ticker := time.NewTicker(*checkpointEvery)
 	defer ticker.Stop()
 	sigc := make(chan os.Signal, 1)
@@ -71,6 +163,9 @@ func main() {
 			fmt.Println()
 			log.Print("provd: shutting down")
 			srv.Close()
+			if adminSrv != nil {
+				adminSrv.Close()
+			}
 			if err := store.Checkpoint(); err != nil {
 				log.Printf("provd: final checkpoint: %v", err)
 			}

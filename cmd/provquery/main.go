@@ -2,9 +2,13 @@
 // PQL — against a provenance store directory (as created by provgen or
 // cmd/provd).
 //
+// Each invocation pins one snapshot View for its whole run, and every
+// result line reports the generation it was computed against.
+//
 // Usage:
 //
 //	provquery -dir ./history/prov search "rosebud"
+//	provquery -dir ./history/prov -depth 5 -hits search "rosebud"
 //	provquery -dir ./history/prov textual "rosebud"
 //	provquery -dir ./history/prov personalize "rosebud"
 //	provquery -dir ./history/prov timectx "wine" "plane tickets"
@@ -15,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +37,11 @@ func main() {
 	dir := flag.String("dir", "", "provenance store directory (required)")
 	k := flag.Int("k", 10, "max results")
 	budget := flag.Duration("budget", query.DefaultBudget, "query time budget")
+	timeout := flag.Duration("timeout", 0, "overall context deadline (0 = none; effective deadline is min(timeout, budget))")
+	depth := flag.Int("depth", 0, "expansion depth override (0 = default)")
+	maxNodes := flag.Int("max-nodes", 0, "expansion size override (0 = default)")
+	useHITS := flag.Bool("hits", false, "blend HITS authority into contextual ranking")
+	rawGraph := flag.Bool("raw", false, "traverse the raw graph instead of the redirect-splicing lens")
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: provquery -dir DIR <search|textual|personalize|timectx|lineage|downloads-from|pql|dot|json|stats> [args]")
@@ -42,7 +53,30 @@ func main() {
 		log.Fatal(err)
 	}
 	defer store.Close()
-	eng := query.NewEngine(store, query.Options{Budget: *budget})
+	eng := query.NewEngine(store, query.Options{})
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Per-call options: the engine stays at its defaults; every tuning
+	// flag resolves at query time against the shared snapshot + index.
+	opts := []query.Option{query.WithBudget(*budget)}
+	if *depth > 0 {
+		opts = append(opts, query.WithDepth(*depth))
+	}
+	if *maxNodes > 0 {
+		opts = append(opts, query.WithMaxNodes(*maxNodes))
+	}
+	if *useHITS {
+		opts = append(opts, query.WithHITS(true))
+	}
+	if *rawGraph {
+		opts = append(opts, query.WithRawGraph(true))
+	}
+	v := eng.View()
 
 	cmd := flag.Arg(0)
 	arg := func(i int) string {
@@ -51,37 +85,53 @@ func main() {
 		}
 		return flag.Arg(i)
 	}
+	check := func(err error) {
+		if err == nil {
+			return
+		}
+		if errors.Is(err, query.ErrNoSuchDownload) || errors.Is(err, query.ErrBadQuery) {
+			log.Fatalf("provquery: %v", err)
+		}
+		log.Fatal(err)
+	}
 
 	switch cmd {
 	case "search":
-		hits, meta := eng.ContextualSearch(arg(1), *k)
+		hits, meta, err := v.Search(ctx, arg(1), *k, opts...)
+		check(err)
 		printHits(hits, meta)
 	case "textual":
-		printHits(eng.TextualSearch(arg(1), *k), query.Meta{})
+		hits, meta, err := v.TextualSearch(ctx, arg(1), *k, opts...)
+		check(err)
+		printHits(hits, meta)
 	case "personalize":
-		suggestions, meta := eng.Personalize(arg(1), *k)
+		suggestions, meta, err := v.Personalize(ctx, arg(1), *k, opts...)
+		check(err)
 		for i, s := range suggestions {
 			fmt.Printf("%2d. %-24s %8.3f\n", i+1, s.Term, s.Weight)
 		}
 		printMeta(meta)
 	case "timectx":
-		hits, meta := eng.TimeContextualSearch(arg(1), arg(2), *k)
+		hits, meta, err := v.TimeContextualSearch(ctx, arg(1), arg(2), *k, opts...)
+		check(err)
 		for i, h := range hits {
 			fmt.Printf("%2d. %-56s overlap=%.0fs score=%.3f\n", i+1, clip(h.URL, 56), h.Overlap, h.Score)
 		}
 		printMeta(meta)
 	case "lineage":
-		path := arg(1)
-		var dl provgraph.NodeID
-		for _, id := range store.Downloads() {
-			if n, ok := store.NodeByID(id); ok && (n.Text == path || n.URL == path) {
-				dl = id
+		target := arg(1)
+		lin, meta, err := v.DownloadLineageByPath(ctx, target, opts...)
+		if errors.Is(err, query.ErrNoSuchDownload) {
+			// Also accept the download's source URL.
+			sn := v.Snapshot()
+			for _, id := range sn.Downloads() {
+				if n, ok := sn.NodeByID(id); ok && n.URL == target {
+					lin, meta, err = v.DownloadLineage(ctx, id, opts...)
+					break
+				}
 			}
 		}
-		if dl == 0 {
-			log.Fatalf("provquery: no download %q", path)
-		}
-		lin, meta := eng.DownloadLineage(dl)
+		check(err)
 		if !lin.Found {
 			fmt.Println("no recognizable ancestor; full chain:")
 		}
@@ -90,22 +140,22 @@ func main() {
 		}
 		printMeta(meta)
 	case "downloads-from":
-		dls, meta := eng.DescendantDownloads(arg(1))
+		dls, meta, err := v.DescendantDownloads(ctx, arg(1), opts...)
+		check(err)
 		for i, d := range dls {
 			fmt.Printf("%2d. %s (from %s at %s)\n", i+1, d.Text, d.URL, d.Open.Format(time.RFC3339))
 		}
 		printMeta(meta)
 	case "pql":
-		res, err := pql.Eval(eng, arg(1))
-		if err != nil {
-			log.Fatal(err)
-		}
+		res, meta, err := pql.Eval(ctx, v, arg(1), opts...)
+		check(err)
 		if res.IsPath && !res.Found {
 			fmt.Println("no match; chain shown:")
 		}
 		for i, n := range res.Nodes {
 			fmt.Printf("%2d. [%-11s] %s %s %s\n", i+1, n.Kind, n.URL, n.Title, n.Text)
 		}
+		printMeta(meta)
 	case "dot":
 		// Optional argument: a save path or URL whose neighborhood to
 		// export; otherwise the whole graph.
@@ -133,8 +183,8 @@ func main() {
 		}
 	case "stats":
 		st := store.Stats()
-		fmt.Printf("nodes     %d\n  pages     %d\n  visits    %d\n  bookmarks %d\n  downloads %d\n  terms     %d\n  forms     %d\nedges     %d\nsize      %d bytes\n",
-			st.Nodes, st.Pages, st.Visits, st.Bookmarks, st.Downloads, st.Terms, st.Forms, st.Edges, store.SizeOnDisk())
+		fmt.Printf("generation %d\nnodes     %d\n  pages     %d\n  visits    %d\n  bookmarks %d\n  downloads %d\n  terms     %d\n  forms     %d\nedges     %d\nsize      %d bytes\n",
+			v.Generation(), st.Nodes, st.Pages, st.Visits, st.Bookmarks, st.Downloads, st.Terms, st.Forms, st.Edges, store.SizeOnDisk())
 		if cycle := store.VerifyDAG(); cycle != nil {
 			fmt.Printf("DAG invariant: VIOLATED (%v)\n", cycle)
 		} else {
@@ -154,7 +204,14 @@ func printHits(hits []query.PageHit, meta query.Meta) {
 
 func printMeta(meta query.Meta) {
 	if meta.Elapsed > 0 {
-		fmt.Printf("-- %v%s\n", meta.Elapsed.Round(10*time.Microsecond), map[bool]string{true: " (truncated by budget)", false: ""}[meta.Truncated])
+		state := ""
+		if meta.Truncated {
+			state = " (truncated by budget)"
+		}
+		if meta.Canceled {
+			state = " (canceled)"
+		}
+		fmt.Printf("-- %v gen=%d%s\n", meta.Elapsed.Round(10*time.Microsecond), meta.Generation, state)
 	}
 }
 

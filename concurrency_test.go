@@ -1,7 +1,10 @@
 package browserprov
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -157,8 +160,7 @@ func TestConcurrentSnapshotReadsNoStaleMisses(t *testing.T) {
 					h.Personalize("rosebud", 3)
 				case 2:
 					path := fmt.Sprintf("/dl/wm-%d.bin", (w/10)*10)
-					if _, _, err := h.DownloadLineage(path); err != nil &&
-						strings.Contains(err.Error(), "no download") {
+					if _, _, err := h.DownloadLineage(path); errors.Is(err, ErrNoSuchDownload) {
 						errCh <- fmt.Errorf("reader %d: stale save-path index past watermark %d: %v", r, w, err)
 						return
 					}
@@ -247,7 +249,7 @@ func TestPublicAPIExpireBefore(t *testing.T) {
 	}
 	// The rebuilt index serves fresh content and drops expired-only
 	// pages from textual search.
-	if hits := h.TextualSearch("zebra", 5); len(hits) != 1 {
+	if hits, _, _ := h.TextualSearch("zebra", 5); len(hits) != 1 {
 		t.Fatalf("fresh page not searchable after expire: %+v", hits)
 	}
 }
@@ -278,3 +280,164 @@ type syncBuffer struct{ b []byte }
 func (s *syncBuffer) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
 func (s *syncBuffer) Len() int                    { return len(s.b) }
 func (s *syncBuffer) Reset()                      { s.b = s.b[:0] }
+
+// TestViewPinnedUnderConcurrentWriter is the v2 API's consistency
+// contract under -race: a writer applies events in a loop while a held
+// View runs repeated mixed queries. Every Meta.Generation the View
+// reports must be identical, and the result sets must be stable — the
+// writer cannot shift the ground under a pinned investigation.
+func TestViewPinnedUnderConcurrentWriter(t *testing.T) {
+	h := openHistory(t)
+	feedRosebud(t, h)
+
+	ctx := context.Background()
+	v := h.View()
+	pinned := v.Generation()
+	if pinned == 0 {
+		t.Fatal("pinned generation 0")
+	}
+
+	// Baseline result sets to compare against while the writer runs. The
+	// unlimited budget keeps slow -race scheduling from truncating the
+	// expansion and shrinking a set for timing (not consistency) reasons.
+	urlSet := func(hits []PageHit) string {
+		urls := make([]string, len(hits))
+		for i, h := range hits {
+			urls[i] = h.URL
+		}
+		sort.Strings(urls)
+		return strings.Join(urls, "\n")
+	}
+	baseTextual, _, err := v.TextualSearch(ctx, "rosebud", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseContextual, _, err := v.Search(ctx, "rosebud", 0, WithBudget(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLineage, _, err := v.DownloadLineageByPath(ctx, "/downloads/kane-poster.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writes  = 400
+		readers = 4
+		reads   = 100
+	)
+	stopWriter := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		defer close(writerDone)
+		for i := 0; i < writes; i++ {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			if err := h.Apply(&Event{
+				Time: t0.Add(time.Duration(i) * time.Second), Type: TypeVisit, Tab: 42,
+				URL:        fmt.Sprintf("http://churn.example/p%d", i),
+				Title:      "churn rosebud page", // textually matches the pinned query
+				Transition: TransTyped,
+			}); err != nil {
+				writerDone <- err
+				return
+			}
+			// Touch fresh views so the engine keeps re-snapshotting (and
+			// re-indexing) underneath the pinned one.
+			if i%25 == 0 {
+				h.Search("churn", 3)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for k := 0; k < reads; k++ {
+				var meta Meta
+				var err error
+				switch k % 5 {
+				case 0:
+					// The writer keeps indexing pages titled "churn
+					// rosebud page" into the shared text index; the
+					// pinned View's result set must not move.
+					var hits []PageHit
+					hits, meta, err = v.TextualSearch(ctx, "rosebud", 0)
+					if err == nil && urlSet(hits) != urlSet(baseTextual) {
+						err = fmt.Errorf("pinned textual search drifted:\n%s\nwant:\n%s", urlSet(hits), urlSet(baseTextual))
+					}
+				case 1:
+					var hits []PageHit
+					hits, meta, err = v.Search(ctx, "rosebud", 0, WithBudget(-1))
+					if err == nil && urlSet(hits) != urlSet(baseContextual) {
+						err = fmt.Errorf("pinned contextual search drifted:\n%s\nwant:\n%s", urlSet(hits), urlSet(baseContextual))
+					}
+				case 2:
+					_, meta, err = v.Personalize(ctx, "rosebud", 3)
+				case 3:
+					var lin Lineage
+					lin, meta, err = v.DownloadLineageByPath(ctx, "/downloads/kane-poster.jpg")
+					if err == nil && len(lin.Path) != len(baseLineage.Path) {
+						err = fmt.Errorf("pinned lineage drifted: %d nodes, want %d", len(lin.Path), len(baseLineage.Path))
+					}
+				case 4:
+					_, meta, err = QueryOn(ctx, v, `descendants(term("rosebud")) where kind = download`)
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+				if meta.Generation != pinned {
+					errCh <- fmt.Errorf("reader %d: generation %d escaped the pin %d", r, meta.Generation, pinned)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stopWriter)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedHistorySentinel: Views minted after Close fail ErrClosed,
+// matchable with errors.Is through every query shape.
+func TestClosedHistorySentinel(t *testing.T) {
+	h, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedRosebud(t, h)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	v := h.View()
+	if !errors.Is(v.Err(), ErrClosed) {
+		t.Fatalf("View().Err() = %v, want ErrClosed", v.Err())
+	}
+	if _, _, err := v.Search(ctx, "rosebud", 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Search err = %v, want ErrClosed", err)
+	}
+	if _, _, err := v.DownloadLineageByPath(ctx, "/downloads/kane-poster.jpg"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("lineage err = %v, want ErrClosed", err)
+	}
+	if _, _, err := QueryOn(ctx, v, `ancestors(url("http://home.example/"))`); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PQL err = %v, want ErrClosed", err)
+	}
+	if vAt := h.ViewAt(1); !errors.Is(vAt.Err(), ErrClosed) {
+		t.Fatalf("ViewAt err = %v, want ErrClosed", vAt.Err())
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -83,17 +84,22 @@ func main() {
 	// 302, and the proxy observes both hops.
 	browse(site.URL+"/go/provenance", site.URL+"/papers")
 
-	// --- What did the proxy reconstruct? ---
+	// --- What did the proxy reconstruct? One View, one generation. ---
 	fmt.Printf("\ncaptured: %+v\n\n", h.Stats())
+	ctx := context.Background()
+	v := h.View()
 
 	fmt.Println(`contextual search "provenance":`)
-	hits, _ := h.Search("provenance", 5)
+	hits, _, err := v.Search(ctx, "provenance", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, hit := range hits {
 		fmt.Printf("  %d. %s %s\n", i+1, hit.URL, hit.Title)
 	}
 
 	fmt.Println("\nlineage of the downloaded paper:")
-	lin, meta, err := h.DownloadLineage("/downloads/margo09browser.pdf")
+	lin, meta, err := v.DownloadLineageByPath(ctx, "/downloads/margo09browser.pdf")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,6 +38,12 @@ func main() {
 
 	eng := query.NewEngine(w.Prov, query.Options{})
 
+	// The whole investigation — lineage, PQL descendant scan, ancestor
+	// terms — runs on one snapshot-pinned View: a writer racing this
+	// forensic session could not shift the ground under it.
+	ctx := context.Background()
+	v := eng.View()
+
 	// The infected file (planted by the malware scenario).
 	infected := w.Truth.MalwareSave
 	fmt.Printf("infected file: %s\n", infected)
@@ -53,8 +60,11 @@ func main() {
 
 	// §2.4: "Find the first ancestor of this file that the user is
 	// likely to recognize."
-	lin, meta := eng.DownloadLineage(dlID)
-	fmt.Printf("\nlineage (computed in %v):\n", meta.Elapsed.Round(10*time.Microsecond))
+	lin, meta, err := v.DownloadLineage(ctx, dlID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlineage (computed in %v, gen %d):\n", meta.Elapsed.Round(10*time.Microsecond), meta.Generation)
 	for i, n := range lin.Path {
 		marker := "   "
 		if i == len(lin.Path)-1 && lin.Found {
@@ -71,7 +81,7 @@ func main() {
 	// downloads" query, in PQL.
 	untrusted := w.Truth.MalwareUntrusted
 	fmt.Printf("\nall downloads descending from %s:\n", untrusted)
-	res, err := pql.Eval(eng, `descendants(url("`+untrusted+`")) where kind = download`)
+	res, _, err := pql.Eval(ctx, v, `descendants(url("`+untrusted+`")) where kind = download`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +91,9 @@ func main() {
 
 	// And the search terms in the file's ancestry — the user-generated
 	// descriptors that led here (§3.3).
-	terms, _ := eng.AncestorTerms(dlID)
+	terms, _, err := v.AncestorTerms(ctx, dlID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nsearch terms in the file's lineage: %q\n", terms)
 }

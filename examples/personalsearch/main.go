@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,17 +59,26 @@ func main() {
 			browserprov.TransTyped)
 	}
 
-	// What does this user's history associate with "rosebud"?
+	// What does this user's history associate with "rosebud"? Both the
+	// analysis and the augmentation run on one pinned View.
+	ctx := context.Background()
+	v := h.View()
 	fmt.Println(`personalisation terms for "rosebud":`)
-	suggestions, meta := h.Personalize("rosebud", 5)
+	suggestions, meta, err := v.Personalize(ctx, "rosebud", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, s := range suggestions {
 		fmt.Printf("  %d. %-20s %.3f\n", i+1, s.Term, s.Weight)
 	}
-	fmt.Printf("  (%v)\n\n", meta.Elapsed.Round(10*time.Microsecond))
+	fmt.Printf("  (%v, gen %d)\n\n", meta.Elapsed.Round(10*time.Microsecond), meta.Generation)
 
 	// The query that actually goes to the search engine. Note what it
 	// does NOT contain: any page, visit or timestamp from history.
-	augmented, _ := h.AugmentQuery("rosebud", 0.01)
+	augmented, _, err := v.AugmentQuery(ctx, "rosebud", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("query sent to the web search engine: %q\n", augmented)
 	fmt.Println("(the engine learns one extra term — never the history that produced it)")
 }

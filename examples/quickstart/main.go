@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,24 +55,46 @@ func main() {
 
 	fmt.Printf("history: %+v\n\n", h.Stats())
 
+	// One View pins one store generation: every query below — search,
+	// baseline, lineage, PQL — sees the exact same graph, even if a
+	// writer kept applying events meanwhile.
+	ctx := context.Background()
+	v := h.View()
+	fmt.Printf("querying generation %d\n\n", v.Generation())
+
 	// --- §2.1 Contextual history search: "rosebud" must return Citizen
 	// Kane even though the film page never contains that word. ---
 	fmt.Println("contextual search \"rosebud\":")
-	hits, meta := h.Search("rosebud", 5)
+	hits, meta, err := v.Search(ctx, "rosebud", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, hit := range hits {
 		fmt.Printf("  %d. %-42s text=%.2f prov=%.2f\n", i+1, hit.URL, hit.TextScore, hit.ProvScore)
 	}
-	fmt.Printf("  (%v)\n\n", meta.Elapsed.Round(10*time.Microsecond))
+	fmt.Printf("  (%v, gen %d)\n\n", meta.Elapsed.Round(10*time.Microsecond), meta.Generation)
 
 	fmt.Println("textual baseline \"rosebud\" (what a stock browser returns):")
-	for i, hit := range h.TextualSearch("rosebud", 5) {
+	base, _, err := v.TextualSearch(ctx, "rosebud", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, hit := range base {
 		fmt.Printf("  %d. %s\n", i+1, hit.URL)
 	}
 	fmt.Println()
 
+	// Per-call options tune a single query without touching the engine:
+	// a deeper expansion reuses the same snapshot and text index.
+	deep, _, err := v.Search(ctx, "rosebud", 5, browserprov.WithDepth(5), browserprov.WithHITS(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("depth-5 + HITS variant (same snapshot, no re-index): %d hits\n\n", len(deep))
+
 	// --- §2.4 Download lineage: how did the poster get here? ---
 	fmt.Println("lineage of /downloads/kane-poster.jpg:")
-	lin, _, err := h.DownloadLineage("/downloads/kane-poster.jpg")
+	lin, _, err := v.DownloadLineageByPath(ctx, "/downloads/kane-poster.jpg")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,9 +103,9 @@ func main() {
 	}
 	fmt.Println()
 
-	// --- PQL path queries over the same graph. ---
+	// --- PQL path queries over the same pinned View. ---
 	fmt.Println(`pql: descendants(term("rosebud")) where kind = download`)
-	res, err := h.Query(`descendants(term("rosebud")) where kind = download`)
+	res, _, err := browserprov.QueryOn(ctx, v, `descendants(term("rosebud")) where kind = download`)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -60,18 +61,28 @@ func main() {
 	apply(&browserprov.Event{Time: now, Type: browserprov.TypeClose, Tab: 1,
 		URL: "http://travel.example/paris"})
 
+	// Both queries run on one pinned View — the same generation.
+	ctx := context.Background()
+	v := h.View()
+
 	// Plain search: every wine page matches; the one she wants is lost.
 	fmt.Println(`textual search "wine" (the stock browser experience):`)
-	plain := h.TextualSearch("wine", 0)
+	plain, _, err := v.TextualSearch(ctx, "wine", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  %d matching pages — which one was it?\n\n", len(plain))
 
 	// §2.3: "wine associated with plane tickets".
 	fmt.Println(`time-contextual search: "wine" associated with "plane tickets":`)
-	hits, meta := h.TimeContextualSearch("wine", "plane tickets", 5)
+	hits, meta, err := v.TimeContextualSearch(ctx, "wine", "plane tickets", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i, hit := range hits {
 		fmt.Printf("  %d. %-44s overlap=%.0fs\n", i+1, hit.URL, hit.Overlap)
 	}
-	fmt.Printf("  (%v)\n", meta.Elapsed.Round(10*time.Microsecond))
+	fmt.Printf("  (%v, gen %d)\n", meta.Elapsed.Round(10*time.Microsecond), meta.Generation)
 
 	if len(hits) > 0 && hits[0].URL == "http://wine.example/chateau-margaux" {
 		fmt.Println("\nfound it: the bottle she saw while booking Paris.")

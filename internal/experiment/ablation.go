@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"time"
 
 	"browserprov/internal/provgraph"
@@ -90,12 +91,14 @@ func RunE5(cfg Config) (E5Result, error) {
 }
 
 // measureHITS compares contextual search with and without the HITS
-// blending stage.
+// blending stage. One engine serves both arms: the blend is a per-call
+// option, so the two configurations share the snapshot and text index
+// instead of each paying a full re-index.
 func measureHITS(w *Workload) HITSReport {
-	off := query.NewEngine(w.Prov, query.Options{})
-	on := query.NewEngine(w.Prov, query.Options{UseHITS: true})
-	rank := func(e *query.Engine) int {
-		hits, _ := e.ContextualSearch(w.Truth.RosebudQuery, 50)
+	ctx := context.Background()
+	v := query.NewEngine(w.Prov, query.Options{}).View()
+	rank := func(opts ...query.Option) int {
+		hits, _, _ := v.Search(ctx, w.Truth.RosebudQuery, 50, opts...)
 		for i, h := range hits {
 			if h.URL == w.Truth.RosebudExpected {
 				return i + 1
@@ -103,18 +106,18 @@ func measureHITS(w *Workload) HITSReport {
 		}
 		return 0
 	}
-	median := func(e *query.Engine) time.Duration {
-		vocab := e.Index().Terms(50)
+	median := func(opts ...query.Option) time.Duration {
+		vocab := v.Engine().Index().Terms(50)
 		var samples []time.Duration
 		for i := 0; i < 20 && len(vocab) > 0; i++ {
-			_, meta := e.ContextualSearch(vocab[i%len(vocab)], 20)
+			_, meta, _ := v.Search(ctx, vocab[i%len(vocab)], 20, opts...)
 			samples = append(samples, meta.Elapsed)
 		}
 		return summarize(samples, 0).Median
 	}
 	return HITSReport{
-		RosebudRankOff: rank(off), RosebudRankOn: rank(on),
-		MedianOff: median(off), MedianOn: median(on),
+		RosebudRankOff: rank(), RosebudRankOn: rank(query.WithHITS(true)),
+		MedianOff: median(), MedianOn: median(query.WithHITS(true)),
 	}
 }
 
@@ -128,8 +131,9 @@ func measureMode(w *Workload, mode provgraph.VersioningMode) (ModeReport, LensRe
 	rep.Bytes = w.Prov.SizeOnDisk()
 	rep.DAG = w.Prov.VerifyDAG() == nil
 
-	eng := query.NewEngine(w.Prov, query.Options{})
-	hits, _ := eng.ContextualSearch(w.Truth.RosebudQuery, 50)
+	ctx := context.Background()
+	v := query.NewEngine(w.Prov, query.Options{}).View()
+	hits, _, _ := v.Search(ctx, w.Truth.RosebudQuery, 50)
 	for i, h := range hits {
 		if h.URL == w.Truth.RosebudExpected {
 			rep.RosebudRank = i + 1
@@ -138,9 +142,9 @@ func measureMode(w *Workload, mode provgraph.VersioningMode) (ModeReport, LensRe
 	}
 	// Median latency over a small sample.
 	var samples []time.Duration
-	vocab := eng.Index().Terms(100)
+	vocab := v.Engine().Index().Terms(100)
 	for i := 0; i < 25 && len(vocab) > 0; i++ {
-		_, meta := eng.ContextualSearch(vocab[i%len(vocab)], 20)
+		_, meta, _ := v.Search(ctx, vocab[i%len(vocab)], 20)
 		samples = append(samples, meta.Elapsed)
 	}
 	rep.ContextualMedian = summarize(samples, 0).Median
@@ -153,11 +157,13 @@ func measureMode(w *Workload, mode provgraph.VersioningMode) (ModeReport, LensRe
 }
 
 // measureLens runs the same queries through the raw graph and the
-// splicing lens, counting redirect hops that surface in results.
+// splicing lens, counting redirect hops that surface in results. Both
+// arms are the same View; WithRawGraph flips the traversal per call.
 func measureLens(w *Workload) LensReport {
 	var out LensReport
-	raw := query.NewEngine(w.Prov, query.Options{RawGraph: true})
-	lens := query.NewEngine(w.Prov, query.Options{})
+	ctx := context.Background()
+	v := query.NewEngine(w.Prov, query.Options{}).View()
+	raw := []query.Option{query.WithRawGraph(true)}
 
 	// A page is a redirect hop if any of its visits has an outgoing
 	// redirect edge.
@@ -172,11 +178,11 @@ func measureLens(w *Workload) LensReport {
 		return false
 	}
 
-	vocab := raw.Index().Terms(100)
+	vocab := v.Engine().Index().Terms(100)
 	for i := 0; i < 25 && len(vocab) > 0; i++ {
 		q := vocab[i%len(vocab)]
-		rh, _ := raw.ContextualSearch(q, 20)
-		lh, _ := lens.ContextualSearch(q, 20)
+		rh, _, _ := v.Search(ctx, q, 20, raw...)
+		lh, _, _ := v.Search(ctx, q, 20)
 		for _, h := range rh {
 			if isRedirectHop(h.Page) {
 				out.RawRedirectHits++
@@ -188,8 +194,8 @@ func measureLens(w *Workload) LensReport {
 			}
 		}
 	}
-	rank := func(e *query.Engine) int {
-		hits, _ := e.ContextualSearch(w.Truth.RosebudQuery, 50)
+	rank := func(opts ...query.Option) int {
+		hits, _, _ := v.Search(ctx, w.Truth.RosebudQuery, 50, opts...)
 		for i, h := range hits {
 			if h.URL == w.Truth.RosebudExpected {
 				return i + 1
@@ -197,7 +203,7 @@ func measureLens(w *Workload) LensReport {
 		}
 		return 0
 	}
-	out.RosebudRankRaw = rank(raw)
-	out.RosebudRankLens = rank(lens)
+	out.RosebudRankRaw = rank(raw...)
+	out.RosebudRankLens = rank()
 	return out
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -38,13 +39,14 @@ type E6Result struct {
 // RunE6 measures aggregate contextual-search throughput at increasing
 // reader counts over the workload's provenance store.
 func RunE6(w *Workload, opts query.Options) E6Result {
+	ctx := context.Background()
 	eng := query.NewEngine(w.Prov, opts)
 	vocab := eng.Index().Terms(64)
 	if len(vocab) == 0 {
 		vocab = []string{"wine"}
 	}
 	// Warm the snapshot and lens once so rounds compare steady state.
-	eng.ContextualSearch(vocab[0], 10)
+	eng.View().Search(ctx, vocab[0], 10) //nolint:errcheck
 
 	procs := runtime.GOMAXPROCS(0)
 	levels := []int{1, 2, 4}
@@ -61,8 +63,10 @@ func RunE6(w *Workload, opts query.Options) E6Result {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
+				// Each reader pins a View per query, the pattern a
+				// request-per-View service would use.
 				for i := 0; i < perReader; i++ {
-					eng.ContextualSearch(vocab[(r*perReader+i)%len(vocab)], 10)
+					eng.View().Search(ctx, vocab[(r*perReader+i)%len(vocab)], 10) //nolint:errcheck
 				}
 			}(r)
 		}

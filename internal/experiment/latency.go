@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -63,7 +64,9 @@ const E2Queries = 100
 // (weighted toward common terms, as real history searches are); lineage
 // queries run from every download (cycled to fill the sample).
 func RunE2(w *Workload, opts query.Options) E2Result {
+	ctx := context.Background()
 	eng := query.NewEngine(w.Prov, opts)
+	v := eng.View()
 	rng := rand.New(rand.NewSource(1009))
 	vocab := eng.Index().Terms(500)
 	if len(vocab) == 0 {
@@ -77,7 +80,7 @@ func RunE2(w *Workload, opts query.Options) E2Result {
 	var samples []time.Duration
 	trunc := 0
 	for i := 0; i < E2Queries; i++ {
-		_, meta := eng.ContextualSearch(term(), 20)
+		_, meta, _ := v.Search(ctx, term(), 20)
 		samples = append(samples, meta.Elapsed)
 		if meta.Truncated {
 			trunc++
@@ -87,7 +90,7 @@ func RunE2(w *Workload, opts query.Options) E2Result {
 
 	samples, trunc = nil, 0
 	for i := 0; i < E2Queries; i++ {
-		_, meta := eng.Personalize(term(), 5)
+		_, meta, _ := v.Personalize(ctx, term(), 5)
 		samples = append(samples, meta.Elapsed)
 		if meta.Truncated {
 			trunc++
@@ -97,7 +100,7 @@ func RunE2(w *Workload, opts query.Options) E2Result {
 
 	samples, trunc = nil, 0
 	for i := 0; i < E2Queries; i++ {
-		_, meta := eng.TimeContextualSearch(term(), term(), 20)
+		_, meta, _ := v.TimeContextualSearch(ctx, term(), term(), 20)
 		samples = append(samples, meta.Elapsed)
 		if meta.Truncated {
 			trunc++
@@ -110,7 +113,7 @@ func RunE2(w *Workload, opts query.Options) E2Result {
 	for i := 0; i < E2Queries; i++ {
 		var meta query.Meta
 		if len(downloads) > 0 {
-			_, meta = eng.DownloadLineage(downloads[i%len(downloads)])
+			_, meta, _ = v.DownloadLineage(ctx, downloads[i%len(downloads)])
 		}
 		samples = append(samples, meta.Elapsed)
 		if meta.Truncated {
@@ -150,7 +153,8 @@ type E4Result struct {
 // both the provenance queries and the textual baseline.
 func RunE4(w *Workload, opts query.Options) E4Result {
 	truth := w.Truth
-	eng := query.NewEngine(w.Prov, opts)
+	ctx := context.Background()
+	v := query.NewEngine(w.Prov, opts).View()
 	var r E4Result
 
 	rank := func(hits []query.PageHit, url string) int {
@@ -162,11 +166,12 @@ func RunE4(w *Workload, opts query.Options) E4Result {
 		return 0
 	}
 
-	hits, _ := eng.ContextualSearch(truth.RosebudQuery, 50)
+	hits, _, _ := v.Search(ctx, truth.RosebudQuery, 50)
 	r.RosebudRank = rank(hits, truth.RosebudExpected)
-	r.RosebudBaselineRank = rank(eng.TextualSearch(truth.RosebudQuery, 0), truth.RosebudExpected)
+	base, _, _ := v.TextualSearch(ctx, truth.RosebudQuery, 0)
+	r.RosebudBaselineRank = rank(base, truth.RosebudExpected)
 
-	suggestions, _ := eng.Personalize(truth.GardenerQuery, 8)
+	suggestions, _, _ := v.Personalize(ctx, truth.GardenerQuery, 8)
 	for _, s := range suggestions {
 		for _, want := range truth.GardenerTerms {
 			if s.Term == want && !r.GardenerTermFound {
@@ -176,28 +181,29 @@ func RunE4(w *Workload, opts query.Options) E4Result {
 		}
 	}
 
-	timeHits, _ := eng.TimeContextualSearch(truth.WineQuery, truth.WineAnchor, 50)
+	timeHits, _, _ := v.TimeContextualSearch(ctx, truth.WineQuery, truth.WineAnchor, 50)
 	for i, h := range timeHits {
 		if h.URL == truth.WineTarget {
 			r.WineRank = i + 1
 			break
 		}
 	}
-	r.WineBaselineRank = rank(eng.TextualSearch(truth.WineQuery, 0), truth.WineTarget)
+	wineBase, _, _ := v.TextualSearch(ctx, truth.WineQuery, 0)
+	r.WineBaselineRank = rank(wineBase, truth.WineTarget)
 
 	for _, id := range w.Prov.Downloads() {
 		n, _ := w.Prov.NodeByID(id)
 		if n.Text != truth.MalwareSave {
 			continue
 		}
-		lin, _ := eng.DownloadLineage(id)
+		lin, _, _ := v.DownloadLineage(ctx, id)
 		if lin.Found {
 			last := lin.Path[len(lin.Path)-1]
 			r.MalwareLineageOK = hasPrefix(last.URL, truth.MalwareAncestor)
 		}
 		break
 	}
-	dls, _ := eng.DescendantDownloads(truth.MalwareUntrusted)
+	dls, _, _ := v.DescendantDownloads(ctx, truth.MalwareUntrusted)
 	found := map[string]bool{}
 	for _, d := range dls {
 		found[d.Text] = true

@@ -1,6 +1,7 @@
 package pql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,25 +22,33 @@ type Result struct {
 	Found bool
 }
 
-// Eval parses and runs a PQL query against the engine's store.
-func Eval(e *query.Engine, src string) (Result, error) {
+// Eval parses and runs a PQL query against a snapshot-pinned View, so a
+// PQL step of an investigation sees exactly the generation the rest of
+// it does. Parse errors wrap query.ErrBadQuery; a download source that
+// resolves to nothing wraps query.ErrNoSuchDownload.
+func Eval(ctx context.Context, v *query.View, src string, opts ...query.Option) (Result, query.Meta, error) {
 	q, err := Parse(src)
 	if err != nil {
-		return Result{}, err
+		return Result{}, query.Meta{}, fmt.Errorf("%w: %v", query.ErrBadQuery, err)
 	}
-	return Run(e, q)
+	return Run(ctx, v, q, opts...)
 }
 
-// Run executes a parsed query. The whole evaluation runs against one
-// immutable snapshot, so traversal and predicates see a consistent
-// point-in-time graph and take no locks.
-func Run(e *query.Engine, q *Query) (Result, error) {
-	s := e.Snapshot()
+// Run executes a parsed query on the View. The whole evaluation runs
+// against the View's pinned snapshot, so traversal and predicates see a
+// consistent point-in-time graph and take no locks; budget and
+// cancellation are checked between BFS visits and surfaced in Meta.
+func Run(ctx context.Context, v *query.View, q *Query, opts ...query.Option) (Result, query.Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return Result{}, query.Meta{}, err
+	}
+	s := r.Snapshot()
 	starts, err := resolveSource(s, q.Source)
 	if err != nil {
-		return Result{}, err
+		return Result{}, r.Finish(), err
 	}
-	pred := compilePred(e, s, q.Where)
+	pred := compilePred(r, s, q.Where)
 
 	switch q.Op {
 	case OpAncestors, OpDescendants:
@@ -53,6 +62,9 @@ func Run(e *query.Engine, q *Query) (Result, error) {
 		}
 		var out []provgraph.Node
 		graph.BFS(s, starts, dir, func(n graph.NodeID, depth int) bool {
+			if r.Stop() {
+				return false
+			}
 			if startSet[n] {
 				return true
 			}
@@ -65,7 +77,7 @@ func Run(e *query.Engine, q *Query) (Result, error) {
 			}
 			return true
 		})
-		return Result{Nodes: out, Found: len(out) > 0}, nil
+		return Result{Nodes: out, Found: len(out) > 0}, r.Finish(), nil
 
 	case OpFirstAncestor, OpFirstDescendant, OpLineage:
 		dir := graph.Backward
@@ -73,26 +85,34 @@ func Run(e *query.Engine, q *Query) (Result, error) {
 			dir = graph.Forward
 		}
 		if q.Op == OpLineage {
-			pred = func(n provgraph.Node) bool { return e.RecognizableIn(s, n) }
+			pred = r.Recognizable
 		}
 		if len(starts) == 0 {
-			return Result{IsPath: true}, nil
+			return Result{IsPath: true}, r.Finish(), nil
 		}
 		// Path queries take the first start node (sources resolving to a
 		// single object are the common case).
+		aborted := false
 		path, found := graph.FindFirst(s, starts[0], dir, false, func(n graph.NodeID) bool {
+			if r.Stop() {
+				aborted = true
+				return true // abort traversal by "finding" the current node
+			}
 			node, ok := s.NodeByID(n)
 			return ok && pred(node)
 		})
+		if aborted {
+			found = false
+		}
 		res := Result{IsPath: true, Found: found}
 		for _, id := range path {
 			if n, ok := s.NodeByID(id); ok {
 				res.Nodes = append(res.Nodes, n)
 			}
 		}
-		return res, nil
+		return res, r.Finish(), nil
 	default:
-		return Result{}, fmt.Errorf("pql: unknown op %d", q.Op)
+		return Result{}, r.Finish(), fmt.Errorf("%w: unknown op %d", query.ErrBadQuery, q.Op)
 	}
 }
 
@@ -117,7 +137,7 @@ func resolveSource(s *provgraph.Snapshot, src Source) ([]provgraph.NodeID, error
 				return []provgraph.NodeID{id}, nil
 			}
 		}
-		return nil, fmt.Errorf("pql: no download %q", src.Arg)
+		return nil, &query.NoDownloadError{Path: src.Arg}
 	case SrcTerm:
 		t, ok := s.TermNode(src.Arg)
 		if !ok {
@@ -130,19 +150,19 @@ func resolveSource(s *provgraph.Snapshot, src Source) ([]provgraph.NodeID, error
 		}
 		return []provgraph.NodeID{provgraph.NodeID(src.ID)}, nil
 	default:
-		return nil, fmt.Errorf("pql: unknown source kind %d", src.Kind)
+		return nil, fmt.Errorf("%w: unknown source kind %d", query.ErrBadQuery, src.Kind)
 	}
 }
 
 // compilePred turns the AST predicate into a closure. A nil predicate
 // matches everything.
-func compilePred(e *query.Engine, s *provgraph.Snapshot, p *Pred) func(provgraph.Node) bool {
+func compilePred(r *query.Run, s *provgraph.Snapshot, p *Pred) func(provgraph.Node) bool {
 	if p == nil {
 		return func(provgraph.Node) bool { return true }
 	}
 	clauses := make([]func(provgraph.Node) bool, 0, len(p.Clauses))
 	for _, c := range p.Clauses {
-		clauses = append(clauses, compileClause(e, s, c))
+		clauses = append(clauses, compileClause(r, s, c))
 	}
 	return func(n provgraph.Node) bool {
 		for _, c := range clauses {
@@ -154,10 +174,10 @@ func compilePred(e *query.Engine, s *provgraph.Snapshot, p *Pred) func(provgraph
 	}
 }
 
-func compileClause(e *query.Engine, s *provgraph.Snapshot, c Clause) func(provgraph.Node) bool {
+func compileClause(r *query.Run, s *provgraph.Snapshot, c Clause) func(provgraph.Node) bool {
 	switch c.Field {
 	case "recognizable":
-		return func(n provgraph.Node) bool { return e.RecognizableIn(s, n) }
+		return r.Recognizable
 	case "kind":
 		want := kindFromName(c.Str)
 		return func(n provgraph.Node) bool { return n.Kind == want }

@@ -1,6 +1,8 @@
 package pql
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -84,7 +86,7 @@ func TestParseForms(t *testing.T) {
 
 func TestDescendantDownloadsQuery(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `descendants(url("http://shady.example/")) where kind = download`)
+	res, _, err := Eval(context.Background(), e.View(), `descendants(url("http://shady.example/")) where kind = download`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestDescendantDownloadsQuery(t *testing.T) {
 
 func TestLineageQuery(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `lineage of download("/home/u/codec.exe")`)
+	res, _, err := Eval(context.Background(), e.View(), `lineage of download("/home/u/codec.exe")`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestLineageQuery(t *testing.T) {
 
 func TestFirstAncestorWithPredicate(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `first ancestor of download("/home/u/codec.exe") where kind = search-term`)
+	res, _, err := Eval(context.Background(), e.View(), `first ancestor of download("/home/u/codec.exe") where kind = search-term`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestFirstAncestorWithPredicate(t *testing.T) {
 
 func TestAncestorsKindFilter(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `ancestors(download("/home/u/codec.exe")) where kind = search-term`)
+	res, _, err := Eval(context.Background(), e.View(), `ancestors(download("/home/u/codec.exe")) where kind = search-term`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestAncestorsKindFilter(t *testing.T) {
 
 func TestDescendantsOfTerm(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `descendants(term("free codecs")) where kind = download`)
+	res, _, err := Eval(context.Background(), e.View(), `descendants(term("free codecs")) where kind = download`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestDescendantsOfTerm(t *testing.T) {
 
 func TestVisitsPredicate(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `ancestors(download("/home/u/codec.exe")) where visits >= 4`)
+	res, _, err := Eval(context.Background(), e.View(), `ancestors(download("/home/u/codec.exe")) where visits >= 4`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +172,7 @@ func TestVisitsPredicate(t *testing.T) {
 
 func TestLimit(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `ancestors(download("/home/u/codec.exe")) limit 2`)
+	res, _, err := Eval(context.Background(), e.View(), `ancestors(download("/home/u/codec.exe")) limit 2`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestLimit(t *testing.T) {
 
 func TestTitleSubstringPredicate(t *testing.T) {
 	_, e := buildStore(t)
-	res, err := Eval(e, `ancestors(download("/home/u/codec.exe")) where title ~ "codecs here"`)
+	res, _, err := Eval(context.Background(), e.View(), `ancestors(download("/home/u/codec.exe")) where title ~ "codecs here"`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestUnknownSourceErrors(t *testing.T) {
 		`ancestors(node(999999))`,
 	}
 	for _, src := range cases {
-		if _, err := Eval(e, src); err == nil {
+		if _, _, err := Eval(context.Background(), e.View(), src); err == nil {
 			t.Fatalf("Eval(%q) succeeded, want error", src)
 		}
 	}
@@ -208,7 +210,7 @@ func TestUnknownSourceErrors(t *testing.T) {
 func TestNodeSource(t *testing.T) {
 	s, e := buildStore(t)
 	dl := s.Downloads()[0]
-	res, err := Eval(e, `ancestors(node(`+itoa(uint64(dl))+`)) where kind = page`)
+	res, _, err := Eval(context.Background(), e.View(), `ancestors(node(`+itoa(uint64(dl))+`)) where kind = page`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,4 +233,32 @@ func itoa(v uint64) string {
 		v /= 10
 	}
 	return string(b[i:])
+}
+
+// TestSentinelErrors pins the error taxonomy of the v2 API: PQL errors
+// dispatchable with errors.Is instead of string matching.
+func TestSentinelErrors(t *testing.T) {
+	_, e := buildStore(t)
+	v := e.View()
+	ctx := context.Background()
+	if _, _, err := Eval(ctx, v, `frobnicate(`); !errors.Is(err, query.ErrBadQuery) {
+		t.Fatalf("parse error = %v, want ErrBadQuery", err)
+	}
+	if _, _, err := Eval(ctx, v, `lineage of download("/nope")`); !errors.Is(err, query.ErrNoSuchDownload) {
+		t.Fatalf("missing download = %v, want ErrNoSuchDownload", err)
+	}
+}
+
+// TestEvalReportsGeneration checks PQL Meta carries the View's pinned
+// generation like every other query.
+func TestEvalReportsGeneration(t *testing.T) {
+	_, e := buildStore(t)
+	v := e.View()
+	_, meta, err := Eval(context.Background(), v, `ancestors(download("/home/u/codec.exe"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Generation != v.Generation() || meta.Generation == 0 {
+		t.Fatalf("meta.Generation = %d, view = %d", meta.Generation, v.Generation())
+	}
 }

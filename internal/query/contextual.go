@@ -1,8 +1,8 @@
 package query
 
 import (
+	"context"
 	"sort"
-	"time"
 
 	"browserprov/internal/graph"
 	"browserprov/internal/provgraph"
@@ -33,24 +33,32 @@ const (
 	wHITS = 0.5
 )
 
-// ContextualSearch implements §2.1: a textual search whose results are
-// re-ranked — and extended — by the relevance of their provenance
-// neighbors. Pages that never matched the query textually but descend
-// from matching nodes (e.g. a page reached from a search-term node) are
-// admitted into the result set.
-func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
-	return e.contextualSearchIn(e.snapshot(), q, k)
+// Search implements §2.1: a textual search whose results are re-ranked —
+// and extended — by the relevance of their provenance neighbors. Pages
+// that never matched the query textually but descend from matching
+// nodes (e.g. a page reached from a search-term node) are admitted into
+// the result set.
+func (v *View) Search(ctx context.Context, q string, k int, opts ...Option) ([]PageHit, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	hits := r.contextualSearch(q, k)
+	return hits, r.Finish(), nil
 }
 
-// contextualSearchIn is ContextualSearch pinned to one snapshot, so
-// multi-stage callers (Personalize) keep a single consistent view.
-func (e *Engine) contextualSearchIn(sn *provgraph.Snapshot, q string, k int) ([]PageHit, Meta) {
-	start := time.Now()
-	stop, _ := e.deadlineStop()
+// contextualSearch is the §2.1 core, shared with Personalize so its
+// multi-stage evaluation keeps a single Run (one snapshot, one budget).
+func (r *Run) contextualSearch(q string, k int) []PageHit {
+	if r.Stop() {
+		return nil
+	}
+	sn := r.Snapshot()
 
 	// Stage 1: textual search over all indexed nodes (pages, terms,
-	// downloads, forms). Matches seed the expansion.
-	textHits := e.index.Search(q, 200)
+	// downloads, forms), bounded to the pinned epoch's corpus. Matches
+	// seed the expansion.
+	textHits := r.searchIndex(q, 200)
 	seeds := make(map[graph.NodeID]float64, len(textHits)*2)
 	textScore := make(map[provgraph.NodeID]float64, len(textHits))
 	for _, h := range textHits {
@@ -77,12 +85,13 @@ func (e *Engine) contextualSearchIn(sn *provgraph.Snapshot, q string, k int) ([]
 	}
 
 	// Stage 2: neighborhood expansion through the personalisation lens.
-	g := e.viewOf(sn)
-	scores := graph.Expand(g, seeds, graph.Undirected, e.opts.decay(), e.opts.maxDepth(), e.opts.maxNodes(), stop)
+	g := r.graphView()
+	scores := graph.Expand(g, seeds, graph.Undirected, r.opts.decay(), r.opts.maxDepth(), r.opts.maxNodes(), r.Stop)
+	r.expanded = len(scores)
 
 	// Optional stage 2b: HITS over the expanded subgraph, blended in.
 	var auth map[graph.NodeID]float64
-	if e.opts.UseHITS && !stop() {
+	if r.opts.UseHITS && !r.Stop() {
 		sub := make([]graph.NodeID, 0, len(scores))
 		for n := range scores {
 			sub = append(sub, n)
@@ -132,25 +141,28 @@ func (e *Engine) contextualSearchIn(sn *provgraph.Snapshot, q string, k int) ([]
 			Score: wText*ts + wProv*prov,
 		})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Page < hits[j].Page
-	})
+	sortHits(hits)
 	if k > 0 && len(hits) > k {
 		hits = hits[:k]
 	}
-	return hits, Meta{Elapsed: time.Since(start), Truncated: stop(), Expanded: len(scores)}
+	return hits
 }
 
 // TextualSearch is the baseline a provenance-unaware browser offers:
 // pure TF-IDF over page titles and URLs. It is exposed so experiments
-// can compare (E4).
-func (e *Engine) TextualSearch(q string, k int) []PageHit {
-	sn := e.snapshot()
+// can compare (E4), and reports latency and generation in Meta like
+// every other query.
+func (v *View) TextualSearch(ctx context.Context, q string, k int, opts ...Option) ([]PageHit, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if r.Stop() {
+		return nil, r.Finish(), nil
+	}
+	sn := r.Snapshot()
 	var hits []PageHit
-	for _, h := range e.index.Search(q, 0) {
+	for _, h := range r.searchIndex(q, 0) {
 		id := provgraph.NodeID(h.Doc)
 		n, ok := sn.NodeByID(id)
 		if !ok || n.Kind != provgraph.KindPage {
@@ -161,14 +173,19 @@ func (e *Engine) TextualSearch(q string, k int) []PageHit {
 			TextScore: h.Score, Score: h.Score,
 		})
 	}
+	sortHits(hits)
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, r.Finish(), nil
+}
+
+// sortHits orders by descending score, page ID as the stable tiebreak.
+func sortHits(hits []PageHit) {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
 		}
 		return hits[i].Page < hits[j].Page
 	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits
 }

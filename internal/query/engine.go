@@ -12,87 +12,26 @@
 //   - Download lineage (§2.4): breadth-first ancestor search to the
 //     first recognizable page, and descendant scans for downloads.
 //
-// Every query runs under a time budget (default 200 ms, the bound the
-// paper reports); expansion checks the budget between frontier rounds,
-// so results degrade gracefully instead of blowing the deadline.
+// The canonical way in is a snapshot-pinned View (see view.go): every
+// query takes a context, variadic per-call options, and runs under a
+// time budget (default 200 ms, the bound the paper reports); expansion
+// checks budget and cancellation between frontier rounds, so results
+// degrade gracefully instead of blowing the deadline.
 package query
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
-	"time"
 
-	"browserprov/internal/graph"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/textindex"
 )
 
-// DefaultBudget is the paper's 200 ms interactive bound (§4).
-const DefaultBudget = 200 * time.Millisecond
-
-// Options tunes the engine. The zero value gives the defaults used in
-// the experiments.
-type Options struct {
-	// Budget bounds each query's wall-clock time. 0 means DefaultBudget;
-	// negative means unlimited.
-	Budget time.Duration
-	// Decay is the per-hop weight decay of neighborhood expansion.
-	// 0 means 0.5.
-	Decay float64
-	// MaxDepth bounds expansion depth. 0 means 3.
-	MaxDepth int
-	// MaxNodes bounds the expanded neighborhood size. 0 means 5000.
-	MaxNodes int
-	// UseHITS additionally runs HITS over the expanded neighborhood and
-	// blends authority scores into the ranking.
-	UseHITS bool
-	// UseLens routes expansion through the redirect-splicing
-	// personalisation lens (§3.2) instead of the raw graph. Defaults on
-	// for contextual/personalised search; set RawGraph to disable.
-	RawGraph bool
-	// RecognizableVisits is the visit-count threshold for "a page the
-	// user is likely to recognize" in lineage queries (§2.4). 0 means 3.
-	RecognizableVisits int
-}
-
-func (o Options) budget() time.Duration {
-	switch {
-	case o.Budget == 0:
-		return DefaultBudget
-	case o.Budget < 0:
-		return 365 * 24 * time.Hour
-	default:
-		return o.Budget
-	}
-}
-
-func (o Options) decay() float64 {
-	if o.Decay == 0 {
-		return 0.5
-	}
-	return o.Decay
-}
-
-func (o Options) maxDepth() int {
-	if o.MaxDepth == 0 {
-		return 3
-	}
-	return o.MaxDepth
-}
-
-func (o Options) maxNodes() int {
-	if o.MaxNodes == 0 {
-		return 5000
-	}
-	return o.MaxNodes
-}
-
-func (o Options) recognizable() int {
-	if o.RecognizableVisits == 0 {
-		return 3
-	}
-	return o.RecognizableVisits
-}
+// viewRetain is how many materialised epoch snapshots the engine keeps
+// for ViewAt time travel. Snapshots share their sealed epoch by
+// reference, so retention costs only the unsealed tails.
+const viewRetain = 8
 
 // Engine evaluates use-case queries against one provenance store.
 //
@@ -116,13 +55,24 @@ type Engine struct {
 	mu          sync.Mutex
 	index       *textindex.Index
 	lastIndexed provgraph.NodeID
+
+	// recent retains the last viewRetain materialised snapshots keyed by
+	// generation, for ViewAt. Guarded by mu.
+	recent      map[uint64]*provgraph.Snapshot
+	recentOrder []uint64
 }
 
 // NewEngine builds an engine over store, indexing every page, search
 // term, download and form node for textual search. Pass Options{} for
-// the defaults.
+// the defaults; any knob can be overridden per query call with the
+// With* options.
 func NewEngine(store *provgraph.Store, opts Options) *Engine {
-	e := &Engine{store: store, opts: opts, index: textindex.New()}
+	e := &Engine{
+		store:  store,
+		opts:   opts,
+		index:  textindex.New(),
+		recent: make(map[uint64]*provgraph.Snapshot, viewRetain),
+	}
 	e.snapshot() // prime the first view and index the existing history
 	return e
 }
@@ -147,13 +97,29 @@ func (e *Engine) snapshot() *provgraph.Snapshot {
 	})
 	e.lastIndexed = sn.MaxNodeID()
 	e.curr.Store(sn)
+	e.retain(sn)
 	return sn
+}
+
+// retain records sn in the ViewAt ring, evicting the oldest entry
+// beyond viewRetain. Caller holds e.mu.
+func (e *Engine) retain(sn *provgraph.Snapshot) {
+	gen := sn.Generation()
+	if _, ok := e.recent[gen]; ok {
+		return
+	}
+	e.recent[gen] = sn
+	e.recentOrder = append(e.recentOrder, gen)
+	for len(e.recentOrder) > viewRetain {
+		delete(e.recent, e.recentOrder[0])
+		e.recentOrder = e.recentOrder[1:]
+	}
 }
 
 // Snapshot returns the immutable graph view queries currently run
 // against, refreshing it if the store has moved. Callers composing
-// multi-step reads (e.g. the PQL evaluator) use one Snapshot for the
-// whole evaluation to get a consistent point-in-time answer.
+// multi-step reads should prefer View, which pins one snapshot for the
+// whole investigation.
 func (e *Engine) Snapshot() *provgraph.Snapshot { return e.snapshot() }
 
 // indexNode adds one node to the text index. Visit instances are not
@@ -183,30 +149,104 @@ func (e *Engine) Index() *textindex.Index {
 // Store returns the underlying provenance store.
 func (e *Engine) Store() *provgraph.Store { return e.store }
 
-// deadlineStop returns a stop predicate that trips after the engine's
-// budget, plus the deadline itself.
-func (e *Engine) deadlineStop() (func() bool, time.Time) {
-	deadline := time.Now().Add(e.opts.budget())
-	return func() bool { return !time.Now().Before(deadline) }, deadline
+// ---- deprecated convenience wrappers ----
+//
+// The pre-View API, kept as thin wrappers over a fresh View so existing
+// callers migrate incrementally. Each call pins the current epoch,
+// runs with context.Background() and the engine's base options, and
+// drops the error (which, absent a broken View, is always nil here).
+
+// ContextualSearch runs §2.1 on a fresh View.
+//
+// Deprecated: use View().Search(ctx, q, k, opts...).
+func (e *Engine) ContextualSearch(q string, k int) ([]PageHit, Meta) {
+	hits, meta, _ := e.View().Search(context.Background(), q, k)
+	return hits, meta
 }
 
-// viewOf returns the graph the ranking queries traverse over sn: the
-// personalisation lens by default, the raw snapshot if configured. The
-// lens (and its redirect-resolution memo) is shared by every query on
-// the same epoch.
-func (e *Engine) viewOf(sn *provgraph.Snapshot) graph.Graph {
-	if e.opts.RawGraph {
-		return sn
-	}
-	return sn.Lens()
+// TextualSearch is the provenance-unaware baseline on a fresh View.
+//
+// Deprecated: use View().TextualSearch(ctx, q, k, opts...).
+func (e *Engine) TextualSearch(q string, k int) []PageHit {
+	hits, _, _ := e.View().TextualSearch(context.Background(), q, k)
+	return hits
 }
 
-// Meta describes how a query execution went.
-type Meta struct {
-	// Elapsed is the query's wall-clock time.
-	Elapsed time.Duration
-	// Truncated reports whether the time budget cut the work short.
-	Truncated bool
-	// Expanded is the number of nodes the neighborhood expansion scored.
-	Expanded int
+// Personalize runs §2.2 on a fresh View.
+//
+// Deprecated: use View().Personalize(ctx, q, n, opts...).
+func (e *Engine) Personalize(q string, n int) ([]TermSuggestion, Meta) {
+	s, meta, _ := e.View().Personalize(context.Background(), q, n)
+	return s, meta
+}
+
+// AugmentQuery runs the §2.2 augmentation on a fresh View.
+//
+// Deprecated: use View().AugmentQuery(ctx, q, minWeight, opts...).
+func (e *Engine) AugmentQuery(q string, minWeight float64) (string, Meta) {
+	out, meta, _ := e.View().AugmentQuery(context.Background(), q, minWeight)
+	return out, meta
+}
+
+// TimeContextualSearch runs §2.3 on a fresh View.
+//
+// Deprecated: use View().TimeContextualSearch(ctx, q, anchor, k, opts...).
+func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
+	hits, meta, _ := e.View().TimeContextualSearch(context.Background(), q, anchor, k)
+	return hits, meta
+}
+
+// DownloadLineage runs §2.4 on a fresh View.
+//
+// Deprecated: use View().DownloadLineage(ctx, download, opts...).
+func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
+	lin, meta, _ := e.View().DownloadLineage(context.Background(), download)
+	return lin, meta
+}
+
+// DescendantDownloads runs the §2.4 descendant scan on a fresh View.
+//
+// Deprecated: use View().DescendantDownloads(ctx, pageURL, opts...).
+func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
+	dls, meta, _ := e.View().DescendantDownloads(context.Background(), pageURL)
+	return dls, meta
+}
+
+// AncestorTerms lists lineage search terms on a fresh View.
+//
+// Deprecated: use View().AncestorTerms(ctx, n, opts...).
+func (e *Engine) AncestorTerms(n provgraph.NodeID) ([]string, Meta) {
+	terms, meta, _ := e.View().AncestorTerms(context.Background(), n)
+	return terms, meta
+}
+
+// Sessions reconstructs sittings on a fresh View.
+//
+// Deprecated: use View().Sessions(ctx, opts...).
+func (e *Engine) Sessions() []Session {
+	s, _, _ := e.View().Sessions(context.Background())
+	return s
+}
+
+// SummarizeSessions summarises recent sittings on a fresh View.
+//
+// Deprecated: use View().SummarizeSessions(ctx, n, opts...).
+func (e *Engine) SummarizeSessions(n int) []SessionSummary {
+	s, _, _ := e.View().SummarizeSessions(context.Background(), n)
+	return s
+}
+
+// Recognizable is the §2.4 predicate under the engine's base options.
+//
+// Deprecated: judge nodes through a Run (Run.Recognizable) so the whole
+// traversal shares one snapshot and one threshold.
+func (e *Engine) Recognizable(n provgraph.Node) bool {
+	return recognizableIn(e.snapshot(), n, e.opts.recognizable())
+}
+
+// RecognizableIn is Recognizable evaluated against a specific snapshot.
+//
+// Deprecated: use Run.Recognizable.
+func (e *Engine) RecognizableIn(sn *provgraph.Snapshot, n provgraph.Node) bool {
+	return recognizableIn(sn, n, e.opts.recognizable())
 }

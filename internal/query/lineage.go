@@ -1,7 +1,8 @@
 package query
 
 import (
-	"time"
+	"context"
+	"strconv"
 
 	"browserprov/internal/graph"
 	"browserprov/internal/provgraph"
@@ -20,19 +21,13 @@ type Lineage struct {
 	Found bool
 }
 
-// Recognizable is the §2.4 predicate: "'likely to recognize' can be
+// recognizableIn is the §2.4 predicate: "'likely to recognize' can be
 // defined in terms of history, e.g., the number of visits the user has
 // made to the page." A page is recognizable if it has been visited at
-// least the configured number of times, was bookmarked, or was reached
-// by typing its URL.
-func (e *Engine) Recognizable(n provgraph.Node) bool {
-	return e.RecognizableIn(e.snapshot(), n)
-}
-
-// RecognizableIn is Recognizable evaluated against a specific snapshot,
-// for callers (download lineage, the PQL evaluator) that must judge
-// every node of one traversal against the same point-in-time view.
-func (e *Engine) RecognizableIn(sn *provgraph.Snapshot, n provgraph.Node) bool {
+// least minVisits times, was bookmarked, or was reached by typing its
+// URL — all judged against one snapshot, so every node of a traversal
+// sees the same point-in-time view.
+func recognizableIn(sn *provgraph.Snapshot, n provgraph.Node, minVisits int) bool {
 	var page provgraph.NodeID
 	switch n.Kind {
 	case provgraph.KindVisit:
@@ -42,7 +37,7 @@ func (e *Engine) RecognizableIn(sn *provgraph.Snapshot, n provgraph.Node) bool {
 	default:
 		return false
 	}
-	if sn.VisitCount(page) >= e.opts.recognizable() {
+	if sn.VisitCount(page) >= minVisits {
 		return true
 	}
 	// Bookmarked pages are recognizable by definition, as are pages the
@@ -64,22 +59,48 @@ func (e *Engine) RecognizableIn(sn *provgraph.Snapshot, n provgraph.Node) bool {
 // DownloadLineage implements §2.4: starting from a download node, walk
 // ancestors breadth-first to the nearest page the user is likely to
 // recognize. Lineage uses the raw graph — redirects are part of the
-// forensic story, not noise.
-func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
-	start := time.Now()
-	stop, _ := e.deadlineStop()
-	sn := e.snapshot()
+// forensic story, not noise. A node that is not a download in the
+// View's snapshot yields ErrNoSuchDownload.
+func (v *View) DownloadLineage(ctx context.Context, download provgraph.NodeID, opts ...Option) (Lineage, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return Lineage{}, Meta{}, err
+	}
+	sn := r.Snapshot()
+	if n, ok := sn.NodeByID(download); !ok || n.Kind != provgraph.KindDownload {
+		return Lineage{}, r.Finish(), &NoDownloadError{Path: "node " + strconv.FormatUint(uint64(download), 10)}
+	}
+	lin := r.downloadLineage(download)
+	return lin, r.Finish(), nil
+}
 
+// DownloadLineageByPath is DownloadLineage addressed by save path —
+// "how did I get this file?" — via the snapshot's save-path index.
+func (v *View) DownloadLineageByPath(ctx context.Context, savePath string, opts ...Option) (Lineage, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return Lineage{}, Meta{}, err
+	}
+	d, ok := r.Snapshot().DownloadBySavePath(savePath)
+	if !ok {
+		return Lineage{}, r.Finish(), &NoDownloadError{Path: savePath}
+	}
+	lin := r.downloadLineage(d.ID)
+	return lin, r.Finish(), nil
+}
+
+func (r *Run) downloadLineage(download provgraph.NodeID) Lineage {
+	sn := r.Snapshot()
 	var path []graph.NodeID
 	found := false
 	budgetBlown := false
 	path, found = graph.FindFirst(sn, download, graph.Backward, false, func(n graph.NodeID) bool {
-		if stop() {
+		if r.Stop() {
 			budgetBlown = true
 			return true // abort traversal by "finding" the current node
 		}
 		node, ok := sn.NodeByID(n)
-		return ok && e.RecognizableIn(sn, node)
+		return ok && r.Recognizable(node)
 	})
 	if budgetBlown {
 		found = false
@@ -96,8 +117,7 @@ func (e *Engine) DownloadLineage(download provgraph.NodeID) (Lineage, Meta) {
 			nodes = append(nodes, n)
 		}
 	}
-	return Lineage{Path: nodes, Found: found},
-		Meta{Elapsed: time.Since(start), Truncated: budgetBlown}
+	return Lineage{Path: nodes, Found: found}
 }
 
 // rootChain walks the first-parent chain from n to a root, returning the
@@ -119,15 +139,18 @@ func rootChain(sn *provgraph.Snapshot, n provgraph.NodeID) []graph.NodeID {
 // DescendantDownloads implements §2.4's second query: "find all
 // descendants of this page that are downloads" — e.g. everything pulled
 // from a page later found to be malicious. The scan covers every visit
-// instance of the page.
-func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
-	start := time.Now()
-	stop, _ := e.deadlineStop()
-	sn := e.snapshot()
-
+// instance of the page. An unknown URL yields an empty result, not an
+// error: the forensic question "what did this page drop?" has the
+// honest answer "nothing" for a page never visited.
+func (v *View) DescendantDownloads(ctx context.Context, pageURL string, opts ...Option) ([]provgraph.Node, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	sn := r.Snapshot()
 	page, ok := sn.PageByURL(pageURL)
 	if !ok {
-		return nil, Meta{Elapsed: time.Since(start)}
+		return nil, r.Finish(), nil
 	}
 	roots := sn.VisitsOfPage(page.ID)
 	if sn.Mode() == provgraph.VersionEdges {
@@ -135,10 +158,8 @@ func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
 	}
 	seen := make(map[provgraph.NodeID]bool)
 	var out []provgraph.Node
-	truncated := false
 	graph.BFS(sn, roots, graph.Forward, func(n graph.NodeID, depth int) bool {
-		if stop() {
-			truncated = true
+		if r.Stop() {
 			return false
 		}
 		node, ok := sn.NodeByID(n)
@@ -148,21 +169,21 @@ func (e *Engine) DescendantDownloads(pageURL string) ([]provgraph.Node, Meta) {
 		}
 		return true
 	})
-	return out, Meta{Elapsed: time.Since(start), Truncated: truncated}
+	return out, r.Finish(), nil
 }
 
 // AncestorTerms returns the search terms in a node's lineage — the
 // descriptors that led to it (§3.3: search terms "are in the lineage of
 // the page they generate and that page's descendants").
-func (e *Engine) AncestorTerms(n provgraph.NodeID) ([]string, Meta) {
-	start := time.Now()
-	stop, _ := e.deadlineStop()
-	sn := e.snapshot()
+func (v *View) AncestorTerms(ctx context.Context, n provgraph.NodeID, opts ...Option) ([]string, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	sn := r.Snapshot()
 	var out []string
-	truncated := false
 	graph.BFS(sn, []graph.NodeID{n}, graph.Backward, func(m graph.NodeID, depth int) bool {
-		if stop() {
-			truncated = true
+		if r.Stop() {
 			return false
 		}
 		if node, ok := sn.NodeByID(m); ok && node.Kind == provgraph.KindSearchTerm {
@@ -170,5 +191,5 @@ func (e *Engine) AncestorTerms(n provgraph.NodeID) ([]string, Meta) {
 		}
 		return true
 	})
-	return out, Meta{Elapsed: time.Since(start), Truncated: truncated}
+	return out, r.Finish(), nil
 }

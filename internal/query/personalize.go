@@ -1,9 +1,9 @@
 package query
 
 import (
+	"context"
 	"math"
 	"sort"
-	"time"
 
 	"browserprov/internal/provgraph"
 	"browserprov/internal/textindex"
@@ -27,13 +27,22 @@ type TermSuggestion struct {
 // perform term-frequency analysis over the results — each result page's
 // terms are accumulated weighted by the page's contextual score, then
 // IDF-weighted against the whole history so that globally common terms
-// do not dominate. Query terms themselves are excluded.
-func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
-	start := time.Now()
-	// One snapshot for the whole query: the contextual stage and the
-	// term-folding stage below must see the same graph.
-	sn := e.snapshot()
-	hits, meta := e.contextualSearchIn(sn, q, 50)
+// do not dominate. Query terms themselves are excluded. The contextual
+// stage and the term-folding stage run on one Run, so both see the
+// View's pinned snapshot.
+func (v *View) Personalize(ctx context.Context, q string, nTerms int, opts ...Option) ([]TermSuggestion, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	out := r.personalize(q, nTerms)
+	return out, r.Finish(), nil
+}
+
+func (r *Run) personalize(q string, nTerms int) []TermSuggestion {
+	sn := r.Snapshot()
+	index := r.v.e.index
+	hits := r.contextualSearch(q, 50)
 
 	queryTerms := make(map[string]bool)
 	for _, t := range textindex.Tokenize(q) {
@@ -45,7 +54,7 @@ func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
 		if h.Score <= 0 {
 			continue
 		}
-		for term, tf := range e.index.TermsOf(textindex.DocID(h.Page)) {
+		for term, tf := range index.TermsOf(textindex.DocID(h.Page)) {
 			if queryTerms[term] {
 				continue
 			}
@@ -72,10 +81,13 @@ func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
 		}
 	}
 
-	total := e.index.NumDocs()
+	// IDF statistics bounded to the pinned epoch's corpus, like the
+	// contextual stage: a writer growing the shared index must not
+	// re-weight a pinned personalisation.
+	total := index.NumDocsUnder(r.maxDoc())
 	out := make([]TermSuggestion, 0, len(weights))
 	for term, w := range weights {
-		df := e.index.DocFreq(term)
+		df := index.DocFreqUnder(term, r.maxDoc())
 		idf := 1.0
 		if df > 0 && total > 0 {
 			idf = math.Log(1 + float64(total)/float64(df))
@@ -91,18 +103,20 @@ func (e *Engine) Personalize(q string, nTerms int) ([]TermSuggestion, Meta) {
 	if nTerms > 0 && len(out) > nTerms {
 		out = out[:nTerms]
 	}
-	meta.Elapsed = time.Since(start)
-	return out, meta
+	return out
 }
 
 // AugmentQuery returns the query string a provenance-aware browser would
 // actually send to the web search engine: the original query plus the
 // top personalisation term (if any clears minWeight). Only the expanded
 // string leaves the machine — no history does.
-func (e *Engine) AugmentQuery(q string, minWeight float64) (string, Meta) {
-	suggestions, meta := e.Personalize(q, 1)
-	if len(suggestions) == 0 || suggestions[0].Weight < minWeight {
-		return q, meta
+func (v *View) AugmentQuery(ctx context.Context, q string, minWeight float64, opts ...Option) (string, Meta, error) {
+	suggestions, meta, err := v.Personalize(ctx, q, 1, opts...)
+	if err != nil {
+		return q, meta, err
 	}
-	return q + " " + suggestions[0].Term, meta
+	if len(suggestions) == 0 || suggestions[0].Weight < minWeight {
+		return q, meta, nil
+	}
+	return q + " " + suggestions[0].Term, meta, nil
 }

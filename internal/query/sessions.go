@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"time"
 
 	"browserprov/internal/provgraph"
@@ -21,8 +22,20 @@ const sessionGap = 30 * time.Minute
 
 // Sessions reconstructs the history's sittings in chronological order by
 // splitting the visit timeline at gaps of 30 minutes or more.
-func (e *Engine) Sessions() []Session {
-	sn := e.snapshot()
+func (v *View) Sessions(ctx context.Context, opts ...Option) ([]Session, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	out := r.sessions()
+	return out, r.Finish(), nil
+}
+
+func (r *Run) sessions() []Session {
+	if r.Stop() {
+		return nil
+	}
+	sn := r.Snapshot()
 	var out []Session
 	var cur *Session
 	// OpenBetween over all time yields visits in open order.
@@ -52,19 +65,31 @@ func (e *Engine) Sessions() []Session {
 // SessionOf returns the session containing the given visit node, and
 // whether one was found. For non-visit nodes (downloads, terms), the
 // session is located by the node's creation time.
-func (e *Engine) SessionOf(id provgraph.NodeID) (Session, bool) {
-	n, ok := e.snapshot().NodeByID(id)
-	if !ok {
-		return Session{}, false
+func (v *View) SessionOf(ctx context.Context, id provgraph.NodeID, opts ...Option) (Session, bool, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return Session{}, false, Meta{}, err
 	}
-	for _, s := range e.Sessions() {
+	n, ok := r.Snapshot().NodeByID(id)
+	if !ok {
+		return Session{}, false, r.Finish(), nil
+	}
+	for _, s := range r.sessions() {
 		// A node belongs to the session whose span (padded by the gap)
 		// covers its open time.
 		if !n.Open.Before(s.Start) && n.Open.Sub(s.End) < sessionGap {
-			return s, true
+			return s, true, r.Finish(), nil
 		}
 	}
-	return Session{}, false
+	return Session{}, false, r.Finish(), nil
+}
+
+// SessionOf is the deprecated engine-level form of View.SessionOf.
+//
+// Deprecated: use View().SessionOf.
+func (e *Engine) SessionOf(id provgraph.NodeID) (Session, bool) {
+	s, ok, _, _ := e.View().SessionOf(context.Background(), id)
+	return s, ok
 }
 
 // SessionSummary describes a session for display: its span and the
@@ -78,9 +103,13 @@ type SessionSummary struct {
 
 // SummarizeSessions returns display summaries of the most recent n
 // sessions (newest first).
-func (e *Engine) SummarizeSessions(n int) []SessionSummary {
-	sn := e.snapshot()
-	sessions := e.Sessions()
+func (v *View) SummarizeSessions(ctx context.Context, n int, opts ...Option) ([]SessionSummary, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	sn := r.Snapshot()
+	sessions := r.sessions()
 	if n > 0 && len(sessions) > n {
 		sessions = sessions[len(sessions)-n:]
 	}
@@ -101,5 +130,5 @@ func (e *Engine) SummarizeSessions(n int) []SessionSummary {
 		}
 		out = append(out, sum)
 	}
-	return out
+	return out, r.Finish(), nil
 }

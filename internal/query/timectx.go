@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -54,24 +55,29 @@ type span struct{ start, end int64 } // unix micros
 // so each query visit costs one binary search — the whole query is
 // O((|q visits| + |anchor visits|) log |anchor visits|), comfortably
 // inside the 200 ms budget at the paper's 25k-node scale.
-func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta) {
-	start := time.Now()
-	stop, _ := e.deadlineStop()
-	sn := e.snapshot()
+func (v *View) TimeContextualSearch(ctx context.Context, q, anchor string, k int, opts ...Option) ([]TimeHit, Meta, error) {
+	r, err := v.Begin(ctx, opts...)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if r.Stop() {
+		return nil, r.Finish(), nil
+	}
+	sn := r.Snapshot()
 
-	qPages := e.matchPages(sn, q, 200)
-	aPages := e.matchPages(sn, anchor, 200)
+	qPages := r.matchPages(q, 200)
+	aPages := r.matchPages(anchor, 200)
 
 	timeline := anchorTimeline(sn, aPages)
 
 	var hits []TimeHit
 	for _, qp := range qPages {
-		if stop() {
+		if r.Stop() {
 			break
 		}
 		overlap := 0.0
-		for _, v := range sn.VisitsOfPage(qp.page) {
-			n, ok := sn.NodeByID(v)
+		for _, vid := range sn.VisitsOfPage(qp.page) {
+			n, ok := sn.NodeByID(vid)
 			if !ok {
 				continue
 			}
@@ -96,7 +102,7 @@ func (e *Engine) TimeContextualSearch(q, anchor string, k int) ([]TimeHit, Meta)
 	if k > 0 && len(hits) > k {
 		hits = hits[:k]
 	}
-	return hits, Meta{Elapsed: time.Since(start), Truncated: stop()}
+	return hits, r.Finish(), nil
 }
 
 // visitSpan returns a visit's display interval padded by pad on both
@@ -187,10 +193,12 @@ type pageMatch struct {
 	score float64
 }
 
-// matchPages runs a textual search restricted to page nodes.
-func (e *Engine) matchPages(sn *provgraph.Snapshot, q string, limit int) []pageMatch {
+// matchPages runs a textual search restricted to page nodes of the
+// run's snapshot.
+func (r *Run) matchPages(q string, limit int) []pageMatch {
+	sn := r.Snapshot()
 	var out []pageMatch
-	for _, h := range e.index.Search(q, 0) {
+	for _, h := range r.searchIndex(q, 0) {
 		id := provgraph.NodeID(h.Doc)
 		if n, ok := sn.NodeByID(id); ok && n.Kind == provgraph.KindPage {
 			out = append(out, pageMatch{page: id, score: h.Score})

@@ -1,0 +1,215 @@
+// View is the Query API v2 surface: a snapshot-pinned read handle.
+//
+// Engine.View() pins the store's current epoch; every query on the
+// returned View — Search, Personalize, TimeContextualSearch,
+// DownloadLineage, DescendantDownloads, Sessions, and PQL evaluation —
+// sees exactly that generation, so a multi-query investigation
+// (search, then PQL, then lineage) is transactionally consistent even
+// while writers keep applying events. Views are cheap (two pointer
+// fields); create one per request, or hold one for as long as a
+// consistent picture matters.
+//
+// Every query takes a context.Context plus variadic functional options
+// that resolve per call against the engine's base Options — same
+// snapshot, same text index, no rebuild. The effective deadline is
+// min(ctx deadline, budget); cancellation and budget exhaustion are
+// checked between expansion frontier rounds and surfaced as
+// Meta.Canceled / Meta.Truncated with partial results, never as a
+// silent hang.
+package query
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/textindex"
+)
+
+// Meta describes how a query execution went.
+type Meta struct {
+	// Elapsed is the query's wall-clock time.
+	Elapsed time.Duration
+	// Truncated reports whether the time budget (or context deadline)
+	// cut the work short.
+	Truncated bool
+	// Canceled reports whether the context was canceled; results are
+	// partial (possibly empty).
+	Canceled bool
+	// Expanded is the number of nodes the neighborhood expansion scored.
+	Expanded int
+	// Generation is the store generation the query ran against — every
+	// query on one View reports the same value.
+	Generation uint64
+}
+
+// View is a lightweight read handle pinned to one immutable epoch
+// snapshot. It is safe for concurrent use: all state is immutable after
+// construction, and the shared text index is internally synchronised.
+//
+// A View created from a failed lookup (closed history, unretained
+// generation) carries a deferred error: Err reports it eagerly, and
+// every query returns it.
+type View struct {
+	e   *Engine
+	sn  *provgraph.Snapshot
+	err error
+}
+
+// View returns a handle pinned to the store's current epoch, refreshing
+// the engine's cached snapshot (and catching the text index up) if the
+// store has moved.
+func (e *Engine) View() *View {
+	return &View{e: e, sn: e.snapshot()}
+}
+
+// ViewAt returns a handle pinned to generation gen. The engine retains
+// the last few materialised snapshots; asking for one it no longer (or
+// never) holds yields a View whose queries fail with
+// ErrNoSuchGeneration.
+func (e *Engine) ViewAt(gen uint64) *View {
+	sn := e.snapshot()
+	if sn.Generation() == gen {
+		return &View{e: e, sn: sn}
+	}
+	e.mu.Lock()
+	old := e.recent[gen]
+	e.mu.Unlock()
+	if old != nil {
+		return &View{e: e, sn: old}
+	}
+	return &View{e: e, err: fmt.Errorf("query: generation %d (current %d): %w",
+		gen, sn.Generation(), ErrNoSuchGeneration)}
+}
+
+// ErrorView returns a View whose queries all fail with err. The facade
+// uses it to surface ErrClosed through the ordinary query shape.
+func ErrorView(err error) *View { return &View{err: err} }
+
+// Err reports the View's deferred construction error, if any. Queries
+// on a broken View return the same error.
+func (v *View) Err() error { return v.err }
+
+// Generation returns the pinned store generation (0 on a broken View).
+func (v *View) Generation() uint64 {
+	if v.sn == nil {
+		return 0
+	}
+	return v.sn.Generation()
+}
+
+// Snapshot returns the pinned immutable graph view (nil on a broken
+// View). Two queries on the same View always share this pointer.
+func (v *View) Snapshot() *provgraph.Snapshot { return v.sn }
+
+// Engine returns the engine the View was created from.
+func (v *View) Engine() *Engine { return v.e }
+
+// Run is one query execution on a View: the per-call resolved Options,
+// the effective deadline, and the cancellation state that becomes the
+// query's Meta. It is exported so external evaluators (the PQL package)
+// can run their own traversals under the same snapshot-pinning and
+// budget discipline as the built-in queries.
+type Run struct {
+	v        *View
+	ctx      context.Context
+	opts     Options
+	start    time.Time
+	deadline time.Time
+
+	truncated bool
+	canceled  bool
+	expanded  int
+}
+
+// Begin starts a query execution: it resolves opts against the engine's
+// base Options and computes the effective deadline as the earlier of
+// the context's deadline and the resolved budget. It fails immediately
+// on a broken View.
+func (v *View) Begin(ctx context.Context, opts ...Option) (*Run, error) {
+	if v.err != nil {
+		return nil, v.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o := v.e.opts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	start := time.Now()
+	deadline := start.Add(o.budget())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return &Run{v: v, ctx: ctx, opts: o, start: start, deadline: deadline}, nil
+}
+
+// Stop reports whether the query should stop now — context canceled or
+// effective deadline passed — recording which for Finish. Queries call
+// it between frontier rounds, so an already-expired context returns
+// promptly with whatever partial results exist.
+func (r *Run) Stop() bool {
+	if r.canceled || r.truncated {
+		return true
+	}
+	if r.ctx.Err() != nil {
+		r.canceled = true
+		return true
+	}
+	if !time.Now().Before(r.deadline) {
+		r.truncated = true
+		return true
+	}
+	return false
+}
+
+// Snapshot returns the pinned graph view the run queries.
+func (r *Run) Snapshot() *provgraph.Snapshot { return r.v.sn }
+
+// Options returns the run's resolved per-call options.
+func (r *Run) Options() Options { return r.opts }
+
+// Finish seals the run into its Meta.
+func (r *Run) Finish() Meta {
+	return Meta{
+		Elapsed:    time.Since(r.start),
+		Truncated:  r.truncated,
+		Canceled:   r.canceled,
+		Expanded:   r.expanded,
+		Generation: r.v.sn.Generation(),
+	}
+}
+
+// graphView returns the graph traversals walk: the personalisation lens
+// by default, the raw snapshot when the run says so. The lens (and its
+// redirect-resolution memo) is shared by every query on the same epoch.
+func (r *Run) graphView() graph.Graph {
+	if r.opts.RawGraph {
+		return r.v.sn
+	}
+	return r.v.sn.Lens()
+}
+
+// maxDoc is the run's text-corpus watermark: the pinned snapshot's max
+// node ID. The engine's index is shared across epochs and keeps growing
+// under writers, so every index read of a pinned query is bounded to
+// docs at or below this — result sets, IDF statistics and top-k cuts
+// are exactly the pinned generation's, never the live index's.
+func (r *Run) maxDoc() textindex.DocID {
+	return textindex.DocID(r.v.sn.MaxNodeID())
+}
+
+// searchIndex runs the epoch-bounded textual search.
+func (r *Run) searchIndex(q string, limit int) []textindex.Result {
+	return r.v.e.index.SearchUnder(q, limit, r.maxDoc())
+}
+
+// Recognizable is the §2.4 predicate under the run's options: a page
+// visited at least RecognizableVisits times, bookmarked, or reached by
+// typing its URL, judged against the pinned snapshot.
+func (r *Run) Recognizable(n provgraph.Node) bool {
+	return recognizableIn(r.v.sn, n, r.opts.recognizable())
+}

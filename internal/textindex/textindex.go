@@ -66,11 +66,19 @@ type posting struct {
 
 // Index is an inverted index with TF-IDF ranking. It is safe for
 // concurrent use.
+//
+// The index is append-only (documents are never removed, and each doc's
+// terms are fixed once added), and posting lists plus docIDs are kept
+// sorted by DocID. That makes SearchUnder/NumDocsUnder/DocFreqUnder —
+// the corpus restricted to docs at or below a watermark — one binary
+// search per term, which is how epoch-pinned queries stay deterministic
+// while the shared index grows past their snapshot.
 type Index struct {
 	mu       sync.RWMutex
 	postings map[string][]posting
 	forward  map[DocID]map[string]int // doc -> term -> tf
 	docLen   map[DocID]int
+	docIDs   []DocID // all indexed docs, sorted ascending
 	numDocs  int
 }
 
@@ -106,6 +114,17 @@ func (ix *Index) Add(doc DocID, fields ...string) {
 	if _, known := ix.docLen[doc]; !known {
 		ix.numDocs++
 		ix.forward[doc] = make(map[string]int)
+		// Docs arrive in ascending ID order in the common case (the
+		// engine indexes from a monotonic node-ID watermark); fall back
+		// to sorted insert otherwise.
+		if n := len(ix.docIDs); n == 0 || ix.docIDs[n-1] < doc {
+			ix.docIDs = append(ix.docIDs, doc)
+		} else {
+			i := sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] >= doc })
+			ix.docIDs = append(ix.docIDs, 0)
+			copy(ix.docIDs[i+1:], ix.docIDs[i:])
+			ix.docIDs[i] = doc
+		}
 	}
 	ix.docLen[doc] += total
 	fwd := ix.forward[doc]
@@ -159,6 +178,28 @@ func (ix *Index) DocFreq(term string) int {
 	return len(ix.postings[strings.ToLower(term)])
 }
 
+// cutUnder returns the prefix of the doc-sorted posting list pl holding
+// docs at or below maxDoc.
+func cutUnder(pl []posting, maxDoc DocID) []posting {
+	return pl[:sort.Search(len(pl), func(i int) bool { return pl[i].doc > maxDoc })]
+}
+
+// NumDocsUnder returns the number of indexed documents with ID at or
+// below maxDoc — the corpus size an epoch pinned at that watermark sees.
+func (ix *Index) NumDocsUnder(maxDoc DocID) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] > maxDoc })
+}
+
+// DocFreqUnder returns the number of documents with ID at or below
+// maxDoc containing term.
+func (ix *Index) DocFreqUnder(term string, maxDoc DocID) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(cutUnder(ix.postings[strings.ToLower(term)], maxDoc))
+}
+
 // Result is one search hit.
 type Result struct {
 	Doc   DocID
@@ -171,18 +212,33 @@ type Result struct {
 // descending score (ties by DocID for determinism) and truncated to
 // limit if limit > 0.
 func (ix *Index) Search(query string, limit int) []Result {
+	return ix.SearchUnder(query, limit, ^DocID(0))
+}
+
+// SearchUnder is Search restricted to documents with ID at or below
+// maxDoc: both the candidate set and the IDF statistics come from that
+// bounded corpus. Posting lists are doc-sorted, so the restriction is
+// one binary search per query term. Epoch-pinned queries pass their
+// snapshot's max node ID, making results fully deterministic — the
+// top-limit cut, scores and ranks cannot shift as writers index new
+// documents past the watermark (a doc's terms are fixed once added).
+func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	numDocs := ix.numDocs
+	if maxDoc != ^DocID(0) {
+		numDocs = sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] > maxDoc })
+	}
 	scores := make(map[DocID]float64)
 	for _, term := range Tokenize(query) {
 		if stopwords[term] {
 			continue
 		}
-		pl := ix.postings[term]
+		pl := cutUnder(ix.postings[term], maxDoc)
 		if len(pl) == 0 {
 			continue
 		}
-		idf := math.Log(1 + float64(ix.numDocs)/float64(len(pl)))
+		idf := math.Log(1 + float64(numDocs)/float64(len(pl)))
 		for _, p := range pl {
 			tf := 1 + math.Log(float64(p.tf))
 			norm := math.Sqrt(float64(ix.docLen[p.doc]))
