@@ -81,6 +81,7 @@ func benchTerms(eng *query.Engine) []string {
 func BenchmarkE2aContextualSearch(b *testing.B) {
 	_, eng := workload(b)
 	terms := benchTerms(eng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var under int
 	for i := 0; i < b.N; i++ {
@@ -96,6 +97,7 @@ func BenchmarkE2aContextualSearch(b *testing.B) {
 func BenchmarkE2bPersonalize(b *testing.B) {
 	_, eng := workload(b)
 	terms := benchTerms(eng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var under int
 	for i := 0; i < b.N; i++ {
@@ -111,6 +113,7 @@ func BenchmarkE2bPersonalize(b *testing.B) {
 func BenchmarkE2cTimeContext(b *testing.B) {
 	_, eng := workload(b)
 	terms := benchTerms(eng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var under int
 	for i := 0; i < b.N; i++ {
@@ -129,6 +132,7 @@ func BenchmarkE2dLineage(b *testing.B) {
 	if len(downloads) == 0 {
 		b.Skip("no downloads in workload")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var under int
 	for i := 0; i < b.N; i++ {
@@ -151,6 +155,7 @@ func BenchmarkE3Ingest(b *testing.B) {
 	}
 	defer s.Close()
 	base := time.Date(2008, 11, 1, 9, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := &event.Event{
@@ -233,6 +238,7 @@ func BenchmarkPublicAPISearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Search("bench", 10)
@@ -304,6 +310,7 @@ func contendedWorkload(b *testing.B) *History {
 func BenchmarkParallelSearch(b *testing.B) {
 	h := parallelWorkload(b)
 	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -343,6 +350,7 @@ func BenchmarkParallelSearchContended(b *testing.B) {
 			})
 		}
 	}()
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -361,6 +369,7 @@ func BenchmarkParallelSearchContended(b *testing.B) {
 func BenchmarkSingleSearch(b *testing.B) {
 	h := parallelWorkload(b)
 	terms := []string{"topic", "article", "42", "s3", "17 article"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Search(terms[i%len(terms)], 10)
@@ -383,6 +392,7 @@ func BenchmarkPerCallOptions(b *testing.B) {
 	ctx := context.Background()
 	v := h.View()
 	sn := v.Snapshot()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := v.Search(ctx, terms[i%len(terms)], 10, variants[i%len(variants)]...); err != nil {

@@ -28,6 +28,7 @@ func benchGraph(nodes, outDeg int, seed int64) (*Mem, []NodeID) {
 
 func BenchmarkBFSFullHistory(b *testing.B) {
 	g, _ := benchGraph(25000, 2, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		count := 0
@@ -41,6 +42,7 @@ func BenchmarkBFSFullHistory(b *testing.B) {
 func BenchmarkFindFirstAncestor(b *testing.B) {
 	g, ids := benchGraph(25000, 2, 2)
 	target := ids[10]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FindFirst(g, ids[len(ids)-1], Backward, false, func(n NodeID) bool { return n == target })
@@ -50,24 +52,58 @@ func BenchmarkFindFirstAncestor(b *testing.B) {
 func BenchmarkExpandDepth3(b *testing.B) {
 	g, ids := benchGraph(25000, 3, 3)
 	seeds := map[NodeID]float64{ids[20000]: 1, ids[20100]: 1, ids[20200]: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Expand(g, seeds, Undirected, 0.5, 3, 5000, nil)
 	}
 }
 
+// BenchmarkExpandArenaDepth3 is BenchmarkExpandDepth3 on the dense
+// arena — the map-vs-slab delta is the point of this PR.
+func BenchmarkExpandArenaDepth3(b *testing.B) {
+	g, ids := benchGraph(25000, 3, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := GetArena(int(g.MaxNodeID()) + 1)
+		a.ResetExpand(a.NodeCap())
+		a.SeedExpand(ids[20000], 1)
+		a.SeedExpand(ids[20100], 1)
+		a.SeedExpand(ids[20200], 1)
+		ExpandArena(g, a, Undirected, 0.5, 3, 5000, nil)
+		a.Release()
+	}
+}
+
 func BenchmarkHITS100Nodes(b *testing.B) {
 	g, ids := benchGraph(25000, 3, 4)
 	sub := ids[12000:12100]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		HITS(g, sub, 20, 1e-6)
 	}
 }
 
+// BenchmarkHITSArena100Nodes is BenchmarkHITS100Nodes on
+// index-compacted slices.
+func BenchmarkHITSArena100Nodes(b *testing.B) {
+	g, ids := benchGraph(25000, 3, 4)
+	sub := ids[12000:12100]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := GetArena(int(g.MaxNodeID()) + 1)
+		HITSArena(g, a, sub, 20, 1e-6)
+		a.Release()
+	}
+}
+
 func BenchmarkPageRank1kNodes(b *testing.B) {
 	g, ids := benchGraph(25000, 3, 5)
 	sub := ids[10000:11000]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		PageRank(g, sub, 0.85, 30, 1e-9)
@@ -76,6 +112,7 @@ func BenchmarkPageRank1kNodes(b *testing.B) {
 
 func BenchmarkTopoSort(b *testing.B) {
 	g, ids := benchGraph(25000, 2, 6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := TopoSort(g, ids); err != nil {
@@ -86,6 +123,7 @@ func BenchmarkTopoSort(b *testing.B) {
 
 func BenchmarkIsDAG(b *testing.B) {
 	g, ids := benchGraph(25000, 2, 7)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !IsDAG(g, ids) {

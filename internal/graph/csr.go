@@ -104,6 +104,9 @@ func (c *CSR) InArc(slot int) int { return int(c.inArc[slot]) }
 // MaxID returns the highest node ID the CSR covers.
 func (c *CSR) MaxID() NodeID { return c.maxID }
 
+// MaxNodeID implements Bounded.
+func (c *CSR) MaxNodeID() NodeID { return c.maxID }
+
 // NumArcs returns the number of packed arcs.
 func (c *CSR) NumArcs() int { return len(c.outAdj) }
 

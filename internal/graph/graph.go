@@ -50,9 +50,15 @@ func (d Dir) String() string {
 }
 
 // neighbors returns the neighbor set of n in direction d, appending to
-// buf to avoid allocation in hot loops.
+// buf to avoid allocation in hot loops. Graphs that materialise
+// adjacency on the fly (Appender) write straight into buf; plain
+// graphs take the direct switch (adapting through plainAppender here
+// would box an interface value per call).
 func neighbors(g Graph, n NodeID, d Dir, buf []NodeID) []NodeID {
 	buf = buf[:0]
+	if ap, ok := g.(Appender); ok {
+		return appendNeighbors(ap, n, d, buf)
+	}
 	switch d {
 	case Forward:
 		buf = append(buf, g.Out(n)...)
@@ -70,6 +76,14 @@ func neighbors(g Graph, n NodeID, d Dir, buf []NodeID) []NodeID {
 // start nodes, at depth 0) exactly once; returning false stops the whole
 // traversal. BFS visits nodes in nondecreasing depth order.
 func BFS(g Graph, start []NodeID, dir Dir, visit func(n NodeID, depth int) bool) {
+	if b, ok := g.(Bounded); ok && allWithin(start, b.MaxNodeID()) {
+		// Dense node IDs: bitset visited set and pooled queue instead of
+		// a per-traversal map. Start IDs beyond the graph's bound (e.g. a
+		// node from a newer snapshot than the one being queried) fall
+		// through to the map path, which tolerates unknown IDs.
+		bfsDense(g, b.MaxNodeID(), start, dir, visit)
+		return
+	}
 	type item struct {
 		n     NodeID
 		depth int
@@ -122,6 +136,12 @@ func Reach(g Graph, start NodeID, dir Dir, maxDepth int) map[NodeID]int {
 // This is exactly the paper's download-lineage query: "find the first
 // ancestor of this file that the user is likely to recognize".
 func FindFirst(g Graph, start NodeID, dir Dir, includeStart bool, pred func(NodeID) bool) ([]NodeID, bool) {
+	if b, ok := g.(Bounded); ok && start <= b.MaxNodeID() {
+		// Dense node IDs: parent slab + pooled arena instead of the
+		// parent map and per-node neighbor allocations. An out-of-bound
+		// start falls through to the map path (see BFS).
+		return findFirstDense(g, b.MaxNodeID(), start, dir, includeStart, pred)
+	}
 	parent := map[NodeID]NodeID{start: start}
 	var found NodeID
 	ok := false

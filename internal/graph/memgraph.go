@@ -6,7 +6,8 @@ package graph
 type Mem struct {
 	out map[NodeID][]NodeID
 	in  map[NodeID][]NodeID
-	n   int // edge count
+	n   int    // edge count
+	max NodeID // highest ID seen
 }
 
 // NewMem returns an empty in-memory graph.
@@ -19,6 +20,12 @@ func (m *Mem) AddEdge(u, v NodeID) {
 	m.out[u] = append(m.out[u], v)
 	m.in[v] = append(m.in[v], u)
 	m.n++
+	if u > m.max {
+		m.max = u
+	}
+	if v > m.max {
+		m.max = v
+	}
 }
 
 // AddNode ensures n exists even with no edges.
@@ -29,7 +36,14 @@ func (m *Mem) AddNode(n NodeID) {
 	if _, ok := m.in[n]; !ok {
 		m.in[n] = nil
 	}
+	if n > m.max {
+		m.max = n
+	}
 }
+
+// MaxNodeID implements Bounded: Mem holds dense small IDs (tests and
+// the synthetic web), so dense traversal scratch applies to it too.
+func (m *Mem) MaxNodeID() NodeID { return m.max }
 
 // Out implements Graph.
 func (m *Mem) Out(n NodeID) []NodeID { return m.out[n] }

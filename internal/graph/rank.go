@@ -11,6 +11,9 @@ import "math"
 // expansion algorithm, similar to web search algorithms such as
 // Kleinberg's HITS"; the query layer runs HITS over the expanded
 // neighborhood to rank it.
+//
+// This map-based form is the reference implementation; the query hot
+// path runs HITSArena, whose equivalence to this is tested.
 func HITS(g Graph, nodes []NodeID, iters int, tol float64) (hubs, auths map[NodeID]float64) {
 	inSet := make(map[NodeID]bool, len(nodes))
 	for _, n := range nodes {
@@ -150,6 +153,12 @@ func normalize(m map[NodeID]float64) {
 // performs a textual search and then reorders results by the relevance of
 // their provenance neighbors", with first-generation descendants of a
 // seed receiving "substantial weight".
+//
+// This map-based form is the reference implementation; the query hot
+// path runs ExpandArena, whose equivalence to this is tested. Note the
+// two differ when maxNodes binds: the map's frontier iteration order is
+// randomised, so which nodes clear the cap varies run to run here,
+// while the arena form is deterministic.
 func Expand(g Graph, seeds map[NodeID]float64, dir Dir, decay float64, maxDepth, maxNodes int, stop func() bool) map[NodeID]float64 {
 	scores := make(map[NodeID]float64, len(seeds)*4)
 	frontier := make(map[NodeID]float64, len(seeds))

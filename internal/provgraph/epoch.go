@@ -555,6 +555,7 @@ func openRange(ents []openEnt, lo, hi int64) []openEnt {
 }
 
 var _ graph.Graph = (*Snapshot)(nil)
+var _ graph.Bounded = (*Snapshot)(nil)
 
 // ---- snapshot lens ----
 
@@ -613,43 +614,55 @@ func (l *SnapLens) resolve(n NodeID) NodeID {
 
 // Out implements graph.Graph: successors with embeds dropped and
 // redirect targets resolved to their chain ends.
-func (l *SnapLens) Out(n NodeID) []NodeID {
-	var out []NodeID
+func (l *SnapLens) Out(n NodeID) []NodeID { return l.AppendOut(n, nil) }
+
+// AppendOut implements graph.Appender: the lens materialises adjacency
+// on the fly, so hot traversals hand it their reusable buffer instead
+// of paying an allocation per visited node.
+func (l *SnapLens) AppendOut(n NodeID, buf []NodeID) []NodeID {
 	for _, e := range l.sn.OutEdges(n) {
 		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
 			continue
 		}
 		t := l.resolve(e.To)
 		if t != n {
-			out = append(out, t)
+			buf = append(buf, t)
 		}
 	}
-	return out
+	return buf
 }
 
 // In implements graph.Graph: predecessors with embeds dropped and
 // spliced (redirecting) predecessors replaced by their own
 // predecessors, transitively.
-func (l *SnapLens) In(n NodeID) []NodeID {
-	return l.in(n, 0)
+func (l *SnapLens) In(n NodeID) []NodeID { return l.AppendIn(n, nil) }
+
+// AppendIn implements graph.Appender.
+func (l *SnapLens) AppendIn(n NodeID, buf []NodeID) []NodeID {
+	return l.appendIn(n, buf, 0)
 }
 
-func (l *SnapLens) in(n NodeID, depth int) []NodeID {
+func (l *SnapLens) appendIn(n NodeID, buf []NodeID, depth int) []NodeID {
 	if depth > 32 {
-		return nil
+		return buf
 	}
-	var out []NodeID
 	for _, e := range l.sn.InEdges(n) {
 		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
 			continue
 		}
 		if l.spliced(e.From) {
-			out = append(out, l.in(e.From, depth+1)...)
+			buf = l.appendIn(e.From, buf, depth+1)
 			continue
 		}
-		out = append(out, e.From)
+		buf = append(buf, e.From)
 	}
-	return out
+	return buf
 }
 
+// MaxNodeID implements graph.Bounded: the lens spans the same dense ID
+// space as its snapshot, so dense traversal scratch applies through it.
+func (l *SnapLens) MaxNodeID() NodeID { return l.sn.maxID }
+
 var _ graph.Graph = (*SnapLens)(nil)
+var _ graph.Appender = (*SnapLens)(nil)
+var _ graph.Bounded = (*SnapLens)(nil)

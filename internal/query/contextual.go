@@ -6,6 +6,7 @@ import (
 
 	"browserprov/internal/graph"
 	"browserprov/internal/provgraph"
+	"browserprov/internal/topk"
 )
 
 // PageHit is one contextual history search result.
@@ -49,18 +50,28 @@ func (v *View) Search(ctx context.Context, q string, k int, opts ...Option) ([]P
 
 // contextualSearch is the §2.1 core, shared with Personalize so its
 // multi-stage evaluation keeps a single Run (one snapshot, one budget).
+//
+// Every per-query working set — seeds, expansion scores, text scores,
+// the page fold — lives in the Run's dense scratch arena instead of
+// hash maps: node IDs are dense integers, so each "map" is a flat slab
+// indexed by ID with a generation stamp, recycled across queries
+// through the arena pool. The reference map implementation survives in
+// graph.Expand/graph.HITS; equivalence is tested.
 func (r *Run) contextualSearch(q string, k int) []PageHit {
 	if r.Stop() {
 		return nil
 	}
 	sn := r.Snapshot()
+	a := r.arena
+	nCap := a.NodeCap()
 
 	// Stage 1: textual search over all indexed nodes (pages, terms,
 	// downloads, forms), bounded to the pinned epoch's corpus. Matches
-	// seed the expansion.
+	// seed the expansion; page text scores park in a slab for stage 3.
 	textHits := r.searchIndex(q, 200)
-	seeds := make(map[graph.NodeID]float64, len(textHits)*2)
-	textScore := make(map[provgraph.NodeID]float64, len(textHits))
+	a.ResetExpand(nCap)
+	textScore := &a.PageA
+	textScore.Reset(nCap)
 	for _, h := range textHits {
 		id := provgraph.NodeID(h.Doc)
 		n, ok := sn.NodeByID(id)
@@ -69,40 +80,42 @@ func (r *Run) contextualSearch(q string, k int) []PageHit {
 		}
 		switch n.Kind {
 		case provgraph.KindPage:
-			textScore[id] = h.Score
+			textScore.Set(id, h.Score)
 			// Seed the page's visit instances: provenance lives on the
 			// instance level (§3.1).
 			for _, v := range sn.VisitsOfPage(id) {
-				seeds[v] = h.Score
+				a.SeedExpand(v, h.Score)
 			}
 			if sn.Mode() == provgraph.VersionEdges {
-				seeds[id] = h.Score
+				a.SeedExpand(id, h.Score)
 			}
 		default:
 			// Term/download/form nodes participate directly.
-			seeds[id] = h.Score
+			a.SeedExpand(id, h.Score)
 		}
 	}
 
 	// Stage 2: neighborhood expansion through the personalisation lens.
 	g := r.graphView()
-	scores := graph.Expand(g, seeds, graph.Undirected, r.opts.decay(), r.opts.maxDepth(), r.opts.maxNodes(), r.Stop)
-	r.expanded = len(scores)
+	graph.ExpandArena(g, a, graph.Undirected, r.opts.decay(), r.opts.maxDepth(), r.opts.maxNodes(), r.Stop)
+	scores := &a.Scores
+	r.expanded = scores.Len()
 
 	// Optional stage 2b: HITS over the expanded subgraph, blended in.
-	var auth map[graph.NodeID]float64
+	// sub[i] -> i index compaction replaces the three maps of the
+	// reference HITS; a.Idx keeps the node -> slot mapping for stage 3.
+	var auths []float64
 	if r.opts.UseHITS && !r.Stop() {
-		sub := make([]graph.NodeID, 0, len(scores))
-		for n := range scores {
-			sub = append(sub, n)
-		}
+		a.SubBuf = append(a.SubBuf[:0], scores.Keys()...)
+		sub := a.SubBuf
 		sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
-		_, auth = graph.HITS(g, sub, 20, 1e-6)
+		_, auths = graph.HITSArena(g, a, sub, 20, 1e-6)
 	}
 
 	// Stage 3: fold instance scores back onto page identities.
-	pageProv := make(map[provgraph.NodeID]float64, len(scores))
-	for id, w := range scores {
+	pageProv := &a.PageB
+	pageProv.Reset(nCap)
+	for _, id := range scores.Keys() {
 		n, ok := sn.NodeByID(id)
 		if !ok {
 			continue
@@ -116,36 +129,45 @@ func (r *Run) contextualSearch(q string, k int) []PageHit {
 		default:
 			continue // object nodes don't surface as history results
 		}
-		contrib := w
-		if auth != nil {
-			contrib += wHITS * auth[id] * w
+		contrib := scores.Get(id)
+		if auths != nil {
+			if j, ok := a.Idx.Lookup(id); ok {
+				contrib += wHITS * auths[j] * scores.Get(id)
+			}
 		}
-		if contrib > pageProv[page] {
-			// Max over instances: one strongly-related visit suffices
-			// to make the page relevant; summing would conflate
-			// popularity with relevance.
-			pageProv[page] = contrib
-		}
+		// Max over instances: one strongly-related visit suffices to
+		// make the page relevant; summing would conflate popularity
+		// with relevance.
+		pageProv.Max(page, contrib)
 	}
 
-	hits := make([]PageHit, 0, len(pageProv))
-	for page, prov := range pageProv {
+	hits := make([]PageHit, 0, pageProv.Len())
+	for _, page := range pageProv.Keys() {
 		n, ok := sn.NodeByID(page)
 		if !ok {
 			continue
 		}
-		ts := textScore[page]
+		ts := textScore.Get(page)
+		prov := pageProv.Get(page)
 		hits = append(hits, PageHit{
 			Page: page, URL: n.URL, Title: n.Title,
 			TextScore: ts, ProvScore: prov,
 			Score: wText*ts + wProv*prov,
 		})
 	}
-	sortHits(hits)
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits
+	return topHits(hits, k)
+}
+
+// topHits ranks hits by descending score (page ID as the stable
+// tiebreak) and cuts to k: a bounded-heap selection when k > 0, a full
+// sort when k <= 0.
+func topHits(hits []PageHit, k int) []PageHit {
+	return topk.Select(hits, k, func(a, b PageHit) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Page < b.Page
+	})
 }
 
 // TextualSearch is the baseline a provenance-unaware browser offers:
@@ -173,19 +195,5 @@ func (v *View) TextualSearch(ctx context.Context, q string, k int, opts ...Optio
 			TextScore: h.Score, Score: h.Score,
 		})
 	}
-	sortHits(hits)
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits, r.Finish(), nil
-}
-
-// sortHits orders by descending score, page ID as the stable tiebreak.
-func sortHits(hits []PageHit) {
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Page < hits[j].Page
-	})
+	return topHits(hits, k), r.Finish(), nil
 }

@@ -156,15 +156,13 @@ func (v *View) DescendantDownloads(ctx context.Context, pageURL string, opts ...
 	if sn.Mode() == provgraph.VersionEdges {
 		roots = []provgraph.NodeID{page.ID}
 	}
-	seen := make(map[provgraph.NodeID]bool)
 	var out []provgraph.Node
+	// BFS visits every node exactly once, so no dedup set is needed.
 	graph.BFS(sn, roots, graph.Forward, func(n graph.NodeID, depth int) bool {
 		if r.Stop() {
 			return false
 		}
-		node, ok := sn.NodeByID(n)
-		if ok && node.Kind == provgraph.KindDownload && !seen[n] {
-			seen[n] = true
+		if node, ok := sn.NodeByID(n); ok && node.Kind == provgraph.KindDownload {
 			out = append(out, node)
 		}
 		return true

@@ -54,12 +54,14 @@ func (r *Run) personalize(q string, nTerms int) []TermSuggestion {
 		if h.Score <= 0 {
 			continue
 		}
-		for term, tf := range index.TermsOf(textindex.DocID(h.Page)) {
-			if queryTerms[term] {
-				continue
+		// Stream the forward postings instead of copying a map per
+		// neighborhood page (this loop runs once per hit).
+		index.VisitTermsOf(textindex.DocID(h.Page), func(term string, tf int) bool {
+			if !queryTerms[term] {
+				weights[term] += float64(tf) * h.Score
 			}
-			weights[term] += float64(tf) * h.Score
-		}
+			return true
+		})
 	}
 	// Also fold in the search-term nodes adjacent to the neighborhood:
 	// the user's own past queries are the most concise descriptors

@@ -114,16 +114,16 @@ func (v *View) SummarizeSessions(ctx context.Context, n int, opts ...Option) ([]
 		sessions = sessions[len(sessions)-n:]
 	}
 	out := make([]SessionSummary, 0, len(sessions))
+	seen := &r.arena.Seen
 	for i := len(sessions) - 1; i >= 0; i-- {
 		s := sessions[i]
 		sum := SessionSummary{Start: s.Start, End: s.End, Visits: len(s.Visits)}
-		seen := map[provgraph.NodeID]bool{}
+		seen.Reset(r.arena.NodeCap())
 		for _, v := range s.Visits {
 			vn, ok := sn.NodeByID(v)
-			if !ok || seen[vn.Page] {
+			if !ok || !seen.TrySet(vn.Page) {
 				continue
 			}
-			seen[vn.Page] = true
 			if pn, ok := sn.NodeByID(vn.Page); ok && len(sum.Pages) < 5 {
 				sum.Pages = append(sum.Pages, pn)
 			}

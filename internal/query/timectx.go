@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"browserprov/internal/provgraph"
+	"browserprov/internal/topk"
 )
 
 // TimeHit is one time-contextual search result: a page matching the
@@ -93,15 +94,12 @@ func (v *View) TimeContextualSearch(ctx context.Context, q, anchor string, k int
 			Score: qp.score * (1 + overlap),
 		})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	hits = topk.Select(hits, k, func(a, b TimeHit) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
 		}
-		return hits[i].Page < hits[j].Page
+		return a.Page < b.Page
 	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
 	return hits, r.Finish(), nil
 }
 

@@ -118,6 +118,7 @@ type Run struct {
 	opts     Options
 	start    time.Time
 	deadline time.Time
+	arena    *graph.Arena
 
 	truncated bool
 	canceled  bool
@@ -144,8 +145,17 @@ func (v *View) Begin(ctx context.Context, opts ...Option) (*Run, error) {
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	return &Run{v: v, ctx: ctx, opts: o, start: start, deadline: deadline}, nil
+	// The run's scratch arena is sized to the *pinned* snapshot's max
+	// node ID, not the live store's, so a query on a retained old View
+	// behaves identically no matter how far writers have moved on.
+	arena := graph.GetArena(int(v.sn.MaxNodeID()) + 1)
+	return &Run{v: v, ctx: ctx, opts: o, start: start, deadline: deadline, arena: arena}, nil
 }
+
+// Arena returns the run's pooled dense scratch arena, sized to the
+// pinned snapshot. It is only valid until Finish; results returned to
+// callers must never alias its slabs.
+func (r *Run) Arena() *graph.Arena { return r.arena }
 
 // Stop reports whether the query should stop now — context canceled or
 // effective deadline passed — recording which for Finish. Queries call
@@ -172,8 +182,13 @@ func (r *Run) Snapshot() *provgraph.Snapshot { return r.v.sn }
 // Options returns the run's resolved per-call options.
 func (r *Run) Options() Options { return r.opts }
 
-// Finish seals the run into its Meta.
+// Finish seals the run into its Meta and recycles the run's scratch
+// arena (idempotent: only the first call releases it).
 func (r *Run) Finish() Meta {
+	if r.arena != nil {
+		r.arena.Release()
+		r.arena = nil
+	}
 	return Meta{
 		Elapsed:    time.Since(r.start),
 		Truncated:  r.truncated,

@@ -1,0 +1,148 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceSearchUnder is the pre-slab scoring pipeline: a score map
+// and a full sort, using the same tf/idf/norm formula as the dense
+// path (invNorm is consulted so the arithmetic matches bit for bit).
+func (ix *Index) referenceSearchUnder(query string, limit int, maxDoc DocID) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	numDocs := ix.numDocs
+	if maxDoc != ^DocID(0) {
+		numDocs = sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] > maxDoc })
+	}
+	scores := make(map[DocID]float64)
+	for _, term := range Tokenize(query) {
+		if stopwords[term] {
+			continue
+		}
+		pl := cutUnder(ix.postings[term], maxDoc)
+		if len(pl) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(numDocs)/float64(len(pl)))
+		for _, p := range pl {
+			scores[p.doc] += (1 + math.Log(float64(p.tf))) * idf * ix.invNorm[p.doc]
+		}
+	}
+	out := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		out = append(out, Result{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return resultBefore(out[i], out[j]) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+var denseVocab = []string{
+	"wine", "cellar", "ticket", "flight", "garden", "rosebud",
+	"flower", "news", "story", "recipe", "cheese", "market",
+}
+
+func buildRandomIndex(seed int64, docs int) *Index {
+	rng := rand.New(rand.NewSource(seed))
+	ix := New()
+	for d := 1; d <= docs; d++ {
+		words := make([]string, 0, 6)
+		for w := 0; w < 1+rng.Intn(5); w++ {
+			words = append(words, denseVocab[rng.Intn(len(denseVocab))])
+		}
+		ix.Add(DocID(d), fmt.Sprintf("http://h%d.example/p%d", rng.Intn(9), d), joinWords(words))
+		if rng.Float64() < 0.1 {
+			// Re-add: docLen (and invNorm) must track the stacked terms.
+			ix.Add(DocID(d), denseVocab[rng.Intn(len(denseVocab))])
+		}
+	}
+	return ix
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// TestSearchUnderMatchesReference: the pooled-slab scoring plus
+// bounded-heap selection must reproduce the map-and-full-sort
+// reference exactly — same docs, same scores, same order — including
+// under epoch watermarks and limit cuts.
+func TestSearchUnderMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ix := buildRandomIndex(seed, 500)
+		for _, q := range []string{"wine", "wine cellar", "garden flower news", "nothing matches this"} {
+			for _, maxDoc := range []DocID{^DocID(0), 250, 10} {
+				want := ix.referenceSearchUnder(q, 0, maxDoc)
+				got := ix.SearchUnder(q, 0, maxDoc)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d q=%q max=%d: %d results, reference %d", seed, q, maxDoc, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Doc != want[i].Doc {
+						t.Fatalf("seed %d q=%q max=%d: rank %d doc %d, reference %d", seed, q, maxDoc, i, got[i].Doc, want[i].Doc)
+					}
+					if got[i].Score != want[i].Score {
+						t.Fatalf("seed %d q=%q max=%d: doc %d score %g, reference %g", seed, q, maxDoc, got[i].Doc, got[i].Score, want[i].Score)
+					}
+				}
+				// Limit cuts must be exact prefixes of the full ranking.
+				for _, limit := range []int{1, 7, 100, len(want) + 10} {
+					cut := ix.SearchUnder(q, limit, maxDoc)
+					wantCut := want
+					if limit < len(want) {
+						wantCut = want[:limit]
+					}
+					if len(cut) != len(wantCut) {
+						t.Fatalf("seed %d q=%q max=%d limit=%d: %d results, want %d", seed, q, maxDoc, limit, len(cut), len(wantCut))
+					}
+					for i := range wantCut {
+						if cut[i] != wantCut[i] {
+							t.Fatalf("seed %d q=%q max=%d limit=%d: rank %d = %+v, want %+v", seed, q, maxDoc, limit, i, cut[i], wantCut[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVisitTermsOfMatchesTermsOf: the iterator must stream exactly the
+// map TermsOf returns, and honor early stop.
+func TestVisitTermsOfMatchesTermsOf(t *testing.T) {
+	ix := buildRandomIndex(5, 100)
+	for d := DocID(1); d <= 100; d++ {
+		want := ix.TermsOf(d)
+		got := map[string]int{}
+		ix.VisitTermsOf(d, func(term string, tf int) bool {
+			got[term] = tf
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("doc %d: %d terms streamed, map has %d", d, len(got), len(want))
+		}
+		for term, tf := range want {
+			if got[term] != tf {
+				t.Fatalf("doc %d term %q: tf %d, map %d", d, term, got[term], tf)
+			}
+		}
+	}
+	// Early stop.
+	calls := 0
+	ix.VisitTermsOf(1, func(string, int) bool { calls++; return false })
+	if calls > 1 {
+		t.Fatalf("VisitTermsOf kept streaming after false: %d calls", calls)
+	}
+}

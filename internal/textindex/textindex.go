@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"unicode"
+
+	"browserprov/internal/topk"
 )
 
 // DocID identifies an indexed document (the caller's node or place ID).
@@ -80,6 +82,11 @@ type Index struct {
 	docLen   map[DocID]int
 	docIDs   []DocID // all indexed docs, sorted ascending
 	numDocs  int
+	// invNorm holds 1/sqrt(docLen) indexed directly by DocID (doc IDs
+	// are dense node IDs, so the array is small and O(1) to consult).
+	// Precomputing it at Add time removes a sqrt + map lookup per
+	// posting from the scoring loop.
+	invNorm []float64
 }
 
 // New returns an empty index.
@@ -127,6 +134,10 @@ func (ix *Index) Add(doc DocID, fields ...string) {
 		}
 	}
 	ix.docLen[doc] += total
+	if n := int(doc) + 1 - len(ix.invNorm); n > 0 {
+		ix.invNorm = append(ix.invNorm, make([]float64, n)...)
+	}
+	ix.invNorm[doc] = 1 / math.Sqrt(float64(ix.docLen[doc]))
 	fwd := ix.forward[doc]
 	for term, tf := range counts {
 		// The forward map knows whether this doc already holds the term,
@@ -215,6 +226,44 @@ func (ix *Index) Search(query string, limit int) []Result {
 	return ix.SearchUnder(query, limit, ^DocID(0))
 }
 
+// searchScratch is the pooled per-query scoring slab: a dense score
+// array indexed by DocID with a generation-stamp array, so clearing
+// between queries is one counter bump instead of an O(docs) wipe (or
+// the map churn this replaced — hash insertion per posting was the
+// single hottest line of the contextual-search profile).
+type searchScratch struct {
+	score   []float64
+	stamp   []uint32
+	gen     uint32
+	touched []DocID
+	results []Result // candidate buffer handed to top-k selection
+}
+
+var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+func (sc *searchScratch) reset(n int) {
+	if len(sc.score) < n {
+		sc.score = make([]float64, n)
+		sc.stamp = make([]uint32, n)
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 {
+		clear(sc.stamp)
+		sc.gen = 1
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// resultBefore is the ranking order: descending score, ascending DocID
+// as the deterministic tiebreak.
+func resultBefore(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Doc < b.Doc
+}
+
 // SearchUnder is Search restricted to documents with ID at or below
 // maxDoc: both the candidate set and the IDF statistics come from that
 // bounded corpus. Posting lists are doc-sorted, so the restriction is
@@ -222,6 +271,11 @@ func (ix *Index) Search(query string, limit int) []Result {
 // snapshot's max node ID, making results fully deterministic — the
 // top-limit cut, scores and ranks cannot shift as writers index new
 // documents past the watermark (a doc's terms are fixed once added).
+//
+// Scoring accumulates into a pooled dense slab (doc IDs are dense node
+// IDs) and the top-limit cut is a bounded-heap selection, so a query
+// that touches 40k candidate docs to return 200 never sorts 40k
+// entries or hashes a single one.
 func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -229,7 +283,9 @@ func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 	if maxDoc != ^DocID(0) {
 		numDocs = sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] > maxDoc })
 	}
-	scores := make(map[DocID]float64)
+	sc := searchPool.Get().(*searchScratch)
+	defer searchPool.Put(sc)
+	sc.reset(len(ix.invNorm))
 	for _, term := range Tokenize(query) {
 		if stopwords[term] {
 			continue
@@ -240,24 +296,25 @@ func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 		}
 		idf := math.Log(1 + float64(numDocs)/float64(len(pl)))
 		for _, p := range pl {
-			tf := 1 + math.Log(float64(p.tf))
-			norm := math.Sqrt(float64(ix.docLen[p.doc]))
-			scores[p.doc] += tf * idf / norm
+			w := (1 + math.Log(float64(p.tf))) * idf * ix.invNorm[p.doc]
+			if sc.stamp[p.doc] != sc.gen {
+				sc.stamp[p.doc] = sc.gen
+				sc.score[p.doc] = w
+				sc.touched = append(sc.touched, p.doc)
+				continue
+			}
+			sc.score[p.doc] += w
 		}
 	}
-	out := make([]Result, 0, len(scores))
-	for d, s := range scores {
-		out = append(out, Result{Doc: d, Score: s})
+	sc.results = sc.results[:0]
+	for _, d := range sc.touched {
+		sc.results = append(sc.results, Result{Doc: d, Score: sc.score[d]})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Doc < out[j].Doc
-	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
+	// Select into the pooled candidate buffer; only the final cut is
+	// copied out (the returned slice must not alias pooled memory).
+	top := topk.Select(sc.results, limit, resultBefore)
+	out := make([]Result, len(top))
+	copy(out, top)
 	return out
 }
 
@@ -285,8 +342,8 @@ func (ix *Index) Terms(limit int) []string {
 }
 
 // TermsOf returns the indexed terms of doc with their frequencies.
-// It is used by the personalisation query's term-frequency analysis.
-// The returned map is a copy.
+// The returned map is a copy; callers that only iterate should use
+// VisitTermsOf, which copies nothing.
 func (ix *Index) TermsOf(doc DocID) map[string]int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -296,4 +353,19 @@ func (ix *Index) TermsOf(doc DocID) map[string]int {
 		out[term] = tf
 	}
 	return out
+}
+
+// VisitTermsOf streams the indexed terms of doc with their frequencies,
+// stopping early if fn returns false. It allocates nothing — the
+// personalisation query calls it once per neighborhood page, where the
+// per-call map copy of TermsOf dominated. fn runs under the index read
+// lock and must not call back into the index.
+func (ix *Index) VisitTermsOf(doc DocID, fn func(term string, tf int) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for term, tf := range ix.forward[doc] {
+		if !fn(term, tf) {
+			return
+		}
+	}
 }

@@ -1,0 +1,53 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSelectMatchesFullSort: for random inputs (with deliberate ties
+// broken by the comparator), Select(k) must equal the first k of a full
+// sort, for every k.
+func TestSelectMatchesFullSort(t *testing.T) {
+	type el struct{ score, id int }
+	before := func(a, b el) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id < b.id
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		base := make([]el, n)
+		for i := range base {
+			base[i] = el{score: rng.Intn(20), id: i} // many score ties
+		}
+		want := append([]el(nil), base...)
+		sort.Slice(want, func(i, j int) bool { return before(want[i], want[j]) })
+		for _, k := range []int{0, 1, 2, 3, n / 2, n - 1, n, n + 5} {
+			s := append([]el(nil), base...)
+			got := Select(s, k, before)
+			wantK := want
+			if k > 0 && k < len(want) {
+				wantK = want[:k]
+			}
+			if len(got) != len(wantK) {
+				t.Fatalf("trial %d k=%d: got %d elements, want %d", trial, k, len(got), len(wantK))
+			}
+			for i := range got {
+				if got[i] != wantK[i] {
+					t.Fatalf("trial %d k=%d: element %d = %v, want %v", trial, k, i, got[i], wantK[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	got := Select(nil, 5, func(a, b int) bool { return a < b })
+	if len(got) != 0 {
+		t.Fatalf("Select(nil) = %v", got)
+	}
+}

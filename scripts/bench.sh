@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline query benchmarks and write the results as
+# machine-readable JSON to BENCH_results.json, so the performance
+# trajectory across PRs is a diffable artifact instead of folklore.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 2s; 1x for a smoke run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-2s}"
+out=BENCH_results.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run=NONE \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$' \
+  -benchmem -benchtime "$benchtime" . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns != "") {
+    rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+  }
+}
+END {
+  printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": {\n", date, benchtime, cpu
+  for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
+  printf "  }\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
