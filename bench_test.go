@@ -44,6 +44,11 @@ func workload(b *testing.B) (*experiment.Workload, *query.Engine) {
 		if err != nil {
 			panic(err)
 		}
+		// Converge to the sealed steady state before measuring: reseals
+		// run in the background now, so the tail the build left behind
+		// would otherwise vary run to run.
+		benchW.Prov.ForceReseal()
+		benchW.Prov.WaitReseal()
 		benchEng = query.NewEngine(benchW.Prov, query.Options{})
 	})
 	return benchW, benchEng
@@ -273,8 +278,11 @@ func buildParallelHistory() *History {
 			panic(err)
 		}
 	}
-	// Prime the engine and index once so benchmarks measure
-	// steady-state queries, not first-call indexing.
+	// Converge to the sealed steady state (background reseals drained),
+	// then prime the engine and index once so benchmarks measure
+	// steady-state queries, not first-call indexing or seal churn.
+	h.Graph().ForceReseal()
+	h.Graph().WaitReseal()
 	h.Search("topic", 10)
 	return h
 }

@@ -190,6 +190,15 @@ func (h *History) Close() error {
 // Apply ingests one browsing event.
 func (h *History) Apply(ev *Event) error { return h.store.Apply(ev) }
 
+// ApplyBatch ingests a batch of browsing events as one group commit:
+// one validation pass, one lock acquisition, one vectored WAL append
+// and at most one fsync for the whole batch. Events fold into the graph
+// in order, exactly as the equivalent sequence of Apply calls would —
+// batching changes durability granularity (the batch is one commit),
+// not semantics. High-rate capture paths should buffer into batches
+// (see NewBatchingProxy) instead of calling Apply per event.
+func (h *History) ApplyBatch(evs []*Event) error { return h.store.ApplyBatch(evs) }
+
 // Checkpoint snapshots the store and truncates its log.
 func (h *History) Checkpoint() error { return h.store.Checkpoint() }
 
@@ -352,6 +361,17 @@ func (h *History) OpenBetween(lo, hi time.Time) []NodeID {
 // "q" query parameter should be treated as web searches.
 func (h *History) NewProxy(searchHosts []string) http.Handler {
 	return capture.NewProxy(capture.NewObserver(searchHosts, h.Apply))
+}
+
+// NewBatchingProxy is NewProxy with captured events buffered into
+// batches of up to batch events and ingested through ApplyBatch — one
+// group commit per batch instead of a commit per observed exchange.
+// The returned flush delivers any buffered events immediately; call it
+// at shutdown (buffered events are not yet durable) and on a timer if
+// capture is bursty.
+func (h *History) NewBatchingProxy(searchHosts []string, batch int) (http.Handler, func() error) {
+	b := capture.NewBatcher(batch, h.ApplyBatch)
+	return capture.NewProxy(capture.NewObserver(searchHosts, b.Add)), b.Flush
 }
 
 // ExpireBefore removes history older than cutoff the provenance-aware

@@ -20,7 +20,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"browserprov/internal/capture"
+	"browserprov/internal/event"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
 )
@@ -111,17 +114,65 @@ func main() {
 	searchHosts := flag.String("search-hosts", "search.example,www.google.com,duckduckgo.com,www.bing.com",
 		"comma-separated hosts whose q= parameter is a web search")
 	checkpointEvery := flag.Duration("checkpoint", 5*time.Minute, "checkpoint interval")
+	batchSize := flag.Int("batch", 64, "group-commit batch size (1 = one commit per captured event)")
+	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("provd: -dir is required")
 	}
 
-	store, err := provgraph.Open(*dir)
+	// The journal fsyncs every SyncEvery commits, and a batch is one
+	// commit: shrink the window by the batch size so the crash-loss
+	// bound stays ~256 events no matter how events are grouped.
+	syncEvery := 0 // journal default (256 commits) for per-event mode
+	if *batchSize > 1 {
+		syncEvery = 256 / *batchSize
+		if syncEvery < 1 {
+			syncEvery = 1
+		}
+	}
+	store, err := provgraph.OpenWith(*dir, provgraph.Options{SyncEvery: syncEvery})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	observer := capture.NewObserver(strings.Split(*searchHosts, ","), store.Apply)
+	// Captured events ride the batched group-commit ingest: one lock
+	// acquisition and at most one fsync per batch, flushed on a timer
+	// so a quiet proxy still bounds the at-risk window.
+	var batcher *capture.Batcher
+	sink := capture.Sink(store.Apply)
+	if *batchSize > 1 {
+		// Salvage on batch rejection: ApplyBatch validates all-or-nothing,
+		// so one malformed captured event must not discard its 63 valid
+		// neighbors — fall back to per-event Apply and drop only the
+		// events that individually fail. Only the validation sentinel is
+		// safe to retry this way: after an I/O error a prefix of the
+		// batch is already applied and logged, and re-applying would
+		// duplicate history.
+		batcher = capture.NewBatcher(*batchSize, func(evs []*event.Event) error {
+			err := store.ApplyBatch(evs)
+			if err == nil || !errors.Is(err, provgraph.ErrInvalidBatch) {
+				return err
+			}
+			var firstErr error
+			for _, ev := range evs {
+				if err := store.Apply(ev); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		})
+		sink = batcher.Add
+	}
+	flush := func(ctx string) {
+		if batcher == nil {
+			return
+		}
+		if err := batcher.Flush(); err != nil {
+			log.Printf("provd: %s flush: %v", ctx, err)
+		}
+	}
+	observer := capture.NewObserver(strings.Split(*searchHosts, ","), sink)
 	proxy := capture.NewProxy(observer)
 
 	srv := &http.Server{Addr: *listen, Handler: proxy}
@@ -148,12 +199,17 @@ func main() {
 
 	ticker := time.NewTicker(*checkpointEvery)
 	defer ticker.Stop()
+	flushTicker := time.NewTicker(*flushEvery)
+	defer flushTicker.Stop()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
 	for {
 		select {
+		case <-flushTicker.C:
+			flush("periodic")
 		case <-ticker.C:
+			flush("checkpoint")
 			if err := store.Checkpoint(); err != nil {
 				log.Printf("provd: checkpoint: %v", err)
 			}
@@ -162,10 +218,18 @@ func main() {
 		case <-sigc:
 			fmt.Println()
 			log.Print("provd: shutting down")
-			srv.Close()
+			// Drain in-flight proxy handlers before the final flush:
+			// Close() would return with handlers still observing, and an
+			// event Added after the flush would never reach the WAL.
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("provd: proxy shutdown: %v", err)
+			}
+			cancel()
 			if adminSrv != nil {
 				adminSrv.Close()
 			}
+			flush("final")
 			if err := store.Checkpoint(); err != nil {
 				log.Printf("provd: final checkpoint: %v", err)
 			}

@@ -1,0 +1,91 @@
+package capture
+
+import (
+	"sync"
+
+	"browserprov/internal/event"
+)
+
+// BatchSink consumes event batches (a history store's ApplyBatch
+// method).
+type BatchSink func([]*event.Event) error
+
+// Batcher adapts a batch-committing sink to the per-event Sink the
+// Observer delivers into: events accumulate in a buffer and are handed
+// to the sink as one group once the batch size is reached (or on an
+// explicit Flush). High-rate capture paths use it to ride the store's
+// group-commit ingest — one lock acquisition and at most one fsync per
+// batch — instead of paying a commit per observed exchange.
+//
+// Batcher is safe for concurrent use. Deliveries happen strictly in
+// buffer-swap order, so while one delivery is in flight a second
+// full buffer (and therefore every Add) waits behind it — deliberate
+// backpressure: capture may never reorder the event stream. Buffered
+// events are not yet durable: call Flush at shutdown (and, if capture
+// is bursty, on a timer) to bound the at-risk window. A batch the sink
+// rejects is not re-buffered — retry/salvage policy (e.g. falling back
+// to per-event delivery) belongs in the sink, which still owns the
+// batch when it returns the error.
+type Batcher struct {
+	mu   sync.Mutex // guards buf
+	sink BatchSink
+	size int
+	buf  []*event.Event
+
+	// deliverMu serialises sink calls in buffer-swap order: it is
+	// acquired while mu is still held (so swaps and deliveries cannot
+	// interleave out of order) and released only after the sink
+	// returns. Lock order is always mu -> deliverMu.
+	deliverMu sync.Mutex
+}
+
+// NewBatcher returns a Batcher delivering batches of up to size events
+// to sink. Hand its Add method to NewObserver as the Sink.
+func NewBatcher(size int, sink BatchSink) *Batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &Batcher{sink: sink, size: size, buf: make([]*event.Event, 0, size)}
+}
+
+// Add buffers ev, delivering the accumulated batch when it reaches the
+// configured size. It satisfies Sink.
+func (b *Batcher) Add(ev *event.Event) error {
+	b.mu.Lock()
+	b.buf = append(b.buf, ev)
+	if len(b.buf) < b.size {
+		b.mu.Unlock()
+		return nil
+	}
+	return b.flushAndUnlock()
+}
+
+// Flush delivers any buffered events immediately.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	return b.flushAndUnlock()
+}
+
+// flushAndUnlock swaps the buffer out under b.mu, then delivers with
+// only deliverMu held: Adds that merely buffer proceed during a slow
+// delivery, while a flush that would overtake it queues behind
+// deliverMu — deliveries happen strictly in swap order (events must
+// reach the store, and therefore the WAL, in capture order).
+func (b *Batcher) flushAndUnlock() error {
+	batch := b.buf
+	b.buf = make([]*event.Event, 0, b.size)
+	b.deliverMu.Lock()
+	b.mu.Unlock()
+	defer b.deliverMu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return b.sink(batch)
+}
+
+// Pending returns the number of buffered (not yet delivered) events.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}

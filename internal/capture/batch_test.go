@@ -1,0 +1,86 @@
+package capture
+
+import (
+	"fmt"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+)
+
+func TestBatcherFlushOnSizeAndExplicit(t *testing.T) {
+	var mu sync.Mutex
+	var batches [][]*event.Event
+	b := NewBatcher(3, func(evs []*event.Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		batches = append(batches, evs)
+		return nil
+	})
+	at := time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 7; i++ {
+		ev := &event.Event{Time: at, Type: event.TypeVisit, Tab: 1,
+			URL: fmt.Sprintf("http://a.example/p%d", i), Transition: event.TransTyped}
+		if err := b.Add(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batches) != 2 {
+		t.Fatalf("size-triggered batches = %d, want 2", len(batches))
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", b.Pending())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 || len(batches[2]) != 1 {
+		t.Fatalf("flush did not deliver the remainder: %d batches", len(batches))
+	}
+	if b.Pending() != 0 {
+		t.Fatal("pending after flush")
+	}
+	if err := b.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatal("empty flush delivered a batch")
+	}
+	// Order is preserved across batch boundaries.
+	seen := 0
+	for _, batch := range batches {
+		for _, ev := range batch {
+			if want := fmt.Sprintf("http://a.example/p%d", seen); ev.URL != want {
+				t.Fatalf("event %d = %s, want %s", seen, ev.URL, want)
+			}
+			seen++
+		}
+	}
+}
+
+// TestBatcherAsObserverSink wires the Batcher behind an Observer: the
+// batching hook must be a drop-in Sink.
+func TestBatcherAsObserverSink(t *testing.T) {
+	var got []*event.Event
+	b := NewBatcher(100, func(evs []*event.Event) error {
+		got = append(got, evs...)
+		return nil
+	})
+	o := NewObserver(nil, b.Add)
+	o.Now = func() time.Time { return time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC) }
+	for i := 0; i < 5; i++ {
+		u, _ := url.Parse(fmt.Sprintf("http://site.example/p%d", i))
+		o.Observe(Observation{URL: u, Status: 200, ContentType: "text/html", Title: "Page"})
+	}
+	if len(got) != 0 {
+		t.Fatalf("delivered before flush: %d", len(got))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("flushed %d events, want 5", len(got))
+	}
+}

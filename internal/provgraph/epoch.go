@@ -32,6 +32,21 @@ import (
 //     append past a snapshot's slice length but never rewrites the
 //     elements a snapshot can see. (Wholesale rewrites — retention —
 //     invalidate the epoch and force a full reseal.)
+//
+// Resealing is incremental and happens off the writers' critical path.
+// When the tail outgrows the threshold, the write path captures the
+// current tail as an ordinary Snapshot under the lock (O(tail)), swaps
+// in fresh dirty sets, and hands the capture to a background goroutine
+// that flattens sealed-epoch + tail into the next sealed CSR pack
+// (O(n), but off-lock — the capture is immutable, so the flatten never
+// synchronises with writers). Meanwhile writers keep appending to a
+// fresh overlay: snapshots taken during the build chain over the
+// pending capture (tail -> capture tail -> old sealed arrays), so
+// readers stay consistent and never observe a half-built epoch. The
+// finished epoch is published atomically under a short lock; a
+// wholesale rewrite (retention) during the build bumps sealSeq and the
+// stale publish is discarded. The writer's worst-case pause is thereby
+// O(tail), never the O(nodes+edges) rebuild.
 
 // sealThresholdMin is the smallest tail size that triggers a reseal.
 const sealThresholdMin = 1024
@@ -84,9 +99,17 @@ type Snapshot struct {
 	nEdges int
 	sealed *sealedEpoch // nil while the store has never sealed
 
-	// Tail state: nodes created since the seal plus sealed nodes whose
-	// fields, adjacency or visit lists changed. Lookups consult the
-	// tail first, then the sealed arrays.
+	// base, when non-nil, is the pending reseal capture this snapshot
+	// overlays: it was taken while a background flatten was in flight,
+	// and its tail holds only mutations since the capture. Lookups
+	// chain tail -> base -> sealed; the chain is at most two deep (a
+	// new reseal never starts while one is in flight, and a capture is
+	// always taken from a flat snapshot).
+	base *Snapshot
+
+	// Tail state: nodes created since the seal (or since the pending
+	// capture) plus earlier nodes whose fields, adjacency or visit
+	// lists changed. Lookups consult the tail first, then base/sealed.
 	tailNodes  map[NodeID]Node
 	tailOut    map[NodeID][]Edge
 	tailIn     map[NodeID][]Edge
@@ -119,8 +142,12 @@ func (s *Store) Snapshot() *Snapshot {
 	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
 		return sn
 	}
-	if s.tailSize() > s.sealThreshold() {
-		s.reseal()
+	s.maybeReseal()
+	// maybeReseal may just have captured (and cached) a flat snapshot
+	// of this very generation; don't overwrite it with an equivalent
+	// but slower chained one.
+	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
+		return sn
 	}
 	sn := s.buildSnapshot()
 	s.snap.Store(sn)
@@ -137,9 +164,13 @@ func (s *Store) epochInit() {
 }
 
 // epochReset discards the sealed epoch after a wholesale rewrite
-// (retention). Caller holds the write lock.
+// (retention). Any in-flight reseal was built from pre-rewrite state:
+// bumping sealSeq makes its publish a no-op. Caller holds the write
+// lock.
 func (s *Store) epochReset() {
 	s.sealed = nil
+	s.pending = nil
+	s.sealSeq++
 	s.epochInit()
 	s.snap.Store(nil)
 }
@@ -152,15 +183,27 @@ func (s *Store) sealedMax() NodeID {
 	return s.sealed.maxID
 }
 
-// markDirtyNode records an in-place field mutation of a sealed node.
+// dirtyLimit is the ID boundary dirty tracking is relative to: the
+// pending capture's high-water mark while a reseal is in flight
+// (mutations of anything the next epoch will cover must be re-overlaid
+// on top of it), the published seal's otherwise.
+func (s *Store) dirtyLimit() NodeID {
+	if s.pending != nil {
+		return s.pending.maxID
+	}
+	return s.sealedMax()
+}
+
+// markDirtyNode records an in-place field mutation of a sealed (or
+// pending-sealed) node.
 func (s *Store) markDirtyNode(id NodeID) {
-	if s.sealed != nil && id <= s.sealed.maxID {
+	if id <= s.dirtyLimit() {
 		s.dirtyNode[id] = struct{}{}
 	}
 }
 
 func (s *Store) tailSize() int {
-	return int(s.nextNode-1-s.sealedMax()) +
+	return int(s.nextNode-1-s.dirtyLimit()) +
 		len(s.dirtyNode) + len(s.dirtyOut) + len(s.dirtyIn) + len(s.dirtyVisits)
 }
 
@@ -175,26 +218,141 @@ func (s *Store) sealThreshold() int {
 	return t
 }
 
-// reseal rebuilds the sealed epoch from the live maps. O(nodes+edges);
-// caller holds the write lock.
-func (s *Store) reseal() {
-	maxID := s.nextNode - 1
+// maybeReseal schedules a background reseal when the tail has outgrown
+// the threshold and none is in flight. Caller holds the write lock.
+func (s *Store) maybeReseal() {
+	if s.sealDone != nil || s.tailSize() <= s.sealThreshold() {
+		return
+	}
+	s.startResealLocked()
+}
+
+// startResealLocked captures the current tail (O(tail)) and hands it to
+// a background goroutine that flattens it into the next sealed epoch.
+// Caller holds the write lock; at most one reseal runs at a time.
+func (s *Store) startResealLocked() {
+	// The capture is an ordinary snapshot of the current generation.
+	// Reuse the cached one only if it is flat (base == nil keeps the
+	// overlay chain depth bounded at two).
+	sn := s.snap.Load()
+	if sn == nil || sn.gen != s.gen.Load() || sn.base != nil {
+		sn = s.buildSnapshot()
+		s.snap.Store(sn)
+	}
+	s.pending = sn
+	// Fresh overlay: mutations from here on are tracked relative to the
+	// capture; the flatten incorporates everything at or below it.
+	s.dirtyNode = make(map[NodeID]struct{})
+	s.dirtyOut = make(map[NodeID]struct{})
+	s.dirtyIn = make(map[NodeID]struct{})
+	s.dirtyVisits = make(map[NodeID]struct{})
+	s.sealDone = make(chan struct{})
+	seq := s.sealSeq
+	gate := s.sealGate
+	go func() {
+		ep := flattenEpoch(sn)
+		if gate != nil {
+			<-gate // test hook: hold the publish to widen the in-flight window
+		}
+		s.completeReseal(ep, seq)
+	}()
+}
+
+// completeReseal publishes a flattened epoch (unless a wholesale
+// rewrite invalidated it mid-build) and rebuilds the cached snapshot
+// flat on top of it.
+func (s *Store) completeReseal(ep *sealedEpoch, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := s.sealDone
+	s.sealDone = nil
+	s.pending = nil
+	defer close(done)
+	if s.sealSeq != seq {
+		return // retention rewrote the graph under the build; discard
+	}
+	s.sealed = ep
+	// Publishing moves the store to a new generation even though no
+	// data changed: consumers caching per-generation views (the query
+	// engine) must swap their chained capture-overlay snapshots for the
+	// flat one, or an idle store would serve the slower chained reads
+	// forever.
+	s.gen.Add(1)
+	sn := s.buildSnapshot()
+	s.snap.Store(sn)
+	// The epoch just published covers only what its capture saw;
+	// everything ingested during the flatten is still tail. Chain the
+	// next reseal immediately when that backlog already exceeds the
+	// threshold, so sustained ingest drains at flatten speed instead of
+	// leaving readers to pay the full inter-reseal delta per snapshot.
+	s.maybeReseal()
+}
+
+// ForceReseal schedules a background reseal regardless of tail size (a
+// no-op if one is already in flight). Tests and benchmarks use it to
+// exercise the publish path deterministically.
+func (s *Store) ForceReseal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealDone == nil {
+		s.startResealLocked()
+	}
+}
+
+// WaitReseal blocks until no reseal is in flight.
+func (s *Store) WaitReseal() {
+	for {
+		s.mu.RLock()
+		done := s.sealDone
+		s.mu.RUnlock()
+		if done == nil {
+			return
+		}
+		<-done
+	}
+}
+
+// Sealing reports whether a background reseal is currently in flight.
+func (s *Store) Sealing() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealDone != nil
+}
+
+// flattenEpoch builds the next sealed epoch by merging a capture's
+// previous sealed arrays with its tail, reading only through the
+// immutable snapshot surface — it runs off-lock, concurrently with
+// writers. O(nodes+edges).
+func flattenEpoch(sn *Snapshot) *sealedEpoch {
+	maxID := sn.maxID
 	ep := &sealedEpoch{
 		maxID:     maxID,
 		nodes:     make([]Node, maxID+1),
 		urlToPage: make(map[string]NodeID),
-		termNode:  make(map[string]NodeID, len(s.nodes)/16),
-		saveNode:  make(map[string]NodeID, len(s.saveIndex)),
-		downloads: append([]NodeID(nil), s.downloads...),
+		termNode:  make(map[string]NodeID, maxID/16+1),
+		saveNode:  make(map[string]NodeID),
+		open:      make([]openEnt, 0, maxID/2+1),
 	}
-	// Flat node table + kind-derived indexes.
-	for id, n := range s.nodes {
-		ep.nodes[id] = *n
+	// Flat node table + kind-derived indexes. The ascending scan makes
+	// the latest instance win for per-term and per-save-path lookups,
+	// matching the store's "latest wins" index semantics, and collects
+	// downloads in creation (= ID) order.
+	for id := NodeID(1); id <= maxID; id++ {
+		n, ok := sn.NodeByID(id)
+		if !ok {
+			continue // retention gap
+		}
+		ep.nodes[id] = n
 		switch n.Kind {
 		case KindPage:
 			ep.urlToPage[n.URL] = id
 		case KindVisit:
 			ep.open = append(ep.open, openEnt{at: n.Open.UnixMicro(), id: id})
+		case KindSearchTerm:
+			ep.termNode[n.Text] = id
+		case KindDownload:
+			ep.saveNode[n.Text] = id
+			ep.downloads = append(ep.downloads, id)
 		}
 	}
 	sort.Slice(ep.open, func(i, j int) bool {
@@ -203,41 +361,32 @@ func (s *Store) reseal() {
 		}
 		return ep.open[i].id < ep.open[j].id
 	})
-	// The term index maps each term to its latest instance; copy it
-	// rather than deriving from node order so VisitSeq-bumping reissues
-	// resolve identically to the store.
-	s.termIndex.Ascend(func(k []byte, v uint64) bool {
-		ep.termNode[string(k)] = NodeID(v)
-		return true
-	})
-	for p, id := range s.saveIndex {
-		ep.saveNode[p] = id
-	}
 	// Out-adjacency: From-grouped arcs so out slot i == arc i and the
 	// per-node order matches the store's insertion order.
-	arcs := make([]graph.Arc, 0, s.numEdges)
-	ep.edges = make([]Edge, 0, s.numEdges)
+	numEdges := sn.nEdges
+	arcs := make([]graph.Arc, 0, numEdges)
+	ep.edges = make([]Edge, 0, numEdges)
 	for id := NodeID(1); id <= maxID; id++ {
-		for _, e := range s.outE[id] {
+		for _, e := range sn.OutEdges(id) {
 			arcs = append(arcs, graph.Arc{From: e.From, To: e.To})
 			ep.edges = append(ep.edges, e)
 		}
 	}
 	ep.csr = graph.NewCSR(maxID, arcs)
-	// In-adjacency: packed straight from the live in-edge lists so the
-	// per-node insertion order is preserved exactly.
+	// In-adjacency: packed in the capture's per-node insertion order so
+	// first-parent choices stay stable across reseals.
 	ep.inOff = make([]uint32, maxID+2)
 	for id := NodeID(1); id <= maxID; id++ {
-		ep.inOff[id+1] = uint32(len(s.inE[id]))
+		ep.inOff[id+1] = uint32(len(sn.InEdges(id)))
 	}
 	for i := NodeID(1); i <= maxID+1; i++ {
 		ep.inOff[i] += ep.inOff[i-1]
 	}
-	ep.inIDs = make([]NodeID, s.numEdges)
-	ep.inEdges = make([]Edge, s.numEdges)
+	ep.inIDs = make([]NodeID, len(ep.edges))
+	ep.inEdges = make([]Edge, len(ep.edges))
 	for id := NodeID(1); id <= maxID; id++ {
 		o := ep.inOff[id]
-		for j, e := range s.inE[id] {
+		for j, e := range sn.InEdges(id) {
 			ep.inIDs[o+uint32(j)] = e.From
 			ep.inEdges[o+uint32(j)] = e
 		}
@@ -245,27 +394,31 @@ func (s *Store) reseal() {
 	// Per-page visit lists, CSR-packed.
 	ep.visitsOff = make([]uint32, maxID+2)
 	total := 0
-	for page, vs := range s.pageVisits {
-		ep.visitsOff[page+1] = uint32(len(vs))
+	for id := NodeID(1); id <= maxID; id++ {
+		if ep.nodes[id].Kind != KindPage {
+			continue
+		}
+		vs := sn.VisitsOfPage(id)
+		ep.visitsOff[id+1] = uint32(len(vs))
 		total += len(vs)
 	}
 	for i := NodeID(1); i <= maxID+1; i++ {
 		ep.visitsOff[i] += ep.visitsOff[i-1]
 	}
 	ep.visitIDs = make([]NodeID, total)
-	for page, vs := range s.pageVisits {
-		copy(ep.visitIDs[ep.visitsOff[page]:], vs)
+	for id := NodeID(1); id <= maxID; id++ {
+		if ep.nodes[id].Kind != KindPage {
+			continue
+		}
+		copy(ep.visitIDs[ep.visitsOff[id]:], sn.VisitsOfPage(id))
 	}
-
-	s.sealed = ep
-	s.dirtyNode = make(map[NodeID]struct{})
-	s.dirtyOut = make(map[NodeID]struct{})
-	s.dirtyIn = make(map[NodeID]struct{})
-	s.dirtyVisits = make(map[NodeID]struct{})
+	return ep
 }
 
-// buildSnapshot captures the unsealed tail. O(tail); caller holds the
-// write lock.
+// buildSnapshot captures the unsealed tail: everything past the sealed
+// epoch, or — while a reseal is in flight — everything past the
+// pending capture, which the snapshot then chains over. O(tail); caller
+// holds the write lock.
 func (s *Store) buildSnapshot() *Snapshot {
 	sn := &Snapshot{
 		gen:        s.gen.Load(),
@@ -274,6 +427,7 @@ func (s *Store) buildSnapshot() *Snapshot {
 		nNodes:     len(s.nodes),
 		nEdges:     s.numEdges,
 		sealed:     s.sealed,
+		base:       s.pending,
 		tailNodes:  make(map[NodeID]Node),
 		tailOut:    make(map[NodeID][]Edge),
 		tailIn:     make(map[NodeID][]Edge),
@@ -294,8 +448,9 @@ func (s *Store) buildSnapshot() *Snapshot {
 			sn.tailInIDs[id] = s.inIDs[id]
 		}
 	}
-	// New nodes since the seal (IDs are dense, so the tail is a range).
-	for id := s.sealedMax() + 1; id <= sn.maxID; id++ {
+	// New nodes since the seal/capture (IDs are dense, so the tail is a
+	// range).
+	for id := s.dirtyLimit() + 1; id <= sn.maxID; id++ {
 		n, ok := s.nodes[id]
 		if !ok {
 			continue
@@ -366,6 +521,9 @@ func (sn *Snapshot) NodeByID(id NodeID) (Node, bool) {
 	if n, ok := sn.tailNodes[id]; ok {
 		return n, true
 	}
+	if sn.base != nil {
+		return sn.base.NodeByID(id)
+	}
 	if sn.sealed != nil && id <= sn.sealed.maxID {
 		n := sn.sealed.nodes[id]
 		return n, n.Kind != 0
@@ -393,6 +551,9 @@ func (sn *Snapshot) Out(n NodeID) []NodeID {
 	if ids, ok := sn.tailOutIDs[n]; ok {
 		return ids
 	}
+	if sn.base != nil {
+		return sn.base.Out(n)
+	}
 	if sn.sealed != nil {
 		return sn.sealed.csr.Out(n)
 	}
@@ -405,6 +566,9 @@ func (sn *Snapshot) In(n NodeID) []NodeID {
 	if ids, ok := sn.tailInIDs[n]; ok {
 		return ids
 	}
+	if sn.base != nil {
+		return sn.base.In(n)
+	}
 	if sn.sealed != nil && n <= sn.sealed.maxID {
 		return sn.sealed.inIDs[sn.sealed.inOff[n]:sn.sealed.inOff[n+1]]
 	}
@@ -416,6 +580,9 @@ func (sn *Snapshot) In(n NodeID) []NodeID {
 func (sn *Snapshot) OutEdges(n NodeID) []Edge {
 	if es, ok := sn.tailOut[n]; ok {
 		return es
+	}
+	if sn.base != nil {
+		return sn.base.OutEdges(n)
 	}
 	if sn.sealed != nil && n <= sn.sealed.maxID {
 		lo, hi := sn.sealed.csr.OutRange(n)
@@ -430,6 +597,9 @@ func (sn *Snapshot) InEdges(n NodeID) []Edge {
 	if es, ok := sn.tailIn[n]; ok {
 		return es
 	}
+	if sn.base != nil {
+		return sn.base.InEdges(n)
+	}
 	if sn.sealed != nil && n <= sn.sealed.maxID {
 		return sn.sealed.inEdges[sn.sealed.inOff[n]:sn.sealed.inOff[n+1]]
 	}
@@ -440,6 +610,9 @@ func (sn *Snapshot) InEdges(n NodeID) []Edge {
 func (sn *Snapshot) PageByURL(url string) (Node, bool) {
 	if id, ok := sn.tailURL[url]; ok {
 		return sn.NodeByID(id)
+	}
+	if sn.base != nil {
+		return sn.base.PageByURL(url)
 	}
 	if sn.sealed != nil {
 		if id, ok := sn.sealed.urlToPage[url]; ok {
@@ -455,6 +628,9 @@ func (sn *Snapshot) TermNode(term string) (Node, bool) {
 	if id, ok := sn.tailTerm[term]; ok {
 		return sn.NodeByID(id)
 	}
+	if sn.base != nil {
+		return sn.base.TermNode(term)
+	}
 	if sn.sealed != nil {
 		if id, ok := sn.sealed.termNode[term]; ok {
 			return sn.NodeByID(id)
@@ -468,6 +644,9 @@ func (sn *Snapshot) DownloadBySavePath(path string) (Node, bool) {
 	if id, ok := sn.tailSave[path]; ok {
 		return sn.NodeByID(id)
 	}
+	if sn.base != nil {
+		return sn.base.DownloadBySavePath(path)
+	}
 	if sn.sealed != nil {
 		if id, ok := sn.sealed.saveNode[path]; ok {
 			return sn.NodeByID(id)
@@ -478,15 +657,17 @@ func (sn *Snapshot) DownloadBySavePath(path string) (Node, bool) {
 
 // Downloads returns the IDs of every download node in creation order.
 func (sn *Snapshot) Downloads() []NodeID {
-	var sealed []NodeID
-	if sn.sealed != nil {
-		sealed = sn.sealed.downloads
+	var lower []NodeID
+	if sn.base != nil {
+		lower = sn.base.Downloads()
+	} else if sn.sealed != nil {
+		lower = sn.sealed.downloads
 	}
 	if len(sn.tailDls) == 0 {
-		return sealed
+		return lower
 	}
-	out := make([]NodeID, 0, len(sealed)+len(sn.tailDls))
-	out = append(out, sealed...)
+	out := make([]NodeID, 0, len(lower)+len(sn.tailDls))
+	out = append(out, lower...)
 	return append(out, sn.tailDls...)
 }
 
@@ -495,6 +676,9 @@ func (sn *Snapshot) Downloads() []NodeID {
 func (sn *Snapshot) VisitsOfPage(page NodeID) []NodeID {
 	if vs, ok := sn.tailVisits[page]; ok {
 		return vs
+	}
+	if sn.base != nil {
+		return sn.base.VisitsOfPage(page)
 	}
 	if sn.sealed != nil && page <= sn.sealed.maxID {
 		return sn.sealed.visitIDs[sn.sealed.visitsOff[page]:sn.sealed.visitsOff[page+1]]
@@ -519,32 +703,45 @@ func (sn *Snapshot) VisitCount(page NodeID) int {
 // OpenBetween returns visit nodes whose open time t satisfies
 // lo <= t < hi, in (open, id) order.
 func (sn *Snapshot) OpenBetween(lo, hi time.Time) []NodeID {
-	loU, hiU := lo.UnixMicro(), hi.UnixMicro()
-	var sealed, tail []openEnt
-	if sn.sealed != nil {
-		sealed = openRange(sn.sealed.open, loU, hiU)
+	ents := sn.openEnts(lo.UnixMicro(), hi.UnixMicro())
+	out := make([]NodeID, len(ents))
+	for i, e := range ents {
+		out[i] = e.id
 	}
-	tail = openRange(sn.tailOpen, loU, hiU)
-	out := make([]NodeID, 0, len(sealed)+len(tail))
-	// Merge the two sorted runs; events may arrive with out-of-order
-	// timestamps, so the tail can interleave with the sealed range.
+	return out
+}
+
+// openEnts returns the snapshot's (open, id)-ordered visit entries in
+// [lo, hi), merging the sealed timeline, any pending capture's tail,
+// and the snapshot's own tail. Events may arrive with out-of-order
+// timestamps, so the runs can interleave.
+func (sn *Snapshot) openEnts(loU, hiU int64) []openEnt {
+	var lower []openEnt
+	if sn.base != nil {
+		lower = sn.base.openEnts(loU, hiU)
+	} else if sn.sealed != nil {
+		lower = openRange(sn.sealed.open, loU, hiU)
+	}
+	tail := openRange(sn.tailOpen, loU, hiU)
+	if len(tail) == 0 {
+		return lower
+	}
+	if len(lower) == 0 {
+		return tail
+	}
+	out := make([]openEnt, 0, len(lower)+len(tail))
 	i, j := 0, 0
-	for i < len(sealed) && j < len(tail) {
-		if sealed[i].at < tail[j].at || (sealed[i].at == tail[j].at && sealed[i].id < tail[j].id) {
-			out = append(out, sealed[i].id)
+	for i < len(lower) && j < len(tail) {
+		if lower[i].at < tail[j].at || (lower[i].at == tail[j].at && lower[i].id < tail[j].id) {
+			out = append(out, lower[i])
 			i++
 		} else {
-			out = append(out, tail[j].id)
+			out = append(out, tail[j])
 			j++
 		}
 	}
-	for ; i < len(sealed); i++ {
-		out = append(out, sealed[i].id)
-	}
-	for ; j < len(tail); j++ {
-		out = append(out, tail[j].id)
-	}
-	return out
+	out = append(out, lower[i:]...)
+	return append(out, tail[j:]...)
 }
 
 // openRange returns the subrange of ents with lo <= at < hi.

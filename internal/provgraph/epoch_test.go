@@ -126,15 +126,25 @@ func TestSnapshotMatchesStore(t *testing.T) {
 	snapMustMatchStore(t, s, s.Snapshot())
 }
 
+// sealedMaxNow reads the sealed high-water mark under the lock (the
+// reseal publish runs on a background goroutine, so unlocked reads
+// would race it).
+func (s *Store) sealedMaxNow() NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sealedMax()
+}
+
 // TestSnapshotAcrossSeal forces a reseal (tail > sealThresholdMin) and
 // checks equivalence before, across and after the boundary.
 func TestSnapshotAcrossSeal(t *testing.T) {
 	s := openStore(t, t.TempDir())
 	defer s.Close()
-	feedMixed(t, s, 400, t0) // ~>1100 nodes: first snapshot seals
+	feedMixed(t, s, 400, t0) // ~>1100 nodes: the write path schedules a seal
 	sn1 := s.Snapshot()
 	snapMustMatchStore(t, s, sn1)
-	if s.sealedMax() == 0 {
+	s.WaitReseal()
+	if s.sealedMaxNow() == 0 {
 		t.Fatal("expected a sealed epoch after large build")
 	}
 	// Small tail on top of the seal: dirty sealed nodes + new nodes.
@@ -143,6 +153,7 @@ func TestSnapshotAcrossSeal(t *testing.T) {
 	snapMustMatchStore(t, s, sn2)
 	// Grow past the threshold again: second reseal.
 	feedMixed(t, s, 500, t0.Add(1000*time.Minute))
+	s.WaitReseal()
 	sn3 := s.Snapshot()
 	snapMustMatchStore(t, s, sn3)
 	if sn1 == sn2 || sn2 == sn3 {
@@ -215,8 +226,9 @@ func TestSnapshotSealedNodeMutation(t *testing.T) {
 	s := openStore(t, t.TempDir())
 	defer s.Close()
 	feedMixed(t, s, 400, t0)
-	s.Snapshot() // seals
-	if s.sealedMax() == 0 {
+	s.Snapshot()
+	s.WaitReseal() // the write path scheduled a background seal
+	if s.sealedMaxNow() == 0 {
 		t.Fatal("expected seal")
 	}
 	// Tab 1's current visit is sealed; a new navigation closes it.

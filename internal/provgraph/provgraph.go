@@ -19,6 +19,7 @@
 package provgraph
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -207,6 +208,12 @@ func (m VersioningMode) String() string {
 type Options struct {
 	// Mode selects the versioning scheme. Default VersionNodes.
 	Mode VersioningMode
+	// SyncEvery controls the journal's group-commit window: the WAL is
+	// fsynced after this many commits (an Apply is one commit, an
+	// ApplyBatch is one commit regardless of size). 1 means every
+	// commit is durable before the call returns; the default, 0, is
+	// treated as 256.
+	SyncEvery int
 }
 
 // Store is the provenance graph store.
@@ -234,6 +241,9 @@ type Store struct {
 	// Epoch-snapshot state (see epoch.go). gen is bumped on every
 	// mutation; the dirty sets record sealed entries invalidated since
 	// the last seal so snapshots can overlay just the changed tail.
+	// While a background reseal is in flight, pending holds the epoch
+	// boundary being flattened and the dirty sets track mutations
+	// relative to it instead of the published seal.
 	gen         atomic.Uint64
 	snap        atomic.Pointer[Snapshot]
 	sealed      *sealedEpoch
@@ -241,6 +251,18 @@ type Store struct {
 	dirtyOut    map[NodeID]struct{}
 	dirtyIn     map[NodeID]struct{}
 	dirtyVisits map[NodeID]struct{}
+	pending     *Snapshot     // capture an in-flight reseal is flattening
+	sealSeq     uint64        // bumped by epochReset to abort stale publishes
+	sealDone    chan struct{} // closed when the in-flight reseal finishes
+	sealGate    chan struct{} // test hook: reseals block on it before publishing
+
+	// Ingest scratch, guarded by mu: the WAL encode buffer and the
+	// secondary-index key buffer are reused across events, and nodes
+	// are carved out of block allocations (nodes are only ever freed
+	// wholesale, so blocks never leak individual entries).
+	enc       storage.Encoder
+	keyBuf    []byte
+	nodeBlock []Node
 
 	// Assembly state (per-tab), part of the persistent state because it
 	// is reconstructed deterministically from the event log.
@@ -290,15 +312,19 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	j.SyncEvery = opts.SyncEvery
 	s.j = j
 	return s, nil
 }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store, waiting for any in-flight
+// background reseal to finish first.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.j.Close()
+	err := s.j.Close()
+	s.mu.Unlock()
+	s.WaitReseal()
+	return err
 }
 
 // Sync forces journaled events to disk.
@@ -325,19 +351,63 @@ func (s *Store) SizeOnDisk() int64 {
 // Mode returns the versioning mode the store was opened with.
 func (s *Store) Mode() VersioningMode { return s.mode }
 
-// Apply journals ev and folds it into the graph.
+// Apply journals ev and folds it into the graph. One Apply is one
+// commit: with SyncEvery=1 it is durable before the call returns.
 func (s *Store) Apply(ev *event.Event) error {
 	if err := ev.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	payload := encodeEvent(ev)
-	if err := s.j.Log(payload); err != nil {
+	s.enc.Reset()
+	encodeEventInto(&s.enc, ev)
+	if err := s.j.Log(s.enc.Bytes()); err != nil {
 		return err
 	}
 	s.applyEvent(ev)
+	s.maybeReseal()
 	return nil
+}
+
+// ErrInvalidBatch reports an ApplyBatch rejected during the up-front
+// validation pass: nothing was logged or applied. Callers can match it
+// with errors.Is to distinguish the safe-to-retry-per-event case from
+// an I/O failure, after which a prefix of the batch IS applied.
+var ErrInvalidBatch = errors.New("provgraph: invalid event in batch")
+
+// ApplyBatch journals and folds a batch of events under one lock
+// acquisition and one group commit: every event is validated up front
+// (an invalid event rejects the whole batch, wrapped in
+// ErrInvalidBatch, before anything is logged), the WAL append streams
+// through the store's reusable encode scratch, and the batch counts as
+// a single commit toward the journal's SyncEvery window — so with
+// SyncEvery=1 the batch costs one fsync instead of len(evs).
+//
+// Durability is batched, atomicity is not: if the log append fails
+// partway (I/O error), the events already appended are applied in
+// memory — keeping the store consistent with the durable prefix — and
+// the error (not ErrInvalidBatch) is returned.
+func (s *Store) ApplyBatch(evs []*event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	for i, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			return fmt.Errorf("%w %d: %v", ErrInvalidBatch, i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	logged, err := s.j.LogBatch(len(evs), func(i int) []byte {
+		s.enc.Reset()
+		encodeEventInto(&s.enc, evs[i])
+		return s.enc.Bytes()
+	})
+	for _, ev := range evs[:logged] {
+		s.applyEvent(ev)
+	}
+	s.maybeReseal()
+	return err
 }
 
 // replayEvent is the journal recovery path.
@@ -352,8 +422,21 @@ func (s *Store) replayEvent(payload []byte) error {
 
 // ---- assembly ----
 
+// nodeBlockSize is how many nodes one block allocation carves out.
+const nodeBlockSize = 256
+
 func (s *Store) newNode(kind NodeKind, at time.Time) *Node {
-	n := &Node{ID: s.nextNode, Kind: kind, Open: at}
+	// Nodes come out of block allocations: the store only ever frees
+	// nodes wholesale (retention rebuilds the maps but keeps surviving
+	// pointers), so blocks are never partially reclaimed and the apply
+	// path pays one allocation per nodeBlockSize nodes instead of one
+	// per node.
+	if len(s.nodeBlock) == 0 {
+		s.nodeBlock = make([]Node, nodeBlockSize)
+	}
+	n := &s.nodeBlock[0]
+	s.nodeBlock = s.nodeBlock[1:]
+	n.ID, n.Kind, n.Open = s.nextNode, kind, at
 	s.nextNode++
 	s.nodes[n.ID] = n
 	return n
@@ -370,20 +453,29 @@ func (s *Store) addEdge(from, to NodeID, kind EdgeKind, at time.Time) {
 	s.outIDs[from] = append(s.outIDs[from], to)
 	s.inIDs[to] = append(s.inIDs[to], from)
 	s.numEdges++
-	if s.sealed != nil {
-		if from <= s.sealed.maxID {
+	if lim := s.dirtyLimit(); lim > 0 {
+		if from <= lim {
 			s.dirtyOut[from] = struct{}{}
 		}
-		if to <= s.sealed.maxID {
+		if to <= lim {
 			s.dirtyIn[to] = struct{}{}
 		}
 	}
 }
 
+// scratchKey loads k into the store's reusable key scratch for B-tree
+// lookups and inserts (the B-tree copies keys it inserts, so handing
+// it the scratch is safe). Caller holds the write lock; the buffer is
+// valid until the next scratchKey/appendTimeKey use.
+func (s *Store) scratchKey(k string) []byte {
+	s.keyBuf = append(s.keyBuf[:0], k...)
+	return s.keyBuf
+}
+
 // ensurePage returns the page identity node for url, creating it at time
 // at if needed.
 func (s *Store) ensurePage(url, title string, at time.Time) *Node {
-	if id, ok := s.urlIndex.Get([]byte(url)); ok {
+	if id, ok := s.urlIndex.Get(s.scratchKey(url)); ok {
 		p := s.nodes[NodeID(id)]
 		if p.Title == "" && title != "" {
 			p.Title = title
@@ -394,7 +486,7 @@ func (s *Store) ensurePage(url, title string, at time.Time) *Node {
 	p := s.newNode(KindPage, at)
 	p.URL = url
 	p.Title = title
-	s.urlIndex.Put([]byte(url), uint64(p.ID))
+	s.urlIndex.Put(s.keyBuf, uint64(p.ID))
 	return p
 }
 
@@ -469,8 +561,9 @@ func (s *Store) applyVisit(ev *event.Event) {
 		v.Via = EdgeKind(ev.Transition)
 		s.pageVisits[page.ID] = append(s.pageVisits[page.ID], v.ID)
 		v.VisitSeq = len(s.pageVisits[page.ID])
-		s.openIndex.Put(timeKey(ev.Time, v.ID), uint64(v.ID))
-		if s.sealed != nil && page.ID <= s.sealed.maxID {
+		s.keyBuf = appendTimeKey(s.keyBuf[:0], ev.Time, v.ID)
+		s.openIndex.Put(s.keyBuf, uint64(v.ID))
+		if page.ID <= s.dirtyLimit() {
 			s.dirtyVisits[page.ID] = struct{}{}
 		}
 	}
@@ -570,14 +663,15 @@ func (s *Store) applySearch(ev *event.Event) {
 	// must be created"). The term index tracks the latest instance.
 	t := s.newNode(KindSearchTerm, ev.Time)
 	t.Text = ev.Terms
-	if prev, ok := s.termIndex.Get([]byte(ev.Terms)); ok {
+	s.scratchKey(ev.Terms)
+	if prev, ok := s.termIndex.Get(s.keyBuf); ok {
 		if pn := s.nodes[NodeID(prev)]; pn != nil {
 			t.VisitSeq = pn.VisitSeq + 1
 		}
 	} else {
 		t.VisitSeq = 1
 	}
-	s.termIndex.Put([]byte(ev.Terms), uint64(t.ID))
+	s.termIndex.Put(s.keyBuf, uint64(t.ID))
 	// The term descends from the visit where it was issued.
 	s.addEdge(s.tabCur[ev.Tab], t.ID, EdgeSearchIssued, ev.Time)
 	s.pendingSearch[ev.Tab] = pending{node: t.ID, url: ev.URL}
@@ -591,16 +685,22 @@ func (s *Store) applyFormSubmit(ev *event.Event) {
 	s.pendingForm[ev.Tab] = pending{node: f.ID, url: ev.URL}
 }
 
-// timeKey builds the open-time index key: big-endian shifted micros
-// followed by the node ID for uniqueness.
-func timeKey(t time.Time, id NodeID) []byte {
-	key := make([]byte, 16)
+// appendTimeKey appends the open-time index key to dst: big-endian
+// shifted micros followed by the node ID for uniqueness. The write path
+// reuses the store's key scratch; read paths (which hold only the read
+// lock and therefore must not share scratch) use the allocating timeKey.
+func appendTimeKey(dst []byte, t time.Time, id NodeID) []byte {
 	u := uint64(t.UnixMicro()) + (1 << 63)
 	for i := 0; i < 8; i++ {
-		key[i] = byte(u >> (56 - 8*i))
+		dst = append(dst, byte(u>>(56-8*i)))
 	}
 	for i := 0; i < 8; i++ {
-		key[8+i] = byte(uint64(id) >> (56 - 8*i))
+		dst = append(dst, byte(uint64(id)>>(56-8*i)))
 	}
-	return key
+	return dst
+}
+
+// timeKey builds the open-time index key in a fresh buffer.
+func timeKey(t time.Time, id NodeID) []byte {
+	return appendTimeKey(make([]byte, 0, 16), t, id)
 }

@@ -94,14 +94,19 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 		ids = append(ids, id)
 	}
 	sortNodeIDs(ids)
+	// Nodes are block-allocated (see newNode): copy survivors out of
+	// their blocks so expired neighbors in the same block — and the
+	// privacy-sensitive URLs/terms they reference — actually become
+	// unreachable, and drop the current partial block with them.
+	s.nodeBlock = nil
 	for _, id := range ids {
-		n := oldNodes[id]
 		if !retained[id] {
 			removed++
 			continue
 		}
-		s.nodes[id] = n
-		s.indexNode(n)
+		cp := *oldNodes[id]
+		s.nodes[id] = &cp
+		s.indexNode(&cp)
 	}
 	for _, id := range ids {
 		if !retained[id] {

@@ -11,11 +11,11 @@ import (
 
 // ---- event codec (WAL payloads) ----
 
-// encodeEvent serialises a browsing event for the journal. The WAL is
-// therefore a complete, replayable activity log — the provenance store's
-// ground truth.
-func encodeEvent(ev *event.Event) []byte {
-	e := storage.NewEncoder(96)
+// encodeEventInto serialises a browsing event for the journal into e
+// (which the caller resets and reuses across events — the apply hot
+// path pays zero encoder allocations). The WAL is therefore a complete,
+// replayable activity log — the provenance store's ground truth.
+func encodeEventInto(e *storage.Encoder, ev *event.Event) {
 	e.Uvarint(uint64(ev.Type))
 	e.Time(ev.Time)
 	e.Varint(int64(ev.Tab))
@@ -26,7 +26,6 @@ func encodeEvent(ev *event.Event) []byte {
 	e.String(ev.Terms)
 	e.String(ev.SavePath)
 	e.String(ev.ContentType)
-	return e.Bytes()
 }
 
 func decodeEvent(payload []byte) (*event.Event, error) {
@@ -343,12 +342,13 @@ func (s *Store) loadSnapshot(h *storage.HeapFile) error {
 func (s *Store) indexNode(n *Node) {
 	switch n.Kind {
 	case KindPage:
-		s.urlIndex.Put([]byte(n.URL), uint64(n.ID))
+		s.urlIndex.Put(s.scratchKey(n.URL), uint64(n.ID))
 	case KindVisit:
 		s.pageVisits[n.Page] = append(s.pageVisits[n.Page], n.ID)
-		s.openIndex.Put(timeKey(n.Open, n.ID), uint64(n.ID))
+		s.keyBuf = appendTimeKey(s.keyBuf[:0], n.Open, n.ID)
+		s.openIndex.Put(s.keyBuf, uint64(n.ID))
 	case KindSearchTerm:
-		s.termIndex.Put([]byte(n.Text), uint64(n.ID))
+		s.termIndex.Put(s.scratchKey(n.Text), uint64(n.ID))
 	case KindBookmark:
 		s.bookmarkByURL[n.URL] = n.ID
 	case KindDownload:

@@ -3,7 +3,8 @@ package query
 import (
 	"context"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"browserprov/internal/provgraph"
 	"browserprov/internal/textindex"
@@ -39,29 +40,71 @@ func (v *View) Personalize(ctx context.Context, q string, nTerms int, opts ...Op
 	return out, r.Finish(), nil
 }
 
+// termScratch is the pooled scoring state of one personalize call: the
+// query-term set, the term-weight accumulator and the pre-cut
+// suggestion list. Like the arena-backed dense slabs of the search
+// path, it is recycled through a sync.Pool so a steady stream of
+// personalisations reuses warm maps instead of re-growing fresh ones
+// per call.
+type termScratch struct {
+	queryTerms map[string]bool
+	weights    map[string]float64
+	tokens     []string
+	out        []TermSuggestion
+}
+
+var termScratchPool = sync.Pool{New: func() any {
+	return &termScratch{
+		queryTerms: make(map[string]bool, 8),
+		weights:    make(map[string]float64, 256),
+	}
+}}
+
+// termScratchMax bounds what a recycled scratch may retain: a one-off
+// pathologically broad personalisation must not park its working set
+// in the pool for the process lifetime.
+const termScratchMax = 1 << 14
+
+func (sc *termScratch) release() {
+	if len(sc.weights) > termScratchMax {
+		return // oversized: let the GC take it instead of pooling
+	}
+	clear(sc.queryTerms)
+	clear(sc.weights)
+	sc.out = sc.out[:0]
+	termScratchPool.Put(sc)
+}
+
 func (r *Run) personalize(q string, nTerms int) []TermSuggestion {
 	sn := r.Snapshot()
 	index := r.v.e.index
 	hits := r.contextualSearch(q, 50)
 
-	queryTerms := make(map[string]bool)
-	for _, t := range textindex.Tokenize(q) {
-		queryTerms[t] = true
+	sc := termScratchPool.Get().(*termScratch)
+	defer sc.release()
+	sc.tokens = textindex.AppendTokens(sc.tokens[:0], q)
+	for _, t := range sc.tokens {
+		sc.queryTerms[t] = true
 	}
+	queryTerms, weights := sc.queryTerms, sc.weights
 
-	weights := make(map[string]float64)
+	// Stream the forward postings instead of copying a map per
+	// neighborhood page; the fold closure is hoisted out of the loop
+	// (hitScore carries the per-hit weight) so the whole pass allocates
+	// nothing.
+	var hitScore float64
+	fold := func(term string, tf int) bool {
+		if !queryTerms[term] {
+			weights[term] += float64(tf) * hitScore
+		}
+		return true
+	}
 	for _, h := range hits {
 		if h.Score <= 0 {
 			continue
 		}
-		// Stream the forward postings instead of copying a map per
-		// neighborhood page (this loop runs once per hit).
-		index.VisitTermsOf(textindex.DocID(h.Page), func(term string, tf int) bool {
-			if !queryTerms[term] {
-				weights[term] += float64(tf) * h.Score
-			}
-			return true
-		})
+		hitScore = h.Score
+		index.VisitTermsOf(textindex.DocID(h.Page), fold)
 	}
 	// Also fold in the search-term nodes adjacent to the neighborhood:
 	// the user's own past queries are the most concise descriptors
@@ -73,7 +116,8 @@ func (r *Run) personalize(q string, nTerms int) []TermSuggestion {
 					continue
 				}
 				if tn, ok := sn.NodeByID(edge.From); ok {
-					for _, t := range textindex.Tokenize(tn.Text) {
+					sc.tokens = textindex.AppendTokens(sc.tokens[:0], tn.Text)
+					for _, t := range sc.tokens {
 						if !queryTerms[t] && !textindex.IsStopword(t) {
 							weights[t] += h.Score
 						}
@@ -87,24 +131,36 @@ func (r *Run) personalize(q string, nTerms int) []TermSuggestion {
 	// contextual stage: a writer growing the shared index must not
 	// re-weight a pinned personalisation.
 	total := index.NumDocsUnder(r.maxDoc())
-	out := make([]TermSuggestion, 0, len(weights))
+	scored := sc.out[:0]
 	for term, w := range weights {
 		df := index.DocFreqUnder(term, r.maxDoc())
 		idf := 1.0
 		if df > 0 && total > 0 {
 			idf = math.Log(1 + float64(total)/float64(df))
 		}
-		out = append(out, TermSuggestion{Term: term, Weight: w * idf})
+		scored = append(scored, TermSuggestion{Term: term, Weight: w * idf})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
+	sc.out = scored
+	slices.SortFunc(scored, func(a, b TermSuggestion) int {
+		switch {
+		case a.Weight > b.Weight:
+			return -1
+		case a.Weight < b.Weight:
+			return 1
+		case a.Term < b.Term:
+			return -1
+		case a.Term > b.Term:
+			return 1
+		default:
+			return 0
 		}
-		return out[i].Term < out[j].Term
 	})
-	if nTerms > 0 && len(out) > nTerms {
-		out = out[:nTerms]
+	if nTerms > 0 && len(scored) > nTerms {
+		scored = scored[:nTerms]
 	}
+	// The scratch is recycled; the result must own its backing array.
+	out := make([]TermSuggestion, len(scored))
+	copy(out, scored)
 	return out
 }
 

@@ -32,8 +32,11 @@ type Journal struct {
 	gen      uint64
 
 	// SyncEvery controls group commit: the WAL is fsynced after this
-	// many logged entries (1 = every entry). Checkpoint and Close always
-	// sync. The default, 0, is treated as 256.
+	// many logged commits (1 = every commit). A Log call is one commit;
+	// a LogBatch call is one commit no matter how many entries it
+	// carries — that is what makes batched ingest cheap under strict
+	// durability. Checkpoint and Close always sync. The default, 0, is
+	// treated as 256.
 	SyncEvery int
 	unsynced  int
 }
@@ -153,12 +156,20 @@ func (j *Journal) writeMeta(m journalMeta) error {
 	return os.Rename(tmp, j.metaFile())
 }
 
-// Log appends one encoded mutation to the WAL. The caller applies the
-// mutation to its in-memory state after Log returns.
+// Log appends one encoded mutation to the WAL as one commit. The
+// caller applies the mutation to its in-memory state after Log returns.
 func (j *Journal) Log(payload []byte) error {
 	if _, err := j.wal.Append(payload); err != nil {
 		return err
 	}
+	return j.commit()
+}
+
+// commit records one logged commit against the SyncEvery group-commit
+// window, fsyncing when the window fills. Shared by Log and LogBatch so
+// per-event and batched commits can never drift apart in durability
+// semantics.
+func (j *Journal) commit() error {
 	j.unsynced++
 	every := j.SyncEvery
 	if every <= 0 {
@@ -169,6 +180,28 @@ func (j *Journal) Log(payload []byte) error {
 		return j.wal.Sync()
 	}
 	return nil
+}
+
+// LogBatch appends n encoded mutations to the WAL as one commit unit:
+// the payload callback is invoked once per entry (it may reuse one
+// scratch buffer — Append copies the bytes into the log's write buffer
+// before the next call), and the whole batch counts as a single logged
+// commit toward the SyncEvery group-commit window. This is the
+// durability half of batched ingest: a batch reaches disk with at most
+// one fsync, and with SyncEvery=1 ("every commit durable") the fsync
+// cost is amortised over the batch instead of paid per event.
+//
+// On an append error the already-appended prefix remains in the log
+// (and will replay on recovery); the caller is told how many entries
+// were appended so it can keep its in-memory state consistent with the
+// durable prefix.
+func (j *Journal) LogBatch(n int, payload func(i int) []byte) (appended int, err error) {
+	for i := 0; i < n; i++ {
+		if _, err := j.wal.Append(payload(i)); err != nil {
+			return i, err
+		}
+	}
+	return n, j.commit()
 }
 
 // Sync forces buffered WAL entries to stable storage.

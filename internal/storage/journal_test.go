@@ -291,3 +291,72 @@ func TestJournalSyncEveryOne(t *testing.T) {
 		t.Fatalf("recovered %d keys, want 10", len(s2.m))
 	}
 }
+
+// TestJournalLogBatch: a batch is appended entry-per-entry (through a
+// reused scratch encoder — Append must copy) but counts as ONE commit
+// toward the SyncEvery group-commit window, and every entry replays on
+// recovery.
+func TestJournalLogBatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openKV(t, dir)
+	s.j.SyncEvery = 1 // every commit durable: a batch = one fsync
+
+	enc := NewEncoder(32)
+	const n = 100
+	appended, err := s.j.LogBatch(n, func(i int) []byte {
+		enc.Reset()
+		enc.String(fmt.Sprintf("k%03d", i))
+		enc.String(fmt.Sprintf("v%03d", i))
+		return enc.Bytes()
+	})
+	if err != nil || appended != n {
+		t.Fatalf("LogBatch = (%d, %v), want (%d, nil)", appended, err, n)
+	}
+	if s.j.unsynced != 0 {
+		t.Fatalf("unsynced = %d after a SyncEvery=1 batch, want 0 (synced)", s.j.unsynced)
+	}
+
+	// Crash-recover without a clean close: all n entries must replay
+	// individually (distinct payloads despite the shared scratch).
+	s2 := openKV(t, dir)
+	defer s2.j.Close()
+	if len(s2.m) != n {
+		t.Fatalf("recovered %d keys, want %d", len(s2.m), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := s2.m[fmt.Sprintf("k%03d", i)]; got != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("k%03d = %q", i, got)
+		}
+	}
+	s.j.Close()
+}
+
+// TestJournalLogBatchGroupCommitWindow: under SyncEvery=N, batches
+// advance the window by one commit each, not by their entry count.
+func TestJournalLogBatchGroupCommitWindow(t *testing.T) {
+	dir := t.TempDir()
+	s := openKV(t, dir)
+	defer s.j.Close()
+	s.j.SyncEvery = 3
+	enc := NewEncoder(32)
+	batch := func() {
+		t.Helper()
+		if _, err := s.j.LogBatch(50, func(i int) []byte {
+			enc.Reset()
+			enc.String(fmt.Sprintf("k%d", i))
+			enc.String("v")
+			return enc.Bytes()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch()
+	batch()
+	if s.j.unsynced != 2 {
+		t.Fatalf("unsynced = %d after 2 batches, want 2", s.j.unsynced)
+	}
+	batch() // third commit hits the window: sync + reset
+	if s.j.unsynced != 0 {
+		t.Fatalf("unsynced = %d after 3rd batch, want 0", s.j.unsynced)
+	}
+}

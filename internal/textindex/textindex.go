@@ -25,12 +25,16 @@ type DocID uint64
 // Tokenize splits text into lowercase alphanumeric terms. URL separators
 // count as breaks, so "films.example/citizen-kane" yields "films",
 // "example", "citizen", "kane".
-func Tokenize(text string) []string {
-	var terms []string
+func Tokenize(text string) []string { return AppendTokens(nil, text) }
+
+// AppendTokens is Tokenize into a caller-reused slice: hot paths that
+// tokenize in a loop (the personalisation term fold) recycle one buffer
+// instead of allocating a slice per call.
+func AppendTokens(dst []string, text string) []string {
 	var cur strings.Builder
 	flush := func() {
 		if cur.Len() > 0 {
-			terms = append(terms, cur.String())
+			dst = append(dst, cur.String())
 			cur.Reset()
 		}
 	}
@@ -43,7 +47,7 @@ func Tokenize(text string) []string {
 		}
 	}
 	flush()
-	return terms
+	return dst
 }
 
 // stopwords are dropped at both index and query time. The list covers

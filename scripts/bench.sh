@@ -13,22 +13,25 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE \
-  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$' \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$' \
   -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
-  ns = ""; bytes = ""; allocs = ""
+  ns = ""; bytes = ""; allocs = ""; extra = ""
   for (i = 2; i <= NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     if ($(i+1) == "B/op") bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
+    if ($(i+1) == "p99_apply_ns") extra = extra sprintf(", \"p99_apply_ns\": %s", $i)
+    if ($(i+1) == "max_apply_ns") extra = extra sprintf(", \"max_apply_ns\": %s", $i)
+    if ($(i+1) == "ingested_events/sec") extra = extra sprintf(", \"ingested_events_per_sec\": %s", $i)
   }
   if (ns != "") {
-    rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",
+                        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs, extra)
   }
 }
 END {
