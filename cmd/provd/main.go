@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -51,6 +52,12 @@ type statsReply struct {
 	Terms      int    `json:"terms"`
 	Forms      int    `json:"forms"`
 	SizeOnDisk int64  `json:"size_on_disk_bytes"`
+	// Checkpoint health: how big the last columnar checkpoint is, how
+	// much WAL tail a crash would have to replay over it, and how stale
+	// it is (-1 when the store has never checkpointed).
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	WALBytes          int64   `json:"wal_bytes"`
+	LastCheckpointAge float64 `json:"last_checkpoint_age_seconds"`
 }
 
 // adminHandler serves /healthz and /stats off a fresh View per request:
@@ -75,11 +82,19 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 			return
 		}
 		sn := v.Snapshot()
+		ck := store.CheckpointInfo()
+		age := -1.0
+		if !ck.LastAt.IsZero() {
+			age = time.Since(ck.LastAt).Seconds()
+		}
 		reply := statsReply{
-			Generation: v.Generation(),
-			Nodes:      sn.NumNodes(),
-			Edges:      sn.NumEdges(),
-			SizeOnDisk: store.SizeOnDisk(),
+			Generation:        v.Generation(),
+			Nodes:             sn.NumNodes(),
+			Edges:             sn.NumEdges(),
+			SizeOnDisk:        store.SizeOnDisk(),
+			CheckpointBytes:   ck.Bytes,
+			WALBytes:          ck.WALBytes,
+			LastCheckpointAge: age,
 		}
 		// Per-kind counts from the same snapshot the totals came from.
 		sn.NodesSince(0, func(n provgraph.Node) bool {
@@ -113,7 +128,8 @@ func main() {
 	admin := flag.String("admin", "127.0.0.1:8889", "admin (healthz/stats) listen address; empty disables")
 	searchHosts := flag.String("search-hosts", "search.example,www.google.com,duckduckgo.com,www.bing.com",
 		"comma-separated hosts whose q= parameter is a web search")
-	checkpointEvery := flag.Duration("checkpoint", 5*time.Minute, "checkpoint interval")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute,
+		"periodic background checkpoint interval (0 disables; capture is never blocked for the dump)")
 	batchSize := flag.Int("batch", 64, "group-commit batch size (1 = one commit per captured event)")
 	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
 	flag.Parse()
@@ -197,10 +213,15 @@ func main() {
 		}()
 	}
 
-	ticker := time.NewTicker(*checkpointEvery)
-	defer ticker.Stop()
+	var ckptTick <-chan time.Time
+	if *checkpointEvery > 0 {
+		ticker := time.NewTicker(*checkpointEvery)
+		defer ticker.Stop()
+		ckptTick = ticker.C
+	}
 	flushTicker := time.NewTicker(*flushEvery)
 	defer flushTicker.Stop()
+	var checkpointing atomic.Bool
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
@@ -208,13 +229,23 @@ func main() {
 		select {
 		case <-flushTicker.C:
 			flush("periodic")
-		case <-ticker.C:
+		case <-ckptTick:
 			flush("checkpoint")
-			if err := store.Checkpoint(); err != nil {
-				log.Printf("provd: checkpoint: %v", err)
+			// The dump streams in the background and the store serialises
+			// checkpoints internally; run it off the event loop so flush
+			// ticks keep bounding the batcher's at-risk window meanwhile.
+			if !checkpointing.Swap(true) {
+				go func() {
+					defer checkpointing.Store(false)
+					if err := store.Checkpoint(); err != nil {
+						log.Printf("provd: checkpoint: %v", err)
+						return
+					}
+					st, ck := store.Stats(), store.CheckpointInfo()
+					log.Printf("provd: checkpoint ok (%d nodes, %d edges, %d checkpoint bytes, %d sink errors)",
+						st.Nodes, st.Edges, ck.Bytes, observer.Errs())
+				}()
 			}
-			st := store.Stats()
-			log.Printf("provd: checkpoint ok (%d nodes, %d edges, %d sink errors)", st.Nodes, st.Edges, observer.Errs())
 		case <-sigc:
 			fmt.Println()
 			log.Print("provd: shutting down")

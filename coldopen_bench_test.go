@@ -1,0 +1,92 @@
+// Cold-start benchmarks: the restart trajectory point. BenchmarkColdOpen
+// measures the full daemon-restart cycle — open the store, answer the
+// first query, shut down — over the ~60k-event replay, against both
+// checkpoint formats: the v1 per-record dump (decode every node and
+// edge group, N random B-tree inserts, first query retokenizes the
+// whole history and captures a full tail snapshot) and the v2 columnar
+// sealed-epoch dump (bulk-load arrays, bottom-up B-tree builds, text
+// index warm-started at the persisted watermark, store opens already
+// sealed).
+//
+// Run with:
+//
+//	go test -run=NONE -bench ColdOpen -benchmem
+package browserprov
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// seedColdStore builds a store directory holding the full ingest replay
+// as one checkpoint (v1 or v2) and an empty WAL — the steady state a
+// daemon restarts from.
+func seedColdStore(b *testing.B, v2 bool) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "browserprov-coldopen-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	h, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs := ingestReplay()
+	for i := 0; i < len(evs); i += 512 {
+		end := min(i+512, len(evs))
+		if err := h.ApplyBatch(evs[i:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Prime the engine so the v2 checkpoint carries a fully caught-up
+	// text index (the v1 format cannot, regardless).
+	if _, _, err := h.View().TextualSearch(context.Background(), "topic", 1); err != nil {
+		b.Fatal(err)
+	}
+	if v2 {
+		err = h.Checkpoint()
+	} else {
+		err = h.Graph().CheckpointV1()
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkColdOpen is the headline: ns/op is one full restart cycle
+// (open → first contextual search answered → close).
+func BenchmarkColdOpen(b *testing.B) {
+	ctx := context.Background()
+	bench := func(dir string) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := Open(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits, _, err := h.View().Search(ctx, "topic 42", 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) == 0 {
+					b.Fatal("cold query returned nothing")
+				}
+				if err := h.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	v1 := seedColdStore(b, false)
+	v2 := seedColdStore(b, true)
+	b.Run("v1", bench(v1))
+	b.Run("v2", bench(v2))
+}

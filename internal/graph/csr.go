@@ -65,6 +65,51 @@ func NewCSR(maxID NodeID, arcs []Arc) *CSR {
 	return c
 }
 
+// Parts exposes the CSR's packed out-direction for serialization: the
+// per-node offset index and the flat adjacency array, in arc order. The
+// slices are the CSR's own storage; callers must not modify them. The
+// in-direction is deterministically derived from the out-direction (see
+// CSRFromParts), so checkpoints persist only these two arrays.
+func (c *CSR) Parts() (maxID NodeID, outOff []uint32, outAdj []NodeID) {
+	return c.maxID, c.outOff, c.outAdj
+}
+
+// CSRFromParts reconstructs a CSR from a persisted out-direction,
+// taking ownership of both slices (outOff has maxID+2 entries). The
+// in-direction is rebuilt exactly as NewCSR builds it from the same
+// From-grouped arc order, so a round trip through Parts/CSRFromParts is
+// bit-identical — including InArc, which checkpoint loading relies on
+// to re-align edge attribute arrays.
+func CSRFromParts(maxID NodeID, outOff []uint32, outAdj []NodeID) *CSR {
+	c := &CSR{
+		maxID:  maxID,
+		outOff: outOff,
+		outAdj: outAdj,
+		inOff:  make([]uint32, maxID+2),
+		inAdj:  make([]NodeID, len(outAdj)),
+		inArc:  make([]uint32, len(outAdj)),
+	}
+	for _, to := range outAdj {
+		c.inOff[to+1]++
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		c.inOff[i] += c.inOff[i-1]
+	}
+	inCur := make([]uint32, maxID+1)
+	arc := 0
+	for from := NodeID(0); from <= maxID; from++ {
+		for o := outOff[from]; o < outOff[from+1]; o++ {
+			to := outAdj[o]
+			in := c.inOff[to] + inCur[to]
+			inCur[to]++
+			c.inAdj[in] = from
+			c.inArc[in] = uint32(arc)
+			arc++
+		}
+	}
+	return c
+}
+
 // Out implements Graph. The returned slice is shared; do not modify.
 func (c *CSR) Out(n NodeID) []NodeID {
 	if n > c.maxID {

@@ -108,3 +108,37 @@ func equalIDs(a, b []NodeID) bool {
 	}
 	return true
 }
+
+// TestCSRFromPartsRoundTrip: rebuilding a CSR from its serialized
+// out-direction must reproduce the original bit-for-bit, including the
+// derived in-direction and its arc back-references — checkpoint loading
+// relies on that to realign edge attribute arrays.
+func TestCSRFromPartsRoundTrip(t *testing.T) {
+	// From-grouped arcs with parallel edges and gaps in the ID space,
+	// the shape the sealed epoch emits.
+	arcs := []Arc{
+		{1, 3}, {1, 3}, {1, 7}, // parallel edges preserved in order
+		{3, 1}, {3, 7}, {3, 2},
+		{7, 2}, {7, 1}, {7, 7},
+	}
+	orig := NewCSR(9, arcs)
+	maxID, outOff, outAdj := orig.Parts()
+	rebuilt := CSRFromParts(maxID,
+		append([]uint32(nil), outOff...), append([]NodeID(nil), outAdj...))
+	if !reflect.DeepEqual(orig, rebuilt) {
+		t.Fatalf("round trip not identical:\norig    %+v\nrebuilt %+v", orig, rebuilt)
+	}
+	for n := NodeID(0); n <= maxID; n++ {
+		lo, hi := rebuilt.InRange(n)
+		for s := lo; s < hi; s++ {
+			a := rebuilt.InArc(s)
+			if arcs[a].To != n {
+				t.Fatalf("InArc(%d) = arc %d (%v), not targeting %d", s, a, arcs[a], n)
+			}
+		}
+	}
+	empty := CSRFromParts(0, make([]uint32, 2), nil)
+	if empty.NumArcs() != 0 || empty.MaxID() != 0 {
+		t.Fatal("empty round trip broken")
+	}
+}

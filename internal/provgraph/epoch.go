@@ -139,6 +139,12 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot's slow path; the checkpoint capture also
+// uses it. Caller holds the write lock.
+func (s *Store) snapshotLocked() *Snapshot {
 	if sn := s.snap.Load(); sn != nil && sn.gen == s.gen.Load() {
 		return sn
 	}
@@ -439,13 +445,13 @@ func (s *Store) buildSnapshot() *Snapshot {
 		tailSave:   make(map[string]NodeID),
 	}
 	captureAdj := func(id NodeID) {
-		if es := s.outE[id]; len(es) > 0 {
+		if es := s.outE.at(id); len(es) > 0 {
 			sn.tailOut[id] = es
-			sn.tailOutIDs[id] = s.outIDs[id]
+			sn.tailOutIDs[id] = s.outIDs.at(id)
 		}
-		if es := s.inE[id]; len(es) > 0 {
+		if es := s.inE.at(id); len(es) > 0 {
 			sn.tailIn[id] = es
-			sn.tailInIDs[id] = s.inIDs[id]
+			sn.tailInIDs[id] = s.inIDs.at(id)
 		}
 	}
 	// New nodes since the seal/capture (IDs are dense, so the tail is a
@@ -485,12 +491,12 @@ func (s *Store) buildSnapshot() *Snapshot {
 		sn.tailNodes[id] = *s.nodes[id]
 	}
 	for id := range s.dirtyOut {
-		sn.tailOut[id] = s.outE[id]
-		sn.tailOutIDs[id] = s.outIDs[id]
+		sn.tailOut[id] = s.outE.at(id)
+		sn.tailOutIDs[id] = s.outIDs.at(id)
 	}
 	for id := range s.dirtyIn {
-		sn.tailIn[id] = s.inE[id]
-		sn.tailInIDs[id] = s.inIDs[id]
+		sn.tailIn[id] = s.inE.at(id)
+		sn.tailInIDs[id] = s.inIDs.at(id)
 	}
 	for page := range s.dirtyVisits {
 		sn.tailVisits[page] = s.pageVisits[page]

@@ -30,7 +30,7 @@ func (s *Store) NewLens() *Lens {
 // spliced reports whether n is removed from the unified view: a node from
 // which a redirect occurs.
 func (l *Lens) spliced(n NodeID) bool {
-	for _, e := range l.s.outE[n] {
+	for _, e := range l.s.outE.at(n) {
 		if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
 			return true
 		}
@@ -47,7 +47,7 @@ func (l *Lens) resolve(n NodeID) NodeID {
 	cur := n
 	for hops := 0; hops < 32; hops++ {
 		next := NodeID(0)
-		for _, e := range l.s.outE[cur] {
+		for _, e := range l.s.outE.at(cur) {
 			if e.Kind == EdgeRedirectPermanent || e.Kind == EdgeRedirectTemporary {
 				next = e.To
 				break
@@ -68,7 +68,7 @@ func (l *Lens) Out(n NodeID) []NodeID {
 	l.s.mu.RLock()
 	defer l.s.mu.RUnlock()
 	var out []NodeID
-	for _, e := range l.s.outE[n] {
+	for _, e := range l.s.outE.at(n) {
 		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
 			continue
 		}
@@ -94,7 +94,7 @@ func (l *Lens) inLocked(n NodeID, depth int) []NodeID {
 		return nil
 	}
 	var out []NodeID
-	for _, e := range l.s.inE[n] {
+	for _, e := range l.s.inE.at(n) {
 		if e.Kind == EdgeEmbed || e.Kind == EdgeFramedLink {
 			continue
 		}

@@ -28,6 +28,7 @@ import (
 	"browserprov/internal/event"
 	"browserprov/internal/graph"
 	"browserprov/internal/storage"
+	"browserprov/internal/textindex"
 )
 
 // NodeID aliases graph.NodeID; provenance node IDs are dense from 1.
@@ -218,16 +219,20 @@ type Options struct {
 
 // Store is the provenance graph store.
 type Store struct {
-	mu sync.RWMutex
-	j  *storage.Journal
+	// ckptMu serialises whole checkpoint operations (and the wholesale
+	// rewrites that must not interleave with one). Lock order: ckptMu
+	// before mu, always.
+	ckptMu sync.Mutex
+	mu     sync.RWMutex
+	j      *storage.Journal
 
 	mode VersioningMode
 
 	nodes  map[NodeID]*Node
-	outE   map[NodeID][]Edge
-	inE    map[NodeID][]Edge
-	outIDs map[NodeID][]NodeID // parallel adjacency for graph.Graph
-	inIDs  map[NodeID][]NodeID
+	outE   adjRows[Edge]
+	inE    adjRows[Edge]
+	outIDs adjRows[NodeID] // parallel adjacency for graph.Graph
+	inIDs  adjRows[NodeID]
 
 	urlIndex   *storage.BTree // URL -> page NodeID
 	termIndex  *storage.BTree // term -> search-term NodeID
@@ -256,6 +261,21 @@ type Store struct {
 	sealDone    chan struct{} // closed when the in-flight reseal finishes
 	sealGate    chan struct{} // test hook: reseals block on it before publishing
 
+	// Checkpoint plumbing. textSource, when set (by the query engine),
+	// serialises the text index restricted to a watermark so checkpoints
+	// can carry it; recoveredText holds the postings a v2 load found,
+	// until the first engine claims them.
+	textSource      func(maxDoc NodeID) (payload []byte, watermark NodeID)
+	recoveredText   []byte
+	recoveredTextWM NodeID
+	// ckptGen is the generation the last successful v2 checkpoint this
+	// process wrote captured; a Checkpoint at the same generation is a
+	// no-op. Only valid in-process (ckptGenValid) — a checkpoint
+	// inherited at open or written by CheckpointV1 never suppresses a
+	// fresh dump.
+	ckptGen      uint64
+	ckptGenValid bool
+
 	// Ingest scratch, guarded by mu: the WAL encode buffer and the
 	// secondary-index key buffer are reused across events, and nodes
 	// are carved out of block allocations (nodes are only ever freed
@@ -263,6 +283,13 @@ type Store struct {
 	enc       storage.Encoder
 	keyBuf    []byte
 	nodeBlock []Node
+
+	// loadedNodes is the checkpoint-loaded node slab shared with the
+	// sealed epoch the snapshots read. Store pointers alias it until a
+	// node is mutated in place — mutableNode copies it out first, so
+	// the epoch stays immutable without duplicating the whole table at
+	// load.
+	loadedNodes []Node
 
 	// Assembly state (per-tab), part of the persistent state because it
 	// is reconstructed deterministically from the event log.
@@ -280,6 +307,39 @@ type pending struct {
 	url  string
 }
 
+// adjRows is a dense-by-NodeID adjacency column. Node IDs are dense
+// small integers, so per-node edge lists live in a flat slice instead
+// of a map: the ingest hot path appends without hashing, and checkpoint
+// bulk-load fills the whole column in one linear pass. Index 0 is
+// unused (node IDs start at 1); rows beyond the slice read as nil,
+// exactly like a map miss.
+type adjRows[T any] struct{ rows [][]T }
+
+// at returns the row for id (shared; callers must not modify).
+func (a *adjRows[T]) at(id NodeID) []T {
+	if int(id) >= len(a.rows) {
+		return nil
+	}
+	return a.rows[id]
+}
+
+// add appends v to id's row, growing the column as IDs advance.
+func (a *adjRows[T]) add(id NodeID, v T) {
+	if int(id) >= len(a.rows) {
+		a.growTo(id)
+	}
+	a.rows[id] = append(a.rows[id], v)
+}
+
+func (a *adjRows[T]) growTo(id NodeID) {
+	a.rows = append(a.rows, make([][]T, int(id)+1-len(a.rows))...)
+}
+
+// sized returns a column preallocated for IDs up to maxID.
+func adjSized[T any](maxID NodeID) adjRows[T] {
+	return adjRows[T]{rows: make([][]T, maxID+1)}
+}
+
 // Open opens (or creates) a provenance store in dir with default options.
 func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
 
@@ -288,10 +348,6 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		mode:           opts.Mode,
 		nodes:          make(map[NodeID]*Node),
-		outE:           make(map[NodeID][]Edge),
-		inE:            make(map[NodeID][]Edge),
-		outIDs:         make(map[NodeID][]NodeID),
-		inIDs:          make(map[NodeID][]NodeID),
 		urlIndex:       storage.NewBTree(),
 		termIndex:      storage.NewBTree(),
 		openIndex:      storage.NewBTree(),
@@ -307,6 +363,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s.epochInit()
 	j, err := storage.OpenJournal(dir, "provgraph", storage.JournalCallbacks{
 		LoadSnapshot: s.loadSnapshot,
+		LoadSections: s.loadSnapshotV2,
 		Replay:       s.replayEvent,
 	})
 	if err != nil {
@@ -318,11 +375,13 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 }
 
 // Close flushes and closes the store, waiting for any in-flight
-// background reseal to finish first.
+// background checkpoint or reseal to finish first.
 func (s *Store) Close() error {
+	s.ckptMu.Lock()
 	s.mu.Lock()
 	err := s.j.Close()
 	s.mu.Unlock()
+	s.ckptMu.Unlock()
 	s.WaitReseal()
 	return err
 }
@@ -334,11 +393,132 @@ func (s *Store) Sync() error {
 	return s.j.Sync()
 }
 
-// Checkpoint snapshots the graph and resets the WAL.
+// Checkpoint writes a sectioned columnar (v2) checkpoint and drops the
+// WAL prefix it covers. Writers are not blocked for the dump: the call
+// takes the write lock only to capture an immutable snapshot of the
+// current generation (O(tail)), an O(tabs) assembly copy and the WAL
+// fence, then flattens and streams the columnar sections in the
+// background, and finally re-takes the lock for the atomic metadata
+// swap. A crash mid-write leaves the previous checkpoint live; recovery
+// proceeds from it plus the WAL.
+//
+// The caller observes a synchronous Checkpoint (the call returns once
+// the new checkpoint is durable), but concurrent Apply/ApplyBatch
+// proceed throughout the dump. Checkpoints are serialised: a second
+// concurrent call waits for the first.
 func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	// Idle skip: if nothing moved since the last checkpoint this
+	// process wrote, the file on disk is already exact — a periodic
+	// -checkpoint-every tick on a quiet daemon costs two lock
+	// acquisitions, not a graph flatten and a multi-MB rewrite.
+	if s.ckptGenValid && s.gen.Load() == s.ckptGen {
+		s.mu.Unlock()
+		return nil
+	}
+	sn := s.snapshotLocked()
+	asm := s.captureAssemblyLocked()
+	textSource := s.textSource
+	ticket, err := s.j.BeginCheckpoint()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Off-lock: flatten the capture into pure columnar arrays (the same
+	// O(n) pass background reseals run) and stream the sections. A
+	// flat capture with an empty tail IS its sealed epoch — reuse it
+	// rather than reproducing it element by element.
+	ep := sn.sealed
+	if ep == nil || sn.base != nil || sn.maxID != ep.maxID ||
+		len(sn.tailNodes)+len(sn.tailOut)+len(sn.tailIn)+len(sn.tailVisits) != 0 {
+		ep = flattenEpoch(sn)
+	}
+	var text []byte
+	var textWM NodeID
+	if textSource != nil {
+		text, textWM = textSource(sn.maxID)
+	}
+	if err := ticket.WriteSections(func(w *storage.SectionWriter) error {
+		return writeSnapshotV2(w, ep, asm, text, textWM)
+	}); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.j.CommitCheckpoint(ticket); err != nil {
+		return err
+	}
+	s.ckptGen, s.ckptGenValid = sn.gen, true
+	return nil
+}
+
+// CheckpointV1 writes a legacy record-format (v1) checkpoint
+// synchronously under the write lock — the pre-columnar path, kept for
+// format-compatibility tests, the E1 schema comparison (which wants
+// both schemas on the identical record substrate), and as the dump
+// wholesale rewrites use (see ExpireBefore).
+func (s *Store) CheckpointV1() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ckptGenValid = false // the on-disk snapshot is v1 now; don't idle-skip over it
 	return s.j.Checkpoint(s.writeSnapshot)
+}
+
+// SetTextCheckpointSource registers the function checkpoints call (off
+// the store lock) to obtain serialized text-index postings restricted
+// to the checkpoint's node watermark. The query engine registers itself
+// here so cold opens can warm-start textual search.
+func (s *Store) SetTextCheckpointSource(fn func(maxDoc NodeID) (payload []byte, watermark NodeID)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.textSource = fn
+}
+
+// RecoveredTextIndex hands over the text-index postings the last open
+// recovered from a v2 checkpoint, parsed and ready, plus the node
+// watermark they cover. The payload is consumed: only the first caller
+// (the engine that will own the index) receives it; corrupt payloads
+// are dropped silently — the engine then rebuilds from scratch, which
+// is slower but always correct.
+func (s *Store) RecoveredTextIndex() (*textindex.Index, NodeID, bool) {
+	s.mu.Lock()
+	payload, wm := s.recoveredText, s.recoveredTextWM
+	s.recoveredText = nil
+	s.mu.Unlock()
+	if payload == nil {
+		return nil, 0, false
+	}
+	ix, err := textindex.Load(payload)
+	if err != nil {
+		return nil, 0, false
+	}
+	return ix, wm, true
+}
+
+// CheckpointInfo describes the store's durable checkpoint state.
+type CheckpointInfo struct {
+	// Bytes is the size of the current checkpoint file (0 if none).
+	Bytes int64
+	// WALBytes is the size of the log tail not covered by it.
+	WALBytes int64
+	// LastAt is when the current checkpoint was written (the file mtime
+	// for checkpoints inherited at open; zero if there is none).
+	LastAt time.Time
+}
+
+// CheckpointInfo reports checkpoint size and age for monitoring.
+func (s *Store) CheckpointInfo() CheckpointInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return CheckpointInfo{
+		Bytes:    s.j.SnapshotSize(),
+		WALBytes: s.j.WALSize(),
+		LastAt:   s.j.SnapshotTime(),
+	}
 }
 
 // SizeOnDisk returns the durable footprint in bytes (experiment E1).
@@ -442,16 +622,32 @@ func (s *Store) newNode(kind NodeKind, at time.Time) *Node {
 	return n
 }
 
+// mutableNode returns a node pointer that is safe to mutate in place:
+// if s.nodes[id] still aliases the checkpoint-loaded slab (which the
+// sealed epoch shares with every pinned snapshot), the node is copied
+// out and the store repointed first. Every in-place field mutation of
+// an existing node must go through this — writing through a slab
+// pointer would edit history under pinned readers.
+func (s *Store) mutableNode(id NodeID) *Node {
+	n := s.nodes[id]
+	if int(id) < len(s.loadedNodes) && n == &s.loadedNodes[id] {
+		cp := *n
+		n = &cp
+		s.nodes[id] = n
+	}
+	return n
+}
+
 // addEdge inserts a provenance edge and maintains both adjacency views.
 func (s *Store) addEdge(from, to NodeID, kind EdgeKind, at time.Time) {
 	if from == 0 || to == 0 || from == to {
 		return
 	}
 	e := Edge{From: from, To: to, Kind: kind, At: at}
-	s.outE[from] = append(s.outE[from], e)
-	s.inE[to] = append(s.inE[to], e)
-	s.outIDs[from] = append(s.outIDs[from], to)
-	s.inIDs[to] = append(s.inIDs[to], from)
+	s.outE.add(from, e)
+	s.inE.add(to, e)
+	s.outIDs.add(from, to)
+	s.inIDs.add(to, from)
 	s.numEdges++
 	if lim := s.dirtyLimit(); lim > 0 {
 		if from <= lim {
@@ -478,6 +674,7 @@ func (s *Store) ensurePage(url, title string, at time.Time) *Node {
 	if id, ok := s.urlIndex.Get(s.scratchKey(url)); ok {
 		p := s.nodes[NodeID(id)]
 		if p.Title == "" && title != "" {
+			p = s.mutableNode(NodeID(id))
 			p.Title = title
 			s.markDirtyNode(p.ID)
 		}
@@ -550,6 +747,7 @@ func (s *Store) applyVisit(ev *event.Event) {
 		// the time stamps and the node graph may be cyclic.
 		v = page
 		if v.Open.IsZero() || ev.Time.Before(v.Open) {
+			v = s.mutableNode(v.ID)
 			v.Open = ev.Time
 			s.markDirtyNode(v.ID)
 		}
@@ -603,7 +801,7 @@ func (s *Store) applyVisit(ev *event.Event) {
 	if s.mode == VersionNodes {
 		if prev := s.tabCur[ev.Tab]; prev != 0 && prev != v.ID {
 			if pn := s.nodes[prev]; pn.Close.IsZero() {
-				pn.Close = ev.Time
+				s.mutableNode(prev).Close = ev.Time
 				s.markDirtyNode(prev)
 			}
 		}
@@ -619,7 +817,7 @@ func (s *Store) applyClose(ev *event.Event) {
 	}
 	if s.mode == VersionNodes {
 		if n := s.nodes[cur]; n.Close.IsZero() {
-			n.Close = ev.Time
+			s.mutableNode(cur).Close = ev.Time
 			s.markDirtyNode(cur)
 		}
 	}

@@ -11,14 +11,14 @@ import (
 func (s *Store) Out(n NodeID) []NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.outIDs[n]
+	return s.outIDs.at(n)
 }
 
 // In implements graph.Graph over the provenance edges.
 func (s *Store) In(n NodeID) []NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.inIDs[n]
+	return s.inIDs.at(n)
 }
 
 // NodeByID returns a copy of the node with the given ID.
@@ -73,7 +73,7 @@ func (s *Store) VisitCount(page NodeID) int {
 
 func (s *Store) visitCountLocked(page NodeID) int {
 	if s.mode == VersionEdges {
-		n := len(s.inE[page])
+		n := len(s.inE.at(page))
 		if n == 0 {
 			// A page visited once by typing has no in-edges; it still
 			// was visited.
@@ -125,14 +125,14 @@ func (s *Store) NodesSince(watermark NodeID) []Node {
 func (s *Store) OutEdges(n NodeID) []Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Edge(nil), s.outE[n]...)
+	return append([]Edge(nil), s.outE.at(n)...)
 }
 
 // InEdges returns copies of n's incoming edges.
 func (s *Store) InEdges(n NodeID) []Edge {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Edge(nil), s.inE[n]...)
+	return append([]Edge(nil), s.inE.at(n)...)
 }
 
 // EachNode calls fn for every node in ID order until fn returns false.

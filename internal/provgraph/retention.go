@@ -2,6 +2,7 @@ package provgraph
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"browserprov/internal/storage"
@@ -34,6 +35,12 @@ const spliceFanoutLimit = 64
 // checkpoint fails the store is closed-unsafe and the error is returned.
 // ExpireBefore returns the number of nodes removed.
 func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
+	// ckptMu first (lock order): the rewrite plus its checkpoint must
+	// not interleave with a background columnar checkpoint — a dump
+	// captured pre-rewrite committing after it would resurrect expired
+	// history on the next recovery.
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -49,8 +56,8 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 		if retained[id] || n.Kind == KindPage {
 			continue
 		}
-		ins := s.inE[id]
-		outs := s.outE[id]
+		ins := s.inE.at(id)
+		outs := s.outE.at(id)
 		if len(ins)*len(outs) > spliceFanoutLimit {
 			continue
 		}
@@ -72,10 +79,10 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	oldNodes := s.nodes
 	oldOut := s.outE
 	s.nodes = make(map[NodeID]*Node, len(retained))
-	s.outE = make(map[NodeID][]Edge, len(retained))
-	s.inE = make(map[NodeID][]Edge, len(retained))
-	s.outIDs = make(map[NodeID][]NodeID, len(retained))
-	s.inIDs = make(map[NodeID][]NodeID, len(retained))
+	s.outE = adjRows[Edge]{}
+	s.inE = adjRows[Edge]{}
+	s.outIDs = adjRows[NodeID]{}
+	s.inIDs = adjRows[NodeID]{}
 	s.urlIndex = storage.NewBTree()
 	s.termIndex = storage.NewBTree()
 	s.openIndex = storage.NewBTree()
@@ -88,6 +95,13 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	// move to a new generation so cached snapshots expire.
 	s.epochReset()
 	s.gen.Add(1)
+	// And it invalidates any registered text-index checkpoint source:
+	// the engine's index still holds the purged history, and a later
+	// checkpoint saving it would resurrect expired terms on restart.
+	// The replacement engine (History rebuilds it after expiration)
+	// re-registers.
+	s.textSource = nil
+	s.recoveredText = nil
 
 	ids := make([]NodeID, 0, len(oldNodes))
 	for id := range oldNodes {
@@ -97,14 +111,21 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	// Nodes are block-allocated (see newNode): copy survivors out of
 	// their blocks so expired neighbors in the same block — and the
 	// privacy-sensitive URLs/terms they reference — actually become
-	// unreachable, and drop the current partial block with them.
+	// unreachable, and drop the current partial block with them. The
+	// strings are cloned too: checkpoint-loaded nodes hold zero-copy
+	// substrings of one shared column blob, and a survivor keeping that
+	// blob alive would keep every expired URL in it alive as well.
 	s.nodeBlock = nil
+	s.loadedNodes = nil // survivors get fresh copies; drop the slab
 	for _, id := range ids {
 		if !retained[id] {
 			removed++
 			continue
 		}
 		cp := *oldNodes[id]
+		cp.URL = strings.Clone(cp.URL)
+		cp.Title = strings.Clone(cp.Title)
+		cp.Text = strings.Clone(cp.Text)
 		s.nodes[id] = &cp
 		s.indexNode(&cp)
 	}
@@ -112,7 +133,7 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 		if !retained[id] {
 			continue
 		}
-		for _, e := range oldOut[id] {
+		for _, e := range oldOut.at(id) {
 			if retained[e.To] {
 				s.addEdge(e.From, e.To, e.Kind, e.At)
 			}
@@ -144,8 +165,27 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 		}
 	}
 
-	// The event log cannot reproduce this state; checkpoint now.
-	if err := s.j.Checkpoint(s.writeSnapshot); err != nil {
+	// The event log cannot reproduce this state; checkpoint now, under
+	// the lock (the background columnar path would release it, and
+	// events applied between the rewrite and its checkpoint would
+	// replay over pre-expiration state on recovery). The dump is the
+	// same sectioned columnar format Checkpoint writes, with one
+	// deliberate omission: no text-postings section — the engine's
+	// index still references the purged history, and persisting it
+	// would resurrect expired terms after a restart.
+	sn := s.snapshotLocked()
+	asm := s.captureAssemblyLocked()
+	ticket, err := s.j.BeginCheckpoint()
+	if err != nil {
+		return removed, err
+	}
+	ep := flattenEpoch(sn)
+	if err := ticket.WriteSections(func(w *storage.SectionWriter) error {
+		return writeSnapshotV2(w, ep, asm, nil, 0)
+	}); err != nil {
+		return removed, err
+	}
+	if err := s.j.CommitCheckpoint(ticket); err != nil {
 		return removed, err
 	}
 	return removed, nil
@@ -181,7 +221,7 @@ func (s *Store) retainedSet(cutoff time.Time) map[NodeID]bool {
 		n := queue[0]
 		queue = queue[1:]
 		retained[n] = true
-		for _, m := range s.inIDs[n] {
+		for _, m := range s.inIDs.at(n) {
 			if !seen[m] {
 				seen[m] = true
 				queue = append(queue, m)

@@ -125,7 +125,7 @@ func (s *Store) writeSnapshot(h *storage.HeapFile) error {
 	// also created the target instance), mirroring how Places stores
 	// from_visit without a second date column.
 	for _, id := range ids {
-		edges := s.outE[id]
+		edges := s.outE.at(id)
 		if len(edges) == 0 {
 			continue
 		}

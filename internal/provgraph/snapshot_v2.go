@@ -1,0 +1,863 @@
+package provgraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"browserprov/internal/graph"
+	"browserprov/internal/storage"
+)
+
+// This file implements the sectioned columnar (v2) checkpoint: instead
+// of the v1 per-record dump that recovery replays one node and one edge
+// group at a time, a v2 checkpoint persists a flattened sealed epoch as
+// contiguous array sections — node columns, CSR offsets and targets,
+// edge kinds and timestamps, per-key-sorted secondary-index streams,
+// and the query engine's text-index postings. Open bulk-loads the
+// arrays: the store comes up already sealed (the checkpoint IS the
+// sealed epoch), the B-trees are built bottom-up from sorted streams
+// instead of N random inserts, and the text index warm-starts at the
+// checkpointed watermark instead of retokenizing from node 0. Only the
+// WAL tail remains to replay as the unsealed overlay.
+//
+// The writer consumes nothing but an immutable Snapshot capture plus an
+// O(tabs) assembly copy, both taken under a short lock — which is what
+// lets Store.Checkpoint stream the dump in the background while writers
+// keep appending (see Checkpoint in provgraph.go).
+
+// Section tags of the v2 checkpoint. The storage.SectionWriter header
+// carries the container format version; these tags version the
+// provenance schema within it.
+const (
+	secNodes     = 1 // columnar node table (flags, opens, closes, pages, vias, seqs, string blob)
+	secCSR       = 2 // out-direction: per-node degrees + flat target array
+	secEdges     = 3 // per-arc edge kinds and timestamp deltas, out-aligned
+	secInAdj     = 4 // in-adjacency in per-node insertion order (From, kind, at)
+	secOpen      = 5 // (open time, id) visit timeline, sorted
+	secURLIndex  = 6 // page IDs sorted by URL — urlIndex bulk-load stream
+	secTermIndex = 7 // latest term-instance IDs sorted by term — termIndex stream
+	secAssembly  = 8 // counters, per-tab cursors, pending joins
+	secText      = 9 // text-index postings + watermark (optional)
+)
+
+// Node column flag bits. Low three bits hold the NodeKind (0 = gap left
+// by retention); the rest mark optional per-node columns.
+const (
+	nfKindMask = 0x07
+	nfClose    = 0x08
+	nfURL      = 0x10
+	nfTitle    = 0x20
+	nfText     = 0x40
+	nfSeq      = 0x80
+)
+
+// assemblyCapture is the O(tabs) copy of the store's event-assembly
+// state a checkpoint takes under the lock.
+type assemblyCapture struct {
+	nextNode      NodeID
+	mode          VersioningMode
+	tabCur        map[int]NodeID
+	pendingSearch map[int]pending
+	pendingForm   map[int]pending
+}
+
+// captureAssemblyLocked copies the assembly state. Caller holds mu.
+func (s *Store) captureAssemblyLocked() assemblyCapture {
+	asm := assemblyCapture{
+		nextNode:      s.nextNode,
+		mode:          s.mode,
+		tabCur:        make(map[int]NodeID, len(s.tabCur)),
+		pendingSearch: make(map[int]pending, len(s.pendingSearch)),
+		pendingForm:   make(map[int]pending, len(s.pendingForm)),
+	}
+	for t, v := range s.tabCur {
+		asm.tabCur[t] = v
+	}
+	for t, p := range s.pendingSearch {
+		asm.pendingSearch[t] = p
+	}
+	for t, p := range s.pendingForm {
+		asm.pendingForm[t] = p
+	}
+	return asm
+}
+
+// micro returns t as Unix microseconds, with the zero time mapped to 0
+// (the same convention as the storage codec).
+func micro(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMicro()
+}
+
+func microTime(us int64) time.Time {
+	if us == 0 {
+		return time.Time{}
+	}
+	return time.UnixMicro(us).UTC()
+}
+
+// writeSnapshotV2 streams a flattened epoch plus assembly and text-index
+// state into the section writer. It reads only immutable captured data
+// and runs without any store lock.
+func writeSnapshotV2(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapture, text []byte, textWM NodeID) error {
+	maxID := ep.maxID
+	openMicro := make([]int64, maxID+1)
+	for id := NodeID(1); id <= maxID; id++ {
+		if ep.nodes[id].Kind != 0 {
+			openMicro[id] = micro(ep.nodes[id].Open)
+		}
+	}
+	// nodeFlags computes the column-presence flags for one node. Visit
+	// URL and title are elided exactly when they equal the page node's
+	// (the dominant case — the normalisation Places applies via
+	// place_id) and rehydrated from the page at load. The flag bit, not
+	// string emptiness, is the elision marker: a visit whose title is
+	// genuinely empty while its page has one keeps its own nfTitle
+	// entry (of length zero), so recovery reproduces it exactly instead
+	// of resurrecting the page title. (The v1 record format cannot
+	// represent that case — it stores "" for every visit title — so v2
+	// is strictly more faithful there.)
+	nodeFlags := func(n *Node) byte {
+		if n.Kind == 0 {
+			return 0
+		}
+		f := byte(n.Kind) & nfKindMask
+		if !n.Close.IsZero() {
+			f |= nfClose
+		}
+		hasURL, hasTitle := n.URL != "", n.Title != ""
+		if n.Kind == KindVisit && n.Page != 0 && n.Page <= maxID {
+			p := &ep.nodes[n.Page]
+			hasURL = n.URL != p.URL
+			hasTitle = n.Title != p.Title
+		}
+		if hasURL {
+			f |= nfURL
+		}
+		if hasTitle {
+			f |= nfTitle
+		}
+		if n.Text != "" {
+			f |= nfText
+		}
+		if n.VisitSeq != 0 {
+			f |= nfSeq
+		}
+		return f
+	}
+	if err := w.WriteSection(secNodes, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(maxID))
+		for id := NodeID(1); id <= maxID; id++ {
+			e.Byte(nodeFlags(&ep.nodes[id]))
+		}
+		prevOpen := int64(0)
+		for id := NodeID(1); id <= maxID; id++ {
+			if ep.nodes[id].Kind == 0 {
+				continue
+			}
+			e.Varint(openMicro[id] - prevOpen)
+			prevOpen = openMicro[id]
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if n := &ep.nodes[id]; n.Kind != 0 && !n.Close.IsZero() {
+				e.Varint(micro(n.Close) - openMicro[id])
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if n := &ep.nodes[id]; n.Kind == KindVisit {
+				e.Uvarint(uint64(id - n.Page))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if n := &ep.nodes[id]; n.Kind == KindVisit {
+				e.Uvarint(uint64(n.Via))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if n := &ep.nodes[id]; n.Kind != 0 && n.VisitSeq != 0 {
+				e.Uvarint(uint64(n.VisitSeq))
+			}
+		}
+		// String columns: lengths per present field, then one blob per
+		// column. Recomputing the flags is cheaper than materialising a
+		// per-node side table.
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfURL != 0 {
+				e.Uvarint(uint64(len(ep.nodes[id].URL)))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfTitle != 0 {
+				e.Uvarint(uint64(len(ep.nodes[id].Title)))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfText != 0 {
+				e.Uvarint(uint64(len(ep.nodes[id].Text)))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfURL != 0 {
+				e.Raw([]byte(ep.nodes[id].URL))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfTitle != 0 {
+				e.Raw([]byte(ep.nodes[id].Title))
+			}
+		}
+		for id := NodeID(1); id <= maxID; id++ {
+			if nodeFlags(&ep.nodes[id])&nfText != 0 {
+				e.Raw([]byte(ep.nodes[id].Text))
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := w.WriteSection(secCSR, func(e *storage.Encoder) error {
+		_, outOff, outAdj := ep.csr.Parts()
+		e.Uvarint(uint64(maxID))
+		e.Uvarint(uint64(len(outAdj)))
+		for id := NodeID(1); id <= maxID; id++ {
+			e.Uvarint(uint64(outOff[id+1] - outOff[id]))
+		}
+		for _, to := range outAdj {
+			e.Uvarint(uint64(to))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := w.WriteSection(secEdges, func(e *storage.Encoder) error {
+		for i := range ep.edges {
+			ed := &ep.edges[i]
+			e.Uvarint(uint64(ed.Kind))
+			e.Varint(micro(ed.At) - openMicro[ed.To])
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := w.WriteSection(secInAdj, func(e *storage.Encoder) error {
+		// Per-node insertion order is not derivable from the From-grouped
+		// out arrays (it interleaves across sources in global event
+		// order), and first-parent stability across restarts depends on
+		// it — so the in-direction is persisted explicitly.
+		for i := range ep.inEdges {
+			ed := &ep.inEdges[i]
+			e.Uvarint(uint64(ed.From))
+			e.Uvarint(uint64(ed.Kind))
+			e.Varint(micro(ed.At) - openMicro[ed.To])
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := w.WriteSection(secOpen, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(len(ep.open)))
+		prev := int64(0)
+		for _, ent := range ep.open {
+			e.Varint(ent.at - prev)
+			e.Uvarint(uint64(ent.id))
+			prev = ent.at
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Secondary-index streams: node IDs sorted by their key. The keys
+	// themselves live in the node columns, so the sections cost a few
+	// bytes per entry and the loader bulk-builds each B-tree from one
+	// linear pass with zero re-sorting.
+	writeSortedIDs := func(tag uint32, byKey map[string]NodeID) error {
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return w.WriteSection(tag, func(e *storage.Encoder) error {
+			e.Uvarint(uint64(len(keys)))
+			for _, k := range keys {
+				e.Uvarint(uint64(byKey[k]))
+			}
+			return nil
+		})
+	}
+	if err := writeSortedIDs(secURLIndex, ep.urlToPage); err != nil {
+		return err
+	}
+	if err := writeSortedIDs(secTermIndex, ep.termNode); err != nil {
+		return err
+	}
+	if err := w.WriteSection(secAssembly, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(asm.nextNode))
+		e.Uvarint(uint64(asm.mode))
+		tabs := make([]int, 0, len(asm.tabCur))
+		for t := range asm.tabCur {
+			tabs = append(tabs, t)
+		}
+		sort.Ints(tabs)
+		e.Uvarint(uint64(len(tabs)))
+		for _, t := range tabs {
+			e.Varint(int64(t))
+			e.Uvarint(uint64(asm.tabCur[t]))
+		}
+		writePending := func(m map[int]pending) {
+			ks := make([]int, 0, len(m))
+			for t := range m {
+				ks = append(ks, t)
+			}
+			sort.Ints(ks)
+			e.Uvarint(uint64(len(ks)))
+			for _, t := range ks {
+				e.Varint(int64(t))
+				e.Uvarint(uint64(m[t].node))
+				e.String(m[t].url)
+			}
+		}
+		writePending(asm.pendingSearch)
+		writePending(asm.pendingForm)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if text != nil {
+		if err := w.WriteSection(secText, func(e *storage.Encoder) error {
+			e.Uvarint(uint64(textWM))
+			e.Raw(text)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadSnapshotV2 bulk-loads a sectioned checkpoint: it reconstructs the
+// sealed epoch's arrays directly, points the store's mutable maps at
+// capacity-clamped views of them (appends copy-on-write, so the shared
+// arrays stay immutable for snapshot readers), bulk-builds the B-trees
+// from the sorted streams, and installs the epoch as the published seal.
+// The WAL tail then replays as ordinary tail mutations over it.
+func (s *Store) loadSnapshotV2(secs map[uint32][]byte) error {
+	need := func(tag uint32, name string) (*storage.Decoder, error) {
+		p, ok := secs[tag]
+		if !ok {
+			return nil, fmt.Errorf("provgraph: checkpoint missing %s section", name)
+		}
+		return storage.NewDecoder(p), nil
+	}
+
+	// ---- node columns ----
+	d, err := need(secNodes, "nodes")
+	if err != nil {
+		return err
+	}
+	maxU, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	maxID := NodeID(maxU)
+	ep := &sealedEpoch{
+		maxID:     maxID,
+		nodes:     make([]Node, maxID+1),
+		urlToPage: make(map[string]NodeID, maxID/2+1),
+		termNode:  make(map[string]NodeID, maxID/16+1),
+		saveNode:  make(map[string]NodeID),
+	}
+	flags := make([]byte, maxID+1)
+	for id := NodeID(1); id <= maxID; id++ {
+		b, err := d.Byte()
+		if err != nil {
+			return err
+		}
+		flags[id] = b
+		ep.nodes[id].ID = id
+		ep.nodes[id].Kind = NodeKind(b & nfKindMask)
+	}
+	openMicro := make([]int64, maxID+1)
+	prevOpen := int64(0)
+	for id := NodeID(1); id <= maxID; id++ {
+		if flags[id] == 0 {
+			continue
+		}
+		delta, err := d.Varint()
+		if err != nil {
+			return err
+		}
+		prevOpen += delta
+		openMicro[id] = prevOpen
+		ep.nodes[id].Open = microTime(prevOpen)
+	}
+	for id := NodeID(1); id <= maxID; id++ {
+		if flags[id]&nfClose != 0 {
+			delta, err := d.Varint()
+			if err != nil {
+				return err
+			}
+			ep.nodes[id].Close = microTime(openMicro[id] + delta)
+		}
+	}
+	for id := NodeID(1); id <= maxID; id++ {
+		if ep.nodes[id].Kind == KindVisit {
+			delta, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			ep.nodes[id].Page = id - NodeID(delta)
+		}
+	}
+	for id := NodeID(1); id <= maxID; id++ {
+		if ep.nodes[id].Kind == KindVisit {
+			via, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			ep.nodes[id].Via = EdgeKind(via)
+		}
+	}
+	for id := NodeID(1); id <= maxID; id++ {
+		if flags[id]&nfSeq != 0 {
+			seq, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			ep.nodes[id].VisitSeq = int(seq)
+		}
+	}
+	readLens := func(bit byte) ([]uint32, error) {
+		var lens []uint32
+		for id := NodeID(1); id <= maxID; id++ {
+			if flags[id]&bit != 0 {
+				n, err := d.Uvarint()
+				if err != nil {
+					return nil, err
+				}
+				lens = append(lens, uint32(n))
+			}
+		}
+		return lens, nil
+	}
+	urlLens, err := readLens(nfURL)
+	if err != nil {
+		return err
+	}
+	titleLens, err := readLens(nfTitle)
+	if err != nil {
+		return err
+	}
+	textLens, err := readLens(nfText)
+	if err != nil {
+		return err
+	}
+	readBlob := func(bit byte, lens []uint32, set func(n *Node, s string)) error {
+		// One allocation per column: the whole blob becomes a single
+		// string and every field is a zero-copy substring of it. With
+		// ~10^5 string fields per column this is the difference between
+		// three large allocations and a GC-visible object per field.
+		total := 0
+		for _, n := range lens {
+			total += int(n)
+		}
+		b, err := d.Raw(total)
+		if err != nil {
+			return err
+		}
+		blob := string(b)
+		i, off := 0, 0
+		for id := NodeID(1); id <= maxID; id++ {
+			if flags[id]&bit == 0 {
+				continue
+			}
+			n := int(lens[i])
+			set(&ep.nodes[id], blob[off:off+n])
+			i++
+			off += n
+		}
+		return nil
+	}
+	if err := readBlob(nfURL, urlLens, func(n *Node, v string) { n.URL = v }); err != nil {
+		return err
+	}
+	if err := readBlob(nfTitle, titleLens, func(n *Node, v string) { n.Title = v }); err != nil {
+		return err
+	}
+	if err := readBlob(nfText, textLens, func(n *Node, v string) { n.Text = v }); err != nil {
+		return err
+	}
+	// Rehydrate elided visit URLs/titles from the page node (page IDs
+	// always precede their visits) and derive the kind maps in one
+	// ascending pass — latest instance wins, matching live semantics.
+	nNodes := 0
+	for id := NodeID(1); id <= maxID; id++ {
+		n := &ep.nodes[id]
+		if n.Kind == 0 {
+			continue
+		}
+		nNodes++
+		switch n.Kind {
+		case KindPage:
+			ep.urlToPage[n.URL] = id
+		case KindVisit:
+			// Absent flag = elided-as-equal-to-page, not empty: the flag
+			// bit distinguishes a genuinely empty visit field from one
+			// the writer dropped as redundant.
+			if p := n.Page; p != 0 && p <= maxID {
+				if flags[id]&nfURL == 0 {
+					n.URL = ep.nodes[p].URL
+				}
+				if flags[id]&nfTitle == 0 {
+					n.Title = ep.nodes[p].Title
+				}
+			}
+		case KindSearchTerm:
+			ep.termNode[n.Text] = id
+		case KindDownload:
+			ep.saveNode[n.Text] = id
+			ep.downloads = append(ep.downloads, id)
+		}
+	}
+
+	// ---- out-direction CSR + edge attributes ----
+	d, err = need(secCSR, "csr")
+	if err != nil {
+		return err
+	}
+	if m, err := d.Uvarint(); err != nil {
+		return err
+	} else if NodeID(m) != maxID {
+		return fmt.Errorf("provgraph: checkpoint CSR maxID %d != node table %d", m, maxID)
+	}
+	nArcs, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	outOff := make([]uint32, maxID+2)
+	for id := NodeID(1); id <= maxID; id++ {
+		deg, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		outOff[id+1] = uint32(deg)
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		outOff[i] += outOff[i-1]
+	}
+	if uint64(outOff[maxID+1]) != nArcs {
+		return fmt.Errorf("provgraph: checkpoint degree sum %d != arc count %d", outOff[maxID+1], nArcs)
+	}
+	outAdj := make([]NodeID, nArcs)
+	for i := range outAdj {
+		to, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		if to == 0 || NodeID(to) > maxID {
+			return fmt.Errorf("provgraph: checkpoint arc target %d out of range", to)
+		}
+		outAdj[i] = NodeID(to)
+	}
+	ep.csr = graph.CSRFromParts(maxID, outOff, outAdj)
+	d, err = need(secEdges, "edges")
+	if err != nil {
+		return err
+	}
+	ep.edges = make([]Edge, nArcs)
+	arc := 0
+	for from := NodeID(1); from <= maxID; from++ {
+		for o := outOff[from]; o < outOff[from+1]; o++ {
+			kind, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			delta, err := d.Varint()
+			if err != nil {
+				return err
+			}
+			to := outAdj[o]
+			ep.edges[arc] = Edge{From: from, To: to, Kind: EdgeKind(kind),
+				At: microTime(openMicro[to] + delta)}
+			arc++
+		}
+	}
+
+	// ---- in-direction, per-node insertion order ----
+	ep.inOff = make([]uint32, maxID+2)
+	for _, to := range outAdj {
+		ep.inOff[to+1]++
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		ep.inOff[i] += ep.inOff[i-1]
+	}
+	d, err = need(secInAdj, "in-adjacency")
+	if err != nil {
+		return err
+	}
+	ep.inIDs = make([]NodeID, nArcs)
+	ep.inEdges = make([]Edge, nArcs)
+	for to := NodeID(1); to <= maxID; to++ {
+		for slot := ep.inOff[to]; slot < ep.inOff[to+1]; slot++ {
+			from, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			kind, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			delta, err := d.Varint()
+			if err != nil {
+				return err
+			}
+			ep.inIDs[slot] = NodeID(from)
+			ep.inEdges[slot] = Edge{From: NodeID(from), To: to, Kind: EdgeKind(kind),
+				At: microTime(openMicro[to] + delta)}
+		}
+	}
+
+	// ---- visit timeline ----
+	d, err = need(secOpen, "open timeline")
+	if err != nil {
+		return err
+	}
+	nOpen, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	ep.open = make([]openEnt, nOpen)
+	prevAt := int64(0)
+	for i := range ep.open {
+		delta, err := d.Varint()
+		if err != nil {
+			return err
+		}
+		id, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		prevAt += delta
+		ep.open[i] = openEnt{at: prevAt, id: NodeID(id)}
+	}
+
+	// ---- per-page visit lists, CSR-packed (derived from Page column) ----
+	ep.visitsOff = make([]uint32, maxID+2)
+	for id := NodeID(1); id <= maxID; id++ {
+		if n := &ep.nodes[id]; n.Kind == KindVisit && n.Page != 0 && n.Page <= maxID {
+			ep.visitsOff[n.Page+1]++
+		}
+	}
+	for i := NodeID(1); i <= maxID+1; i++ {
+		ep.visitsOff[i] += ep.visitsOff[i-1]
+	}
+	ep.visitIDs = make([]NodeID, ep.visitsOff[maxID+1])
+	visitCur := make([]uint32, maxID+1)
+	for id := NodeID(1); id <= maxID; id++ {
+		if n := &ep.nodes[id]; n.Kind == KindVisit && n.Page != 0 && n.Page <= maxID {
+			ep.visitIDs[ep.visitsOff[n.Page]+visitCur[n.Page]] = id
+			visitCur[n.Page]++
+		}
+	}
+
+	// ---- store mutable state over the epoch arrays ----
+	//
+	// The live containers get capacity-clamped slices of the shared
+	// immutable arrays: a writer's first append to any of them
+	// reallocates (cap == len), so the epoch the snapshots read stays
+	// untouched. Node pointers alias the epoch's slab directly; the
+	// in-place mutation sites copy a node out first (see mutableNode),
+	// so the slab needs no defensive duplicate.
+	s.loadedNodes = ep.nodes
+	// Presized replacements for the containers OpenWith created empty:
+	// the adjacency columns fill in one linear pass, and growing a
+	// 10^5-entry map incrementally spends more time splitting buckets
+	// than filling them.
+	s.nodes = make(map[NodeID]*Node, nNodes)
+	s.outE = adjSized[Edge](maxID)
+	s.inE = adjSized[Edge](maxID)
+	s.outIDs = adjSized[NodeID](maxID)
+	s.inIDs = adjSized[NodeID](maxID)
+	s.pageVisits = make(map[NodeID][]NodeID, len(ep.urlToPage))
+	s.lastVisitByURL = make(map[string]NodeID, len(ep.urlToPage))
+	for id := NodeID(1); id <= maxID; id++ {
+		n := &ep.nodes[id]
+		if n.Kind == 0 {
+			continue
+		}
+		s.nodes[id] = n
+		switch n.Kind {
+		case KindBookmark:
+			s.bookmarkByURL[n.URL] = id
+		case KindDownload:
+			s.saveIndex[n.Text] = id
+		}
+		if lo, hi := outOff[id], outOff[id+1]; hi > lo {
+			s.outE.rows[id] = ep.edges[lo:hi:hi]
+			s.outIDs.rows[id] = outAdj[lo:hi:hi]
+		}
+		if lo, hi := ep.inOff[id], ep.inOff[id+1]; hi > lo {
+			s.inE.rows[id] = ep.inEdges[lo:hi:hi]
+			s.inIDs.rows[id] = ep.inIDs[lo:hi:hi]
+		}
+		if n.Kind == KindPage {
+			if lo, hi := ep.visitsOff[id], ep.visitsOff[id+1]; hi > lo {
+				s.pageVisits[id] = ep.visitIDs[lo:hi:hi]
+			}
+		}
+	}
+	if len(ep.downloads) > 0 {
+		s.downloads = ep.downloads[:len(ep.downloads):len(ep.downloads)]
+	}
+	s.numEdges = int(nArcs)
+
+	// ---- secondary B-trees, bulk-built from the sorted ID streams ----
+	loadIndex := func(tag uint32, name string, key func(id NodeID) string, t *storage.BTree) error {
+		d, err := need(tag, name)
+		if err != nil {
+			return err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		var keyBuf []byte
+		i := uint64(0)
+		var decodeErr error
+		t.BulkLoad(func() ([]byte, uint64, bool) {
+			if i >= n || decodeErr != nil {
+				return nil, 0, false
+			}
+			id, err := d.Uvarint()
+			if err != nil || id == 0 || NodeID(id) > maxID {
+				decodeErr = fmt.Errorf("provgraph: checkpoint %s entry %d invalid (%v)", name, i, err)
+				return nil, 0, false
+			}
+			i++
+			keyBuf = append(keyBuf[:0], key(NodeID(id))...)
+			return keyBuf, id, true
+		})
+		return decodeErr
+	}
+	if err := loadIndex(secURLIndex, "url index",
+		func(id NodeID) string { return ep.nodes[id].URL }, s.urlIndex); err != nil {
+		return err
+	}
+	if err := loadIndex(secTermIndex, "term index",
+		func(id NodeID) string { return ep.nodes[id].Text }, s.termIndex); err != nil {
+		return err
+	}
+	{
+		var keyBuf []byte
+		i := 0
+		s.openIndex.BulkLoad(func() ([]byte, uint64, bool) {
+			if i >= len(ep.open) {
+				return nil, 0, false
+			}
+			ent := ep.open[i]
+			i++
+			keyBuf = appendTimeKey(keyBuf[:0], microTime(ent.at), ent.id)
+			return keyBuf, uint64(ent.id), true
+		})
+	}
+
+	// ---- assembly state ----
+	d, err = need(secAssembly, "assembly")
+	if err != nil {
+		return err
+	}
+	nn, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	s.nextNode = NodeID(nn)
+	md, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	s.mode = VersioningMode(md)
+	ntabs, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < ntabs; i++ {
+		t, err := d.Varint()
+		if err != nil {
+			return err
+		}
+		v, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		s.tabCur[int(t)] = NodeID(v)
+	}
+	readPending := func(m map[int]pending) error {
+		np, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < np; i++ {
+			t, err := d.Varint()
+			if err != nil {
+				return err
+			}
+			nd, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			u, err := d.String()
+			if err != nil {
+				return err
+			}
+			m[int(t)] = pending{node: NodeID(nd), url: u}
+		}
+		return nil
+	}
+	if err := readPending(s.pendingSearch); err != nil {
+		return err
+	}
+	if err := readPending(s.pendingForm); err != nil {
+		return err
+	}
+	// lastVisitByURL, array-driven (same result as rebuildLastVisit,
+	// without iterating the just-built maps a second time).
+	if s.mode == VersionEdges {
+		for url, id := range ep.urlToPage {
+			s.lastVisitByURL[url] = id
+		}
+	} else {
+		for page := NodeID(1); page <= maxID; page++ {
+			if lo, hi := ep.visitsOff[page], ep.visitsOff[page+1]; hi > lo {
+				s.lastVisitByURL[ep.nodes[page].URL] = ep.visitIDs[hi-1]
+			}
+		}
+	}
+
+	// ---- text-index postings (optional) ----
+	if p, ok := secs[secText]; ok {
+		d := storage.NewDecoder(p)
+		wm, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		payload, err := d.Raw(d.Remaining())
+		if err != nil {
+			return err
+		}
+		// Copied: the section payload aliases the whole checkpoint file
+		// buffer, and stashing the alias would pin every section in
+		// memory until (if ever) an engine claims the postings.
+		s.recoveredText = append([]byte(nil), payload...)
+		s.recoveredTextWM = NodeID(wm)
+	}
+
+	// The store comes up already sealed: the checkpoint is the sealed
+	// epoch, and the WAL tail replays as ordinary dirty-tracked
+	// mutations above it.
+	if maxID > 0 {
+		s.sealed = ep
+	}
+	return nil
+}

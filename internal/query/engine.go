@@ -66,6 +66,13 @@ type Engine struct {
 // term, download and form node for textual search. Pass Options{} for
 // the defaults; any knob can be overridden per query call with the
 // With* options.
+//
+// When the store was opened from a columnar (v2) checkpoint, the engine
+// warm-starts: it claims the checkpoint's text-index postings and
+// indexes only nodes past the persisted watermark, instead of
+// retokenizing the whole history on the first query. It also registers
+// itself as the store's checkpoint text source, so subsequent
+// checkpoints carry the index forward.
 func NewEngine(store *provgraph.Store, opts Options) *Engine {
 	e := &Engine{
 		store:  store,
@@ -73,8 +80,31 @@ func NewEngine(store *provgraph.Store, opts Options) *Engine {
 		index:  textindex.New(),
 		recent: make(map[uint64]*provgraph.Snapshot, viewRetain),
 	}
-	e.snapshot() // prime the first view and index the existing history
+	if ix, watermark, ok := store.RecoveredTextIndex(); ok {
+		e.index = ix
+		e.lastIndexed = watermark
+	}
+	store.SetTextCheckpointSource(e.checkpointText)
+	e.snapshot() // prime the first view and index the remaining history
 	return e
+}
+
+// checkpointText serialises the engine's index for a checkpoint fenced
+// at maxDoc. The saved postings are cut at min(indexed, maxDoc): never
+// past the checkpoint's graph (a crash that loses WAL tail must not
+// leave the recovered index ahead of the recovered graph), and never
+// past what is actually indexed (re-indexing an already-loaded doc
+// would stack its terms twice).
+func (e *Engine) checkpointText(maxDoc provgraph.NodeID) ([]byte, provgraph.NodeID) {
+	e.mu.Lock()
+	watermark := e.lastIndexed
+	e.mu.Unlock()
+	if maxDoc < watermark {
+		watermark = maxDoc
+	}
+	// SaveUnder takes the index's own lock; writers may keep indexing
+	// past the watermark concurrently — the doc-sorted cut is immune.
+	return e.index.SaveUnder(textindex.DocID(watermark)), watermark
 }
 
 // snapshot returns the engine's current immutable view, refreshing the

@@ -14,18 +14,20 @@ var t0 = time.Date(2008, 11, 1, 9, 0, 0, 0, time.UTC)
 
 type fixture struct {
 	s   *provgraph.Store
+	dir string
 	now time.Time
 	tab int
 }
 
 func newFixture(t *testing.T) *fixture {
 	t.Helper()
-	s, err := provgraph.Open(t.TempDir())
+	dir := t.TempDir()
+	s, err := provgraph.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { s.Close() })
-	return &fixture{s: s, now: t0, tab: 1}
+	return &fixture{s: s, dir: dir, now: t0, tab: 1}
 }
 
 func (f *fixture) tick() time.Time {

@@ -251,6 +251,140 @@ func TestBTreePropertyVsMap(t *testing.T) {
 	}
 }
 
+// checkBTreeInvariants walks the tree verifying the classic B-tree
+// structure: uniform leaf depth, per-node occupancy bounds (root
+// exempt from the minimum), sorted keys, and separator ordering.
+func checkBTreeInvariants(t *testing.T, bt *BTree) {
+	t.Helper()
+	var walk func(n *btreeNode, depth int, isRoot bool) int // returns leaf depth
+	walk = func(n *btreeNode, depth int, isRoot bool) int {
+		if len(n.keys) > 2*btreeDegree-1 {
+			t.Fatalf("node with %d keys exceeds max %d", len(n.keys), 2*btreeDegree-1)
+		}
+		if !isRoot && len(n.keys) < btreeDegree-1 {
+			t.Fatalf("non-root node with %d keys below min %d", len(n.keys), btreeDegree-1)
+		}
+		for i := 1; i < len(n.keys); i++ {
+			if string(n.keys[i-1]) >= string(n.keys[i]) {
+				t.Fatalf("keys out of order at %d: %q >= %q", i, n.keys[i-1], n.keys[i])
+			}
+		}
+		if n.leaf() {
+			return depth
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal node: %d keys but %d children", len(n.keys), len(n.children))
+		}
+		leafDepth := -1
+		for i, c := range n.children {
+			d := walk(c, depth+1, false)
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if d != leafDepth {
+				t.Fatalf("leaves at depths %d and %d", leafDepth, d)
+			}
+			if i < len(n.keys) {
+				if mx, _ := btreeMax(c); string(mx) >= string(n.keys[i]) {
+					t.Fatalf("separator %q not above child max %q", n.keys[i], mx)
+				}
+			}
+			if i > 0 {
+				if mn, _ := btreeMin(c); string(mn) <= string(n.keys[i-1]) {
+					t.Fatalf("separator %q not below child min %q", n.keys[i-1], mn)
+				}
+			}
+		}
+		return leafDepth
+	}
+	walk(bt.root, 0, true)
+}
+
+// TestBTreeBulkLoad sweeps sizes across the interesting boundaries
+// (empty, single leaf, one split, several levels) and checks the
+// bulk-built tree against a Put-built reference: same contents, same
+// iteration order, valid invariants, and still mutable afterwards.
+func TestBTreeBulkLoad(t *testing.T) {
+	sizes := []int{0, 1, 62, 63, 64, 127, 128, 1000, 4095, 4096, 20000}
+	for _, n := range sizes {
+		keyOf := func(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i*3)) }
+		i := 0
+		var buf []byte
+		bt := NewBTree()
+		bt.BulkLoad(func() ([]byte, uint64, bool) {
+			if i >= n {
+				return nil, 0, false
+			}
+			buf = append(buf[:0], keyOf(i)...) // stream may reuse one buffer
+			v := uint64(i) * 7
+			i++
+			return buf, v, true
+		})
+		if bt.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, bt.Len())
+		}
+		checkBTreeInvariants(t, bt)
+		for j := 0; j < n; j++ {
+			v, ok := bt.Get(keyOf(j))
+			if !ok || v != uint64(j)*7 {
+				t.Fatalf("n=%d: Get(%q) = %d,%v", n, keyOf(j), v, ok)
+			}
+		}
+		if _, ok := bt.Get([]byte("key-absent")); ok {
+			t.Fatalf("n=%d: phantom key", n)
+		}
+		idx := 0
+		bt.Ascend(func(k []byte, v uint64) bool {
+			if string(k) != string(keyOf(idx)) || v != uint64(idx)*7 {
+				t.Fatalf("n=%d: ascend[%d] = %q/%d", n, idx, k, v)
+			}
+			idx++
+			return true
+		})
+		if idx != n {
+			t.Fatalf("n=%d: ascend visited %d", n, idx)
+		}
+		// The bulk-built tree must keep working as a live index: inserts
+		// between existing keys, overwrites, deletes.
+		for j := 0; j < n || j < 10; j += 2 {
+			bt.Put([]byte(fmt.Sprintf("key-%08d", j*3+1)), 999)
+		}
+		checkBTreeInvariants(t, bt)
+		if n > 0 {
+			if !bt.Delete(keyOf(n / 2)) {
+				t.Fatalf("n=%d: delete of present key failed", n)
+			}
+			if _, ok := bt.Get(keyOf(n / 2)); ok {
+				t.Fatalf("n=%d: deleted key still present", n)
+			}
+			checkBTreeInvariants(t, bt)
+		}
+	}
+}
+
+// TestBTreeBulkLoadReplaces: bulk loading an already-populated tree
+// replaces its contents wholesale.
+func TestBTreeBulkLoadReplaces(t *testing.T) {
+	bt := NewBTree()
+	bt.Put([]byte("old"), 1)
+	done := false
+	bt.BulkLoad(func() ([]byte, uint64, bool) {
+		if done {
+			return nil, 0, false
+		}
+		done = true
+		return []byte("new"), 2, true
+	})
+	if _, ok := bt.Get([]byte("old")); ok {
+		t.Fatal("stale key survived BulkLoad")
+	}
+	if v, ok := bt.Get([]byte("new")); !ok || v != 2 {
+		t.Fatal("bulk-loaded key missing")
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+}
+
 func TestBTreeKeyCopying(t *testing.T) {
 	bt := NewBTree()
 	k := []byte("mutate-me")

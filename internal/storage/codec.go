@@ -117,6 +117,18 @@ func (e *Encoder) Bytes2(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Raw appends b with no framing. Columnar checkpoint sections use it to
+// splice pre-encoded streams (string blobs, nested payloads) into one
+// section body.
+func (e *Encoder) Raw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// Byte appends a single raw byte (columnar flag arrays).
+func (e *Encoder) Byte(b byte) {
+	e.buf = append(e.buf, b)
+}
+
 // Decoder reads primitive values from a byte slice previously produced by
 // an Encoder. Decoder methods return errors rather than panicking so that
 // corrupt on-disk records surface as recoverable failures.
@@ -222,6 +234,27 @@ func (d *Decoder) String() (string, error) {
 		return "", err
 	}
 	return string(b), nil
+}
+
+// Byte decodes a single raw byte.
+func (d *Decoder) Byte() (byte, error) {
+	if d.Remaining() < 1 {
+		return 0, ErrShortBuffer
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// Raw returns the next n unframed bytes. The returned slice aliases the
+// decoder's input.
+func (d *Decoder) Raw(n int) ([]byte, error) {
+	if n < 0 || d.Remaining() < n {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
 }
 
 // Bytes2 decodes a length-prefixed byte slice. The returned slice aliases

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Journal is the durability harness shared by every store in the system.
@@ -29,6 +30,7 @@ type Journal struct {
 	wal      *WAL
 	snapPath string
 	snapSize int64
+	snapTime time.Time
 	gen      uint64
 
 	// SyncEvery controls group commit: the WAL is fsynced after this
@@ -43,8 +45,13 @@ type Journal struct {
 
 // JournalCallbacks supplies the store-specific halves of recovery.
 type JournalCallbacks struct {
-	// LoadSnapshot is called with the snapshot heap file, if one exists.
+	// LoadSnapshot is called with the snapshot heap file when the
+	// snapshot is in the record-oriented (v1) format.
 	LoadSnapshot func(h *HeapFile) error
+	// LoadSections is called with the verified sections when the
+	// snapshot is in the sectioned columnar (v2) format. Stores that
+	// never write sectioned checkpoints may leave it nil.
+	LoadSections func(sections map[uint32][]byte) error
 	// Replay applies one logged mutation during recovery.
 	Replay func(payload []byte) error
 }
@@ -71,19 +78,43 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 	j.gen = meta.gen
 	if meta.gen > 0 {
 		j.snapPath = j.snapFile(meta.gen)
-		h, err := OpenHeapFile(j.snapPath)
-		if err != nil {
-			return nil, fmt.Errorf("storage: open snapshot: %w", err)
+		if fi, err := os.Stat(j.snapPath); err == nil {
+			j.snapTime = fi.ModTime()
 		}
-		j.snapSize = h.Size()
-		if cb.LoadSnapshot != nil {
-			if err := cb.LoadSnapshot(h); err != nil {
-				h.Close()
+		// The snapshot format is sniffed from the file itself: a
+		// sectioned (v2) checkpoint bulk-loads through LoadSections,
+		// anything else is the record-oriented v1 heap file — so a store
+		// that writes v2 checkpoints still recovers from a v1 snapshot
+		// left by an older version (or by the synchronous v1 path).
+		if IsSectionFile(j.snapPath) {
+			if cb.LoadSections == nil {
+				return nil, fmt.Errorf("storage: snapshot %s is sectioned but no LoadSections callback is set", j.snapPath)
+			}
+			secs, err := ReadSections(j.snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("storage: open snapshot: %w", err)
+			}
+			if err := cb.LoadSections(secs); err != nil {
 				return nil, fmt.Errorf("storage: load snapshot: %w", err)
 			}
-		}
-		if err := h.Close(); err != nil {
-			return nil, err
+			if fi, err := os.Stat(j.snapPath); err == nil {
+				j.snapSize = fi.Size()
+			}
+		} else {
+			h, err := OpenHeapFile(j.snapPath)
+			if err != nil {
+				return nil, fmt.Errorf("storage: open snapshot: %w", err)
+			}
+			j.snapSize = h.Size()
+			if cb.LoadSnapshot != nil {
+				if err := cb.LoadSnapshot(h); err != nil {
+					h.Close()
+					return nil, fmt.Errorf("storage: load snapshot: %w", err)
+				}
+			}
+			if err := h.Close(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	replay := func(_ uint64, payload []byte) error {
@@ -253,9 +284,104 @@ func (j *Journal) Checkpoint(write func(h *HeapFile) error) error {
 	j.gen = newGen
 	j.snapPath = path
 	j.snapSize = size
+	j.snapTime = time.Now()
 	j.unsynced = 0
 	return nil
 }
+
+// ---- background (sectioned) checkpoints ----
+//
+// A synchronous Checkpoint holds the store's write lock for the whole
+// dump. The split protocol below lets the dump itself run off-lock:
+//
+//	BeginCheckpoint   (under the store lock)  — fence the WAL
+//	ticket.WriteSections (off-lock)           — stream the snapshot
+//	CommitCheckpoint  (under the store lock)  — atomic metadata swap
+//
+// Crash safety is unchanged: the new file only becomes live when the
+// metadata names it, after both the file and the metadata are fsynced.
+// A crash mid-WriteSections leaves unreachable garbage at the next
+// generation's path, which the next checkpoint truncates over; recovery
+// proceeds from the previous checkpoint plus the WAL.
+
+// CheckpointTicket is an in-flight background checkpoint. The journal
+// supports one at a time; the store serialises checkpoints.
+type CheckpointTicket struct {
+	j        *Journal
+	gen      uint64
+	path     string
+	startLSN uint64 // first LSN not covered by the snapshot being written
+	walOff   int64  // byte offset of the first post-fence WAL entry
+	size     int64
+}
+
+// BeginCheckpoint fences a background checkpoint at the current WAL
+// position: everything logged so far will be covered by the snapshot
+// about to be written, everything after stays in the log. The caller
+// must hold the store's write lock (the fence must be consistent with
+// the in-memory state being captured); the WAL is flushed and fsynced
+// so the fence offset is stable on disk.
+func (j *Journal) BeginCheckpoint() (*CheckpointTicket, error) {
+	if err := j.wal.Sync(); err != nil {
+		return nil, err
+	}
+	j.unsynced = 0
+	return &CheckpointTicket{
+		j:        j,
+		gen:      j.gen + 1,
+		path:     j.snapFile(j.gen + 1),
+		startLSN: j.wal.NextLSN(),
+		walOff:   j.wal.Size(),
+	}, nil
+}
+
+// WriteSections writes the checkpoint's sectioned snapshot file through
+// write and fsyncs it. It runs without any store lock: the caller hands
+// it only immutable captured state. On error the partial file is
+// removed and the ticket must be discarded.
+func (t *CheckpointTicket) WriteSections(write func(w *SectionWriter) error) error {
+	w, err := CreateSectionFile(t.path)
+	if err != nil {
+		return err
+	}
+	if err := write(w); err != nil {
+		w.Close()
+		os.Remove(t.path)
+		return fmt.Errorf("storage: checkpoint write: %w", err)
+	}
+	t.size = w.Size()
+	if err := w.Close(); err != nil {
+		os.Remove(t.path)
+		return err
+	}
+	return nil
+}
+
+// CommitCheckpoint atomically switches the journal to the ticket's
+// snapshot and drops the WAL prefix it covers, keeping entries logged
+// after the fence. The caller must hold the store's write lock.
+func (j *Journal) CommitCheckpoint(t *CheckpointTicket) error {
+	if err := j.writeMeta(journalMeta{gen: t.gen, startLSN: t.startLSN}); err != nil {
+		os.Remove(t.path)
+		return err
+	}
+	if j.snapPath != "" && j.snapPath != t.path {
+		os.Remove(j.snapPath)
+	}
+	j.gen = t.gen
+	j.snapPath = t.path
+	j.snapSize = t.size
+	j.snapTime = time.Now()
+	j.unsynced = 0
+	// The metadata now fences replay at startLSN, so the prefix is dead
+	// weight either way; a failure here costs disk space, not
+	// correctness.
+	return j.wal.ResetKeepTail(t.walOff)
+}
+
+// SnapshotTime returns when the current snapshot was written (the file
+// mtime for snapshots inherited at open; zero if there is none).
+func (j *Journal) SnapshotTime() time.Time { return j.snapTime }
 
 // SizeOnDisk returns the journal's durable footprint in bytes: the
 // snapshot, the WAL (including buffered bytes), and the metadata file.

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Sectioned checkpoint files are the v2 snapshot container: a flat file
+// holding a small number of large, individually checksummed sections
+// (columnar node tables, CSR arrays, sorted index streams, text-index
+// postings). Where the v1 heap-file snapshot pays per-record framing and
+// 4 KiB page granularity — the right shape for many small records — the
+// sectioned form is built for bulk load: a cold open reads the whole
+// file in one I/O and hands each section to a decoder that fills arrays,
+// instead of replaying tens of thousands of records one at a time.
+//
+// Layout:
+//
+//	header:  [magic u32][version u32][reserved u64]
+//	section: [tag u32][length u64][crc32c u32][payload ...]   (repeated)
+//
+// The CRC covers the payload only; tag and length corruption surfaces as
+// a failed bounds check or a CRC mismatch one section later. Atomicity
+// is the journal's job: a checkpoint file only becomes live once the
+// journal metadata names it, after a full fsync, so a torn section file
+// is unreachable garbage, not a recovery hazard.
+
+// sectionMagic identifies sectioned checkpoint files. Distinct from
+// fileHeaderMagic so the journal can sniff which snapshot format it is
+// opening; a v1 heap file starts with a page CRC, which cannot collide
+// with magic+version both matching.
+const sectionMagic = uint32(0x53C7F11E)
+
+// sectionVersion is the sectioned-format version byte (bumped on
+// incompatible layout changes; readers reject versions they don't know).
+const sectionVersion = uint32(2)
+
+const sectionFileHeader = 16 // magic u32 + version u32 + reserved u64
+const sectionFrameHeader = 16
+
+// Section errors.
+var (
+	// ErrNotSectioned indicates a file that is not a sectioned checkpoint.
+	ErrNotSectioned = errors.New("storage: not a sectioned checkpoint file")
+	// ErrSectionCorrupt indicates a sectioned checkpoint with a bad
+	// frame or checksum.
+	ErrSectionCorrupt = errors.New("storage: corrupt checkpoint section")
+)
+
+// SectionWriter streams sections into a checkpoint file. It is not safe
+// for concurrent use; the background checkpoint goroutine owns it.
+type SectionWriter struct {
+	f    *os.File
+	path string
+	enc  Encoder // per-section scratch, reused across sections
+	size int64
+}
+
+// CreateSectionFile creates (or truncates) a sectioned checkpoint file
+// at path and writes its header.
+func CreateSectionFile(path string) (*SectionWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create sections %s: %w", path, err)
+	}
+	var hdr [sectionFileHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], sectionMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], sectionVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &SectionWriter{f: f, path: path, size: sectionFileHeader}, nil
+}
+
+// WriteSection encodes one section through fill (into a reusable
+// scratch encoder) and appends it to the file.
+func (w *SectionWriter) WriteSection(tag uint32, fill func(e *Encoder) error) error {
+	w.enc.Reset()
+	if err := fill(&w.enc); err != nil {
+		return err
+	}
+	payload := w.enc.Bytes()
+	var hdr [sectionFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tag)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	w.size += sectionFrameHeader + int64(len(payload))
+	return nil
+}
+
+// Size returns the bytes written so far, header included.
+func (w *SectionWriter) Size() int64 { return w.size }
+
+// Close fsyncs and closes the file. The caller must treat a Close error
+// as a failed checkpoint (the file may be incomplete on disk).
+func (w *SectionWriter) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// IsSectionFile reports whether the file at path carries the
+// sectioned-checkpoint magic. It deliberately ignores the version
+// byte: a sectioned file of an unknown version must still route to the
+// sectioned loader, whose ErrBadVersion tells the operator a newer
+// binary is required — not to the heap-file loader, which would
+// misreport it as corruption.
+func IsSectionFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [4]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(hdr[0:]) == sectionMagic
+}
+
+// ReadSections loads a sectioned checkpoint file in one read and returns
+// its sections keyed by tag, each verified against its checksum. The
+// payload slices alias one backing buffer; callers must not modify them.
+func ReadSections(path string) (map[uint32][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < sectionFileHeader ||
+		binary.LittleEndian.Uint32(data[0:]) != sectionMagic {
+		return nil, fmt.Errorf("%w: %s", ErrNotSectioned, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != sectionVersion {
+		return nil, fmt.Errorf("%w: %s has version %d", ErrBadVersion, path, v)
+	}
+	secs := make(map[uint32][]byte)
+	off := int64(sectionFileHeader)
+	for off < int64(len(data)) {
+		if off+sectionFrameHeader > int64(len(data)) {
+			return nil, fmt.Errorf("%w: %s: truncated frame at %d", ErrSectionCorrupt, path, off)
+		}
+		tag := binary.LittleEndian.Uint32(data[off:])
+		length := binary.LittleEndian.Uint64(data[off+4:])
+		wantCRC := binary.LittleEndian.Uint32(data[off+12:])
+		off += sectionFrameHeader
+		if length > uint64(int64(len(data))-off) {
+			return nil, fmt.Errorf("%w: %s: section %d runs past EOF", ErrSectionCorrupt, path, tag)
+		}
+		payload := data[off : off+int64(length)]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return nil, fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, path, tag)
+		}
+		secs[tag] = payload
+		off += int64(length)
+	}
+	return secs, nil
+}

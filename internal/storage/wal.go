@@ -52,6 +52,7 @@ func CreateWAL(path string, startLSN uint64) (*WAL, error) {
 // Entries with lsn < fromLSN are skipped: they precede the snapshot the
 // caller already loaded.
 func OpenWAL(path string, fromLSN uint64, apply func(lsn uint64, payload []byte) error) (*WAL, error) {
+	os.Remove(path + ".tmp") // stale ResetKeepTail side file, if a crash left one
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
@@ -187,6 +188,71 @@ func (w *WAL) Reset(startLSN uint64) error {
 	w.w.Reset(w.f)
 	w.lsn = startLSN
 	w.size = 0
+	return nil
+}
+
+// ResetKeepTail discards the log prefix before byte offset fromOff,
+// keeping the suffix. Background checkpoints use it: entries logged
+// while the snapshot was being written are past the checkpoint's fence
+// LSN and must survive the log reset, unlike the full Reset a
+// synchronous checkpoint performs. LSNs continue uninterrupted.
+//
+// The rewrite goes through a side file swapped in by rename, never by
+// truncating the live log in place: previously fsynced tail entries
+// must survive a crash at ANY point here. If the crash lands before
+// the rename is durable, the old full log is still at the path —
+// harmless, since replay skips entries below the metadata's fence LSN;
+// after it, the trimmed log is. Either way nothing acknowledged is
+// lost.
+func (w *WAL) ResetKeepTail(fromOff int64) error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	if fromOff <= 0 {
+		return nil // nothing before the fence; keep the log as-is
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if fromOff >= w.size {
+		// No tail: equivalent to a plain reset at the current LSN. (The
+		// in-place truncate is safe here — everything in the log is
+		// covered by the just-committed snapshot.)
+		return w.Reset(w.lsn)
+	}
+	tail := make([]byte, w.size-fromOff)
+	if _, err := w.f.ReadAt(tail, fromOff); err != nil {
+		return err
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(tail); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	// The old inode stays open as w.f until the swap of handles below.
+	if _, err := tmp.Seek(int64(len(tail)), io.SeekStart); err != nil {
+		tmp.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = tmp
+	w.w.Reset(w.f)
+	w.size = int64(len(tail))
 	return nil
 }
 

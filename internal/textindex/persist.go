@@ -1,0 +1,149 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"browserprov/internal/storage"
+)
+
+// Postings persistence: the index serialises to a compact byte stream so
+// checkpoints can carry it and a cold open can skip retokenizing the
+// whole history. The stream is self-contained (doc lengths, vocabulary,
+// doc-sorted posting lists); the forward maps and per-doc norms are
+// rebuilt on load from the postings in one linear pass.
+
+// persistVersion guards the postings stream layout.
+const persistVersion = 1
+
+// SaveUnder serialises the index restricted to documents with ID at or
+// below maxDoc, in deterministic (term-sorted) order. The restriction is
+// what makes checkpoint-carried postings safe: a checkpoint captures the
+// graph at one watermark, and saving only docs the snapshot covers means
+// a crash that loses WAL tail entries can never leave the recovered
+// index ahead of the recovered graph. Posting lists are doc-sorted, so
+// each cut is one binary search.
+func (ix *Index) SaveUnder(maxDoc DocID) []byte {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	e := storage.NewEncoder(1 << 16)
+	e.Uvarint(persistVersion)
+	nDocs := sort.Search(len(ix.docIDs), func(i int) bool { return ix.docIDs[i] > maxDoc })
+	e.Uvarint(uint64(nDocs))
+	prev := DocID(0)
+	for _, doc := range ix.docIDs[:nDocs] {
+		e.Uvarint(uint64(doc - prev))
+		e.Uvarint(uint64(ix.docLen[doc]))
+		prev = doc
+	}
+	terms := make([]string, 0, len(ix.postings))
+	for term := range ix.postings {
+		if len(cutUnder(ix.postings[term], maxDoc)) > 0 {
+			terms = append(terms, term)
+		}
+	}
+	sort.Strings(terms)
+	e.Uvarint(uint64(len(terms)))
+	for _, term := range terms {
+		pl := cutUnder(ix.postings[term], maxDoc)
+		e.String(term)
+		e.Uvarint(uint64(len(pl)))
+		prev = 0
+		for _, p := range pl {
+			e.Uvarint(uint64(p.doc - prev))
+			e.Uvarint(uint64(p.tf))
+			prev = p.doc
+		}
+	}
+	return e.Bytes()
+}
+
+// Save serialises the whole index.
+func (ix *Index) Save() []byte { return ix.SaveUnder(^DocID(0)) }
+
+// Load rebuilds an index from a SaveUnder stream. The result is ready
+// for both queries and further Add calls (history keeps growing past the
+// checkpoint that carried the stream).
+func Load(data []byte) (*Index, error) {
+	d := storage.NewDecoder(data)
+	ver, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != persistVersion {
+		return nil, fmt.Errorf("textindex: unsupported postings version %d", ver)
+	}
+	ix := New()
+	nDocs, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ix.docIDs = make([]DocID, nDocs)
+	ix.docLen = make(map[DocID]int, nDocs)
+	ix.numDocs = int(nDocs)
+	var maxDoc DocID
+	prev := DocID(0)
+	for i := range ix.docIDs {
+		delta, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		length, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		doc := prev + DocID(delta)
+		ix.docIDs[i] = doc
+		ix.docLen[doc] = int(length)
+		if doc > maxDoc {
+			maxDoc = doc
+		}
+		prev = doc
+	}
+	ix.invNorm = make([]float64, maxDoc+1)
+	for doc, length := range ix.docLen {
+		ix.invNorm[doc] = 1 / math.Sqrt(float64(length))
+	}
+	nTerms, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ix.postings = make(map[string][]posting, nTerms)
+	for t := uint64(0); t < nTerms; t++ {
+		term, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pl := make([]posting, n)
+		prev = 0
+		for i := range pl {
+			delta, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			tf, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			doc := prev + DocID(delta)
+			pl[i] = posting{doc: doc, tf: uint32(tf)}
+			// invNorm is nonzero exactly for known docs — an O(1) array
+			// probe where a docLen map lookup per posting dominated the
+			// whole load.
+			if doc > maxDoc || ix.invNorm[doc] == 0 {
+				return nil, fmt.Errorf("textindex: posting for unknown doc %d", doc)
+			}
+			prev = doc
+		}
+		ix.postings[term] = pl
+	}
+	// The forward (doc -> terms) direction is rebuilt lazily on first
+	// use; a read-mostly restart never pays for it.
+	ix.fwdStale = true
+	return ix, nil
+}

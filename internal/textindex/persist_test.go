@@ -1,0 +1,108 @@
+package textindex
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func buildPersistIndex() *Index {
+	ix := New()
+	for i := 1; i <= 200; i++ {
+		ix.Add(DocID(i), fmt.Sprintf("topic %d article citizen kane shard%d", i%13, i%7))
+	}
+	ix.Add(DocID(42), "rosebud sled") // stacked re-add
+	return ix
+}
+
+// TestPersistRoundTrip: a loaded index must answer every query exactly
+// like the original — scores, ranks, watermark-restricted variants and
+// forward-map iteration included.
+func TestPersistRoundTrip(t *testing.T) {
+	ix := buildPersistIndex()
+	re, err := Load(ix.Save())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumDocs() != ix.NumDocs() || re.NumTerms() != ix.NumTerms() {
+		t.Fatalf("counts drifted: %d/%d docs, %d/%d terms",
+			re.NumDocs(), ix.NumDocs(), re.NumTerms(), ix.NumTerms())
+	}
+	queries := []string{"topic", "rosebud", "citizen kane", "article shard3", "absent"}
+	for _, q := range queries {
+		if a, b := ix.Search(q, 50), re.Search(q, 50); !reflect.DeepEqual(a, b) {
+			t.Fatalf("Search(%q) drifted:\n%v\n%v", q, a, b)
+		}
+		if a, b := ix.SearchUnder(q, 10, 100), re.SearchUnder(q, 10, 100); !reflect.DeepEqual(a, b) {
+			t.Fatalf("SearchUnder(%q) drifted", q)
+		}
+		if ix.DocFreq(q) != re.DocFreq(q) || ix.DocFreqUnder(q, 77) != re.DocFreqUnder(q, 77) {
+			t.Fatalf("DocFreq(%q) drifted", q)
+		}
+	}
+	if a, b := ix.TermsOf(42), re.TermsOf(42); !reflect.DeepEqual(a, b) {
+		t.Fatalf("TermsOf drifted: %v vs %v", a, b)
+	}
+	if a, b := ix.NumDocsUnder(100), re.NumDocsUnder(100); a != b {
+		t.Fatalf("NumDocsUnder drifted: %d vs %d", a, b)
+	}
+}
+
+// TestPersistSaveUnderCut: SaveUnder must restrict docs, postings and
+// stats to the watermark — the loaded index is indistinguishable from
+// one that never saw the later documents.
+func TestPersistSaveUnderCut(t *testing.T) {
+	ix := New()
+	for i := 1; i <= 100; i++ {
+		ix.Add(DocID(i), fmt.Sprintf("alpha beta doc%d", i))
+	}
+	ref := New()
+	for i := 1; i <= 60; i++ {
+		ref.Add(DocID(i), fmt.Sprintf("alpha beta doc%d", i))
+	}
+	re, err := Load(ix.SaveUnder(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumDocs() != 60 {
+		t.Fatalf("NumDocs = %d, want 60", re.NumDocs())
+	}
+	if re.DocFreq("doc99") != 0 {
+		t.Fatal("posting past the watermark survived the cut")
+	}
+	if a, b := ref.Search("alpha doc30", 20), re.Search("alpha doc30", 20); !reflect.DeepEqual(a, b) {
+		t.Fatalf("cut index differs from never-indexed reference:\n%v\n%v", a, b)
+	}
+}
+
+// TestPersistLoadThenAdd: the loaded index keeps accepting documents —
+// history grows past the checkpoint that carried the postings.
+func TestPersistLoadThenAdd(t *testing.T) {
+	ix := buildPersistIndex()
+	re, err := Load(ix.Save())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Add(500, "fresh growth after restart")
+	re.Add(500, "fresh growth after restart")
+	for _, q := range []string{"fresh", "growth topic", "rosebud"} {
+		if a, b := ix.Search(q, 20), re.Search(q, 20); !reflect.DeepEqual(a, b) {
+			t.Fatalf("post-load Add diverged on %q:\n%v\n%v", q, a, b)
+		}
+	}
+}
+
+// TestPersistRejectsCorrupt: truncated or versionless payloads error
+// instead of panicking or silently half-loading.
+func TestPersistRejectsCorrupt(t *testing.T) {
+	data := buildPersistIndex().Save()
+	if _, err := Load(data[:len(data)/3]); err == nil {
+		t.Fatal("truncated payload loaded without error")
+	}
+	if _, err := Load([]byte{0xFF, 0x01}); err == nil {
+		t.Fatal("bad version loaded without error")
+	}
+	if _, err := Load(nil); err == nil {
+		t.Fatal("empty payload loaded without error")
+	}
+}

@@ -83,6 +83,12 @@ type Index struct {
 	mu       sync.RWMutex
 	postings map[string][]posting
 	forward  map[DocID]map[string]int // doc -> term -> tf
+	// fwdStale marks a postings-loaded index whose forward maps have
+	// not been materialised yet. The forward direction duplicates the
+	// postings and only term-analysis paths (Personalize) and further
+	// Adds need it, so a cold open defers the ~O(postings) rebuild —
+	// often forever on a read-mostly restart.
+	fwdStale bool
 	docLen   map[DocID]int
 	docIDs   []DocID // all indexed docs, sorted ascending
 	numDocs  int
@@ -122,6 +128,13 @@ func (ix *Index) Add(doc DocID, fields ...string) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if _, known := ix.docLen[doc]; known {
+		// Only a re-add (stacking terms onto an existing doc) consults
+		// prior forward state; brand-new docs — the only thing the
+		// engine's post-restart catch-up produces — must not force the
+		// deferred O(postings) forward rebuild.
+		ix.buildForwardLocked()
+	}
 	if _, known := ix.docLen[doc]; !known {
 		ix.numDocs++
 		ix.forward[doc] = make(map[string]int)
@@ -345,11 +358,44 @@ func (ix *Index) Terms(limit int) []string {
 	return terms
 }
 
+// buildForwardLocked materialises the forward maps from the postings
+// after a postings-only load. Caller holds the write lock. Idempotent.
+func (ix *Index) buildForwardLocked() {
+	if !ix.fwdStale {
+		return
+	}
+	ix.fwdStale = false
+	for term, pl := range ix.postings {
+		for _, p := range pl {
+			fwd := ix.forward[p.doc]
+			if fwd == nil {
+				fwd = make(map[string]int)
+				ix.forward[p.doc] = fwd
+			}
+			fwd[term] = int(p.tf)
+		}
+	}
+}
+
+// rlockForward takes the read lock, first materialising the forward
+// maps if a postings-only load deferred them. Callers must RUnlock.
+func (ix *Index) rlockForward() {
+	ix.mu.RLock()
+	if !ix.fwdStale {
+		return
+	}
+	ix.mu.RUnlock()
+	ix.mu.Lock()
+	ix.buildForwardLocked()
+	ix.mu.Unlock()
+	ix.mu.RLock()
+}
+
 // TermsOf returns the indexed terms of doc with their frequencies.
 // The returned map is a copy; callers that only iterate should use
 // VisitTermsOf, which copies nothing.
 func (ix *Index) TermsOf(doc DocID) map[string]int {
-	ix.mu.RLock()
+	ix.rlockForward()
 	defer ix.mu.RUnlock()
 	fwd := ix.forward[doc]
 	out := make(map[string]int, len(fwd))
@@ -365,7 +411,7 @@ func (ix *Index) TermsOf(doc DocID) map[string]int {
 // per-call map copy of TermsOf dominated. fn runs under the index read
 // lock and must not call back into the index.
 func (ix *Index) VisitTermsOf(doc DocID, fn func(term string, tf int) bool) {
-	ix.mu.RLock()
+	ix.rlockForward()
 	defer ix.mu.RUnlock()
 	for term, tf := range ix.forward[doc] {
 		if !fn(term, tf) {

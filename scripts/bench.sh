@@ -13,7 +13,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE \
-  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$' \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
   -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
