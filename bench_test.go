@@ -384,6 +384,30 @@ func BenchmarkSingleSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkExpandParallelism measures one heavy contextual search (deep
+// expansion over the ~60k-node history, HITS on) at fixed intra-query
+// worker counts. par1 is the serial baseline; the others show what the
+// parallel frontier gather buys on this machine. Results are
+// byte-identical across rows by construction — only wall-clock moves.
+func BenchmarkExpandParallelism(b *testing.B) {
+	h := parallelWorkload(b)
+	ctx := context.Background()
+	v := h.View()
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := v.Search(ctx, "topic article", 10,
+					WithDepth(4), WithMaxNodes(100000), WithHITS(true),
+					WithParallelism(par), WithBudget(-1))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPerCallOptions is the no-rebuild guard for the v2 API: the
 // same View answers queries that alternate expansion depth (and HITS)
 // per call. If option changes re-built the engine or re-indexed the

@@ -132,6 +132,7 @@ var (
 	WithHITS               = query.WithHITS
 	WithRawGraph           = query.WithRawGraph
 	WithRecognizableVisits = query.WithRecognizableVisits
+	WithParallelism        = query.WithParallelism
 )
 
 // Sentinel errors, matchable with errors.Is.
@@ -167,12 +168,28 @@ type History struct {
 	engine atomic.Pointer[query.Engine]
 }
 
+// StoreOptions tunes how the on-disk store underneath a History is
+// opened: versioning mode, the WAL group-commit window, and whether the
+// checkpoint is memory-mapped (the default) or read into the heap.
+type StoreOptions = provgraph.Options
+
+// MappedInfo reports how many checkpoint bytes a store serves straight
+// off a file mapping versus from heap buffers.
+type MappedInfo = provgraph.MappedInfo
+
 // Open opens (or creates) a history in dir with default options.
 func Open(dir string) (*History, error) { return OpenWith(dir, Options{}) }
 
 // OpenWith opens (or creates) a history in dir.
 func OpenWith(dir string, opts Options) (*History, error) {
-	s, err := provgraph.Open(dir)
+	return OpenWithStore(dir, StoreOptions{}, opts)
+}
+
+// OpenWithStore is OpenWith with explicit store options — e.g.
+// StoreOptions{NoMmap: true} forces the checkpoint into one heap buffer
+// instead of a file mapping.
+func OpenWithStore(dir string, sopts StoreOptions, opts Options) (*History, error) {
+	s, err := provgraph.OpenWith(dir, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +227,10 @@ func (h *History) Stats() Stats { return h.store.Stats() }
 
 // SizeOnDisk returns the durable footprint in bytes.
 func (h *History) SizeOnDisk() int64 { return h.store.SizeOnDisk() }
+
+// MappedInfo reports the checkpoint residency split: bytes served
+// straight off the file mapping versus bytes copied onto the heap.
+func (h *History) MappedInfo() MappedInfo { return h.store.MappedInfo() }
 
 // Graph exposes the underlying provenance store for advanced use (graph
 // algorithms, raw edge inspection).

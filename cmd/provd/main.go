@@ -58,6 +58,10 @@ type statsReply struct {
 	CheckpointBytes   int64   `json:"checkpoint_bytes"`
 	WALBytes          int64   `json:"wal_bytes"`
 	LastCheckpointAge float64 `json:"last_checkpoint_age_seconds"`
+	// Checkpoint residency: bytes served straight off the file mapping
+	// versus bytes copied onto the heap at open (or by a later thaw).
+	MappedBytes   int64 `json:"mapped_bytes"`
+	HeapLoadBytes int64 `json:"heap_load_bytes"`
 }
 
 // adminHandler serves /healthz and /stats off a fresh View per request:
@@ -87,6 +91,7 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 		if !ck.LastAt.IsZero() {
 			age = time.Since(ck.LastAt).Seconds()
 		}
+		mi := store.MappedInfo()
 		reply := statsReply{
 			Generation:        v.Generation(),
 			Nodes:             sn.NumNodes(),
@@ -95,6 +100,8 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 			CheckpointBytes:   ck.Bytes,
 			WALBytes:          ck.WALBytes,
 			LastCheckpointAge: age,
+			MappedBytes:       mi.MappedBytes,
+			HeapLoadBytes:     mi.HeapBytes,
 		}
 		// Per-kind counts from the same snapshot the totals came from.
 		sn.NodesSince(0, func(n provgraph.Node) bool {
@@ -132,6 +139,7 @@ func main() {
 		"periodic background checkpoint interval (0 disables; capture is never blocked for the dump)")
 	batchSize := flag.Int("batch", 64, "group-commit batch size (1 = one commit per captured event)")
 	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
+	useMmap := flag.Bool("mmap", true, "serve the checkpoint off a file mapping (false reads it onto the heap)")
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("provd: -dir is required")
@@ -147,7 +155,7 @@ func main() {
 			syncEvery = 1
 		}
 	}
-	store, err := provgraph.OpenWith(*dir, provgraph.Options{SyncEvery: syncEvery})
+	store, err := provgraph.OpenWith(*dir, provgraph.Options{SyncEvery: syncEvery, NoMmap: !*useMmap})
 	if err != nil {
 		log.Fatal(err)
 	}

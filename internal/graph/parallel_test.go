@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// seedWide loads enough seeds that expansion frontiers exceed the serial
+// fallback threshold, so the parallel gather path actually runs.
+func seedWide(a *Arena, ids []NodeID, count int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < count; i++ {
+		a.SeedExpand(ids[rng.Intn(len(ids))], 1+rng.Float64())
+	}
+}
+
+func runExpandPar(t *testing.T, g *Mem, ids []NodeID, maxNodes, par int, seed int64) ([]NodeID, []float64) {
+	t.Helper()
+	a := GetArena(int(g.MaxNodeID()) + 1)
+	defer a.Release()
+	a.ResetExpand(a.NodeCap())
+	seedWide(a, ids, 800, seed)
+	ExpandArenaPar(g, a, Undirected, 0.5, 3, maxNodes, par, nil)
+	keys := append([]NodeID(nil), a.Scores.Keys()...)
+	vals := make([]float64, len(keys))
+	for i, id := range keys {
+		vals[i] = a.Scores.Get(id)
+	}
+	return keys, vals
+}
+
+// TestExpandArenaParMatchesSerial: the parallel expansion must be
+// byte-identical to the serial kernel — same admitted set, same key
+// order, same float values (no tolerance) — at every worker count, both
+// with the node cap binding and not.
+func TestExpandArenaParMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g, ids := benchGraph(20000, 6, seed)
+		for _, maxNodes := range []int{1 << 30, 3000} {
+			wantK, wantV := runExpandPar(t, g, ids, maxNodes, 1, seed)
+			if len(wantK) < expandParMinFrontier {
+				t.Fatalf("seed %d: expansion too small (%d nodes) to exercise the parallel path", seed, len(wantK))
+			}
+			for _, par := range []int{2, 3, 8} {
+				gotK, gotV := runExpandPar(t, g, ids, maxNodes, par, seed)
+				if len(gotK) != len(wantK) {
+					t.Fatalf("seed %d par %d cap %d: %d nodes vs serial %d", seed, par, maxNodes, len(gotK), len(wantK))
+				}
+				for i := range wantK {
+					if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+						t.Fatalf("seed %d par %d cap %d: slot %d = (%d, %g), serial (%d, %g)",
+							seed, par, maxNodes, i, gotK[i], gotV[i], wantK[i], wantV[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExpandArenaParAcrossGOMAXPROCS: byte-identical results must hold
+// whatever the scheduler is doing underneath.
+func TestExpandArenaParAcrossGOMAXPROCS(t *testing.T) {
+	g, ids := benchGraph(20000, 6, 42)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	wantK, wantV := runExpandPar(t, g, ids, 4000, 1, 42)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		gotK, gotV := runExpandPar(t, g, ids, 4000, 8, 42)
+		if len(gotK) != len(wantK) {
+			t.Fatalf("GOMAXPROCS %d: %d nodes vs %d", procs, len(gotK), len(wantK))
+		}
+		for i := range wantK {
+			if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+				t.Fatalf("GOMAXPROCS %d: slot %d drifted", procs, i)
+			}
+		}
+	}
+}
+
+// TestHITSArenaParMatchesSerial: phase-parallel HITS writes every vector
+// slot from the previous phase's frozen vector, so its output must equal
+// the serial kernel's exactly.
+func TestHITSArenaParMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g, ids := benchGraph(8000, 5, seed)
+		sub := append([]NodeID(nil), ids[1000:1000+2000]...)
+		if len(sub) < hitsParMinSub {
+			t.Fatal("subgraph too small to exercise the parallel path")
+		}
+		a := GetArena(int(g.MaxNodeID()) + 1)
+		wantH, wantA := HITSArena(g, a, sub, 20, 1e-6)
+		wantH = append([]float64(nil), wantH...)
+		wantA = append([]float64(nil), wantA...)
+		for _, par := range []int{2, 3, 8} {
+			gotH, gotA := HITSArenaPar(g, a, sub, 20, 1e-6, par)
+			for i := range sub {
+				if gotH[i] != wantH[i] || gotA[i] != wantA[i] {
+					t.Fatalf("seed %d par %d: slot %d hub/auth (%g, %g), serial (%g, %g)",
+						seed, par, i, gotH[i], gotA[i], wantH[i], wantA[i])
+				}
+			}
+		}
+		a.Release()
+	}
+}
+
+// TestExpandArenaParSmallFrontierFallsBack: tiny inputs must take the
+// serial path (and still be correct) — a regression guard on the
+// threshold plumbing.
+func TestExpandArenaParSmallFrontierFallsBack(t *testing.T) {
+	g, ids := benchGraph(300, 3, 7)
+	run := func(par int) ([]NodeID, []float64) {
+		a := GetArena(int(g.MaxNodeID()) + 1)
+		defer a.Release()
+		a.ResetExpand(a.NodeCap())
+		a.SeedExpand(ids[5], 1)
+		a.SeedExpand(ids[50], 0.5)
+		ExpandArenaPar(g, a, Undirected, 0.5, 3, 1<<30, par, nil)
+		keys := append([]NodeID(nil), a.Scores.Keys()...)
+		vals := make([]float64, len(keys))
+		for i, id := range keys {
+			vals[i] = a.Scores.Get(id)
+		}
+		return keys, vals
+	}
+	wantK, wantV := run(1)
+	gotK, gotV := run(8)
+	if len(gotK) != len(wantK) {
+		t.Fatalf("%d nodes vs %d", len(gotK), len(wantK))
+	}
+	for i := range wantK {
+		if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+			t.Fatalf("slot %d drifted", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package provgraph
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -61,8 +62,13 @@ type openEnt struct {
 type sealedEpoch struct {
 	maxID NodeID
 	// nodes is indexed by NodeID (dense from 1); Kind == 0 marks a gap
-	// left by retention.
+	// left by retention. nil when the epoch is column-backed (cols set).
 	nodes []Node
+	// cols, when non-nil, backs the node table with the raw checkpoint
+	// columns (typically aliasing a memory-mapped file) instead of a
+	// materialised slab; nodeAt reconstructs Node values on demand. The
+	// kind-derived lookup maps are then built lazily (see ensureMaps).
+	cols *nodeCols
 	// csr packs the out-adjacency over node IDs (its in-direction is
 	// unused: CSR in-order is From-grouped, which would not preserve
 	// the store's insertion order — see inOff below).
@@ -86,6 +92,71 @@ type sealedEpoch struct {
 	// open is every visit sorted by (open time, id) — the snapshot's
 	// time index.
 	open []openEnt
+
+	// mapsOnce guards the lazy build of urlToPage/termNode/saveNode for
+	// column-backed epochs.
+	mapsOnce sync.Once
+}
+
+// nodeAt returns the node with the given ID (which must be <= maxID).
+func (ep *sealedEpoch) nodeAt(id NodeID) (Node, bool) {
+	if ep.cols != nil {
+		return ep.cols.node(id)
+	}
+	n := ep.nodes[id]
+	return n, n.Kind != 0
+}
+
+// kindAt returns the kind of the node with the given ID (0 for gaps).
+func (ep *sealedEpoch) kindAt(id NodeID) NodeKind {
+	if ep.cols != nil {
+		return ep.cols.kind(id)
+	}
+	return ep.nodes[id].Kind
+}
+
+// ensureMaps builds the kind-derived lookup maps of a column-backed
+// epoch on first use. Slab-backed epochs populate them at construction,
+// so this is a no-op for them. Safe for concurrent use.
+func (ep *sealedEpoch) ensureMaps() {
+	if ep.cols == nil {
+		return
+	}
+	ep.mapsOnce.Do(func() {
+		ep.urlToPage = make(map[string]NodeID, ep.maxID/4+1)
+		ep.termNode = make(map[string]NodeID, ep.maxID/16+1)
+		ep.saveNode = make(map[string]NodeID)
+		// Ascending scan: the latest instance wins for per-term and
+		// per-save-path lookups, matching live index semantics.
+		for id := NodeID(1); id <= ep.maxID; id++ {
+			switch ep.cols.kind(id) {
+			case KindPage:
+				ep.urlToPage[ep.cols.strAt(ep.cols.urlOff, ep.cols.urlBlob, id)] = id
+			case KindSearchTerm:
+				ep.termNode[ep.cols.strAt(ep.cols.textOff, ep.cols.textBlob, id)] = id
+			case KindDownload:
+				ep.saveNode[ep.cols.strAt(ep.cols.textOff, ep.cols.textBlob, id)] = id
+			}
+		}
+	})
+}
+
+func (ep *sealedEpoch) pageID(url string) (NodeID, bool) {
+	ep.ensureMaps()
+	id, ok := ep.urlToPage[url]
+	return id, ok
+}
+
+func (ep *sealedEpoch) termID(term string) (NodeID, bool) {
+	ep.ensureMaps()
+	id, ok := ep.termNode[term]
+	return id, ok
+}
+
+func (ep *sealedEpoch) saveID(path string) (NodeID, bool) {
+	ep.ensureMaps()
+	id, ok := ep.saveNode[path]
+	return id, ok
 }
 
 // Snapshot is an immutable, lock-free view of the provenance graph at
@@ -325,6 +396,13 @@ func (s *Store) Sealing() bool {
 	return s.sealDone != nil
 }
 
+// flattenRowBlock is how many node rows each flattenEpoch loop processes
+// between scheduler yields. The flatten runs on a background goroutine
+// concurrently with the write path; without the yields its tight O(n)
+// loops can monopolise a P for the whole rebuild and starve contended
+// foreground queries and ingest (§5 "contended" benchmarks).
+const flattenRowBlock = 4096
+
 // flattenEpoch builds the next sealed epoch by merging a capture's
 // previous sealed arrays with its tail, reading only through the
 // immutable snapshot surface — it runs off-lock, concurrently with
@@ -344,6 +422,9 @@ func flattenEpoch(sn *Snapshot) *sealedEpoch {
 	// matching the store's "latest wins" index semantics, and collects
 	// downloads in creation (= ID) order.
 	for id := NodeID(1); id <= maxID; id++ {
+		if id%flattenRowBlock == 0 {
+			runtime.Gosched()
+		}
 		n, ok := sn.NodeByID(id)
 		if !ok {
 			continue // retention gap
@@ -373,6 +454,9 @@ func flattenEpoch(sn *Snapshot) *sealedEpoch {
 	arcs := make([]graph.Arc, 0, numEdges)
 	ep.edges = make([]Edge, 0, numEdges)
 	for id := NodeID(1); id <= maxID; id++ {
+		if id%flattenRowBlock == 0 {
+			runtime.Gosched()
+		}
 		for _, e := range sn.OutEdges(id) {
 			arcs = append(arcs, graph.Arc{From: e.From, To: e.To})
 			ep.edges = append(ep.edges, e)
@@ -391,6 +475,9 @@ func flattenEpoch(sn *Snapshot) *sealedEpoch {
 	ep.inIDs = make([]NodeID, len(ep.edges))
 	ep.inEdges = make([]Edge, len(ep.edges))
 	for id := NodeID(1); id <= maxID; id++ {
+		if id%flattenRowBlock == 0 {
+			runtime.Gosched()
+		}
 		o := ep.inOff[id]
 		for j, e := range sn.InEdges(id) {
 			ep.inIDs[o+uint32(j)] = e.From
@@ -413,6 +500,9 @@ func flattenEpoch(sn *Snapshot) *sealedEpoch {
 	}
 	ep.visitIDs = make([]NodeID, total)
 	for id := NodeID(1); id <= maxID; id++ {
+		if id%flattenRowBlock == 0 {
+			runtime.Gosched()
+		}
 		if ep.nodes[id].Kind != KindPage {
 			continue
 		}
@@ -430,7 +520,7 @@ func (s *Store) buildSnapshot() *Snapshot {
 		gen:        s.gen.Load(),
 		mode:       s.mode,
 		maxID:      s.nextNode - 1,
-		nNodes:     len(s.nodes),
+		nNodes:     s.numNodes,
 		nEdges:     s.numEdges,
 		sealed:     s.sealed,
 		base:       s.pending,
@@ -531,8 +621,7 @@ func (sn *Snapshot) NodeByID(id NodeID) (Node, bool) {
 		return sn.base.NodeByID(id)
 	}
 	if sn.sealed != nil && id <= sn.sealed.maxID {
-		n := sn.sealed.nodes[id]
-		return n, n.Kind != 0
+		return sn.sealed.nodeAt(id)
 	}
 	return Node{}, false
 }
@@ -621,7 +710,7 @@ func (sn *Snapshot) PageByURL(url string) (Node, bool) {
 		return sn.base.PageByURL(url)
 	}
 	if sn.sealed != nil {
-		if id, ok := sn.sealed.urlToPage[url]; ok {
+		if id, ok := sn.sealed.pageID(url); ok {
 			return sn.NodeByID(id)
 		}
 	}
@@ -638,7 +727,7 @@ func (sn *Snapshot) TermNode(term string) (Node, bool) {
 		return sn.base.TermNode(term)
 	}
 	if sn.sealed != nil {
-		if id, ok := sn.sealed.termNode[term]; ok {
+		if id, ok := sn.sealed.termID(term); ok {
 			return sn.NodeByID(id)
 		}
 	}
@@ -654,7 +743,7 @@ func (sn *Snapshot) DownloadBySavePath(path string) (Node, bool) {
 		return sn.base.DownloadBySavePath(path)
 	}
 	if sn.sealed != nil {
-		if id, ok := sn.sealed.saveNode[path]; ok {
+		if id, ok := sn.sealed.saveID(path); ok {
 			return sn.NodeByID(id)
 		}
 	}

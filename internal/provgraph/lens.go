@@ -65,7 +65,7 @@ func (l *Lens) resolve(n NodeID) NodeID {
 // Out implements graph.Graph: raw successors with embeds dropped and
 // redirect targets resolved to their chain ends.
 func (l *Lens) Out(n NodeID) []NodeID {
-	l.s.mu.RLock()
+	l.s.rlockThawed()
 	defer l.s.mu.RUnlock()
 	var out []NodeID
 	for _, e := range l.s.outE.at(n) {
@@ -84,7 +84,7 @@ func (l *Lens) Out(n NodeID) []NodeID {
 // spliced (redirecting) predecessors replaced by their own predecessors,
 // transitively.
 func (l *Lens) In(n NodeID) []NodeID {
-	l.s.mu.RLock()
+	l.s.rlockThawed()
 	defer l.s.mu.RUnlock()
 	return l.inLocked(n, 0)
 }

@@ -215,6 +215,11 @@ type Options struct {
 	// commit is durable before the call returns; the default, 0, is
 	// treated as 256.
 	SyncEvery int
+	// NoMmap disables memory-mapping the checkpoint at open: the file is
+	// read into one heap buffer instead. Column decoding is identical;
+	// only the residency of the backing bytes changes. Default off
+	// (mapping on where the platform supports it).
+	NoMmap bool
 }
 
 // Store is the provenance graph store.
@@ -291,6 +296,23 @@ type Store struct {
 	// load.
 	loadedNodes []Node
 
+	// thaw, when non-nil, materialises the write-side state (node slab,
+	// maps, B-trees, adjacency rows) that a v3 checkpoint load deferred:
+	// snapshots serve queries straight from the mapped columns, and the
+	// heavy heap structures are only built on the first mutation or
+	// store-level (non-snapshot) read. Cleared after running once.
+	thaw func()
+
+	// Checkpoint-residency accounting for MappedInfo: how many bytes the
+	// last load left backed by the file mapping vs materialised on the
+	// heap (thawing moves the slab estimate into heapLoadBytes).
+	mappedBytes   int64
+	heapLoadBytes int64
+
+	// numNodes counts live nodes. Maintained separately from len(s.nodes)
+	// because a freshly mapped store defers populating s.nodes until thaw.
+	numNodes int
+
 	// Assembly state (per-tab), part of the persistent state because it
 	// is reconstructed deterministically from the event log.
 	tabCur         map[int]NodeID
@@ -363,7 +385,8 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s.epochInit()
 	j, err := storage.OpenJournal(dir, "provgraph", storage.JournalCallbacks{
 		LoadSnapshot: s.loadSnapshot,
-		LoadSections: s.loadSnapshotV2,
+		LoadSections: s.loadSections,
+		MapSnapshot:  !opts.NoMmap,
 		Replay:       s.replayEvent,
 	})
 	if err != nil {
@@ -372,6 +395,50 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	j.SyncEvery = opts.SyncEvery
 	s.j = j
 	return s, nil
+}
+
+// thawLocked runs the deferred write-side materialisation left by a
+// mapped checkpoint load, once. Caller holds the write lock.
+func (s *Store) thawLocked() {
+	if s.thaw != nil {
+		f := s.thaw
+		s.thaw = nil
+		f()
+	}
+}
+
+// rlockThawed takes the read lock, first materialising the deferred
+// write-side state if a mapped load left it pending. Store-level reads
+// (as opposed to Snapshot reads, which run straight off the mapped
+// columns) use it in place of s.mu.RLock.
+func (s *Store) rlockThawed() {
+	s.mu.RLock()
+	if s.thaw == nil {
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	s.thawLocked()
+	s.mu.Unlock()
+	s.mu.RLock()
+}
+
+// MappedInfo reports where the bytes of the loaded checkpoint live.
+type MappedInfo struct {
+	// MappedBytes is the checkpoint footprint served by the read-only
+	// file mapping (resident at the kernel's discretion, reclaimable).
+	MappedBytes int64
+	// HeapBytes estimates checkpoint-derived bytes materialised on the
+	// Go heap: the whole file when mapping was off, plus the node slab
+	// and index structures if the store has thawed for writing.
+	HeapBytes int64
+}
+
+// MappedInfo returns the store's checkpoint-residency split.
+func (s *Store) MappedInfo() MappedInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return MappedInfo{MappedBytes: s.mappedBytes, HeapBytes: s.heapLoadBytes}
 }
 
 // Close flushes and closes the store, waiting for any in-flight
@@ -441,7 +508,7 @@ func (s *Store) Checkpoint() error {
 		text, textWM = textSource(sn.maxID)
 	}
 	if err := ticket.WriteSections(func(w *storage.SectionWriter) error {
-		return writeSnapshotV2(w, ep, asm, text, textWM)
+		return writeSnapshotV3(w, ep, asm, text, textWM)
 	}); err != nil {
 		return err
 	}
@@ -492,7 +559,10 @@ func (s *Store) RecoveredTextIndex() (*textindex.Index, NodeID, bool) {
 	if payload == nil {
 		return nil, 0, false
 	}
-	ix, err := textindex.Load(payload)
+	// Frozen load: the index serves queries straight off the payload
+	// (which aliases the mapped checkpoint when the store is mapped) and
+	// only materialises map-form postings if something writes to it.
+	ix, err := textindex.LoadFrozen(payload)
 	if err != nil {
 		return nil, 0, false
 	}
@@ -618,6 +688,7 @@ func (s *Store) newNode(kind NodeKind, at time.Time) *Node {
 	s.nodeBlock = s.nodeBlock[1:]
 	n.ID, n.Kind, n.Open = s.nextNode, kind, at
 	s.nextNode++
+	s.numNodes++
 	s.nodes[n.ID] = n
 	return n
 }
@@ -688,6 +759,11 @@ func (s *Store) ensurePage(url, title string, at time.Time) *Node {
 }
 
 func (s *Store) applyEvent(ev *event.Event) {
+	// A mapped open defers building the write-side structures; the first
+	// mutation (including WAL replay at open) materialises them.
+	if s.thaw != nil {
+		s.thawLocked()
+	}
 	// Every mutation moves the store to a new generation; lock-free
 	// readers use this to decide when a cached snapshot went stale.
 	defer s.gen.Add(1)

@@ -9,21 +9,21 @@ import (
 
 // Out implements graph.Graph over the provenance edges.
 func (s *Store) Out(n NodeID) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return s.outIDs.at(n)
 }
 
 // In implements graph.Graph over the provenance edges.
 func (s *Store) In(n NodeID) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return s.inIDs.at(n)
 }
 
 // NodeByID returns a copy of the node with the given ID.
 func (s *Store) NodeByID(id NodeID) (Node, bool) {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	n, ok := s.nodes[id]
 	if !ok {
@@ -34,7 +34,7 @@ func (s *Store) NodeByID(id NodeID) (Node, bool) {
 
 // PageByURL returns the page identity node for url.
 func (s *Store) PageByURL(url string) (Node, bool) {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	id, ok := s.urlIndex.Get([]byte(url))
 	if !ok {
@@ -45,7 +45,7 @@ func (s *Store) PageByURL(url string) (Node, bool) {
 
 // TermNode returns the search-term node for the exact term string.
 func (s *Store) TermNode(term string) (Node, bool) {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	id, ok := s.termIndex.Get([]byte(term))
 	if !ok {
@@ -58,7 +58,7 @@ func (s *Store) TermNode(term string) (Node, bool) {
 // In VersionEdges mode pages have no separate instances and the result is
 // empty.
 func (s *Store) VisitsOfPage(page NodeID) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return append([]NodeID(nil), s.pageVisits[page]...)
 }
@@ -66,7 +66,7 @@ func (s *Store) VisitsOfPage(page NodeID) []NodeID {
 // VisitCount returns the number of recorded visits of a page node. In
 // VersionEdges mode it counts incoming navigation edges instead.
 func (s *Store) VisitCount(page NodeID) int {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return s.visitCountLocked(page)
 }
@@ -88,7 +88,7 @@ func (s *Store) visitCountLocked(page NodeID) int {
 
 // Downloads returns the IDs of every download node, in creation order.
 func (s *Store) Downloads() []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return append([]NodeID(nil), s.downloads...)
 }
@@ -96,7 +96,7 @@ func (s *Store) Downloads() []NodeID {
 // DownloadBySavePath returns the download node saved at path (the most
 // recent one, if several downloads share a save path).
 func (s *Store) DownloadBySavePath(path string) (Node, bool) {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	id, ok := s.saveIndex[path]
 	if !ok {
@@ -110,7 +110,7 @@ func (s *Store) DownloadBySavePath(path string) (Node, bool) {
 // (e.g. the query engine's text index) can catch up in O(delta) instead
 // of rescanning all node IDs.
 func (s *Store) NodesSince(watermark NodeID) []Node {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	var out []Node
 	for id := watermark + 1; id < s.nextNode; id++ {
@@ -123,21 +123,21 @@ func (s *Store) NodesSince(watermark NodeID) []Node {
 
 // OutEdges returns copies of n's outgoing edges.
 func (s *Store) OutEdges(n NodeID) []Edge {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return append([]Edge(nil), s.outE.at(n)...)
 }
 
 // InEdges returns copies of n's incoming edges.
 func (s *Store) InEdges(n NodeID) []Edge {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	return append([]Edge(nil), s.inE.at(n)...)
 }
 
 // EachNode calls fn for every node in ID order until fn returns false.
 func (s *Store) EachNode(fn func(Node) bool) {
-	s.mu.RLock()
+	s.rlockThawed()
 	ids := make([]NodeID, 0, len(s.nodes))
 	for id := range s.nodes {
 		ids = append(ids, id)
@@ -158,7 +158,7 @@ func (s *Store) EachNode(fn func(Node) bool) {
 // NodesOfKind returns the IDs of every node of the given kind, in ID
 // order.
 func (s *Store) NodesOfKind(kind NodeKind) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	var out []NodeID
 	for id, n := range s.nodes {
@@ -172,7 +172,7 @@ func (s *Store) NodesOfKind(kind NodeKind) []NodeID {
 
 // AllNodeIDs returns every node ID in ID order.
 func (s *Store) AllNodeIDs() []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	out := make([]NodeID, 0, len(s.nodes))
 	for id := range s.nodes {
@@ -185,7 +185,7 @@ func (s *Store) AllNodeIDs() []NodeID {
 // OpenBetween returns the visit nodes whose open time t satisfies
 // lo <= t < hi, in open order.
 func (s *Store) OpenBetween(lo, hi time.Time) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	var out []NodeID
 	s.openIndex.AscendRange(timeKey(lo, 0), timeKey(hi, 0), func(_ []byte, v uint64) bool {
@@ -200,7 +200,7 @@ func (s *Store) OpenBetween(lo, hi time.Time) []NodeID {
 // history" (§3.2: without a close, "every page is always open" — here
 // that only applies to genuinely unclosed visits).
 func (s *Store) Overlapping(lo, hi time.Time) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	var out []NodeID
 	// Any overlapping visit opened before hi; scan the open index up to
@@ -219,7 +219,7 @@ func (s *Store) Overlapping(lo, hi time.Time) []NodeID {
 // interval overlaps v's. The direction rule of §3.2 (first-opened points
 // to later) is applied by the caller when a direction is needed.
 func (s *Store) OpenWith(v NodeID) []NodeID {
-	s.mu.RLock()
+	s.rlockThawed()
 	n, ok := s.nodes[v]
 	if !ok || n.Kind != KindVisit {
 		s.mu.RUnlock()
@@ -261,7 +261,7 @@ type Stats struct {
 
 // Stats returns node/edge counts by kind.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
+	s.rlockThawed()
 	defer s.mu.RUnlock()
 	st := Stats{Nodes: len(s.nodes), Edges: s.numEdges}
 	for _, n := range s.nodes {

@@ -44,6 +44,10 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	// The rewrite walks and rebuilds the write-side structures; a mapped
+	// open that deferred them must materialise first.
+	s.thawLocked()
+
 	retained := s.retainedSet(cutoff)
 
 	// Collect splice edges before mutating anything.
@@ -142,6 +146,7 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	for _, sp := range splices {
 		s.addEdge(sp.from, sp.to, EdgeExpiredSplice, sp.at)
 	}
+	s.numNodes = len(s.nodes)
 
 	// Assembly state referencing expired nodes is dropped.
 	for tab, v := range s.tabCur {
@@ -181,7 +186,7 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	}
 	ep := flattenEpoch(sn)
 	if err := ticket.WriteSections(func(w *storage.SectionWriter) error {
-		return writeSnapshotV2(w, ep, asm, nil, 0)
+		return writeSnapshotV3(w, ep, asm, nil, 0)
 	}); err != nil {
 		return removed, err
 	}

@@ -334,6 +334,7 @@ func (s *Store) loadSnapshot(h *storage.HeapFile) error {
 	if err != nil {
 		return err
 	}
+	s.numNodes = len(s.nodes)
 	s.rebuildLastVisit()
 	return nil
 }

@@ -269,31 +269,41 @@ func writeSnapshotV2(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapt
 	}); err != nil {
 		return err
 	}
-	// Secondary-index streams: node IDs sorted by their key. The keys
-	// themselves live in the node columns, so the sections cost a few
-	// bytes per entry and the loader bulk-builds each B-tree from one
-	// linear pass with zero re-sorting.
-	writeSortedIDs := func(tag uint32, byKey map[string]NodeID) error {
-		keys := make([]string, 0, len(byKey))
-		for k := range byKey {
-			keys = append(keys, k)
+	if err := writeSortedIDs(w, secURLIndex, ep.urlToPage); err != nil {
+		return err
+	}
+	if err := writeSortedIDs(w, secTermIndex, ep.termNode); err != nil {
+		return err
+	}
+	if err := writeAssemblySection(w, asm); err != nil {
+		return err
+	}
+	return writeTextSection(w, text, textWM)
+}
+
+// writeSortedIDs persists a secondary-index stream: node IDs sorted by
+// their key. The keys themselves live in the node columns, so the
+// sections cost a few bytes per entry and the loader bulk-builds each
+// B-tree from one linear pass with zero re-sorting.
+func writeSortedIDs(w *storage.SectionWriter, tag uint32, byKey map[string]NodeID) error {
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return w.WriteSection(tag, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.Uvarint(uint64(byKey[k]))
 		}
-		sort.Strings(keys)
-		return w.WriteSection(tag, func(e *storage.Encoder) error {
-			e.Uvarint(uint64(len(keys)))
-			for _, k := range keys {
-				e.Uvarint(uint64(byKey[k]))
-			}
-			return nil
-		})
-	}
-	if err := writeSortedIDs(secURLIndex, ep.urlToPage); err != nil {
-		return err
-	}
-	if err := writeSortedIDs(secTermIndex, ep.termNode); err != nil {
-		return err
-	}
-	if err := w.WriteSection(secAssembly, func(e *storage.Encoder) error {
+		return nil
+	})
+}
+
+// writeAssemblySection persists the per-tab event-assembly state; both
+// schema versions share its layout.
+func writeAssemblySection(w *storage.SectionWriter, asm assemblyCapture) error {
+	return w.WriteSection(secAssembly, func(e *storage.Encoder) error {
 		e.Uvarint(uint64(asm.nextNode))
 		e.Uvarint(uint64(asm.mode))
 		tabs := make([]int, 0, len(asm.tabCur))
@@ -322,19 +332,19 @@ func writeSnapshotV2(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapt
 		writePending(asm.pendingSearch)
 		writePending(asm.pendingForm)
 		return nil
-	}); err != nil {
-		return err
+	})
+}
+
+// writeTextSection persists the text-index postings (skipped when nil).
+func writeTextSection(w *storage.SectionWriter, text []byte, textWM NodeID) error {
+	if text == nil {
+		return nil
 	}
-	if text != nil {
-		if err := w.WriteSection(secText, func(e *storage.Encoder) error {
-			e.Uvarint(uint64(textWM))
-			e.Raw(text)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-	return nil
+	return w.WriteSection(secText, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(textWM))
+		e.Raw(text)
+		return nil
+	})
 }
 
 // loadSnapshotV2 bulk-loads a sectioned checkpoint: it reconstructs the
@@ -712,34 +722,15 @@ func (s *Store) loadSnapshotV2(secs map[uint32][]byte) error {
 		s.downloads = ep.downloads[:len(ep.downloads):len(ep.downloads)]
 	}
 	s.numEdges = int(nArcs)
+	s.numNodes = nNodes
 
 	// ---- secondary B-trees, bulk-built from the sorted ID streams ----
 	loadIndex := func(tag uint32, name string, key func(id NodeID) string, t *storage.BTree) error {
-		d, err := need(tag, name)
-		if err != nil {
-			return err
+		p, ok := secs[tag]
+		if !ok {
+			return fmt.Errorf("provgraph: checkpoint missing %s section", name)
 		}
-		n, err := d.Uvarint()
-		if err != nil {
-			return err
-		}
-		var keyBuf []byte
-		i := uint64(0)
-		var decodeErr error
-		t.BulkLoad(func() ([]byte, uint64, bool) {
-			if i >= n || decodeErr != nil {
-				return nil, 0, false
-			}
-			id, err := d.Uvarint()
-			if err != nil || id == 0 || NodeID(id) > maxID {
-				decodeErr = fmt.Errorf("provgraph: checkpoint %s entry %d invalid (%v)", name, i, err)
-				return nil, 0, false
-			}
-			i++
-			keyBuf = append(keyBuf[:0], key(NodeID(id))...)
-			return keyBuf, id, true
-		})
-		return decodeErr
+		return loadSortedIndex(p, name, maxID, key, t)
 	}
 	if err := loadIndex(secURLIndex, "url index",
 		func(id NodeID) string { return ep.nodes[id].URL }, s.urlIndex); err != nil {
@@ -764,10 +755,58 @@ func (s *Store) loadSnapshotV2(secs map[uint32][]byte) error {
 	}
 
 	// ---- assembly state ----
-	d, err = need(secAssembly, "assembly")
-	if err != nil {
+	asmP, ok := secs[secAssembly]
+	if !ok {
+		return fmt.Errorf("provgraph: checkpoint missing assembly section")
+	}
+	if err := s.readAssemblySection(asmP); err != nil {
 		return err
 	}
+	// lastVisitByURL, array-driven (same result as rebuildLastVisit,
+	// without iterating the just-built maps a second time).
+	if s.mode == VersionEdges {
+		for url, id := range ep.urlToPage {
+			s.lastVisitByURL[url] = id
+		}
+	} else {
+		for page := NodeID(1); page <= maxID; page++ {
+			if lo, hi := ep.visitsOff[page], ep.visitsOff[page+1]; hi > lo {
+				s.lastVisitByURL[ep.nodes[page].URL] = ep.visitIDs[hi-1]
+			}
+		}
+	}
+
+	// ---- text-index postings (optional) ----
+	if p, ok := secs[secText]; ok {
+		d := storage.NewDecoder(p)
+		wm, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		payload, err := d.Raw(d.Remaining())
+		if err != nil {
+			return err
+		}
+		// Copied: the section payload aliases the whole checkpoint file
+		// buffer, and stashing the alias would pin every section in
+		// memory until (if ever) an engine claims the postings.
+		s.recoveredText = append([]byte(nil), payload...)
+		s.recoveredTextWM = NodeID(wm)
+	}
+
+	// The store comes up already sealed: the checkpoint is the sealed
+	// epoch, and the WAL tail replays as ordinary dirty-tracked
+	// mutations above it.
+	if maxID > 0 {
+		s.sealed = ep
+	}
+	return nil
+}
+
+// readAssemblySection restores the per-tab event-assembly state; both
+// schema versions share its layout.
+func (s *Store) readAssemblySection(p []byte) error {
+	d := storage.NewDecoder(p)
 	nn, err := d.Uvarint()
 	if err != nil {
 		return err
@@ -818,46 +857,32 @@ func (s *Store) loadSnapshotV2(secs map[uint32][]byte) error {
 	if err := readPending(s.pendingSearch); err != nil {
 		return err
 	}
-	if err := readPending(s.pendingForm); err != nil {
+	return readPending(s.pendingForm)
+}
+
+// loadSortedIndex bulk-builds a B-tree from a persisted sorted-ID
+// stream, rehydrating each entry's key from the node table via key.
+func loadSortedIndex(p []byte, name string, maxID NodeID, key func(id NodeID) string, t *storage.BTree) error {
+	d := storage.NewDecoder(p)
+	n, err := d.Uvarint()
+	if err != nil {
 		return err
 	}
-	// lastVisitByURL, array-driven (same result as rebuildLastVisit,
-	// without iterating the just-built maps a second time).
-	if s.mode == VersionEdges {
-		for url, id := range ep.urlToPage {
-			s.lastVisitByURL[url] = id
+	var keyBuf []byte
+	i := uint64(0)
+	var decodeErr error
+	t.BulkLoad(func() ([]byte, uint64, bool) {
+		if i >= n || decodeErr != nil {
+			return nil, 0, false
 		}
-	} else {
-		for page := NodeID(1); page <= maxID; page++ {
-			if lo, hi := ep.visitsOff[page], ep.visitsOff[page+1]; hi > lo {
-				s.lastVisitByURL[ep.nodes[page].URL] = ep.visitIDs[hi-1]
-			}
+		id, err := d.Uvarint()
+		if err != nil || id == 0 || NodeID(id) > maxID {
+			decodeErr = fmt.Errorf("provgraph: checkpoint %s entry %d invalid (%v)", name, i, err)
+			return nil, 0, false
 		}
-	}
-
-	// ---- text-index postings (optional) ----
-	if p, ok := secs[secText]; ok {
-		d := storage.NewDecoder(p)
-		wm, err := d.Uvarint()
-		if err != nil {
-			return err
-		}
-		payload, err := d.Raw(d.Remaining())
-		if err != nil {
-			return err
-		}
-		// Copied: the section payload aliases the whole checkpoint file
-		// buffer, and stashing the alias would pin every section in
-		// memory until (if ever) an engine claims the postings.
-		s.recoveredText = append([]byte(nil), payload...)
-		s.recoveredTextWM = NodeID(wm)
-	}
-
-	// The store comes up already sealed: the checkpoint is the sealed
-	// epoch, and the WAL tail replays as ordinary dirty-tracked
-	// mutations above it.
-	if maxID > 0 {
-		s.sealed = ep
-	}
-	return nil
+		i++
+		keyBuf = append(keyBuf[:0], key(NodeID(id))...)
+		return keyBuf, id, true
+	})
+	return decodeErr
 }

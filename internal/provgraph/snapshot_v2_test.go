@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"browserprov/internal/event"
+	"browserprov/internal/storage"
 )
 
 // applyAll feeds evs through per-event Apply.
@@ -468,12 +469,17 @@ func TestCheckpointIdleSkip(t *testing.T) {
 	}
 }
 
-// TestCheckpointV2SizeCompact: sanity-check the columnar format's
-// premise — the sectioned dump of a store should not be larger than the
-// v1 record dump of the same store.
+// TestCheckpointV2SizeCompact: sanity-check the columnar formats' size
+// premises. The legacy varint-columnar (v2) schema must not be larger
+// than the v1 record dump of the same store. The raw-column (v3) schema
+// Checkpoint writes deliberately trades bytes for zero-copy mmap loading
+// (fixed-width arrays, page-aligned sections), so it only gets a bounded
+// overhead: at most 2x the record dump plus the worst-case alignment
+// padding of its section count.
 func TestCheckpointV2SizeCompact(t *testing.T) {
 	evs := genIngestEvents(500, t0)
 	sizes := make([]int64, 2)
+	var v2Size int64
 	for i, ckpt := range [2]func(*Store) error{(*Store).CheckpointV1, (*Store).Checkpoint} {
 		s := openStore(t, t.TempDir())
 		applyAll(t, s, evs)
@@ -481,12 +487,91 @@ func TestCheckpointV2SizeCompact(t *testing.T) {
 			t.Fatal(err)
 		}
 		sizes[i] = s.CheckpointInfo().Bytes
+		if i == 1 {
+			// Same store, legacy v2 schema, written directly.
+			s.mu.Lock()
+			sn := s.snapshotLocked()
+			asm := s.captureAssemblyLocked()
+			s.mu.Unlock()
+			ep := flattenEpoch(sn)
+			path := filepath.Join(t.TempDir(), "v2.snap")
+			w, err := storage.CreateSectionFileV2(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := writeSnapshotV2(w, ep, asm, nil, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2Size = fi.Size()
+		}
 		if err := s.Close(); err != nil {
 			t.Fatal(err)
 		}
 	}
-	t.Logf("v1 checkpoint %d bytes, v2 %d bytes", sizes[0], sizes[1])
-	if sizes[1] > sizes[0] {
-		t.Fatalf("columnar checkpoint (%d B) larger than record checkpoint (%d B)", sizes[1], sizes[0])
+	t.Logf("v1 checkpoint %d bytes, v2 %d bytes, v3 %d bytes", sizes[0], v2Size, sizes[1])
+	if v2Size > sizes[0] {
+		t.Fatalf("columnar checkpoint (%d B) larger than record checkpoint (%d B)", v2Size, sizes[0])
+	}
+	if lim := 2*sizes[0] + 40*4096; sizes[1] > lim {
+		t.Fatalf("raw-column checkpoint (%d B) exceeds overhead bound (%d B)", sizes[1], lim)
+	}
+}
+
+// TestLegacyV2SchemaReopen: stores checkpointed by the previous release
+// (varint-columnar v2 schema in the unaligned container) must keep
+// opening byte-for-byte correctly now that Checkpoint writes the
+// raw-column v3 schema. The journal metadata names the snap path without
+// hashing its contents, so rewriting the file in the legacy schema
+// in-place is exactly the upgrade-in-progress state a user's disk holds.
+func TestLegacyV2SchemaReopen(t *testing.T) {
+	dir := t.TempDir()
+	evs := genIngestEvents(300, t0)
+	s := openStore(t, dir)
+	applyAll(t, s, evs)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	sn := s.snapshotLocked()
+	asm := s.captureAssemblyLocked()
+	s.mu.Unlock()
+	ep := flattenEpoch(sn)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "provgraph.snap.000001")
+	w, err := storage.CreateSectionFileV2(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotV2(w, ep, asm, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := openStore(t, t.TempDir())
+	defer ref.Close()
+	applyAll(t, ref, evs)
+
+	re := openStore(t, dir)
+	defer re.Close()
+	storesMustMatch(t, ref, re)
+	if mi := re.MappedInfo(); mi.MappedBytes != 0 {
+		t.Fatalf("legacy v2 load claimed mapped residency: %+v", mi)
+	}
+	// And the store upgrades itself on its next checkpoint.
+	applyAll(t, re, genIngestEvents(10, t0.Add(time.Hour)))
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
 	}
 }

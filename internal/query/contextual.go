@@ -97,7 +97,7 @@ func (r *Run) contextualSearch(q string, k int) []PageHit {
 
 	// Stage 2: neighborhood expansion through the personalisation lens.
 	g := r.graphView()
-	graph.ExpandArena(g, a, graph.Undirected, r.opts.decay(), r.opts.maxDepth(), r.opts.maxNodes(), r.Stop)
+	graph.ExpandArenaPar(g, a, graph.Undirected, r.opts.decay(), r.opts.maxDepth(), r.opts.maxNodes(), r.opts.parallelism(), r.Stop)
 	scores := &a.Scores
 	r.expanded = scores.Len()
 
@@ -109,7 +109,7 @@ func (r *Run) contextualSearch(q string, k int) []PageHit {
 		a.SubBuf = append(a.SubBuf[:0], scores.Keys()...)
 		sub := a.SubBuf
 		sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
-		_, auths = graph.HITSArena(g, a, sub, 20, 1e-6)
+		_, auths = graph.HITSArenaPar(g, a, sub, 20, 1e-6, r.opts.parallelism())
 	}
 
 	// Stage 3: fold instance scores back onto page identities.

@@ -1,0 +1,65 @@
+package query
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestSearchParallelismInvariant: WithParallelism must never change what
+// a query returns — serial and parallel expansion are byte-identical by
+// construction (ordered merge), so the comparison here is exact
+// equality, not a tolerance. The large history pushes expansion
+// frontiers past the parallel threshold so the fan-out path really runs.
+func TestSearchParallelismInvariant(t *testing.T) {
+	f := newFixture(t)
+	buildRandomHistory(t, f, 17, 2500)
+	e := NewEngine(f.s, Options{})
+	v := e.View()
+	ctx := context.Background()
+	for _, q := range []string{"wine", "garden flower", "museum", "cheese ticket"} {
+		for _, hits := range []bool{false, true} {
+			base := []Option{WithHITS(hits), WithBudget(-1)}
+			want, _, err := v.Search(ctx, q, 0, append(base, WithParallelism(1))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 8, 0} { // 0 = GOMAXPROCS auto
+				got, _, err := v.Search(ctx, q, 0, append(base, WithParallelism(par))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("q=%q hits=%v par=%d: results differ from serial\n got %v\nwant %v",
+						q, hits, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPersonalizeParallelismInvariant: the multi-stage personalisation
+// pipeline (search, expand, term fold) must be equally oblivious to the
+// worker count.
+func TestPersonalizeParallelismInvariant(t *testing.T) {
+	f := newFixture(t)
+	buildRandomHistory(t, f, 23, 2500)
+	e := NewEngine(f.s, Options{})
+	v := e.View()
+	ctx := context.Background()
+	for _, q := range []string{"wine", "garden", "museum train"} {
+		want, _, err := v.Personalize(ctx, q, 0, WithBudget(-1), WithParallelism(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8, 0} {
+			got, _, err := v.Personalize(ctx, q, 0, WithBudget(-1), WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("q=%q par=%d: suggestions differ from serial", q, par)
+			}
+		}
+	}
+}

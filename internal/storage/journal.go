@@ -48,10 +48,16 @@ type JournalCallbacks struct {
 	// LoadSnapshot is called with the snapshot heap file when the
 	// snapshot is in the record-oriented (v1) format.
 	LoadSnapshot func(h *HeapFile) error
-	// LoadSections is called with the verified sections when the
-	// snapshot is in the sectioned columnar (v2) format. Stores that
-	// never write sectioned checkpoints may leave it nil.
-	LoadSections func(sections map[uint32][]byte) error
+	// LoadSections is called with the open section file when the
+	// snapshot is in the sectioned columnar format. Section payloads are
+	// checksummed lazily on first access; the loader owns deciding which
+	// sections to touch. Stores that never write sectioned checkpoints
+	// may leave it nil.
+	LoadSections func(f *SectionFile) error
+	// MapSnapshot asks for sectioned snapshots to be memory-mapped
+	// instead of read onto the heap (best effort; platforms without
+	// mmap fall back to the heap read).
+	MapSnapshot bool
 	// Replay applies one logged mutation during recovery.
 	Replay func(payload []byte) error
 }
@@ -90,16 +96,14 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 			if cb.LoadSections == nil {
 				return nil, fmt.Errorf("storage: snapshot %s is sectioned but no LoadSections callback is set", j.snapPath)
 			}
-			secs, err := ReadSections(j.snapPath)
+			sf, err := OpenSectionFile(j.snapPath, cb.MapSnapshot)
 			if err != nil {
 				return nil, fmt.Errorf("storage: open snapshot: %w", err)
 			}
-			if err := cb.LoadSections(secs); err != nil {
+			if err := cb.LoadSections(sf); err != nil {
 				return nil, fmt.Errorf("storage: load snapshot: %w", err)
 			}
-			if fi, err := os.Stat(j.snapPath); err == nil {
-				j.snapSize = fi.Size()
-			}
+			j.snapSize = sf.Size()
 		} else {
 			h, err := OpenHeapFile(j.snapPath)
 			if err != nil {

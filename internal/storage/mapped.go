@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+	"unsafe"
+)
+
+// SectionFile is the random-access view of a sectioned checkpoint: the
+// frame directory is parsed eagerly (16 bytes per frame), but section
+// payloads are only checksummed on first access — an opener that never
+// touches a section never pays for verifying it.
+//
+// When the platform supports it (and the caller asks), the file is
+// memory-mapped read-only and payload slices alias the mapping: handing
+// a section to a decoder costs no heap and no copy, and untouched
+// sections never even fault in. Otherwise the whole file is read into
+// one heap buffer and the same slicing applies.
+//
+// Lifetime: a mapping is never unmapped. Decoded stores alias section
+// bytes (strings, CSR arrays, posting lists) for the life of the
+// process, and clean file-backed pages are the kernel's to reclaim —
+// unmapping would only turn long-lived aliases into dangling pointers.
+// The file descriptor is closed before OpenSectionFile returns (a
+// mapping keeps the inode alive on its own), so a superseded checkpoint
+// file that gets deleted underneath a live mapping keeps working.
+type SectionFile struct {
+	path    string
+	data    []byte
+	version uint32
+	mapped  bool
+	secs    map[uint32]*sectionFrame
+}
+
+type sectionFrame struct {
+	payload  []byte
+	crc      uint32
+	verified atomic.Bool
+}
+
+// OpenSectionFile opens the sectioned checkpoint at path and parses its
+// frame directory. With wantMap set it tries to mmap the file,
+// falling back to a heap read when the platform can't map.
+func OpenSectionFile(path string, wantMap bool) (*SectionFile, error) {
+	var data []byte
+	mapped := false
+	if wantMap {
+		if m, err := mmapFile(path); err == nil {
+			data, mapped = m, true
+		}
+	}
+	if data == nil {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		data = b
+	}
+	f := &SectionFile{path: path, data: data, mapped: mapped}
+	if err := f.parse(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *SectionFile) parse() error {
+	data, path := f.data, f.path
+	if len(data) < sectionFileHeader ||
+		binary.LittleEndian.Uint32(data[0:]) != sectionMagic {
+		return fmt.Errorf("%w: %s", ErrNotSectioned, path)
+	}
+	v := binary.LittleEndian.Uint32(data[4:])
+	if v != sectionVersion && v != sectionVersionAligned {
+		return fmt.Errorf("%w: %s has version %d", ErrBadVersion, path, v)
+	}
+	f.version = v
+	f.secs = make(map[uint32]*sectionFrame)
+	off := int64(sectionFileHeader)
+	for off < int64(len(data)) {
+		if off+sectionFrameHeader > int64(len(data)) {
+			return fmt.Errorf("%w: %s: truncated frame at %d", ErrSectionCorrupt, path, off)
+		}
+		tag := binary.LittleEndian.Uint32(data[off:])
+		length := binary.LittleEndian.Uint64(data[off+4:])
+		crc := binary.LittleEndian.Uint32(data[off+12:])
+		off += sectionFrameHeader
+		if length > uint64(int64(len(data))-off) {
+			return fmt.Errorf("%w: %s: section %d runs past EOF", ErrSectionCorrupt, path, tag)
+		}
+		payload := data[off : off+int64(length) : off+int64(length)]
+		off += int64(length)
+		if tag == sectionPadTag {
+			continue
+		}
+		f.secs[tag] = &sectionFrame{payload: payload, crc: crc}
+	}
+	return nil
+}
+
+// Version returns the container format version (2 unaligned, 3 aligned).
+func (f *SectionFile) Version() uint32 { return f.version }
+
+// Mapped reports whether section payloads alias a memory mapping
+// (false: they alias one heap buffer).
+func (f *SectionFile) Mapped() bool { return f.mapped }
+
+// Size returns the file size in bytes.
+func (f *SectionFile) Size() int64 { return int64(len(f.data)) }
+
+// Has reports whether a section with the given tag is present.
+func (f *SectionFile) Has(tag uint32) bool { return f.secs[tag] != nil }
+
+// Section returns the payload of the section with the given tag,
+// verifying its checksum on first access (nil, nil if absent). The
+// returned slice aliases the file view; callers must not modify it.
+func (f *SectionFile) Section(tag uint32) ([]byte, error) {
+	s := f.secs[tag]
+	if s == nil {
+		return nil, nil
+	}
+	if !s.verified.Load() {
+		if crc32.Checksum(s.payload, castagnoli) != s.crc {
+			return nil, fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, f.path, tag)
+		}
+		s.verified.Store(true)
+	}
+	return s.payload, nil
+}
+
+// All returns every section payload keyed by tag, verifying each
+// section's checksum. The slices alias the file view; callers must not
+// modify them. Legacy whole-file decoders use this; incremental readers
+// should prefer Section so untouched sections stay unverified (and, when
+// mapped, unfaulted).
+func (f *SectionFile) All() (map[uint32][]byte, error) {
+	out := make(map[uint32][]byte, len(f.secs))
+	for tag := range f.secs {
+		p, err := f.Section(tag)
+		if err != nil {
+			return nil, err
+		}
+		out[tag] = p
+	}
+	return out, nil
+}
+
+// Aligned reports whether the payload of every section starts on an
+// 8-byte boundary relative to the view's base — the precondition for
+// aliasing payload bytes as wider integer arrays.
+func (f *SectionFile) Aligned() bool {
+	if f.version < sectionVersionAligned {
+		return false
+	}
+	base := uintptr(unsafe.Pointer(unsafe.SliceData(f.data)))
+	return base%8 == 0
+}

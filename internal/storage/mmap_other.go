@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "errors"
+
+// mmapFile is unavailable on this platform; OpenSectionFile falls back
+// to reading the file into one heap buffer.
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.New("storage: mmap not supported on this platform")
+}

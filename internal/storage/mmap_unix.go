@@ -1,0 +1,33 @@
+//go:build unix
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file at path read-only and shared. The descriptor
+// is closed before returning — the mapping keeps the inode alive, so
+// the file may be deleted (e.g. by a later checkpoint commit) while the
+// mapping stays valid. The mapping is intentionally never unmapped; see
+// SectionFile.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, syscall.EFBIG
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}

@@ -34,9 +34,28 @@ import (
 // with magic+version both matching.
 const sectionMagic = uint32(0x53C7F11E)
 
-// sectionVersion is the sectioned-format version byte (bumped on
-// incompatible layout changes; readers reject versions they don't know).
+// sectionVersion is the original sectioned-format version: frames are
+// packed back to back with no alignment. Still readable; no longer
+// written (except by tests exercising the compatibility path).
 const sectionVersion = uint32(2)
+
+// sectionVersionAligned is the page-aligned sectioned format: zero-fill
+// pad frames (tag 0) are inserted so every real section's payload
+// starts on a sectionPageSize boundary. Alignment is what lets a reader
+// mmap the file and hand out section payloads as typed slices
+// (uint32/uint64/int64 arrays) without copying them to the heap.
+const sectionVersionAligned = uint32(3)
+
+// sectionPageSize is the payload alignment of v3 files. 4 KiB matches
+// the page size of every platform we run on; a platform with larger
+// pages still maps these files fine (alignment is about in-memory slice
+// element alignment, which needs only 8 bytes — the page size is chosen
+// so payloads also start on page boundaries for I/O friendliness).
+const sectionPageSize = 4096
+
+// sectionPadTag marks a pad frame: its payload is alignment fill, not a
+// section. Readers must skip it; real section tags start at 1.
+const sectionPadTag = uint32(0)
 
 const sectionFileHeader = 16 // magic u32 + version u32 + reserved u64
 const sectionFrameHeader = 16
@@ -53,28 +72,71 @@ var (
 // SectionWriter streams sections into a checkpoint file. It is not safe
 // for concurrent use; the background checkpoint goroutine owns it.
 type SectionWriter struct {
-	f    *os.File
-	path string
-	enc  Encoder // per-section scratch, reused across sections
-	size int64
+	f       *os.File
+	path    string
+	enc     Encoder // per-section scratch, reused across sections
+	size    int64
+	version uint32
 }
 
 // CreateSectionFile creates (or truncates) a sectioned checkpoint file
-// at path and writes its header.
+// at path and writes its header. Files are written in the page-aligned
+// v3 format.
 func CreateSectionFile(path string) (*SectionWriter, error) {
+	return createSectionFile(path, sectionVersionAligned)
+}
+
+// CreateSectionFileV2 writes the legacy unaligned v2 container. It
+// exists so compatibility tests can produce the files older binaries
+// wrote; production checkpoints are always v3.
+func CreateSectionFileV2(path string) (*SectionWriter, error) {
+	return createSectionFile(path, sectionVersion)
+}
+
+func createSectionFile(path string, version uint32) (*SectionWriter, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create sections %s: %w", path, err)
 	}
 	var hdr [sectionFileHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], sectionMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], sectionVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		os.Remove(path)
 		return nil, err
 	}
-	return &SectionWriter{f: f, path: path, size: sectionFileHeader}, nil
+	return &SectionWriter{f: f, path: path, size: sectionFileHeader, version: version}, nil
+}
+
+// sectionPadZeros backs pad-frame payloads; pad frames are shorter than
+// one page by construction.
+var sectionPadZeros [sectionPageSize]byte
+
+// alignPayload pads a v3 file so the next frame's payload starts on a
+// page boundary. The pad is itself a well-formed frame (tag 0) so
+// readers that don't know about alignment still walk the file.
+func (w *SectionWriter) alignPayload() error {
+	if w.version < sectionVersionAligned {
+		return nil
+	}
+	if (w.size+sectionFrameHeader)%sectionPageSize == 0 {
+		return nil
+	}
+	padLen := (sectionPageSize - (w.size+2*sectionFrameHeader)%sectionPageSize) % sectionPageSize
+	pad := sectionPadZeros[:padLen]
+	var hdr [sectionFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], sectionPadTag)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(padLen))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(pad, castagnoli))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(pad); err != nil {
+		return err
+	}
+	w.size += sectionFrameHeader + int64(padLen)
+	return nil
 }
 
 // WriteSection encodes one section through fill (into a reusable
@@ -84,18 +146,37 @@ func (w *SectionWriter) WriteSection(tag uint32, fill func(e *Encoder) error) er
 	if err := fill(&w.enc); err != nil {
 		return err
 	}
-	payload := w.enc.Bytes()
+	return w.WriteSectionBytes(tag, w.enc.Bytes())
+}
+
+// WriteSectionBytes appends one section whose payload is the
+// concatenation of chunks. The chunks are streamed straight to the
+// file (one CRC pass, no intermediate buffer), which is how the raw
+// fixed-width column sections avoid copying megabytes through the
+// encoder scratch.
+func (w *SectionWriter) WriteSectionBytes(tag uint32, chunks ...[]byte) error {
+	if err := w.alignPayload(); err != nil {
+		return err
+	}
+	var total uint64
+	crc := crc32.Checksum(nil, castagnoli)
+	for _, c := range chunks {
+		total += uint64(len(c))
+		crc = crc32.Update(crc, castagnoli, c)
+	}
 	var hdr [sectionFrameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], tag)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(hdr[4:], total)
+	binary.LittleEndian.PutUint32(hdr[12:], crc)
 	if _, err := w.f.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.f.Write(payload); err != nil {
-		return err
+	for _, c := range chunks {
+		if _, err := w.f.Write(c); err != nil {
+			return err
+		}
 	}
-	w.size += sectionFrameHeader + int64(len(payload))
+	w.size += sectionFrameHeader + int64(total)
 	return nil
 }
 
@@ -143,7 +224,7 @@ func ReadSections(path string) (map[uint32][]byte, error) {
 		binary.LittleEndian.Uint32(data[0:]) != sectionMagic {
 		return nil, fmt.Errorf("%w: %s", ErrNotSectioned, path)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != sectionVersion {
+	if v := binary.LittleEndian.Uint32(data[4:]); v != sectionVersion && v != sectionVersionAligned {
 		return nil, fmt.Errorf("%w: %s has version %d", ErrBadVersion, path, v)
 	}
 	secs := make(map[uint32][]byte)
@@ -160,11 +241,14 @@ func ReadSections(path string) (map[uint32][]byte, error) {
 			return nil, fmt.Errorf("%w: %s: section %d runs past EOF", ErrSectionCorrupt, path, tag)
 		}
 		payload := data[off : off+int64(length)]
+		off += int64(length)
+		if tag == sectionPadTag {
+			continue // alignment fill, not a section
+		}
 		if crc32.Checksum(payload, castagnoli) != wantCRC {
 			return nil, fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, path, tag)
 		}
 		secs[tag] = payload
-		off += int64(length)
 	}
 	return secs, nil
 }

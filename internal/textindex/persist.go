@@ -25,7 +25,7 @@ const persistVersion = 1
 // index ahead of the recovered graph. Posting lists are doc-sorted, so
 // each cut is one binary search.
 func (ix *Index) SaveUnder(maxDoc DocID) []byte {
-	ix.mu.RLock()
+	ix.rlockPostings()
 	defer ix.mu.RUnlock()
 	e := storage.NewEncoder(1 << 16)
 	e.Uvarint(persistVersion)

@@ -89,9 +89,14 @@ type Index struct {
 	// Adds need it, so a cold open defers the ~O(postings) rebuild —
 	// often forever on a read-mostly restart.
 	fwdStale bool
-	docLen   map[DocID]int
-	docIDs   []DocID // all indexed docs, sorted ascending
-	numDocs  int
+	// frozen, when non-nil, holds the postings in their serialised form
+	// (typically aliasing a mapped checkpoint section); the postings and
+	// docLen maps are then empty until the first write or save thaws
+	// them. See frozen.go.
+	frozen  *frozenPostings
+	docLen  map[DocID]int
+	docIDs  []DocID // all indexed docs, sorted ascending
+	numDocs int
 	// invNorm holds 1/sqrt(docLen) indexed directly by DocID (doc IDs
 	// are dense node IDs, so the array is small and O(1) to consult).
 	// Precomputing it at Add time removes a sqrt + map lookup per
@@ -128,6 +133,7 @@ func (ix *Index) Add(doc DocID, fields ...string) {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.thawFrozenLocked()
 	if _, known := ix.docLen[doc]; known {
 		// Only a re-add (stacking terms onto an existing doc) consults
 		// prior forward state; brand-new docs — the only thing the
@@ -196,6 +202,9 @@ func (ix *Index) NumDocs() int {
 func (ix *Index) NumTerms() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.frozen != nil {
+		return len(ix.frozen.refs)
+	}
 	return len(ix.postings)
 }
 
@@ -203,6 +212,13 @@ func (ix *Index) NumTerms() int {
 func (ix *Index) DocFreq(term string) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.frozen != nil {
+		r, ok := ix.frozen.lookup(strings.ToLower(term))
+		if !ok {
+			return 0
+		}
+		return r.n
+	}
 	return len(ix.postings[strings.ToLower(term)])
 }
 
@@ -225,6 +241,13 @@ func (ix *Index) NumDocsUnder(maxDoc DocID) int {
 func (ix *Index) DocFreqUnder(term string, maxDoc DocID) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.frozen != nil {
+		r, ok := ix.frozen.lookup(strings.ToLower(term))
+		if !ok {
+			return 0
+		}
+		return ix.frozen.freqUnder(r, maxDoc)
+	}
 	return len(cutUnder(ix.postings[strings.ToLower(term)], maxDoc))
 }
 
@@ -253,7 +276,8 @@ type searchScratch struct {
 	stamp   []uint32
 	gen     uint32
 	touched []DocID
-	results []Result // candidate buffer handed to top-k selection
+	results []Result  // candidate buffer handed to top-k selection
+	pl      []posting // frozen-postings decode buffer
 }
 
 var searchPool = sync.Pool{New: func() any { return new(searchScratch) }}
@@ -307,7 +331,15 @@ func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 		if stopwords[term] {
 			continue
 		}
-		pl := cutUnder(ix.postings[term], maxDoc)
+		var pl []posting
+		if ix.frozen != nil {
+			if r, ok := ix.frozen.lookup(term); ok {
+				sc.pl = ix.frozen.appendPostings(sc.pl[:0], r, maxDoc)
+				pl = sc.pl
+			}
+		} else {
+			pl = cutUnder(ix.postings[term], maxDoc)
+		}
 		if len(pl) == 0 {
 			continue
 		}
@@ -341,12 +373,23 @@ func (ix *Index) SearchUnder(query string, limit int, maxDoc DocID) []Result {
 func (ix *Index) Terms(limit int) []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	terms := make([]string, 0, len(ix.postings))
-	for t := range ix.postings {
-		terms = append(terms, t)
+	var terms []string
+	var df func(term string) int
+	if ix.frozen != nil {
+		terms = make([]string, 0, len(ix.frozen.refs))
+		for _, r := range ix.frozen.refs {
+			terms = append(terms, r.term)
+		}
+		df = func(term string) int { r, _ := ix.frozen.lookup(term); return r.n }
+	} else {
+		terms = make([]string, 0, len(ix.postings))
+		for t := range ix.postings {
+			terms = append(terms, t)
+		}
+		df = func(term string) int { return len(ix.postings[term]) }
 	}
 	sort.Slice(terms, func(i, j int) bool {
-		di, dj := len(ix.postings[terms[i]]), len(ix.postings[terms[j]])
+		di, dj := df(terms[i]), df(terms[j])
 		if di != dj {
 			return di > dj
 		}
@@ -381,11 +424,12 @@ func (ix *Index) buildForwardLocked() {
 // maps if a postings-only load deferred them. Callers must RUnlock.
 func (ix *Index) rlockForward() {
 	ix.mu.RLock()
-	if !ix.fwdStale {
+	if !ix.fwdStale && ix.frozen == nil {
 		return
 	}
 	ix.mu.RUnlock()
 	ix.mu.Lock()
+	ix.thawFrozenLocked()
 	ix.buildForwardLocked()
 	ix.mu.Unlock()
 	ix.mu.RLock()

@@ -13,13 +13,30 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE \
-  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkExpandParallelism$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
   -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+# Scheduler sweep: the concurrency-sensitive benchmarks again at pinned
+# GOMAXPROCS, so scaling (and the serial floor) is part of the artifact.
+# Their rows keep an @cpuN suffix below.
+go test -run=NONE \
+  -bench 'BenchmarkParallelSearch$|BenchmarkExpandParallelism$' \
+  -cpu 1,4 -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
+    -v nproc="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" \
+    -v gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
-  name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+  name = $1; sub(/^Benchmark/, "", name)
+  procs = "1" # go omits the -N suffix entirely at GOMAXPROCS=1
+  if (match(name, /-[0-9]+$/)) { procs = substr(name, RSTART + 1); name = substr(name, 1, RSTART - 1) }
+  # First sighting of a benchmark keeps the bare name (the default-
+  # GOMAXPROCS run); repeats from the -cpu sweep are suffixed so the
+  # JSON object never holds duplicate keys.
+  key = name
+  if (key in seen) key = name "@cpu" procs
+  seen[key] = 1
   ns = ""; bytes = ""; allocs = ""; extra = ""
   for (i = 2; i <= NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
@@ -31,11 +48,12 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
   }
   if (ns != "") {
     rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",
-                        name, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs, extra)
+                        key, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs, extra)
   }
 }
 END {
-  printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": {\n", date, benchtime, cpu
+  printf "{\n  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"cpu\": \"%s\",\n", date, benchtime, cpu
+  printf "  \"nproc\": %s,\n  \"gomaxprocs\": %s,\n  \"mmap_default\": true,\n  \"benchmarks\": {\n", nproc, gomaxprocs
   for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], i < n ? "," : ""
   printf "  }\n}\n"
 }' "$tmp" > "$out"
