@@ -196,9 +196,12 @@ func OpenWithStore(dir string, sopts StoreOptions, opts Options) (*History, erro
 	return &History{store: s, opts: opts}, nil
 }
 
-// Close flushes and closes the history. Views created after Close fail
-// with ErrClosed; Views already held keep serving their immutable
-// snapshot.
+// Close flushes and closes the history. Close is idempotent and safe
+// under concurrent use: Views created after Close fail with ErrClosed,
+// queries in flight at Close finish normally against their pinned
+// snapshot, and new queries on already-held Views fail with ErrClosed.
+// The checkpoint's file mapping is released once the last in-flight
+// query finishes.
 func (h *History) Close() error {
 	h.closed.Store(true)
 	return h.store.Close()

@@ -17,6 +17,17 @@
 // carries no provenance the proxy can see); plain-HTTP browsing is fully
 // captured: referrer chains, redirects, downloads, search queries and
 // page titles.
+//
+// With -shard-root instead of -dir the daemon runs multi-tenant: the
+// X-Prov-Tenant request header routes each captured exchange into that
+// tenant's independent history under the shard root (stripped before
+// the request goes upstream), at most -shard-cap tenant stores stay
+// open at once (LRU-evicted, reopened on next touch), /stats serves the
+// global rollup and /stats/<tenant> per-tenant detail:
+//
+//	provd -shard-root ./shards -shard-cap 128 -listen 127.0.0.1:8888 &
+//	curl -x http://127.0.0.1:8888 -H 'X-Prov-Tenant: alice' http://example.com/
+//	curl http://127.0.0.1:8889/stats/alice
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 	"browserprov/internal/event"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
+	"browserprov/internal/shardmap"
 )
 
 // statsReply is the /stats JSON shape.
@@ -130,7 +142,11 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 }
 
 func main() {
-	dir := flag.String("dir", "", "provenance store directory (required)")
+	dir := flag.String("dir", "", "provenance store directory (single-tenant mode)")
+	shardRoot := flag.String("shard-root", "", "multi-tenant shard root directory (enables sharded mode; exclusive with -dir)")
+	shardCap := flag.Int("shard-cap", shardmap.DefaultMaxOpen, "max concurrently open tenant stores in sharded mode")
+	defaultTenant := flag.String("default-tenant", "default",
+		"tenant for capture requests without an "+tenantHeader+" header")
 	listen := flag.String("listen", "127.0.0.1:8888", "proxy listen address")
 	admin := flag.String("admin", "127.0.0.1:8889", "admin (healthz/stats) listen address; empty disables")
 	searchHosts := flag.String("search-hosts", "search.example,www.google.com,duckduckgo.com,www.bing.com",
@@ -141,8 +157,8 @@ func main() {
 	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
 	useMmap := flag.Bool("mmap", true, "serve the checkpoint off a file mapping (false reads it onto the heap)")
 	flag.Parse()
-	if *dir == "" {
-		log.Fatal("provd: -dir is required")
+	if (*dir == "") == (*shardRoot == "") {
+		log.Fatal("provd: exactly one of -dir (single-tenant) or -shard-root (sharded) is required")
 	}
 
 	// The journal fsyncs every SyncEvery commits, and a batch is one
@@ -154,6 +170,22 @@ func main() {
 		if syncEvery < 1 {
 			syncEvery = 1
 		}
+	}
+	if *shardRoot != "" {
+		runSharded(&shardedConfig{
+			root:            *shardRoot,
+			cap:             *shardCap,
+			listen:          *listen,
+			admin:           *admin,
+			searchHosts:     strings.Split(*searchHosts, ","),
+			defaultTenant:   *defaultTenant,
+			checkpointEvery: *checkpointEvery,
+			batchSize:       *batchSize,
+			flushEvery:      *flushEvery,
+			syncEvery:       syncEvery,
+			noMmap:          !*useMmap,
+		})
+		return
 	}
 	store, err := provgraph.OpenWith(*dir, provgraph.Options{SyncEvery: syncEvery, NoMmap: !*useMmap})
 	if err != nil {

@@ -1,0 +1,321 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"browserprov/internal/capture"
+	"browserprov/internal/event"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/shardmap"
+)
+
+// tenantHeader routes captured exchanges to a tenant's history. The
+// proxy strips it before the request goes upstream, so the origin never
+// learns whose history it is feeding.
+const tenantHeader = "X-Prov-Tenant"
+
+// shardedConfig carries the flag values runSharded needs.
+type shardedConfig struct {
+	root            string
+	cap             int
+	listen          string
+	admin           string
+	searchHosts     []string
+	defaultTenant   string
+	checkpointEvery time.Duration
+	batchSize       int
+	flushEvery      time.Duration
+	syncEvery       int
+	noMmap          bool
+}
+
+// tenantPipe is one tenant's capture pipeline: an Observer feeding a
+// per-tenant Batcher whose flush pins the tenant's store only for the
+// duration of the ApplyBatch — between flushes the store is free to be
+// LRU-evicted, which is what keeps 10k quiet tenants from pinning 10k
+// stores open.
+type tenantPipe struct {
+	observer *capture.Observer
+	flush    func() error
+}
+
+// pipeRegistry lazily builds tenantPipes. Pipes are small (a buffer and
+// two closures) and are kept for the process lifetime; the heavyweight
+// per-tenant state — the store — lives behind the shard map's cap.
+type pipeRegistry struct {
+	mu    sync.Mutex
+	pipes map[string]*tenantPipe
+
+	m    *shardmap.Map
+	cfg  *shardedConfig
+	errs atomic.Uint64
+}
+
+func newPipeRegistry(m *shardmap.Map, cfg *shardedConfig) *pipeRegistry {
+	return &pipeRegistry{pipes: make(map[string]*tenantPipe), m: m, cfg: cfg}
+}
+
+// apply delivers one tenant's batch: pin, group-commit, unpin. On the
+// all-or-nothing validation sentinel it salvages per event, exactly like
+// the single-store daemon.
+func (pr *pipeRegistry) apply(tenant string, evs []*event.Event) error {
+	h, err := pr.m.Get(tenant)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	err = h.ApplyBatch(evs)
+	if err == nil || !errors.Is(err, provgraph.ErrInvalidBatch) {
+		return err
+	}
+	var firstErr error
+	for _, ev := range evs {
+		if err := h.Apply(ev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// get returns (building on first touch) the pipe for tenant. The tenant
+// ID must already be validated.
+func (pr *pipeRegistry) get(tenant string) *tenantPipe {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if p, ok := pr.pipes[tenant]; ok {
+		return p
+	}
+	p := &tenantPipe{}
+	if pr.cfg.batchSize > 1 {
+		b := capture.NewBatcher(pr.cfg.batchSize, func(evs []*event.Event) error {
+			return pr.apply(tenant, evs)
+		})
+		p.observer = capture.NewObserver(pr.cfg.searchHosts, b.Add)
+		p.flush = b.Flush
+	} else {
+		p.observer = capture.NewObserver(pr.cfg.searchHosts, func(ev *event.Event) error {
+			return pr.apply(tenant, []*event.Event{ev})
+		})
+		p.flush = func() error { return nil }
+	}
+	pr.pipes[tenant] = p
+	return p
+}
+
+// flushAll flushes every tenant's batcher, logging (not aborting on)
+// per-tenant failures.
+func (pr *pipeRegistry) flushAll(ctx string) {
+	pr.mu.Lock()
+	pipes := make(map[string]*tenantPipe, len(pr.pipes))
+	for id, p := range pr.pipes {
+		pipes[id] = p
+	}
+	pr.mu.Unlock()
+	for id, p := range pipes {
+		if err := p.flush(); err != nil {
+			pr.errs.Add(1)
+			log.Printf("provd: %s flush tenant %s: %v", ctx, id, err)
+		}
+	}
+}
+
+// route implements the proxy's per-request observer lookup: tenant from
+// the X-Prov-Tenant header (the configured default when absent), header
+// stripped so it never reaches the origin, invalid IDs rejected.
+func (pr *pipeRegistry) route(r *http.Request) *capture.Observer {
+	tenant := r.Header.Get(tenantHeader)
+	r.Header.Del(tenantHeader)
+	if tenant == "" {
+		tenant = pr.cfg.defaultTenant
+	}
+	if shardmap.ValidateTenantID(tenant) != nil {
+		return nil
+	}
+	return pr.get(tenant).observer
+}
+
+// shardStatsReply is the sharded /stats JSON shape: the global rollup.
+type shardStatsReply struct {
+	OpenTenants  int    `json:"open_tenants"`
+	KnownTenants int    `json:"known_tenants"`
+	Opens        uint64 `json:"opens"`
+	Reopens      uint64 `json:"reopens"`
+	Evictions    uint64 `json:"evictions"`
+	// Aggregate checkpoint residency of the open set — the memory the
+	// open-store cap bounds.
+	MappedBytes   int64  `json:"mapped_bytes"`
+	HeapLoadBytes int64  `json:"heap_load_bytes"`
+	FlushErrors   uint64 `json:"flush_errors"`
+}
+
+// tenantStatsReply is the /stats/<tenant> JSON shape.
+type tenantStatsReply struct {
+	Tenant          string `json:"tenant"`
+	Generation      uint64 `json:"generation"`
+	Nodes           int    `json:"nodes"`
+	Edges           int    `json:"edges"`
+	SizeOnDisk      int64  `json:"size_on_disk_bytes"`
+	CheckpointBytes int64  `json:"checkpoint_bytes"`
+	WALBytes        int64  `json:"wal_bytes"`
+	MappedBytes     int64  `json:"mapped_bytes"`
+	HeapLoadBytes   int64  `json:"heap_load_bytes"`
+}
+
+// shardedAdminHandler serves /healthz, the global /stats rollup, and
+// per-tenant detail at /stats/<tenant> (which touches — possibly opens —
+// that tenant's store).
+func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := m.Stats()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok open=%d known=%d\n", st.OpenTenants, st.KnownTenants)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := m.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(shardStatsReply{ //nolint:errcheck
+			OpenTenants:   st.OpenTenants,
+			KnownTenants:  st.KnownTenants,
+			Opens:         st.Opens,
+			Reopens:       st.Reopens,
+			Evictions:     st.Evictions,
+			MappedBytes:   st.MappedBytes,
+			HeapLoadBytes: st.HeapBytes,
+			FlushErrors:   pr.errs.Load(),
+		})
+	})
+	mux.HandleFunc("/stats/", func(w http.ResponseWriter, r *http.Request) {
+		tenant := strings.TrimPrefix(r.URL.Path, "/stats/")
+		ts, err := m.TenantStats(tenant)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, shardmap.ErrBadTenantID) {
+				code = http.StatusBadRequest
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(tenantStatsReply{ //nolint:errcheck
+			Tenant:          ts.Tenant,
+			Generation:      ts.Generation,
+			Nodes:           ts.Nodes,
+			Edges:           ts.Edges,
+			SizeOnDisk:      ts.SizeOnDisk,
+			CheckpointBytes: ts.CheckpointBytes,
+			WALBytes:        ts.WALBytes,
+			MappedBytes:     ts.MappedBytes,
+			HeapLoadBytes:   ts.HeapBytes,
+		})
+	})
+	return mux
+}
+
+// runSharded is the multi-tenant daemon loop: one proxy, one shard map,
+// per-tenant capture pipelines.
+func runSharded(cfg *shardedConfig) {
+	m, err := shardmap.Open(cfg.root, shardmap.Options{
+		MaxOpen: cfg.cap,
+		Store:   provgraph.Options{SyncEvery: cfg.syncEvery, NoMmap: cfg.noMmap},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := newPipeRegistry(m, cfg)
+	proxy := capture.NewRoutedProxy(pr.route)
+
+	srv := &http.Server{Addr: cfg.listen, Handler: proxy}
+	go func() {
+		log.Printf("provd: capturing on %s into %s (sharded, cap %d)", cfg.listen, cfg.root, cfg.cap)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	var adminSrv *http.Server
+	if cfg.admin != "" {
+		adminSrv = &http.Server{Addr: cfg.admin, Handler: shardedAdminHandler(m, pr)}
+		go func() {
+			log.Printf("provd: admin endpoints on http://%s/{healthz,stats,stats/<tenant>}", cfg.admin)
+			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {
+				log.Printf("provd: admin listener: %v (continuing without probes)", err)
+			}
+		}()
+	}
+
+	// checkpointOpen dumps every currently open tenant store. Each
+	// checkpoint runs under a fresh pin, so eviction can slide between
+	// tenants but never under one.
+	checkpointOpen := func(ctx string) {
+		for _, id := range m.OpenTenants() {
+			h, err := m.Get(id)
+			if err != nil {
+				continue // evicted or map closing; its WAL is durable anyway
+			}
+			if err := h.Checkpoint(); err != nil {
+				log.Printf("provd: %s checkpoint tenant %s: %v", ctx, id, err)
+			}
+			h.Release()
+		}
+	}
+
+	var ckptTick <-chan time.Time
+	if cfg.checkpointEvery > 0 {
+		ticker := time.NewTicker(cfg.checkpointEvery)
+		defer ticker.Stop()
+		ckptTick = ticker.C
+	}
+	flushTicker := time.NewTicker(cfg.flushEvery)
+	defer flushTicker.Stop()
+	var checkpointing atomic.Bool
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-flushTicker.C:
+			pr.flushAll("periodic")
+		case <-ckptTick:
+			pr.flushAll("checkpoint")
+			if !checkpointing.Swap(true) {
+				go func() {
+					defer checkpointing.Store(false)
+					checkpointOpen("periodic")
+					st := m.Stats()
+					log.Printf("provd: checkpoint sweep ok (open %d/%d known, %d evictions, %d mapped bytes)",
+						st.OpenTenants, st.KnownTenants, st.Evictions, st.MappedBytes)
+				}()
+			}
+		case <-sigc:
+			fmt.Println()
+			log.Print("provd: shutting down")
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := srv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("provd: proxy shutdown: %v", err)
+			}
+			cancel()
+			if adminSrv != nil {
+				adminSrv.Close()
+			}
+			pr.flushAll("final")
+			checkpointOpen("final")
+			if err := m.Close(); err != nil {
+				log.Fatalf("provd: close: %v", err)
+			}
+			return
+		}
+	}
+}

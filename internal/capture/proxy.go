@@ -18,6 +18,11 @@ import (
 // Proxy implements http.Handler; serve it with net/http.
 type Proxy struct {
 	observer *Observer
+	// route, when set, picks the Observer per request (multi-tenant
+	// capture). It runs before the request is cloned for upstream, so it
+	// may strip routing headers the origin must not see. Returning nil
+	// rejects the request.
+	route func(*http.Request) *Observer
 	// transport performs upstream fetches.
 	transport http.RoundTripper
 	// titleSniffLimit bounds how much of an HTML body is searched for a
@@ -39,6 +44,17 @@ func NewProxy(observer *Observer) *Proxy {
 	}
 }
 
+// NewRoutedProxy builds a proxy that resolves the Observer per request —
+// the multi-tenant capture path, where a tenant header or credential
+// selects whose history an exchange lands in. route may mutate the
+// request (typically to strip the tenant header before it goes
+// upstream); returning nil rejects the exchange with 400.
+func NewRoutedProxy(route func(*http.Request) *Observer) *Proxy {
+	p := NewProxy(nil)
+	p.route = route
+	return p
+}
+
 // ServeHTTP implements http.Handler.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodConnect {
@@ -48,6 +64,16 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !r.URL.IsAbs() {
 		http.Error(w, "capture: proxy requires absolute-URI requests", http.StatusBadRequest)
 		return
+	}
+
+	observer := p.observer
+	if p.route != nil {
+		// Resolve before cloning: route may strip the tenant header so it
+		// never leaves the proxy.
+		if observer = p.route(r); observer == nil {
+			http.Error(w, "capture: unroutable request (missing or invalid tenant)", http.StatusBadRequest)
+			return
+		}
 	}
 
 	outReq := r.Clone(r.Context())
@@ -93,7 +119,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		io.Copy(w, resp.Body) //nolint:errcheck // client gone is fine
 	}
 
-	p.observer.Observe(obs)
+	observer.Observe(obs)
 }
 
 // tunnel relays a CONNECT request without observation.

@@ -222,6 +222,11 @@ type Options struct {
 	NoMmap bool
 }
 
+// ErrClosed reports an operation against a closed Store. The query
+// package's ErrClosed is this same sentinel, so errors.Is works across
+// layers.
+var ErrClosed = errors.New("provgraph: store is closed")
+
 // Store is the provenance graph store.
 type Store struct {
 	// ckptMu serialises whole checkpoint operations (and the wholesale
@@ -309,6 +314,20 @@ type Store struct {
 	mappedBytes   int64
 	heapLoadBytes int64
 
+	// sect is the checkpoint file view the load-time aliases (column
+	// arrays, strings, recovered text postings) point into. The store
+	// owns one reference; it is released when the store closes AND the
+	// last pinned read finishes, never before — see PinRead/unpin.
+	sect *storage.SectionFile
+
+	// closed flips once in Close; every subsequent mutation, checkpoint
+	// and new read pin fails with ErrClosed. pins counts the store's own
+	// liveness reference (1 while open) plus one per in-flight pinned
+	// read; the transition to 0 — which can happen on a reader's
+	// goroutine when Close overlaps a query — releases sect.
+	closed atomic.Bool
+	pins   atomic.Int64
+
 	// numNodes counts live nodes. Maintained separately from len(s.nodes)
 	// because a freshly mapped store defers populating s.nodes until thaw.
 	numNodes int
@@ -382,6 +401,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		pendingForm:    make(map[int]pending),
 		nextNode:       1,
 	}
+	s.pins.Store(1)
 	s.epochInit()
 	j, err := storage.OpenJournal(dir, "provgraph", storage.JournalCallbacks{
 		LoadSnapshot: s.loadSnapshot,
@@ -390,6 +410,9 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		Replay:       s.replayEvent,
 	})
 	if err != nil {
+		if s.sect != nil {
+			s.sect.Close()
+		}
 		return nil, err
 	}
 	j.SyncEvery = opts.SyncEvery
@@ -442,21 +465,67 @@ func (s *Store) MappedInfo() MappedInfo {
 }
 
 // Close flushes and closes the store, waiting for any in-flight
-// background checkpoint or reseal to finish first.
+// background checkpoint or reseal to finish first. Close is idempotent
+// and safe under concurrent use: a second (or racing) Close returns
+// nil, operations racing Close either complete against the open store
+// or fail with ErrClosed, and the checkpoint file view is released only
+// after the last pinned read finishes — a query that pinned before
+// Close keeps valid mapped memory for its whole run.
 func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
 	s.ckptMu.Lock()
 	s.mu.Lock()
 	err := s.j.Close()
 	s.mu.Unlock()
 	s.ckptMu.Unlock()
 	s.WaitReseal()
+	// Drop the store's own liveness pin. If no reads are in flight this
+	// releases the checkpoint view (unmapping it) right here; otherwise
+	// the last reader's unpin does.
+	s.unpin()
 	return err
+}
+
+// PinRead pins the store's checkpoint view for a read: while the
+// returned release function has not been called, the mapped checkpoint
+// bytes every snapshot aliases stay valid even if Close runs
+// concurrently. It fails with ErrClosed once Close has begun. release
+// must be called exactly once.
+func (s *Store) PinRead() (release func(), err error) {
+	for {
+		n := s.pins.Load()
+		if n <= 0 || s.closed.Load() {
+			return nil, ErrClosed
+		}
+		if s.pins.CompareAndSwap(n, n+1) {
+			return s.unpin, nil
+		}
+	}
+}
+
+// unpin drops one pin; the holder of the final pin releases the
+// checkpoint file view. Only one goroutine can observe the 0
+// transition, and PinRead never resurrects a zero count, so the release
+// is exclusive.
+func (s *Store) unpin() {
+	if s.pins.Add(-1) != 0 {
+		return
+	}
+	if s.sect != nil {
+		s.sect.Close()
+		s.sect = nil
+	}
 }
 
 // Sync forces journaled events to disk.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	return s.j.Sync()
 }
 
@@ -476,6 +545,9 @@ func (s *Store) Sync() error {
 func (s *Store) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	s.mu.Lock()
 	// Idle skip: if nothing moved since the last checkpoint this
 	// process wrote, the file on disk is already exact — a periodic
@@ -531,6 +603,9 @@ func (s *Store) CheckpointV1() error {
 	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	s.ckptGenValid = false // the on-disk snapshot is v1 now; don't idle-skip over it
 	return s.j.Checkpoint(s.writeSnapshot)
 }
@@ -609,6 +684,9 @@ func (s *Store) Apply(ev *event.Event) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	s.enc.Reset()
 	encodeEventInto(&s.enc, ev)
 	if err := s.j.Log(s.enc.Bytes()); err != nil {
@@ -648,6 +726,9 @@ func (s *Store) ApplyBatch(evs []*event.Event) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	logged, err := s.j.LogBatch(len(evs), func(i int) []byte {
 		s.enc.Reset()
 		encodeEventInto(&s.enc, evs[i])

@@ -82,7 +82,9 @@ func aliasNodeIDs(p []byte) []NodeID {
 }
 
 // aliasString views p as a string without copying. Safe for checkpoint
-// payloads: the backing file view is immutable and never unmapped.
+// payloads: the backing file view is immutable and the store holds a
+// reference to it (released only after Close and the last pinned read,
+// when no alias can be reached anymore).
 func aliasString(p []byte) string {
 	if len(p) == 0 {
 		return ""

@@ -217,8 +217,13 @@ func writeSnapshotV3(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapt
 
 // loadSections is the journal's LoadSections callback: it dispatches on
 // the schema the checkpoint carries. v3 files load lazily through the
-// column-backed path; v2 files take the legacy eager path.
+// column-backed path; v2 files take the legacy eager path. Either way
+// the loaded state aliases section payloads (column arrays and strings
+// in v3, recovered text postings in both), so the store takes ownership
+// of the file's reference here and holds it until the last pinned read
+// after Close — see Store.unpin.
 func (s *Store) loadSections(f *storage.SectionFile) error {
+	s.sect = f
 	if f.Has(secV3Meta) {
 		return s.loadSnapshotV3(f)
 	}

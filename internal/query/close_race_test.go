@@ -1,0 +1,157 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/provgraph"
+)
+
+// seedMappedStore builds a store with a v3 checkpoint in dir and
+// reopens it mapped, so queries serve off column aliases into the file
+// mapping — the memory a racing Close must not unmap under them.
+func seedMappedStore(t *testing.T, dir string, visits int) *provgraph.Store {
+	t.Helper()
+	st, err := provgraph.OpenWith(dir, provgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < visits; i++ {
+		ev := &event.Event{
+			Time: base.Add(time.Duration(i) * time.Second), Type: event.TypeVisit, Tab: 1,
+			URL:        fmt.Sprintf("http://site%d.example/article-%d", i%7, i),
+			Title:      fmt.Sprintf("article %d about topic %d", i, i%13),
+			Transition: event.TransLink,
+		}
+		if err := st.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = provgraph.OpenWith(dir, provgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCloseIdempotent: double Close returns nil, and every API fails
+// with ErrClosed afterwards.
+func TestCloseIdempotent(t *testing.T) {
+	st := seedMappedStore(t, t.TempDir(), 50)
+	eng := NewEngine(st, Options{})
+	if err := st.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close: %v (want nil)", err)
+	}
+	if err := st.Apply(&event.Event{Time: time.Now(), Type: event.TypeVisit, Tab: 1, URL: "http://x/", Transition: event.TransLink}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after close: %v, want ErrClosed", err)
+	}
+	if err := st.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after close: %v, want ErrClosed", err)
+	}
+	if err := st.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close: %v, want ErrClosed", err)
+	}
+	v := eng.View()
+	if err := v.Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("View after close: %v, want ErrClosed", err)
+	}
+	if _, _, err := v.Search(context.Background(), "article", 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Search on closed-store view: %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRace hammers Close against pinned Views, ingest (which
+// triggers background reseals) and background checkpoints, race-enabled.
+// Queries racing Close must either complete against their pinned
+// snapshot or fail with ErrClosed — never fault on unmapped memory.
+func TestCloseRace(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		st := seedMappedStore(t, t.TempDir(), 200)
+		eng := NewEngine(st, Options{})
+
+		var wg sync.WaitGroup
+		// Readers: pin views and run searches until the store closes.
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					v := eng.View()
+					if errors.Is(v.Err(), ErrClosed) {
+						return
+					}
+					_, _, err := v.Search(context.Background(), "article topic", 10)
+					if err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("search: %v", err)
+						return
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+		// Writer: keeps mutating (and thereby kicking off reseals) until
+		// Apply reports the store closed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := time.Unix(1800000000, 0)
+			for i := 0; ; i++ {
+				ev := &event.Event{
+					Time: base.Add(time.Duration(i) * time.Second), Type: event.TypeVisit, Tab: 2,
+					URL: fmt.Sprintf("http://w.example/p%d", i), Transition: event.TransLink,
+				}
+				if err := st.Apply(ev); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("apply: %v", err)
+					}
+					return
+				}
+			}
+		}()
+		// Checkpointer: background dumps racing the close.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := st.Checkpoint(); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("checkpoint: %v", err)
+					}
+					return
+				}
+			}
+		}()
+
+		time.Sleep(10 * time.Millisecond)
+		// Concurrent double-close from two goroutines: both must return nil.
+		var closeWG sync.WaitGroup
+		for c := 0; c < 2; c++ {
+			closeWG.Add(1)
+			go func() {
+				defer closeWG.Done()
+				if err := st.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+		}
+		closeWG.Wait()
+		wg.Wait()
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"browserprov/internal/provgraph"
 )
 
 // DefaultBudget is the paper's 200 ms interactive bound (§4).
@@ -17,8 +19,10 @@ var (
 	// ErrNoSuchDownload reports a lineage query for a save path or node
 	// that is not a download in the queried snapshot.
 	ErrNoSuchDownload = errors.New("no such download")
-	// ErrClosed reports a query against a closed history.
-	ErrClosed = errors.New("history is closed")
+	// ErrClosed reports a query against a closed history. It is the
+	// store layer's sentinel, re-exported: a pin failure deep in the
+	// store and a facade-level closed check surface as the same error.
+	ErrClosed = provgraph.ErrClosed
 	// ErrBadQuery reports an unparseable or malformed query (PQL syntax
 	// errors wrap it).
 	ErrBadQuery = errors.New("bad query")

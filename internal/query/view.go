@@ -60,8 +60,15 @@ type View struct {
 
 // View returns a handle pinned to the store's current epoch, refreshing
 // the engine's cached snapshot (and catching the text index up) if the
-// store has moved.
+// store has moved. The refresh runs under a store read pin, so a View
+// racing Store.Close either pins valid mapped state or comes back as an
+// ErrClosed error view — never a dangling snapshot.
 func (e *Engine) View() *View {
+	release, err := e.store.PinRead()
+	if err != nil {
+		return ErrorView(err)
+	}
+	defer release()
 	return &View{e: e, sn: e.snapshot()}
 }
 
@@ -70,6 +77,11 @@ func (e *Engine) View() *View {
 // never) holds yields a View whose queries fail with
 // ErrNoSuchGeneration.
 func (e *Engine) ViewAt(gen uint64) *View {
+	release, err := e.store.PinRead()
+	if err != nil {
+		return ErrorView(err)
+	}
+	defer release()
 	sn := e.snapshot()
 	if sn.Generation() == gen {
 		return &View{e: e, sn: sn}
@@ -119,6 +131,7 @@ type Run struct {
 	start    time.Time
 	deadline time.Time
 	arena    *graph.Arena
+	release  func() // store read pin, dropped by Finish
 
 	truncated bool
 	canceled  bool
@@ -128,10 +141,16 @@ type Run struct {
 // Begin starts a query execution: it resolves opts against the engine's
 // base Options and computes the effective deadline as the earlier of
 // the context's deadline and the resolved budget. It fails immediately
-// on a broken View.
+// on a broken View, and with ErrClosed once the store has closed — the
+// run holds a store read pin until Finish, so the snapshot's mapped
+// checkpoint bytes cannot be unmapped mid-query.
 func (v *View) Begin(ctx context.Context, opts ...Option) (*Run, error) {
 	if v.err != nil {
 		return nil, v.err
+	}
+	release, err := v.e.store.PinRead()
+	if err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -149,7 +168,7 @@ func (v *View) Begin(ctx context.Context, opts ...Option) (*Run, error) {
 	// node ID, not the live store's, so a query on a retained old View
 	// behaves identically no matter how far writers have moved on.
 	arena := graph.GetArena(int(v.sn.MaxNodeID()) + 1)
-	return &Run{v: v, ctx: ctx, opts: o, start: start, deadline: deadline, arena: arena}, nil
+	return &Run{v: v, ctx: ctx, opts: o, start: start, deadline: deadline, arena: arena, release: release}, nil
 }
 
 // Arena returns the run's pooled dense scratch arena, sized to the
@@ -182,12 +201,17 @@ func (r *Run) Snapshot() *provgraph.Snapshot { return r.v.sn }
 // Options returns the run's resolved per-call options.
 func (r *Run) Options() Options { return r.opts }
 
-// Finish seals the run into its Meta and recycles the run's scratch
-// arena (idempotent: only the first call releases it).
+// Finish seals the run into its Meta, recycles the run's scratch arena
+// and drops the store read pin (idempotent: only the first call
+// releases either).
 func (r *Run) Finish() Meta {
 	if r.arena != nil {
 		r.arena.Release()
 		r.arena = nil
+	}
+	if r.release != nil {
+		r.release()
+		r.release = nil
 	}
 	return Meta{
 		Elapsed:    time.Since(r.start),

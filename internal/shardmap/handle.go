@@ -1,0 +1,82 @@
+package shardmap
+
+import (
+	"sync/atomic"
+
+	"browserprov/internal/event"
+	"browserprov/internal/provgraph"
+	"browserprov/internal/query"
+)
+
+// Handle is a pinned reference to one tenant's open store. While held,
+// the store cannot be LRU-evicted, so Views, ingest and checkpoints
+// through it never race a close. Handles are cheap; take one per
+// request (or per batch flush) and Release it promptly — a long-held
+// handle shrinks the evictable pool and can stall other tenants once
+// the open-store cap is reached.
+type Handle struct {
+	m        *Map
+	e        *entry
+	released atomic.Bool
+}
+
+// Tenant returns the tenant ID the handle is pinned to.
+func (h *Handle) Tenant() string { return h.e.id }
+
+// Release unpins the handle. Idempotent; the handle is unusable
+// afterwards (methods fail with ErrReleased).
+func (h *Handle) Release() {
+	if h.released.Swap(true) {
+		return
+	}
+	h.m.release(h.e)
+}
+
+// Store returns the pinned store (nil after Release).
+func (h *Handle) Store() *provgraph.Store {
+	if h.released.Load() {
+		return nil
+	}
+	return h.e.store
+}
+
+// Engine returns the tenant's query engine (nil after Release).
+func (h *Handle) Engine() *query.Engine {
+	if h.released.Load() {
+		return nil
+	}
+	return h.e.eng
+}
+
+// View pins the tenant's current epoch for querying.
+func (h *Handle) View() *query.View {
+	if h.released.Load() {
+		return query.ErrorView(ErrReleased)
+	}
+	return h.e.eng.View()
+}
+
+// Apply ingests one event into the tenant's store.
+func (h *Handle) Apply(ev *event.Event) error {
+	if h.released.Load() {
+		return ErrReleased
+	}
+	return h.e.store.Apply(ev)
+}
+
+// ApplyBatch ingests a batch as one group commit.
+func (h *Handle) ApplyBatch(evs []*event.Event) error {
+	if h.released.Load() {
+		return ErrReleased
+	}
+	return h.e.store.ApplyBatch(evs)
+}
+
+// Checkpoint dumps the tenant's store; the handle pin guarantees the
+// store stays open for the whole (background) dump.
+func (h *Handle) Checkpoint() error {
+	if h.released.Load() {
+		return ErrReleased
+	}
+	return h.e.store.Checkpoint()
+}

@@ -1,0 +1,60 @@
+package shardmap
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+)
+
+// MaxTenantIDLen bounds tenant ID length. Generous for UUIDs, emails
+// mapped through an allowed alphabet, or hashes, but short enough that
+// the ID plus the shard prefix never brushes filesystem name limits.
+const MaxTenantIDLen = 100
+
+// ErrBadTenantID reports a tenant ID that failed validation. Concrete
+// errors wrap it; match with errors.Is.
+var ErrBadTenantID = errors.New("shardmap: invalid tenant id")
+
+// ValidateTenantID checks that id is safe to use as an on-disk
+// directory name under the shard root. Tenant IDs come straight off the
+// wire (an HTTP header or path segment), so this is the path-traversal
+// gate: only [A-Za-z0-9._-] bytes are allowed — no separators, no NULs,
+// no ".." — the first byte must be alphanumeric (which also rejects "."
+// and ".."), and length is bounded by MaxTenantIDLen.
+func ValidateTenantID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrBadTenantID)
+	}
+	if len(id) > MaxTenantIDLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrBadTenantID, len(id), MaxTenantIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return fmt.Errorf("%w: byte %q at %d", ErrBadTenantID, c, i)
+		}
+	}
+	return nil
+}
+
+// shardPrefix returns the two-hex-digit fan-out directory for id, an
+// FNV-1a bucket. 256 buckets keep any one directory to ~1/256 of the
+// tenant population, so directory scans stay fast at millions of
+// tenants.
+func shardPrefix(id string) string {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	const hex = "0123456789abcdef"
+	b := byte(h.Sum32())
+	return string([]byte{hex[b>>4], hex[b&0xf]})
+}
+
+// tenantDir returns the store directory for id under root:
+// root/<2-hex-prefix>/<id>/.
+func tenantDir(root, id string) string {
+	return filepath.Join(root, shardPrefix(id), id)
+}

@@ -1,0 +1,106 @@
+package shardmap
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateTenantID(t *testing.T) {
+	valid := []string{
+		"a", "alice", "user-42", "a.b.c", "UUID-0f3b", "x_y",
+		"0leading-digit", "a" + strings.Repeat("b", MaxTenantIDLen-1),
+	}
+	for _, id := range valid {
+		if err := ValidateTenantID(id); err != nil {
+			t.Errorf("ValidateTenantID(%q) = %v, want nil", id, err)
+		}
+	}
+	invalid := []string{
+		"",
+		".",
+		"..",
+		".hidden",
+		"-flag",
+		"_x",
+		"a/b",
+		"a\\b",
+		"../escape",
+		"a/../../etc/passwd",
+		"nul\x00byte",
+		"spa ce",
+		"tab\tchar",
+		"new\nline",
+		"semi;colon",
+		"per%cent",
+		"unicode-é",
+		strings.Repeat("a", MaxTenantIDLen+1),
+	}
+	for _, id := range invalid {
+		if err := ValidateTenantID(id); !errors.Is(err, ErrBadTenantID) {
+			t.Errorf("ValidateTenantID(%q) = %v, want ErrBadTenantID", id, err)
+		}
+	}
+}
+
+// TestTenantDirNeverEscapes is the fuzz-ish sweep: for random byte
+// strings, any ID that validation accepts must map to a directory
+// strictly inside the root, and anything containing a separator or dot
+// prefix must be rejected.
+func TestTenantDirNeverEscapes(t *testing.T) {
+	root := "/srv/prov/shards"
+	rng := rand.New(rand.NewSource(1))
+	check := func(id string) {
+		t.Helper()
+		if err := ValidateTenantID(id); err != nil {
+			return // rejected: never becomes a path
+		}
+		dir := tenantDir(root, id)
+		cleaned := filepath.Clean(dir)
+		if !strings.HasPrefix(cleaned, root+string(filepath.Separator)) {
+			t.Fatalf("accepted id %q maps outside root: %s", id, cleaned)
+		}
+		rel, err := filepath.Rel(root, cleaned)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Fatalf("accepted id %q escapes root: rel=%q err=%v", id, rel, err)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		n := 1 + rng.Intn(24)
+		b := make([]byte, n)
+		for j := range b {
+			switch rng.Intn(3) {
+			case 0: // pure random byte — mostly rejected
+				b[j] = byte(rng.Intn(256))
+			case 1: // allowed alphabet — exercises the accept path
+				const ok = "abcXYZ019._-"
+				b[j] = ok[rng.Intn(len(ok))]
+			default: // traversal-flavored bytes
+				const bad = "./\\.."
+				b[j] = bad[rng.Intn(len(bad))]
+			}
+		}
+		check(string(b))
+	}
+	// Classic traversal payloads, verbatim.
+	for _, id := range []string{"..", "../..", "..%2f", "a/..", "./a", "....//"} {
+		if ValidateTenantID(id) == nil {
+			t.Fatalf("traversal payload %q accepted", id)
+		}
+	}
+}
+
+func TestShardPrefixStable(t *testing.T) {
+	if p := shardPrefix("alice"); p != shardPrefix("alice") {
+		t.Fatal("shardPrefix not deterministic")
+	}
+	if len(shardPrefix("bob")) != 2 {
+		t.Fatal("shardPrefix must be two hex chars")
+	}
+	d := tenantDir("/root", "alice")
+	if filepath.Base(d) != "alice" || len(filepath.Base(filepath.Dir(d))) != 2 {
+		t.Fatalf("unexpected layout: %s", d)
+	}
+}

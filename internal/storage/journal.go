@@ -51,8 +51,11 @@ type JournalCallbacks struct {
 	// LoadSections is called with the open section file when the
 	// snapshot is in the sectioned columnar format. Section payloads are
 	// checksummed lazily on first access; the loader owns deciding which
-	// sections to touch. Stores that never write sectioned checkpoints
-	// may leave it nil.
+	// sections to touch. The callback takes ownership of the file's
+	// reference: a loader that keeps aliases into section payloads must
+	// keep the SectionFile and Close it when those aliases die (the
+	// journal itself never closes it). Stores that never write sectioned
+	// checkpoints may leave it nil.
 	LoadSections func(f *SectionFile) error
 	// MapSnapshot asks for sectioned snapshots to be memory-mapped
 	// instead of read onto the heap (best effort; platforms without
@@ -101,6 +104,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 				return nil, fmt.Errorf("storage: open snapshot: %w", err)
 			}
 			if err := cb.LoadSections(sf); err != nil {
+				sf.Close()
 				return nil, fmt.Errorf("storage: load snapshot: %w", err)
 			}
 			j.snapSize = sf.Size()

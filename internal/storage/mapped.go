@@ -20,10 +20,15 @@ import (
 // sections never even fault in. Otherwise the whole file is read into
 // one heap buffer and the same slicing applies.
 //
-// Lifetime: a mapping is never unmapped. Decoded stores alias section
-// bytes (strings, CSR arrays, posting lists) for the life of the
-// process, and clean file-backed pages are the kernel's to reclaim —
-// unmapping would only turn long-lived aliases into dangling pointers.
+// Lifetime: the file view is refcounted. OpenSectionFile hands back the
+// owning reference; Retain adds one, Close drops one, and the final
+// Close releases the view — unmapping the file when it was mapped.
+// Decoded stores alias section bytes (strings, CSR arrays, posting
+// lists), so every alias is valid exactly as long as some reference is
+// held; long-lived readers (a loaded store) keep their reference until
+// their own Close. This is what makes a multi-tenant deployment viable:
+// closing an evicted tenant's store actually returns its checkpoint's
+// address space instead of leaking one mapping per open, forever.
 // The file descriptor is closed before OpenSectionFile returns (a
 // mapping keeps the inode alive on its own), so a superseded checkpoint
 // file that gets deleted underneath a live mapping keeps working.
@@ -33,6 +38,7 @@ type SectionFile struct {
 	version uint32
 	mapped  bool
 	secs    map[uint32]*sectionFrame
+	refs    atomic.Int64
 }
 
 type sectionFrame struct {
@@ -60,10 +66,46 @@ func OpenSectionFile(path string, wantMap bool) (*SectionFile, error) {
 		data = b
 	}
 	f := &SectionFile{path: path, data: data, mapped: mapped}
+	f.refs.Store(1)
 	if err := f.parse(); err != nil {
+		f.Close()
 		return nil, err
 	}
 	return f, nil
+}
+
+// Retain adds a reference to the file view and returns f for chaining.
+// Every Retain must be balanced by a Close; the view (and any mapping)
+// is released when the last reference closes.
+func (f *SectionFile) Retain() *SectionFile {
+	f.refs.Add(1)
+	return f
+}
+
+// Close drops one reference to the file view. The final Close releases
+// the backing bytes — munmapping them when the file was mapped — after
+// which every alias handed out by Section/All is dangling. Closing an
+// already fully-closed file is a no-op, so owners can Close defensively.
+func (f *SectionFile) Close() error {
+	for {
+		n := f.refs.Load()
+		if n <= 0 {
+			return nil
+		}
+		if !f.refs.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n > 1 {
+			return nil
+		}
+		data := f.data
+		f.data = nil
+		f.secs = nil
+		if f.mapped {
+			return munmapFile(data)
+		}
+		return nil
+	}
 }
 
 func (f *SectionFile) parse() error {

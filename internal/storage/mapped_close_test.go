@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestSectionFile writes a small sectioned file with one payload
+// section and returns its path and the payload bytes.
+func writeTestSectionFile(t *testing.T, dir string, payload []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, "test.snap")
+	w, err := CreateSectionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSectionBytes(7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSectionFileRefcount exercises the Retain/Close protocol: the view
+// survives the owner's Close while a retained reference is held, and is
+// released (data dropped, further Closes no-ops) at the final Close.
+func TestSectionFileRefcount(t *testing.T) {
+	payload := bytes.Repeat([]byte("refcount"), 1024)
+	path := writeTestSectionFile(t, t.TempDir(), payload)
+
+	f, err := OpenSectionFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Retain() // reader's reference
+
+	// Owner closes; the retained reference keeps every alias valid.
+	if err := f.Close(); err != nil {
+		t.Fatalf("owner close: %v", err)
+	}
+	got, err := f.Section(7)
+	if err != nil {
+		t.Fatalf("section after owner close: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("section bytes changed after owner close")
+	}
+
+	// Final close releases the view.
+	if err := f.Close(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+	if f.data != nil || f.secs != nil {
+		t.Fatal("final close did not release the view")
+	}
+	if got := f.refs.Load(); got != 0 {
+		t.Fatalf("refs after final close = %d, want 0", got)
+	}
+	// Defensive extra closes are no-ops, never a double release.
+	if err := f.Close(); err != nil {
+		t.Fatalf("extra close: %v", err)
+	}
+	if got := f.refs.Load(); got != 0 {
+		t.Fatalf("refs after extra close = %d, want 0", got)
+	}
+}
+
+// TestSectionFileSupersedeInvisible is the "bit-flip after release"
+// guarantee: once a checkpoint file is superseded on disk — deleted and
+// replaced at the same path by different bytes — a live reader holding
+// a reference keeps seeing the original bytes, byte for byte. The
+// mapping (or heap buffer, on platforms without mmap) pins the original
+// inode, so on-disk churn is invisible until the reader's own Close.
+func TestSectionFileSupersedeInvisible(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{0xAA}, 64<<10)
+	path := writeTestSectionFile(t, dir, payload)
+
+	f, err := OpenSectionFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	before, err := f.Section(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, payload) {
+		t.Fatal("initial section read mismatch")
+	}
+
+	// Supersede the file underneath the live reader: remove it and write
+	// a replacement whose payload has every bit flipped.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	flipped := make([]byte, len(payload))
+	for i, b := range payload {
+		flipped[i] = ^b
+	}
+	writeTestSectionFile(t, dir, flipped)
+
+	after, err := f.Section(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, payload) {
+		t.Fatal("live reader observed superseded bytes")
+	}
+
+	// A fresh open at the same path sees the replacement, proving the
+	// two views really are distinct inodes.
+	f2, err := OpenSectionFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got, err := f2.Section(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, flipped) {
+		t.Fatal("fresh open did not see the replacement file")
+	}
+}

@@ -9,3 +9,7 @@ import "errors"
 func mmapFile(path string) ([]byte, error) {
 	return nil, errors.New("storage: mmap not supported on this platform")
 }
+
+// munmapFile has nothing to release on this platform: the data is a
+// heap buffer, reclaimed by the garbage collector once unreferenced.
+func munmapFile(data []byte) error { return nil }

@@ -10,8 +10,9 @@ import (
 // mmapFile maps the file at path read-only and shared. The descriptor
 // is closed before returning — the mapping keeps the inode alive, so
 // the file may be deleted (e.g. by a later checkpoint commit) while the
-// mapping stays valid. The mapping is intentionally never unmapped; see
-// SectionFile.
+// mapping stays valid. The mapping lives until the SectionFile's last
+// reference is released (see SectionFile.Close), which unmaps it
+// through munmapFile.
 func mmapFile(path string) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -30,4 +31,15 @@ func mmapFile(path string) ([]byte, error) {
 		return nil, syscall.EFBIG
 	}
 	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile. After it returns,
+// every alias into the mapping (section payloads, strings, column
+// arrays) is dangling; SectionFile gates it behind refcounting so only
+// the final Close of the last handle reaches here.
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
 }

@@ -23,6 +23,16 @@ go test -run=NONE \
   -bench 'BenchmarkParallelSearch$|BenchmarkExpandParallelism$' \
   -cpu 1,4 -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 
+# Multi-tenant sweep: 10k small tenant stores behind a 128-store cap,
+# zipf-skewed mixed traffic, plus the cross-shard contended pair.
+# Override the scale via SHARD_SWEEP_TENANTS / SHARD_SWEEP_CAP (CI runs
+# it at 100 tenants).
+SHARD_SWEEP_TENANTS="${SHARD_SWEEP_TENANTS:-10000}" \
+SHARD_SWEEP_CAP="${SHARD_SWEEP_CAP:-128}" \
+go test -run=NONE \
+  -bench 'BenchmarkTenantSweep$|BenchmarkParallelSearchSharded$|BenchmarkParallelSearchContendedSharded$' \
+  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     -v nproc="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" \
     -v gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}" '
@@ -45,6 +55,11 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     if ($(i+1) == "p99_apply_ns") extra = extra sprintf(", \"p99_apply_ns\": %s", $i)
     if ($(i+1) == "max_apply_ns") extra = extra sprintf(", \"max_apply_ns\": %s", $i)
     if ($(i+1) == "ingested_events/sec") extra = extra sprintf(", \"ingested_events_per_sec\": %s", $i)
+    if ($(i+1) == "p50_query_ns") extra = extra sprintf(", \"p50_query_ns\": %s", $i)
+    if ($(i+1) == "p99_query_ns") extra = extra sprintf(", \"p99_query_ns\": %s", $i)
+    if ($(i+1) == "reopens") extra = extra sprintf(", \"reopens\": %s", $i)
+    if ($(i+1) == "mapped_bytes") extra = extra sprintf(", \"mapped_bytes\": %s", $i)
+    if ($(i+1) == "open_tenants") extra = extra sprintf(", \"open_tenants\": %s", $i)
   }
   if (ns != "") {
     rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",

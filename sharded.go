@@ -1,0 +1,133 @@
+package browserprov
+
+import (
+	"browserprov/internal/shardmap"
+)
+
+// Sharded is the multi-tenant face of the library: one process, one
+// directory tree, millions of independent histories. Each tenant owns a
+// full store (WAL, checkpoints, query engine) under
+// root/<2-hex>/<tenant>/; stores open lazily on first touch through the
+// mmap bulk loader and close least-recently-used under a configurable
+// cap, so resident memory is bounded by the cap, not the tenant count.
+//
+//	s, err := browserprov.OpenSharded("shards", browserprov.ShardedOptions{MaxOpen: 128})
+//	...
+//	t, err := s.Tenant("alice")
+//	if err != nil { ... }
+//	defer t.Release()
+//	t.ApplyBatch(evs)
+//	hits, _, err := t.View().Search(ctx, "rosebud", 10)
+type Sharded struct {
+	m *shardmap.Map
+}
+
+// ShardedOptions tunes a sharded history.
+type ShardedOptions struct {
+	// MaxOpen caps concurrently open tenant stores (0 = 128). The cap is
+	// hard: a Tenant call that cannot evict — every open store pinned —
+	// blocks until some handle is released.
+	MaxOpen int
+	// Store applies to every tenant store the map opens.
+	Store StoreOptions
+	// Query is the base query options of every tenant's engine.
+	Query Options
+}
+
+// ShardStats is the global rollup across tenants: population, open-store
+// residency and lifecycle counters.
+type ShardStats = shardmap.Stats
+
+// TenantStats is the per-tenant detail, gathered on demand.
+type TenantStats = shardmap.TenantStats
+
+// ErrBadTenantID reports a tenant ID rejected by validation (empty,
+// over-long, or containing bytes outside [A-Za-z0-9._-]); tenant IDs
+// become directory names, so this is the path-traversal gate.
+var ErrBadTenantID = shardmap.ErrBadTenantID
+
+// ErrTenantReleased reports use of a Tenant handle after Release.
+var ErrTenantReleased = shardmap.ErrReleased
+
+// ErrShardedClosed reports an operation on a closed Sharded store.
+var ErrShardedClosed = shardmap.ErrMapClosed
+
+// ValidateTenantID reports whether id is acceptable as a tenant ID;
+// failures wrap ErrBadTenantID.
+func ValidateTenantID(id string) error { return shardmap.ValidateTenantID(id) }
+
+// OpenSharded opens (or creates) a multi-tenant history rooted at root.
+// Tenants already on disk are discovered but stay closed until first
+// touch.
+func OpenSharded(root string, opts ShardedOptions) (*Sharded, error) {
+	m, err := shardmap.Open(root, shardmap.Options{
+		MaxOpen: opts.MaxOpen,
+		Store:   opts.Store,
+		Query:   opts.Query,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{m: m}, nil
+}
+
+// Tenant returns a pinned handle on one tenant's history, opening the
+// store on first touch. The handle must be Released; while held the
+// tenant cannot be evicted, so hold it per request or per batch, not
+// forever.
+func (s *Sharded) Tenant(id string) (*Tenant, error) {
+	h, err := s.m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Tenant{h: h}, nil
+}
+
+// Stats returns the global rollup: open/known tenants, open/reopen/evict
+// counters and the aggregate mapped + heap checkpoint bytes of the open
+// set.
+func (s *Sharded) Stats() ShardStats { return s.m.Stats() }
+
+// TenantStats opens (or touches) one tenant and reports its store-level
+// stats.
+func (s *Sharded) TenantStats(id string) (TenantStats, error) {
+	return s.m.TenantStats(id)
+}
+
+// OpenTenants lists currently open tenant stores, most recently used
+// first.
+func (s *Sharded) OpenTenants() []string { return s.m.OpenTenants() }
+
+// Map exposes the underlying shard map for advanced use.
+func (s *Sharded) Map() *shardmap.Map { return s.m }
+
+// Close drains outstanding tenant handles and closes every open store.
+// Idempotent; subsequent Tenant calls fail with ErrShardedClosed.
+func (s *Sharded) Close() error { return s.m.Close() }
+
+// Tenant is a pinned handle on one tenant's history. It exposes the
+// same ingest/query surface as History, scoped to the tenant, and keeps
+// the underlying store open until Release.
+type Tenant struct {
+	h *shardmap.Handle
+}
+
+// ID returns the tenant identifier.
+func (t *Tenant) ID() string { return t.h.Tenant() }
+
+// Release unpins the tenant; the handle is unusable afterwards.
+// Idempotent.
+func (t *Tenant) Release() { t.h.Release() }
+
+// View pins the tenant's current epoch for querying, exactly like
+// History.View.
+func (t *Tenant) View() *View { return t.h.View() }
+
+// Apply ingests one event into the tenant's history.
+func (t *Tenant) Apply(ev *Event) error { return t.h.Apply(ev) }
+
+// ApplyBatch ingests a batch as one group commit.
+func (t *Tenant) ApplyBatch(evs []*Event) error { return t.h.ApplyBatch(evs) }
+
+// Checkpoint snapshots the tenant's store and truncates its log.
+func (t *Tenant) Checkpoint() error { return t.h.Checkpoint() }
