@@ -8,10 +8,14 @@
 //	provquery -dir ./history search example
 //
 // Beside the proxy it serves a small admin endpoint for deployment
-// probes: GET /healthz answers 200 while the daemon is live, and GET
-// /stats reports node/edge counts, the store generation and the size on
-// disk as JSON — both served off a snapshot-pinned query View, so a
-// probe never contends with capture traffic.
+// probes and network ingest: GET /healthz answers 200 while the daemon
+// is live, GET /readyz answers 200 only while it is accepting work
+// (503 while draining or with the ingest queue saturated), POST
+// /ingest accepts idempotent event batches over the versioned JSON
+// wire protocol (see internal/ingest), and GET /stats reports
+// node/edge counts, the store generation, ingest counters and the size
+// on disk as JSON — stats are served off a snapshot-pinned query View,
+// so a probe never contends with capture traffic.
 //
 // HTTPS CONNECT tunnels are relayed but not observed (encrypted traffic
 // carries no provenance the proxy can see); plain-HTTP browsing is fully
@@ -47,6 +51,7 @@ import (
 
 	"browserprov/internal/capture"
 	"browserprov/internal/event"
+	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
 	"browserprov/internal/shardmap"
@@ -74,13 +79,28 @@ type statsReply struct {
 	// versus bytes copied onto the heap at open (or by a later thaw).
 	MappedBytes   int64 `json:"mapped_bytes"`
 	HeapLoadBytes int64 `json:"heap_load_bytes"`
+	// Capture-loss accounting: events dropped after a batch delivery
+	// and its one retry both failed.
+	DroppedEvents uint64 `json:"dropped_events"`
+	// Network ingest counters (see internal/ingest.ServerStats).
+	Ingest ingest.ServerStats `json:"ingest"`
+	// Dedup window occupancy (ingest idempotency state).
+	DedupWindow int `json:"dedup_window"`
 }
 
-// adminHandler serves /healthz and /stats off a fresh View per request:
-// every field of a reply comes from the one pinned snapshot (only the
-// disk size is a live read — the checkpoint file is not part of the
-// epoch), so the counts are internally consistent under capture load.
-func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
+// adminHandler serves the probe endpoints, /stats and POST /ingest.
+// Stats come off a fresh View per request: every field of a reply comes
+// from the one pinned snapshot (only the disk size is a live read — the
+// checkpoint file is not part of the epoch), so the counts are
+// internally consistent under capture load.
+//
+// Liveness and readiness are distinct on purpose: /healthz answers
+// "restart me?" (the process and its store are functional), /readyz
+// answers "send me work?" — it goes 503 while the daemon drains for
+// shutdown or the ingest queue is saturated, so load balancers steer
+// batches elsewhere without the orchestrator killing a healthy process
+// mid-drain.
+func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server, dropped func() uint64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		v := eng.View()
@@ -91,6 +111,23 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok gen=%d\n", v.Generation())
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ing.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if ing.Saturated() {
+			http.Error(w, "ingest saturated", http.StatusServiceUnavailable)
+			return
+		}
+		if err := eng.View().Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ready\n")
+	})
+	mux.Handle("/ingest", ing)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		v := eng.View()
 		if err := v.Err(); err != nil {
@@ -114,6 +151,9 @@ func adminHandler(store *provgraph.Store, eng *query.Engine) http.Handler {
 			LastCheckpointAge: age,
 			MappedBytes:       mi.MappedBytes,
 			HeapLoadBytes:     mi.HeapBytes,
+			DroppedEvents:     dropped(),
+			Ingest:            ing.Stats(),
+			DedupWindow:       store.DedupWindowLen(),
 		}
 		// Per-kind counts from the same snapshot the totals came from.
 		sn.NodesSince(0, func(n provgraph.Node) bool {
@@ -218,7 +258,16 @@ func main() {
 			}
 			return firstErr
 		})
+		batcher.OnError = func(batch []*event.Event, err error) {
+			log.Printf("provd: dropping %d captured events after failed retry: %v", len(batch), err)
+		}
 		sink = batcher.Add
+	}
+	dropped := func() uint64 {
+		if batcher == nil {
+			return 0
+		}
+		return batcher.Dropped()
 	}
 	flush := func(ctx string) {
 		if batcher == nil {
@@ -239,12 +288,19 @@ func main() {
 		}
 	}()
 
+	// Network ingest rides the admin listener: single-tenant mode
+	// resolves every batch (whatever its tenant header) to the one
+	// store.
+	ingestSrv := ingest.NewServer(func(string) (ingest.Sink, func(), error) {
+		return store, func() {}, nil
+	}, ingest.ServerOptions{})
+
 	var adminSrv *http.Server
 	if *admin != "" {
 		eng := query.NewEngine(store, query.Options{})
-		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng)}
+		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng, ingestSrv, dropped)}
 		go func() {
-			log.Printf("provd: admin endpoints on http://%s/{healthz,stats}", *admin)
+			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,ingest}", *admin)
 			// A failed probe listener must not take the capture proxy
 			// down with it: log and keep capturing.
 			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {
@@ -297,6 +353,10 @@ func main() {
 				log.Printf("provd: proxy shutdown: %v", err)
 			}
 			cancel()
+			// Drain ingest before tearing the admin listener down: new
+			// batches get 503 (and /readyz already answers not-ready)
+			// while in-flight ones finish and reach their fsynced ack.
+			ingestSrv.Drain()
 			if adminSrv != nil {
 				adminSrv.Close()
 			}

@@ -17,6 +17,7 @@ import (
 
 	"browserprov/internal/capture"
 	"browserprov/internal/event"
+	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/shardmap"
 )
@@ -49,6 +50,7 @@ type shardedConfig struct {
 type tenantPipe struct {
 	observer *capture.Observer
 	flush    func() error
+	batcher  *capture.Batcher // nil in per-event mode
 }
 
 // pipeRegistry lazily builds tenantPipes. Pipes are small (a buffer and
@@ -102,8 +104,13 @@ func (pr *pipeRegistry) get(tenant string) *tenantPipe {
 		b := capture.NewBatcher(pr.cfg.batchSize, func(evs []*event.Event) error {
 			return pr.apply(tenant, evs)
 		})
+		b.OnError = func(batch []*event.Event, err error) {
+			log.Printf("provd: tenant %s: dropping %d captured events after failed retry: %v",
+				tenant, len(batch), err)
+		}
 		p.observer = capture.NewObserver(pr.cfg.searchHosts, b.Add)
 		p.flush = b.Flush
+		p.batcher = b
 	} else {
 		p.observer = capture.NewObserver(pr.cfg.searchHosts, func(ev *event.Event) error {
 			return pr.apply(tenant, []*event.Event{ev})
@@ -112,6 +119,36 @@ func (pr *pipeRegistry) get(tenant string) *tenantPipe {
 	}
 	pr.pipes[tenant] = p
 	return p
+}
+
+// droppedEvents sums the capture-loss counters across tenant pipes.
+func (pr *pipeRegistry) droppedEvents() uint64 {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	var total uint64
+	for _, p := range pr.pipes {
+		if p.batcher != nil {
+			total += p.batcher.Dropped()
+		}
+	}
+	return total
+}
+
+// resolveSink is the ingest server's tenant resolver: it pins the
+// tenant's store for the duration of one batch, exactly like a capture
+// flush does.
+func (pr *pipeRegistry) resolveSink(tenant string) (ingest.Sink, func(), error) {
+	if tenant == "" {
+		tenant = pr.cfg.defaultTenant
+	}
+	if err := shardmap.ValidateTenantID(tenant); err != nil {
+		return nil, nil, err
+	}
+	h, err := pr.m.Get(tenant)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, h.Release, nil
 }
 
 // flushAll flushes every tenant's batcher, logging (not aborting on)
@@ -158,6 +195,9 @@ type shardStatsReply struct {
 	MappedBytes   int64  `json:"mapped_bytes"`
 	HeapLoadBytes int64  `json:"heap_load_bytes"`
 	FlushErrors   uint64 `json:"flush_errors"`
+	DroppedEvents uint64 `json:"dropped_events"`
+	// Network ingest counters, global across tenants.
+	Ingest ingest.ServerStats `json:"ingest"`
 }
 
 // tenantStatsReply is the /stats/<tenant> JSON shape.
@@ -173,16 +213,30 @@ type tenantStatsReply struct {
 	HeapLoadBytes   int64  `json:"heap_load_bytes"`
 }
 
-// shardedAdminHandler serves /healthz, the global /stats rollup, and
+// shardedAdminHandler serves /healthz, /readyz, POST /ingest (routed
+// per tenant by X-Prov-Tenant), the global /stats rollup, and
 // per-tenant detail at /stats/<tenant> (which touches — possibly opens —
 // that tenant's store).
-func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry) http.Handler {
+func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Stats()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ok open=%d known=%d\n", st.OpenTenants, st.KnownTenants)
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ing.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if ing.Saturated() {
+			http.Error(w, "ingest saturated", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "ready\n")
+	})
+	mux.Handle("/ingest", ing)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Stats()
 		w.Header().Set("Content-Type", "application/json")
@@ -195,6 +249,8 @@ func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry) http.Handler {
 			MappedBytes:   st.MappedBytes,
 			HeapLoadBytes: st.HeapBytes,
 			FlushErrors:   pr.errs.Load(),
+			DroppedEvents: pr.droppedEvents(),
+			Ingest:        ing.Stats(),
 		})
 	})
 	mux.HandleFunc("/stats/", func(w http.ResponseWriter, r *http.Request) {
@@ -236,6 +292,7 @@ func runSharded(cfg *shardedConfig) {
 	}
 	pr := newPipeRegistry(m, cfg)
 	proxy := capture.NewRoutedProxy(pr.route)
+	ingestSrv := ingest.NewServer(pr.resolveSink, ingest.ServerOptions{})
 
 	srv := &http.Server{Addr: cfg.listen, Handler: proxy}
 	go func() {
@@ -247,9 +304,9 @@ func runSharded(cfg *shardedConfig) {
 
 	var adminSrv *http.Server
 	if cfg.admin != "" {
-		adminSrv = &http.Server{Addr: cfg.admin, Handler: shardedAdminHandler(m, pr)}
+		adminSrv = &http.Server{Addr: cfg.admin, Handler: shardedAdminHandler(m, pr, ingestSrv)}
 		go func() {
-			log.Printf("provd: admin endpoints on http://%s/{healthz,stats,stats/<tenant>}", cfg.admin)
+			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,stats/<tenant>,ingest}", cfg.admin)
 			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {
 				log.Printf("provd: admin listener: %v (continuing without probes)", err)
 			}
@@ -307,6 +364,9 @@ func runSharded(cfg *shardedConfig) {
 				log.Printf("provd: proxy shutdown: %v", err)
 			}
 			cancel()
+			// Drain ingest before the admin listener goes away: in-flight
+			// batches finish (each releases its shard pin), new ones 503.
+			ingestSrv.Drain()
 			if adminSrv != nil {
 				adminSrv.Close()
 			}

@@ -2,6 +2,7 @@ package capture
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"browserprov/internal/event"
 )
@@ -23,9 +24,12 @@ type BatchSink func([]*event.Event) error
 // backpressure: capture may never reorder the event stream. Buffered
 // events are not yet durable: call Flush at shutdown (and, if capture
 // is bursty, on a timer) to bound the at-risk window. A batch the sink
-// rejects is not re-buffered — retry/salvage policy (e.g. falling back
-// to per-event delivery) belongs in the sink, which still owns the
-// batch when it returns the error.
+// rejects is requeued once and retried ahead of the next flush — one
+// transient store hiccup (a failed fsync retried by the next commit, a
+// briefly-saturated ingest queue) must not cost captured history. A
+// batch that fails its retry is dropped: OnError (if set) is told, and
+// Dropped counts the lost events so the daemon's /stats surfaces the
+// loss instead of silently thinning history.
 type Batcher struct {
 	mu   sync.Mutex // guards buf
 	sink BatchSink
@@ -37,6 +41,17 @@ type Batcher struct {
 	// interleave out of order) and released only after the sink
 	// returns. Lock order is always mu -> deliverMu.
 	deliverMu sync.Mutex
+	// retry is the one batch awaiting its second delivery attempt.
+	// Guarded by deliverMu (it is only touched mid-delivery); taking mu
+	// for it would invert the mu -> deliverMu order.
+	retry []*event.Event
+
+	dropped atomic.Uint64
+
+	// OnError, when set, is called (with deliverMu held, in delivery
+	// order) for each batch dropped after its retry also failed. Set it
+	// before first use.
+	OnError func(batch []*event.Event, err error)
 }
 
 // NewBatcher returns a Batcher delivering batches of up to size events
@@ -71,17 +86,44 @@ func (b *Batcher) Flush() error {
 // delivery, while a flush that would overtake it queues behind
 // deliverMu — deliveries happen strictly in swap order (events must
 // reach the store, and therefore the WAL, in capture order).
+//
+// A previously failed batch (b.retry) is delivered first, preserving
+// capture order: it was swapped out before the current one. Its second
+// failure drops it for good — unbounded requeueing would turn a stuck
+// store into unbounded memory growth and livelock.
 func (b *Batcher) flushAndUnlock() error {
 	batch := b.buf
 	b.buf = make([]*event.Event, 0, b.size)
 	b.deliverMu.Lock()
 	b.mu.Unlock()
 	defer b.deliverMu.Unlock()
-	if len(batch) == 0 {
-		return nil
+	var firstErr error
+	if b.retry != nil {
+		prev := b.retry
+		b.retry = nil
+		if err := b.sink(prev); err != nil {
+			firstErr = err
+			b.dropped.Add(uint64(len(prev)))
+			if b.OnError != nil {
+				b.OnError(prev, err)
+			}
+		}
 	}
-	return b.sink(batch)
+	if len(batch) == 0 {
+		return firstErr
+	}
+	if err := b.sink(batch); err != nil {
+		b.retry = batch
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
+
+// Dropped returns the number of events lost to batches whose delivery
+// AND retry both failed.
+func (b *Batcher) Dropped() uint64 { return b.dropped.Load() }
 
 // Pending returns the number of buffered (not yet delivered) events.
 func (b *Batcher) Pending() int {

@@ -84,3 +84,109 @@ func TestBatcherAsObserverSink(t *testing.T) {
 		t.Fatalf("flushed %d events, want 5", len(got))
 	}
 }
+
+func TestBatcherRequeuesFailedBatchOnce(t *testing.T) {
+	var mu sync.Mutex
+	var delivered [][]*event.Event
+	fail := true
+	b := NewBatcher(2, func(evs []*event.Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			fail = false
+			return fmt.Errorf("transient store error")
+		}
+		delivered = append(delivered, append([]*event.Event(nil), evs...))
+		return nil
+	})
+	at := time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC)
+	mk := func(i int) *event.Event {
+		return &event.Event{Time: at, Type: event.TypeVisit, Tab: 1,
+			URL: fmt.Sprintf("http://a.example/p%d", i), Transition: event.TransTyped}
+	}
+	// First batch fails its delivery; the error still surfaces.
+	b.Add(mk(0))
+	if err := b.Add(mk(1)); err == nil {
+		t.Fatal("failed delivery must surface its error")
+	}
+	// Next flush retries the stuck batch FIRST, then the new one:
+	// capture order survives the hiccup.
+	b.Add(mk(2))
+	if err := b.Add(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d batches, want 2", len(delivered))
+	}
+	if delivered[0][0].URL != "http://a.example/p0" || delivered[1][0].URL != "http://a.example/p2" {
+		t.Fatalf("retry must precede the fresh batch: %q then %q",
+			delivered[0][0].URL, delivered[1][0].URL)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", b.Dropped())
+	}
+}
+
+func TestBatcherDropsAfterSecondFailure(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	b := NewBatcher(1, func(evs []*event.Event) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls <= 2 {
+			return fmt.Errorf("store still down (call %d)", calls)
+		}
+		return nil
+	})
+	var dropped [][]*event.Event
+	b.OnError = func(batch []*event.Event, err error) {
+		dropped = append(dropped, batch)
+	}
+	at := time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC)
+	ev1 := &event.Event{Time: at, Type: event.TypeVisit, Tab: 1,
+		URL: "http://a.example/", Transition: event.TransTyped}
+	ev2 := &event.Event{Time: at, Type: event.TypeVisit, Tab: 1,
+		URL: "http://b.example/", Transition: event.TransTyped}
+	b.Add(ev1) // attempt 1 fails, requeued
+	b.Add(ev2) // retry of ev1 fails again -> dropped; ev2 delivers
+	if b.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", b.Dropped())
+	}
+	if len(dropped) != 1 || dropped[0][0] != ev1 {
+		t.Fatalf("OnError saw %v, want the twice-failed batch", dropped)
+	}
+	// The survivor delivered despite its neighbour's death.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("sink calls = %d, want 3 (fail, fail, deliver)", calls)
+	}
+}
+
+func TestBatcherFlushRetriesStuckBatch(t *testing.T) {
+	calls := 0
+	b := NewBatcher(1, func(evs []*event.Event) error {
+		calls++
+		if calls == 1 {
+			return fmt.Errorf("transient")
+		}
+		return nil
+	})
+	at := time.Date(2009, 2, 23, 9, 0, 0, 0, time.UTC)
+	b.Add(&event.Event{Time: at, Type: event.TypeVisit, Tab: 1,
+		URL: "http://a.example/", Transition: event.TransTyped})
+	// A Flush with nothing newly buffered still retries the stuck batch
+	// (this is the shutdown path: Flush must not strand a retry).
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || b.Dropped() != 0 {
+		t.Fatalf("calls=%d dropped=%d, want 2 and 0", calls, b.Dropped())
+	}
+}

@@ -1,0 +1,256 @@
+// Package faultfs injects storage and network failures for
+// crash-consistency testing.
+//
+// The filesystem half (FS) implements storage.VFS and sits under the
+// journal's commit path, so tests drive the failure modes production
+// meets on real disks — ENOSPC mid-append, fsync errors, torn writes at
+// an exact byte, pathologically slow devices — through the same code
+// paths recovery must survive, instead of hand-truncating WAL files
+// after the fact. The network half (Proxy, see proxy.go) interposes on
+// the ingest HTTP path with dropped, duplicated, delayed and reset
+// requests.
+//
+// Faults are armed at runtime, apply only to paths the Match predicate
+// accepts (default: every file opened through the FS), and are safe to
+// arm and clear from a different goroutine than the one doing I/O.
+package faultfs
+
+import (
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"browserprov/internal/storage"
+)
+
+// ErrNoSpace is the classic full-disk errno, exported so tests and the
+// code under test agree on the sentinel.
+var ErrNoSpace error = syscall.ENOSPC
+
+// FS is a fault-injecting storage.VFS over the real filesystem. The
+// zero value is not usable; call New.
+type FS struct {
+	mu sync.Mutex
+
+	// match limits faults to matching paths (nil = all paths). Metadata
+	// operations (Rename, Remove, ...) are never faulted — the fault
+	// surface is data-plane writes and syncs, where torn state is
+	// interesting; a failed rename is just an error return.
+	match func(path string) bool
+
+	// writeBudget is how many more payload bytes Write calls may accept
+	// before failing with writeErr: -1 disarmed, 0 every write fails
+	// outright, n > 0 tears the write that crosses the boundary at
+	// exactly that byte (the prefix reaches the file).
+	writeBudget int64
+	writeErr    error
+
+	// syncFails is how many upcoming Sync calls fail with syncErr
+	// (-1 = all of them).
+	syncFails int
+	syncErr   error
+
+	// delay is added to every faultable operation (slow-device mode).
+	delay time.Duration
+
+	// Counters (for test assertions and for verifying a fault actually
+	// fired rather than the test passing vacuously).
+	writes     int
+	syncs      int
+	torn       int
+	failedOps  int
+}
+
+// New returns an FS with no faults armed: it behaves exactly like
+// storage.OSFS until a Fail*/Tear*/SetDelay call arms something.
+func New() *FS {
+	return &FS{writeBudget: -1}
+}
+
+// Match restricts faults to paths fn accepts (e.g. only the WAL file).
+// Pass nil to fault every path again.
+func (f *FS) Match(fn func(path string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.match = fn
+}
+
+// FailWrites arms every subsequent matching Write to fail with err
+// before any byte reaches the file. faultfs.ErrNoSpace models a full
+// disk.
+func (f *FS) FailWrites(err error) { f.TearAfter(0, err) }
+
+// TearAfter arms a torn write: matching Writes accept n more bytes in
+// total, then fail with err — the write that crosses the budget gets
+// its prefix on disk and a short-write error back, which is exactly
+// what a crash or full disk mid-write leaves behind.
+func (f *FS) TearAfter(n int64, err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+	f.writeErr = err
+}
+
+// FailSyncs arms the next n Sync calls on matching files to fail with
+// err (n < 0: every Sync until cleared).
+func (f *FS) FailSyncs(n int, err error) {
+	if err == nil {
+		err = syscall.EIO
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncFails = n
+	f.syncErr = err
+}
+
+// SetDelay makes every matching operation take at least d (slow-device
+// mode). Zero disables.
+func (f *FS) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Clear disarms every fault. In-flight operations finish with whatever
+// plan they observed.
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = -1
+	f.writeErr = nil
+	f.syncFails = 0
+	f.syncErr = nil
+	f.delay = 0
+}
+
+// Stats reports operation and fault-firing counts.
+type Stats struct {
+	Writes    int // Write calls on matching files
+	Syncs     int // Sync calls on matching files
+	Torn      int // writes that were torn (partial prefix written)
+	FailedOps int // operations that returned an injected error
+}
+
+// Stats returns the counters since New.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Stats{Writes: f.writes, Syncs: f.syncs, Torn: f.torn, FailedOps: f.failedOps}
+}
+
+func (f *FS) matches(path string) bool {
+	return f.match == nil || f.match(path)
+}
+
+// pause sleeps the armed delay outside the lock.
+func (f *FS) pause() {
+	f.mu.Lock()
+	d := f.delay
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// OpenFile implements storage.VFS.
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (storage.File, error) {
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+// Rename implements storage.VFS (never faulted; see FS.match).
+func (f *FS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements storage.VFS (never faulted).
+func (f *FS) Remove(name string) error { return os.Remove(name) }
+
+// ReadFile implements storage.VFS (never faulted — read corruption is
+// covered by the on-disk CRCs, not by this layer).
+func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Stat implements storage.VFS (never faulted).
+func (f *FS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// MkdirAll implements storage.VFS (never faulted).
+func (f *FS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+// faultFile interposes on one open file's data-plane operations.
+type faultFile struct {
+	fs   *FS
+	f    *os.File
+	path string
+}
+
+// Write tears or rejects the write according to the armed budget.
+func (w *faultFile) Write(p []byte) (int, error) {
+	if !w.fs.matches(w.path) {
+		return w.f.Write(p)
+	}
+	w.fs.pause()
+	w.fs.mu.Lock()
+	w.fs.writes++
+	budget, werr := w.fs.writeBudget, w.fs.writeErr
+	if budget < 0 {
+		w.fs.mu.Unlock()
+		return w.f.Write(p)
+	}
+	// Armed: consume budget, decide how much of p gets through.
+	keep := int64(len(p))
+	if keep > budget {
+		keep = budget
+	}
+	w.fs.writeBudget -= keep
+	if keep < int64(len(p)) {
+		w.fs.failedOps++
+		if keep > 0 {
+			w.fs.torn++
+		}
+	}
+	w.fs.mu.Unlock()
+	if keep == int64(len(p)) {
+		return w.f.Write(p)
+	}
+	n := 0
+	if keep > 0 {
+		n, _ = w.f.Write(p[:keep])
+	}
+	return n, werr
+}
+
+// Sync fails while armed, counting down the fail budget.
+func (w *faultFile) Sync() error {
+	if !w.fs.matches(w.path) {
+		return w.f.Sync()
+	}
+	w.fs.pause()
+	w.fs.mu.Lock()
+	w.fs.syncs++
+	if w.fs.syncFails != 0 {
+		if w.fs.syncFails > 0 {
+			w.fs.syncFails--
+		}
+		err := w.fs.syncErr
+		w.fs.failedOps++
+		w.fs.mu.Unlock()
+		return err
+	}
+	w.fs.mu.Unlock()
+	return w.f.Sync()
+}
+
+func (w *faultFile) Read(p []byte) (int, error) { return w.f.Read(p) }
+func (w *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	return w.f.ReadAt(p, off)
+}
+func (w *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return w.f.Seek(offset, whence)
+}
+func (w *faultFile) Truncate(size int64) error { return w.f.Truncate(size) }
+func (w *faultFile) Close() error              { return w.f.Close() }

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"browserprov/internal/storage"
+)
+
+func TestTearAfterCutsWriteAtExactByte(t *testing.T) {
+	fs := New()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.TearAfter(10, ErrNoSpace)
+	n, err := f.Write([]byte("0123456789abcdef"))
+	if n != 10 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write: n=%d err=%v, want 10, ENOSPC", n, err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "0123456789" {
+		t.Fatalf("on-disk prefix = %q, want exactly the first 10 bytes", b)
+	}
+	if st := fs.Stats(); st.Torn != 1 || st.FailedOps != 1 {
+		t.Fatalf("stats = %+v, want 1 torn, 1 failed", st)
+	}
+	fs.Clear()
+	if _, err := f.Write([]byte("more")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+func TestFailSyncsCountsDown(t *testing.T) {
+	fs := New()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.FailSyncs(2, syscall.EIO)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d: err = %v, want EIO", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after budget: %v", err)
+	}
+}
+
+func TestMatchScopesFaults(t *testing.T) {
+	fs := New()
+	fs.Match(func(path string) bool { return strings.HasSuffix(path, ".wal") })
+	fs.FailWrites(ErrNoSpace)
+	dir := t.TempDir()
+	wal, _ := fs.OpenFile(filepath.Join(dir, "x.wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	other, _ := fs.OpenFile(filepath.Join(dir, "x.meta"), os.O_RDWR|os.O_CREATE, 0o644)
+	defer wal.Close()
+	defer other.Close()
+	if _, err := wal.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("wal write should fail, got %v", err)
+	}
+	if _, err := other.Write([]byte("x")); err != nil {
+		t.Fatalf("non-matching write should pass, got %v", err)
+	}
+}
+
+// TestWALThroughENOSPC drives a real storage.WAL through a full-disk
+// fault and proves the log recovers the clean prefix afterwards.
+func TestWALThroughENOSPC(t *testing.T) {
+	fs := New()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := storage.CreateWALFS(fs, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWrites(ErrNoSpace)
+	// The buffered writer defers the failure to flush time: either the
+	// append or the sync must surface ENOSPC, never both silently pass.
+	_, aerr := w.Append([]byte("beta"))
+	serr := w.Sync()
+	if !errors.Is(aerr, syscall.ENOSPC) && !errors.Is(serr, syscall.ENOSPC) {
+		t.Fatalf("append err = %v, sync err = %v: ENOSPC vanished", aerr, serr)
+	}
+	fs.Clear()
+	w.Close()
+
+	var got []string
+	w2, err := storage.OpenWALFS(fs, path, 0, func(_ uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) == 0 || got[0] != "alpha" {
+		t.Fatalf("replayed %v, want the synced prefix [alpha ...]", got)
+	}
+}
+
+func TestProxyScriptActions(t *testing.T) {
+	var hits atomic.Int32
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	defer backend.Close()
+	p := NewProxy(backend.URL)
+	defer p.Close()
+	front := httptest.NewServer(p)
+	defer front.Close()
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	p.Script(ResetBefore, Dup, Pass)
+
+	// 1: reset before forwarding — client errors, backend untouched.
+	if _, err := client.Get(front.URL + "/ingest"); err == nil {
+		t.Fatal("ResetBefore: expected a transport error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("ResetBefore reached the backend (%d hits)", hits.Load())
+	}
+	// 2: dup — one client call, two backend hits.
+	resp, err := client.Get(front.URL + "/ingest")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("Dup: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("Dup produced %d backend hits, want 2", hits.Load())
+	}
+	// 3: pass.
+	resp, err = client.Get(front.URL + "/ingest")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("Pass: resp=%v err=%v", resp, err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 3 {
+		t.Fatalf("backend hits = %d, want 3", hits.Load())
+	}
+
+	// ResetAfter: the backend DID the work, the client never hears back.
+	p.Script(ResetAfter)
+	if _, err := client.Get(front.URL + "/ingest"); err == nil {
+		t.Fatal("ResetAfter: expected a transport error")
+	}
+	if hits.Load() != 4 {
+		t.Fatalf("ResetAfter should reach the backend once (hits=%d, want 4)", hits.Load())
+	}
+
+	// Drop: client times out on its own.
+	p.Script(Drop)
+	short := &http.Client{Timeout: 300 * time.Millisecond}
+	if _, err := short.Get(front.URL + "/ingest"); err == nil {
+		t.Fatal("Drop: expected a client timeout")
+	}
+	if hits.Load() != 4 {
+		t.Fatalf("Drop must not reach the backend (hits=%d)", hits.Load())
+	}
+	if p.Killed() != 3 {
+		t.Fatalf("killed = %d, want 3 (reset-before, reset-after, drop)", p.Killed())
+	}
+}

@@ -1,0 +1,213 @@
+package faultfs
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Action is what the fault proxy does with one request.
+type Action int
+
+const (
+	// Pass forwards the request and relays the response unchanged.
+	Pass Action = iota
+	// Delay sleeps the proxy's configured latency, then forwards.
+	Delay
+	// Drop swallows the request: it never reaches the backend and the
+	// client never gets a response — the connection is held until the
+	// client gives up (or the proxy closes), like a blackholed packet.
+	Drop
+	// ResetBefore kills the client connection before the request reaches
+	// the backend: the client sees a reset, the server saw nothing.
+	ResetBefore
+	// ResetAfter forwards the request, lets the backend process it, then
+	// kills the client connection instead of relaying the response: the
+	// work happened but the client cannot know — the case that forces a
+	// retry of an already-applied batch and makes idempotency load-bearing.
+	ResetAfter
+	// Dup forwards the request to the backend twice, back to back, and
+	// relays the second response — duplicate delivery inside one
+	// client-visible exchange.
+	Dup
+)
+
+// Proxy is an HTTP fault injector between an ingest client and the real
+// handler. Each incoming request consumes the next scripted Action
+// (Pass once the script is exhausted), so a test states its failure
+// scenario as a sequence:
+//
+//	p.Script(faultfs.ResetAfter, faultfs.Pass) // first attempt acked
+//	                                           // nowhere, retry succeeds
+//
+// Proxy implements http.Handler; serve it from httptest.Server or a
+// real listener.
+type Proxy struct {
+	target string // backend base URL, e.g. the real handler's server URL
+	client *http.Client
+
+	mu      sync.Mutex
+	script  []Action
+	latency time.Duration
+
+	forwarded int // requests that reached the backend (Dup counts 2)
+	killed    int // client connections reset or dropped
+
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewProxy returns a fault proxy forwarding to the backend at target.
+func NewProxy(target string) *Proxy {
+	return &Proxy{
+		target:  target,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		latency: 50 * time.Millisecond,
+		closed:  make(chan struct{}),
+	}
+}
+
+// Script replaces the pending action sequence.
+func (p *Proxy) Script(actions ...Action) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.script = append(p.script[:0], actions...)
+}
+
+// SetLatency sets the Delay action's sleep.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// Forwarded returns how many requests reached the backend.
+func (p *Proxy) Forwarded() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forwarded
+}
+
+// Killed returns how many client connections were reset or dropped.
+func (p *Proxy) Killed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// Close releases any Drop-held connections.
+func (p *Proxy) Close() { p.once.Do(func() { close(p.closed) }) }
+
+func (p *Proxy) next() (Action, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.script) == 0 {
+		return Pass, p.latency
+	}
+	a := p.script[0]
+	p.script = p.script[1:]
+	return a, p.latency
+}
+
+// kill hijacks the client connection and closes it with SO_LINGER 0 so
+// the client observes a hard RST (falling back to a plain close when
+// the transport is not TCP or not hijackable).
+func (p *Proxy) kill(w http.ResponseWriter) {
+	p.mu.Lock()
+	p.killed++
+	p.mu.Unlock()
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler) // aborts the response mid-flight
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// forward sends the captured request to the backend and returns the
+// response with its body fully read.
+func (p *Proxy) forward(r *http.Request, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	p.mu.Lock()
+	p.forwarded++
+	p.mu.Unlock()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, rb, nil
+}
+
+// relay writes a forwarded response back to the client.
+func relay(w http.ResponseWriter, resp *http.Response, body []byte) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body) //nolint:errcheck // client-side copy, nothing to do on error
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	action, latency := p.next()
+	switch action {
+	case ResetBefore:
+		p.kill(w)
+		return
+	case Drop:
+		p.mu.Lock()
+		p.killed++
+		p.mu.Unlock()
+		select { // hold the connection: the client must time out on its own
+		case <-r.Context().Done():
+		case <-p.closed:
+		}
+		panic(http.ErrAbortHandler)
+	case Delay:
+		select {
+		case <-time.After(latency):
+		case <-r.Context().Done():
+			return
+		}
+	case Dup:
+		if _, _, err := p.forward(r, body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+	}
+	resp, rb, err := p.forward(r, body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if action == ResetAfter {
+		p.kill(w)
+		return
+	}
+	relay(w, resp, rb)
+}

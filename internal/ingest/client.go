@@ -1,0 +1,345 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// NewEventID returns a fresh idempotency key: 16 random bytes, hex.
+// Collisions within a dedup window are cryptographically negligible.
+func NewEventID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; an ID scheme that
+		// silently degrades to guessable values would break idempotency.
+		panic(fmt.Sprintf("ingest: crypto/rand unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ErrRejected reports a batch the server refused outright (4xx other
+// than backpressure): retrying cannot help, the input is wrong.
+var ErrRejected = errors.New("ingest: batch rejected by server")
+
+// ErrSpooled reports that delivery failed past the retry budget and
+// the batch was parked in the on-disk spool for a later DrainSpool.
+var ErrSpooled = errors.New("ingest: delivery failed, batch spooled")
+
+// ErrSpoolFull reports that delivery failed AND the spool is at its
+// byte limit: the batch was dropped. Callers treat this as data loss.
+var ErrSpoolFull = errors.New("ingest: delivery failed and spool is full, batch dropped")
+
+// ClientOptions tune delivery behaviour; zero values pick defaults.
+type ClientOptions struct {
+	// Tenant is sent as X-Prov-Tenant (sharded deployments).
+	Tenant string
+	// MaxAttempts bounds deliveries of one batch (default 6).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); each retry
+	// doubles it up to MaxBackoff (default 5s), with ±50% jitter so a
+	// herd of recovering clients does not re-synchronise.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RequestTimeout bounds one HTTP exchange (default 10s).
+	RequestTimeout time.Duration
+	// SpoolDir, when set, is where undeliverable batches are parked.
+	SpoolDir string
+	// SpoolLimitBytes caps the spool (default 64 MiB when SpoolDir set).
+	SpoolLimitBytes int64
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+// Client delivers event batches to an ingest server, retrying
+// transient failures with capped exponential backoff. It assigns each
+// event an idempotency key BEFORE the first attempt, so every retry —
+// including a replay from the spool after a process restart — is the
+// same delivery in the server's eyes.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+
+	maxAttempts int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	spoolDir   string
+	spoolLimit int64
+
+	mu       sync.Mutex
+	rng      *mrand.Rand
+	spoolSeq int
+}
+
+// NewClient returns a client for the ingest endpoint at base (e.g.
+// "http://127.0.0.1:7681/ingest").
+func NewClient(base string, opts ClientOptions) *Client {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 6
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.SpoolDir != "" && opts.SpoolLimitBytes <= 0 {
+		opts.SpoolLimitBytes = 64 << 20
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: opts.RequestTimeout}
+	}
+	var seed [8]byte
+	rand.Read(seed[:]) //nolint:errcheck // jitter seed, any value works
+	var s int64
+	for _, b := range seed {
+		s = s<<8 | int64(b)
+	}
+	return &Client{
+		base:        base,
+		tenant:      opts.Tenant,
+		hc:          hc,
+		maxAttempts: opts.MaxAttempts,
+		baseBackoff: opts.BaseBackoff,
+		maxBackoff:  opts.MaxBackoff,
+		spoolDir:    opts.SpoolDir,
+		spoolLimit:  opts.SpoolLimitBytes,
+		rng:         mrand.New(mrand.NewSource(s)),
+	}
+}
+
+// backoff returns the jittered delay before attempt n (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := time.Duration(float64(c.baseBackoff) * math.Pow(2, float64(attempt)))
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64() // ±50% around the nominal delay
+	c.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// SendBatch delivers an already-keyed batch (used by DrainSpool and by
+// SendEvents after key assignment).
+func (c *Client) SendBatch(ctx context.Context, batch *Batch) (*Response, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		resp, retryAfter, err := c.post(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		if errors.Is(err, ErrRejected) || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if retryAfter > 0 {
+			// The server told us when to come back; believe it over our
+			// own schedule (it knows its queue depth, we don't).
+			select {
+			case <-time.After(retryAfter):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, fmt.Errorf("ingest: %d attempts failed: %w", c.maxAttempts, lastErr)
+}
+
+// post performs one delivery attempt.
+func (c *Client) post(ctx context.Context, body []byte) (*Response, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.tenant != "" {
+		req.Header.Set(TenantHeader, c.tenant)
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err // transport error: retryable
+	}
+	defer httpResp.Body.Close()
+	switch {
+	case httpResp.StatusCode == http.StatusOK:
+		var resp Response
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			// The batch may have landed; the retry will dedup.
+			return nil, 0, fmt.Errorf("ingest: malformed response: %v", err)
+		}
+		return &resp, 0, nil
+	case httpResp.StatusCode == http.StatusTooManyRequests ||
+		httpResp.StatusCode == http.StatusServiceUnavailable:
+		ra := time.Duration(0)
+		if v := httpResp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 256))
+		return nil, ra, fmt.Errorf("ingest: server busy (%d): %s", httpResp.StatusCode, bytes.TrimSpace(msg))
+	case httpResp.StatusCode >= 400 && httpResp.StatusCode < 500:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 256))
+		return nil, 0, fmt.Errorf("%w: %d: %s", ErrRejected, httpResp.StatusCode, bytes.TrimSpace(msg))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 256))
+		return nil, 0, fmt.Errorf("ingest: server error %d: %s", httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// SendEvents keys and delivers wire events. When all attempts fail and
+// a spool is configured, the keyed batch is written there and
+// ErrSpooled (or ErrSpoolFull) returned.
+func (c *Client) SendEvents(ctx context.Context, wes []WireEvent) (*Response, error) {
+	for i := range wes {
+		if wes[i].ID == "" {
+			wes[i].ID = NewEventID()
+		}
+	}
+	batch := &Batch{SchemaVersion: SchemaVersion, Events: wes}
+	resp, err := c.SendBatch(ctx, batch)
+	if err == nil || errors.Is(err, ErrRejected) || c.spoolDir == "" || ctx.Err() != nil {
+		return resp, err
+	}
+	if serr := c.spool(batch); serr != nil {
+		return nil, fmt.Errorf("%w (%v)", ErrSpoolFull, err)
+	}
+	return nil, fmt.Errorf("%w (%v)", ErrSpooled, err)
+}
+
+// spool parks a keyed batch on disk, respecting the byte limit.
+func (c *Client) spool(batch *Batch) error {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.MkdirAll(c.spoolDir, 0o755); err != nil {
+		return err
+	}
+	used, _, err := c.spoolUsage()
+	if err != nil {
+		return err
+	}
+	if used+int64(len(body)) > c.spoolLimit {
+		return ErrSpoolFull
+	}
+	c.spoolSeq++
+	// Name orders by (wall time, sequence) so DrainSpool preserves
+	// batch order across process restarts.
+	name := fmt.Sprintf("%020d-%06d.batch", time.Now().UnixNano(), c.spoolSeq)
+	tmp := filepath.Join(c.spoolDir, name+".tmp")
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.spoolDir, name))
+}
+
+// spoolUsage sums the committed spool files. Caller holds mu.
+func (c *Client) spoolUsage() (int64, []string, error) {
+	des, err := os.ReadDir(c.spoolDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, nil
+		}
+		return 0, nil, err
+	}
+	var used int64
+	var names []string
+	for _, de := range des {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".batch" {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			used += info.Size()
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	return used, names, nil
+}
+
+// SpoolLen reports how many batches are parked.
+func (c *Client) SpoolLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, names, _ := c.spoolUsage()
+	return len(names)
+}
+
+// DrainSpool re-delivers parked batches in order, deleting each one
+// once the server acks it. The batches kept their original event IDs,
+// so a batch that actually landed before being spooled (an ack lost to
+// a connection reset) drains as all-duplicates — exactly-once holds.
+// Draining stops at the first batch that still cannot be delivered.
+func (c *Client) DrainSpool(ctx context.Context) (delivered int, err error) {
+	if c.spoolDir == "" {
+		return 0, nil
+	}
+	c.mu.Lock()
+	_, names, err := c.spoolUsage()
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range names {
+		path := filepath.Join(c.spoolDir, name)
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return delivered, err
+		}
+		var batch Batch
+		if err := json.Unmarshal(body, &batch); err != nil {
+			// An unreadable spool entry cannot ever deliver; drop it
+			// rather than wedging the queue forever.
+			os.Remove(path) //nolint:errcheck
+			continue
+		}
+		if _, err := c.SendBatch(ctx, &batch); err != nil {
+			if errors.Is(err, ErrRejected) {
+				// Deterministic rejection: delivery can never succeed.
+				os.Remove(path) //nolint:errcheck
+				continue
+			}
+			return delivered, err
+		}
+		if err := os.Remove(path); err != nil {
+			return delivered, err
+		}
+		delivered++
+	}
+	return delivered, nil
+}

@@ -1,0 +1,381 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/faultfs"
+	"browserprov/internal/provgraph"
+)
+
+// The fault matrix: every test here injects a specific failure under a
+// live ingest path (full disk, failing fsync, torn write, connection
+// reset, duplicate delivery, crash mid-commit) and proves the same
+// invariant — after recovery plus client retries, the store is
+// byte-for-byte identical to one that saw each batch exactly once over
+// a perfect network.
+
+// keyedBatch builds a batch with deterministic IDs so retries and
+// replays across simulated process crashes reuse them.
+func keyedBatch(prefix string, n int, base time.Time) *Batch {
+	b := &Batch{SchemaVersion: SchemaVersion}
+	for i := 0; i < n; i++ {
+		b.Events = append(b.Events, wireVisit(
+			fmt.Sprintf("%s-%04d", prefix, i),
+			fmt.Sprintf("http://%s.example/p%d", prefix, i%17),
+			base.Add(time.Duration(i)*time.Second)))
+	}
+	return b
+}
+
+// applyDirect folds a keyed batch into a store without the network —
+// the reference path the faulted stores must converge to.
+func applyDirect(t *testing.T, s *provgraph.Store, b *Batch) {
+	t.Helper()
+	ids := make([]string, len(b.Events))
+	evs := make([]*event.Event, len(b.Events))
+	for i := range b.Events {
+		ids[i] = b.Events[i].ID
+		ev, err := b.Events[i].ToEvent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = ev
+	}
+	if _, err := s.ApplyBatchDedup(ids, evs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkpointBytes checkpoints the store and returns the snapshot file's
+// bytes (exactly one snapshot exists after a store's first checkpoint).
+func checkpointBytes(t *testing.T, s *provgraph.Store, dir string) []byte {
+	t.Helper()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "provgraph.snap.*"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files = %v (err %v), want exactly one", snaps, err)
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// referenceBytes builds a fresh store that sees each batch exactly once
+// and returns its checkpoint bytes.
+func referenceBytes(t *testing.T, batches ...*Batch) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	ref, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, b := range batches {
+		applyDirect(t, ref, b)
+	}
+	return checkpointBytes(t, ref, dir)
+}
+
+// faultedServer opens a store whose journal lives on the fault-
+// injecting filesystem and serves ingest for it over real HTTP.
+func faultedServer(t *testing.T, dir string, fs *faultfs.FS) (*provgraph.Store, *httptest.Server) {
+	t.Helper()
+	store, err := provgraph.OpenWith(dir, provgraph.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(func(string) (Sink, func(), error) { return store, func() {}, nil }, ServerOptions{})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return store, hs
+}
+
+// TestIngestENOSPCRecovery fills the disk mid-stream: deliveries fail
+// with 500s (never false acks) while the fault holds. A full disk
+// poisons the in-process WAL buffer — recovery is restart-shaped, like
+// production: the operator frees space, the daemon restarts over
+// whatever half-written tail the episode left, and the client's retry
+// of the same keyed batch converges to the exactly-once state.
+func TestIngestENOSPCRecovery(t *testing.T) {
+	base := time.Date(2026, 5, 1, 8, 0, 0, 0, time.UTC)
+	b1 := keyedBatch("enospc-a", 40, base)
+	b2 := keyedBatch("enospc-b", 40, base.Add(time.Hour))
+
+	dir := t.TempDir()
+	fs := faultfs.New()
+	_, hs := faultedServer(t, dir, fs)
+	c := NewClient(hs.URL, ClientOptions{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	if _, err := c.SendBatch(context.Background(), b1); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWrites(faultfs.ErrNoSpace)
+	if _, err := c.SendBatch(context.Background(), b2); err == nil {
+		t.Fatal("delivery with the disk full must fail")
+	}
+	if fs.Stats().FailedOps == 0 {
+		t.Fatal("fault never fired")
+	}
+	// Space returns, but the daemon's WAL writer latched the error:
+	// the store is abandoned (crash/restart), never cleanly closed.
+	fs.Clear()
+	hs.Close()
+
+	re, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after ENOSPC episode: %v", err)
+	}
+	defer re.Close()
+	srv2 := NewServer(func(string) (Sink, func(), error) { return re, func() {}, nil }, ServerOptions{})
+	hs2 := httptest.NewServer(srv2)
+	defer hs2.Close()
+	c2 := NewClient(hs2.URL, ClientOptions{BaseBackoff: time.Millisecond})
+	if _, err := c2.SendBatch(context.Background(), b2); err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+	got := checkpointBytes(t, re, dir)
+	if want := referenceBytes(t, b1, b2); !bytes.Equal(got, want) {
+		t.Fatalf("recovered store differs from exactly-once reference (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestIngestFsyncErrorNotAcked proves a batch whose fsync failed is
+// never acked — and that the retry (which the store sees as pure
+// duplicates) still forces a durability barrier before ITS ack.
+func TestIngestFsyncErrorNotAcked(t *testing.T) {
+	base := time.Date(2026, 5, 2, 8, 0, 0, 0, time.UTC)
+	b1 := keyedBatch("fsync", 25, base)
+
+	dir := t.TempDir()
+	fs := faultfs.New()
+	store, hs := faultedServer(t, dir, fs)
+	c := NewClient(hs.URL, ClientOptions{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	fs.FailSyncs(-1, nil) // nil = EIO
+	if _, err := c.SendBatch(context.Background(), b1); err == nil {
+		t.Fatal("a batch whose fsync failed must not be acked")
+	}
+	fs.Clear()
+	// The store applied the events (apply precedes sync); the retry is
+	// all-duplicates — the server must sync those too before acking.
+	resp, err := c.SendBatch(context.Background(), b1)
+	if err != nil {
+		t.Fatalf("retry after fsync recovered: %v", err)
+	}
+	if resp.Duplicates != len(b1.Events) || resp.Applied != 0 {
+		t.Fatalf("retry results: %d applied, %d duplicates, want all duplicates", resp.Applied, resp.Duplicates)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := checkpointBytes(t, re, dir)
+	if want := referenceBytes(t, b1); !bytes.Equal(got, want) {
+		t.Fatal("recovered store differs from exactly-once reference")
+	}
+}
+
+// TestIngestTornWriteCrashRecovery kills the daemon mid-commit: the
+// WAL tears at an arbitrary byte (the classic power-cut shape), the
+// process is abandoned without any orderly shutdown, and a fresh
+// process recovers the clean prefix. The client's retry of the exact
+// same keyed batch then converges — the half-applied batch does not
+// double-apply.
+func TestIngestTornWriteCrashRecovery(t *testing.T) {
+	base := time.Date(2026, 5, 3, 8, 0, 0, 0, time.UTC)
+	b1 := keyedBatch("torn-a", 30, base)
+	b2 := keyedBatch("torn-b", 30, base.Add(time.Hour))
+
+	dir := t.TempDir()
+	fs := faultfs.New()
+	_, hs := faultedServer(t, dir, fs)
+	c := NewClient(hs.URL, ClientOptions{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+
+	if _, err := c.SendBatch(context.Background(), b1); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the very next WAL write after ~200 more bytes: the commit
+	// carrying b2 is cut mid-record.
+	fs.TearAfter(200, nil)
+	if _, err := c.SendBatch(context.Background(), b2); err == nil {
+		t.Fatal("delivery over a torn WAL must fail")
+	}
+	if fs.Stats().Torn == 0 {
+		t.Fatal("no write was actually torn")
+	}
+	// Crash: the old store is abandoned mid-flight, never closed.
+	hs.Close()
+
+	re, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn WAL: %v", err)
+	}
+	defer re.Close()
+	srv2 := NewServer(func(string) (Sink, func(), error) { return re, func() {}, nil }, ServerOptions{})
+	hs2 := httptest.NewServer(srv2)
+	defer hs2.Close()
+	c2 := NewClient(hs2.URL, ClientOptions{BaseBackoff: time.Millisecond})
+	if _, err := c2.SendBatch(context.Background(), b2); err != nil {
+		t.Fatalf("retry into recovered store: %v", err)
+	}
+	got := checkpointBytes(t, re, dir)
+	if want := referenceBytes(t, b1, b2); !bytes.Equal(got, want) {
+		t.Fatal("recovered store differs from exactly-once reference after torn-write crash")
+	}
+}
+
+// TestIngestConnectionFaultsConverge drives deliveries through the HTTP
+// fault proxy: resets before and after the server does the work,
+// outright duplicate forwarding, and blackholed requests. The client's
+// retry loop plus server-side dedup must land every batch exactly once.
+func TestIngestConnectionFaultsConverge(t *testing.T) {
+	base := time.Date(2026, 5, 4, 8, 0, 0, 0, time.UTC)
+	batches := []*Batch{
+		keyedBatch("net-a", 20, base),
+		keyedBatch("net-b", 20, base.Add(time.Hour)),
+		keyedBatch("net-c", 20, base.Add(2*time.Hour)),
+		keyedBatch("net-d", 20, base.Add(3*time.Hour)),
+	}
+
+	dir := t.TempDir()
+	store, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer(func(string) (Sink, func(), error) { return store, func() {}, nil }, ServerOptions{})
+	backend := httptest.NewServer(srv)
+	defer backend.Close()
+	proxy := faultfs.NewProxy(backend.URL)
+	defer proxy.Close()
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	c := NewClient(front.URL, ClientOptions{
+		MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	scripts := [][]faultfs.Action{
+		// The ack never arrives though the server did the work: the
+		// client MUST retry, the server MUST dedup.
+		{faultfs.ResetAfter, faultfs.Pass},
+		// Reset before the server hears anything: plain retry.
+		{faultfs.ResetBefore, faultfs.ResetBefore, faultfs.Pass},
+		// The proxy duplicates the delivery inside one exchange.
+		{faultfs.Dup},
+		// Clean delivery as control.
+		{faultfs.Pass},
+	}
+	for i, b := range batches {
+		proxy.Script(scripts[i]...)
+		if _, err := c.SendBatch(context.Background(), b); err != nil {
+			t.Fatalf("batch %d under %v: %v", i, scripts[i], err)
+		}
+	}
+	// Replays and reorderings after the fact: all duplicates, no change.
+	for _, i := range []int{2, 0, 3, 1} {
+		resp, err := c.SendBatch(context.Background(), batches[i])
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if resp.Applied != 0 || resp.Duplicates != len(batches[i].Events) {
+			t.Fatalf("replay %d: %d applied, %d duplicates", i, resp.Applied, resp.Duplicates)
+		}
+	}
+
+	got := checkpointBytes(t, store, dir)
+	if want := referenceBytes(t, batches...); !bytes.Equal(got, want) {
+		t.Fatal("store under connection faults differs from exactly-once reference")
+	}
+}
+
+// TestIngestReplayAcrossRestart restarts the daemon between delivery
+// and replay: the dedup window must survive via WAL/checkpoint so the
+// replayed batches (in scrambled order) still land as duplicates.
+func TestIngestReplayAcrossRestart(t *testing.T) {
+	for _, checkpointed := range []bool{false, true} {
+		name := "wal-tail"
+		if checkpointed {
+			name = "checkpointed"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := time.Date(2026, 5, 5, 8, 0, 0, 0, time.UTC)
+			b1 := keyedBatch("restart-a", 25, base)
+			b2 := keyedBatch("restart-b", 25, base.Add(time.Hour))
+
+			dir := t.TempDir()
+			store, err := provgraph.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyDirect(t, store, b1)
+			applyDirect(t, store, b2)
+			if checkpointed {
+				// The WAL prefix is dropped; only the checkpoint's window
+				// can remember the IDs.
+				if err := store.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := provgraph.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			srv := NewServer(func(string) (Sink, func(), error) { return re, func() {}, nil }, ServerOptions{})
+			hs := httptest.NewServer(srv)
+			defer hs.Close()
+			c := NewClient(hs.URL, ClientOptions{BaseBackoff: time.Millisecond})
+			for _, b := range []*Batch{b2, b1} { // reordered replay
+				resp, err := c.SendBatch(context.Background(), b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Applied != 0 || resp.Duplicates != len(b.Events) {
+					t.Fatalf("replay after restart: %d applied, %d duplicates", resp.Applied, resp.Duplicates)
+				}
+			}
+			if re.DedupWindowLen() != len(b1.Events)+len(b2.Events) {
+				t.Fatalf("window holds %d IDs, want %d", re.DedupWindowLen(), len(b1.Events)+len(b2.Events))
+			}
+		})
+	}
+}
+
+// TestIngestSlowDiskStillConverges adds I/O latency (a dying disk, not
+// a dead one): everything is slower but nothing is lost.
+func TestIngestSlowDiskStillConverges(t *testing.T) {
+	base := time.Date(2026, 5, 6, 8, 0, 0, 0, time.UTC)
+	b1 := keyedBatch("slow", 10, base)
+
+	dir := t.TempDir()
+	fs := faultfs.New()
+	fs.SetDelay(2 * time.Millisecond)
+	store, hs := faultedServer(t, dir, fs)
+	defer store.Close()
+	c := NewClient(hs.URL, ClientOptions{BaseBackoff: time.Millisecond})
+	resp, err := c.SendBatch(context.Background(), b1)
+	if err != nil || resp.Applied != len(b1.Events) {
+		t.Fatalf("slow-disk delivery: resp=%+v err=%v", resp, err)
+	}
+}

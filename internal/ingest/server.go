@@ -1,0 +1,276 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"browserprov/internal/event"
+)
+
+// Sink is where accepted batches go: the idempotent apply plus an
+// explicit durability barrier. *provgraph.Store satisfies it directly;
+// shardmap handles satisfy it per tenant.
+type Sink interface {
+	// ApplyBatchDedup applies the batch, skipping events whose ID was
+	// already applied; applied[i] reports whether event i applied now.
+	ApplyBatchDedup(ids []string, evs []*event.Event) ([]bool, error)
+	// Sync makes everything applied so far durable.
+	Sync() error
+}
+
+// Resolver maps a tenant header value to its Sink. release (never nil
+// on success) is called when the request is done with the sink — the
+// sharded store uses it to unpin the tenant's shard. A single-tenant
+// server ignores tenant and always returns the same store.
+type Resolver func(tenant string) (Sink, func(), error)
+
+// ServerOptions bound the server's resource use. Zero values pick the
+// defaults.
+type ServerOptions struct {
+	// MaxInFlight caps concurrently processed batches; excess requests
+	// are shed with 429 + Retry-After instead of queueing without bound.
+	MaxInFlight int
+	// MaxBodyBytes caps one request body.
+	MaxBodyBytes int64
+	// MaxBatchEvents caps events per batch.
+	MaxBatchEvents int
+	// RetryAfterSeconds is the backoff hint sent with 429/503.
+	RetryAfterSeconds int
+}
+
+const (
+	defaultMaxInFlight    = 16
+	defaultMaxBodyBytes   = 8 << 20
+	defaultMaxBatchEvents = 10_000
+	defaultRetryAfter     = 1
+)
+
+// ServerStats is a snapshot of the ingest counters for /stats.
+type ServerStats struct {
+	Batches    uint64 `json:"batches"`     // successfully processed batches
+	Events     uint64 `json:"events"`      // events received in processed batches
+	Applied    uint64 `json:"applied"`     // events applied
+	Duplicates uint64 `json:"duplicates"`  // events skipped as already applied
+	Rejected   uint64 `json:"rejected"`    // events rejected as malformed
+	BadBatches uint64 `json:"bad_batches"` // whole-batch 4xx rejections
+	Shed       uint64 `json:"shed"`        // 429s from the in-flight cap
+	Errors     uint64 `json:"errors"`      // 5xx: sink apply/sync failures
+	InFlight   int    `json:"in_flight"`
+	Draining   bool   `json:"draining"`
+}
+
+// Server handles POST /ingest. It is an http.Handler; mount it on the
+// daemon's admin mux.
+type Server struct {
+	resolve    Resolver
+	maxBody    int64
+	maxEvents  int
+	maxFlight  int
+	retryAfter string
+
+	inFlight atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	batches    atomic.Uint64
+	events     atomic.Uint64
+	applied    atomic.Uint64
+	duplicates atomic.Uint64
+	rejected   atomic.Uint64
+	badBatches atomic.Uint64
+	shed       atomic.Uint64
+	errors     atomic.Uint64
+}
+
+// NewServer returns an ingest handler feeding resolved sinks.
+func NewServer(resolve Resolver, opts ServerOptions) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = defaultMaxInFlight
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if opts.MaxBatchEvents <= 0 {
+		opts.MaxBatchEvents = defaultMaxBatchEvents
+	}
+	if opts.RetryAfterSeconds <= 0 {
+		opts.RetryAfterSeconds = defaultRetryAfter
+	}
+	return &Server{
+		resolve:    resolve,
+		maxBody:    opts.MaxBodyBytes,
+		maxEvents:  opts.MaxBatchEvents,
+		maxFlight:  opts.MaxInFlight,
+		retryAfter: strconv.Itoa(opts.RetryAfterSeconds),
+	}
+}
+
+// Drain stops accepting new batches and waits for in-flight ones to
+// finish. After Drain returns, every acked batch is durable and the
+// daemon may close its stores.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.wg.Wait()
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Saturated reports whether the in-flight cap is currently exhausted
+// (readiness turns false while it is: new batches would only be shed).
+func (s *Server) Saturated() bool { return int(s.inFlight.Load()) >= s.maxFlight }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Batches:    s.batches.Load(),
+		Events:     s.events.Load(),
+		Applied:    s.applied.Load(),
+		Duplicates: s.duplicates.Load(),
+		Rejected:   s.rejected.Load(),
+		BadBatches: s.badBatches.Load(),
+		Shed:       s.shed.Load(),
+		Errors:     s.errors.Load(),
+		InFlight:   int(s.inFlight.Load()),
+		Draining:   s.draining.Load(),
+	}
+}
+
+// TenantHeader names the request header selecting the target tenant in
+// sharded deployments.
+const TenantHeader = "X-Prov-Tenant"
+
+// ServeHTTP implements POST /ingest.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Admission: register with the drain group first, THEN check the
+	// flag — Drain sets the flag before waiting, so a request either
+	// registered in time (drain waits for it) or observes draining here.
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter)
+		http.Error(w, "ingest draining", http.StatusServiceUnavailable)
+		return
+	}
+	if n := s.inFlight.Add(1); int(n) > s.maxFlight {
+		s.inFlight.Add(-1)
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter)
+		http.Error(w, "ingest backlogged, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer s.inFlight.Add(-1)
+
+	resp, code, err := s.process(r)
+	if err != nil {
+		if code == http.StatusBadRequest {
+			s.badBatches.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client-side copy
+}
+
+// process parses, applies and syncs one batch, returning the response
+// or an HTTP error code.
+func (s *Server) process(r *http.Request) (*Response, int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	var raw rawBatch
+	if err := dec.Decode(&raw); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("malformed batch: %v", err)
+	}
+	if raw.SchemaVersion != SchemaVersion {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("unsupported schema_version %d (want %d)", raw.SchemaVersion, SchemaVersion)
+	}
+	if len(raw.Events) > s.maxEvents {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("batch of %d events exceeds limit %d", len(raw.Events), s.maxEvents)
+	}
+
+	// Decode and validate each event independently: a malformed one
+	// becomes a per-event rejection, never a poisoned batch.
+	resp := &Response{SchemaVersion: SchemaVersion, Results: make([]Result, len(raw.Events))}
+	ids := make([]string, 0, len(raw.Events))
+	evs := make([]*event.Event, 0, len(raw.Events))
+	accepted := make([]int, 0, len(raw.Events)) // batch index per accepted event
+	for i, rawEv := range raw.Events {
+		var we WireEvent
+		d := json.NewDecoder(bytes.NewReader(rawEv))
+		d.DisallowUnknownFields()
+		if err := d.Decode(&we); err != nil {
+			resp.Results[i] = Result{Status: StatusRejected, Error: fmt.Sprintf("malformed event: %v", err)}
+			continue
+		}
+		resp.Results[i].ID = we.ID
+		ev, err := we.ToEvent()
+		if err != nil {
+			resp.Results[i].Status = StatusRejected
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		ids = append(ids, we.ID)
+		evs = append(evs, ev)
+		accepted = append(accepted, i)
+	}
+
+	if len(evs) > 0 {
+		sink, release, err := s.resolve(r.Header.Get(TenantHeader))
+		if err != nil {
+			return nil, http.StatusNotFound, fmt.Errorf("resolve tenant: %v", err)
+		}
+		defer release()
+		applied, err := sink.ApplyBatchDedup(ids, evs)
+		if err != nil {
+			// The store may have applied a prefix, but it recorded those
+			// IDs with it — the client's retry converges on the remainder.
+			return nil, http.StatusInternalServerError, fmt.Errorf("apply: %v", err)
+		}
+		// Durability barrier before the ack. Covers the duplicates-only
+		// retry too: the original delivery may have applied without ever
+		// reaching a sync (crash between apply and group-commit fsync is
+		// exactly the window the client's retry is probing).
+		if err := sink.Sync(); err != nil {
+			return nil, http.StatusInternalServerError, fmt.Errorf("sync: %v", err)
+		}
+		for k, i := range accepted {
+			if applied[k] {
+				resp.Results[i].Status = StatusApplied
+			} else {
+				resp.Results[i].Status = StatusDuplicate
+			}
+		}
+	}
+
+	for _, res := range resp.Results {
+		switch res.Status {
+		case StatusApplied:
+			resp.Applied++
+		case StatusDuplicate:
+			resp.Duplicates++
+		default:
+			resp.Rejected++
+		}
+	}
+	s.batches.Add(1)
+	s.events.Add(uint64(len(raw.Events)))
+	s.applied.Add(uint64(resp.Applied))
+	s.duplicates.Add(uint64(resp.Duplicates))
+	s.rejected.Add(uint64(resp.Rejected))
+	return resp, 0, nil
+}

@@ -1,0 +1,204 @@
+// Package ingest implements the network ingest path for the provenance
+// store: a versioned JSON wire protocol for event batches, an HTTP
+// server handler that feeds them through the store's idempotent
+// group-commit apply, and a retrying client with a bounded on-disk
+// spool. The protocol is designed so that every failure mode of a
+// flaky network — duplicate delivery, reordering, replay after a crash
+// on either side — converges to the same store state as one clean
+// delivery:
+//
+//   - every event carries a client-generated ID; the store remembers
+//     recently applied IDs in a durable sliding window and skips
+//     re-deliveries (see provgraph.ApplyBatchDedup);
+//   - results are per-event (applied / duplicate / rejected), so one
+//     malformed event never poisons the rest of its batch, and a
+//     client can tell exactly which events a retried batch landed;
+//   - batches are acked only after the store has fsynced them, so an
+//     ack is a durability promise, not an intention.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"browserprov/internal/event"
+)
+
+// SchemaVersion is the wire protocol version this package speaks.
+// Batches carrying any other version are rejected whole: silently
+// accepting half-understood input is how stores corrupt history.
+const SchemaVersion = 1
+
+// MaxEventIDLen bounds client-generated event IDs, mirroring the
+// store-side limit (provgraph enforces the same rule; the server
+// pre-validates so that a bad ID rejects one event, not the batch).
+const MaxEventIDLen = 128
+
+// ValidEventID reports whether id is acceptable as an idempotency key:
+// non-empty, at most MaxEventIDLen bytes, no control bytes (IDs appear
+// in logs and JSON results).
+func ValidEventID(id string) bool {
+	if id == "" || len(id) > MaxEventIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// WireEvent is one event on the wire. Field presence is validated per
+// type after decoding; unknown JSON keys are rejected (strict decode),
+// so schema drift between client and server surfaces as a rejection
+// instead of silent field loss.
+type WireEvent struct {
+	// ID is the client-generated idempotency key, required.
+	ID string `json:"id"`
+	// Type is the event kind: visit, close, bookmark-add, download,
+	// search, form-submit, tab-open.
+	Type string `json:"type"`
+	// Time is the event timestamp, RFC 3339.
+	Time time.Time `json:"time"`
+	// Tab identifies the originating tab.
+	Tab int `json:"tab,omitempty"`
+
+	URL      string `json:"url,omitempty"`
+	Title    string `json:"title,omitempty"`
+	Referrer string `json:"referrer,omitempty"`
+	// Transition names how a navigation happened (visit/download):
+	// link, typed, bookmark, embed, redirect-permanent,
+	// redirect-temporary, download, framed-link, search-result,
+	// form-submit, new-tab.
+	Transition  string `json:"transition,omitempty"`
+	Terms       string `json:"terms,omitempty"`
+	SavePath    string `json:"save_path,omitempty"`
+	ContentType string `json:"content_type,omitempty"`
+}
+
+// Batch is the request body of POST /ingest.
+type Batch struct {
+	SchemaVersion int         `json:"schema_version"`
+	Events        []WireEvent `json:"events"`
+}
+
+// rawBatch is the server-side envelope: events stay raw so each one is
+// decoded (and can fail) independently.
+type rawBatch struct {
+	SchemaVersion int               `json:"schema_version"`
+	Events        []json.RawMessage `json:"events"`
+}
+
+// Per-event result statuses.
+const (
+	// StatusApplied: this delivery applied the event.
+	StatusApplied = "applied"
+	// StatusDuplicate: the event's ID was already applied by an earlier
+	// delivery (possibly before a restart); the store is unchanged.
+	StatusDuplicate = "duplicate"
+	// StatusRejected: the event is malformed and was not applied; Error
+	// says why. Rejections are deterministic — retrying cannot help.
+	StatusRejected = "rejected"
+)
+
+// Result reports what happened to one event of a batch, in request
+// order.
+type Result struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Response is the body of a successful POST /ingest. A 200 means the
+// batch was processed and everything applied is durable (fsynced);
+// individual events may still have been rejected or deduplicated.
+type Response struct {
+	SchemaVersion int      `json:"schema_version"`
+	Results       []Result `json:"results"`
+	Applied       int      `json:"applied"`
+	Duplicates    int      `json:"duplicates"`
+	Rejected      int      `json:"rejected"`
+}
+
+var typeNames = map[string]event.Type{
+	"visit":        event.TypeVisit,
+	"close":        event.TypeClose,
+	"bookmark-add": event.TypeBookmarkAdd,
+	"download":     event.TypeDownload,
+	"search":       event.TypeSearch,
+	"form-submit":  event.TypeFormSubmit,
+	"tab-open":     event.TypeTabOpen,
+}
+
+var transitionNames = map[string]event.Transition{
+	"link":               event.TransLink,
+	"typed":              event.TransTyped,
+	"bookmark":           event.TransBookmark,
+	"embed":              event.TransEmbed,
+	"redirect-permanent": event.TransRedirectPermanent,
+	"redirect-temporary": event.TransRedirectTemporary,
+	"download":           event.TransDownload,
+	"framed-link":        event.TransFramedLink,
+	"search-result":      event.TransSearchResult,
+	"form-submit":        event.TransFormSubmit,
+	"new-tab":            event.TransNewTab,
+}
+
+// ToEvent validates a wire event and converts it to the internal model.
+// The returned error is a client error (the event is malformed); it
+// never depends on server state, so rejections are stable across
+// retries.
+func (we *WireEvent) ToEvent() (*event.Event, error) {
+	if !ValidEventID(we.ID) {
+		return nil, fmt.Errorf("invalid event id %q", we.ID)
+	}
+	ty, ok := typeNames[we.Type]
+	if !ok {
+		return nil, fmt.Errorf("unknown event type %q", we.Type)
+	}
+	ev := &event.Event{
+		Time:        we.Time,
+		Type:        ty,
+		Tab:         we.Tab,
+		URL:         we.URL,
+		Title:       we.Title,
+		Referrer:    we.Referrer,
+		Terms:       we.Terms,
+		SavePath:    we.SavePath,
+		ContentType: we.ContentType,
+	}
+	if we.Transition != "" {
+		tr, ok := transitionNames[we.Transition]
+		if !ok {
+			return nil, fmt.Errorf("unknown transition %q", we.Transition)
+		}
+		ev.Transition = tr
+	}
+	if err := ev.Validate(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// FromEvent converts an internal event to its wire form under the given
+// idempotency key.
+func FromEvent(id string, ev *event.Event) WireEvent {
+	we := WireEvent{
+		ID:          id,
+		Type:        ev.Type.String(),
+		Time:        ev.Time,
+		Tab:         ev.Tab,
+		URL:         ev.URL,
+		Title:       ev.Title,
+		Referrer:    ev.Referrer,
+		Terms:       ev.Terms,
+		SavePath:    ev.SavePath,
+		ContentType: ev.ContentType,
+	}
+	if ev.Transition != 0 {
+		we.Transition = ev.Transition.String()
+	}
+	return we
+}

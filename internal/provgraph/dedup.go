@@ -1,0 +1,215 @@
+package provgraph
+
+import (
+	"fmt"
+
+	"browserprov/internal/event"
+	"browserprov/internal/storage"
+)
+
+// ---- idempotent ingest: the event-ID dedup window ----
+//
+// Network ingest retries: a client that never saw an ack re-sends its
+// batch, a fault proxy duplicates it, a crashed producer replays its
+// spool. The store makes all of that exactly-once by remembering the
+// IDs of recently applied ingest events in a sliding window:
+//
+//   - the ID travels in the same WAL record as its event, so crash
+//     recovery rebuilds the window and the graph from the same bytes —
+//     there is no ordering gap where one is durable and the other not;
+//   - checkpoints persist the window alongside the assembly state, so
+//     dropping the replayed WAL prefix never forgets an ID;
+//   - the window is bounded (DedupWindow, default 65536 IDs) and evicts
+//     FIFO. A duplicate older than the window re-applies — the contract
+//     is "exactly-once within the retry horizon", which a client
+//     honouring capped exponential backoff stays well inside.
+
+// defaultDedupWindow is the ID-window capacity when Options.DedupWindow
+// is zero. At a few dozen bytes per ID this costs ~2 MB per store, and
+// is ~an hour of traffic at 20 events/sec — orders of magnitude past
+// any sane retry policy.
+const defaultDedupWindow = 1 << 16
+
+// dedupWindow is a FIFO sliding window of ingest event IDs. Guarded by
+// the store mutex.
+type dedupWindow struct {
+	cap  int
+	ids  map[string]struct{}
+	q    []string // insertion order; q[head:] is the live window
+	head int
+}
+
+func newDedupWindow(capacity int) dedupWindow {
+	if capacity <= 0 {
+		capacity = defaultDedupWindow
+	}
+	return dedupWindow{cap: capacity, ids: make(map[string]struct{})}
+}
+
+func (w *dedupWindow) seen(id string) bool {
+	_, ok := w.ids[id]
+	return ok
+}
+
+func (w *dedupWindow) len() int { return len(w.q) - w.head }
+
+// add records id, evicting the oldest entries beyond capacity.
+func (w *dedupWindow) add(id string) {
+	if _, ok := w.ids[id]; ok {
+		return
+	}
+	w.ids[id] = struct{}{}
+	w.q = append(w.q, id)
+	for len(w.q)-w.head > w.cap {
+		delete(w.ids, w.q[w.head])
+		w.q[w.head] = "" // release the string
+		w.head++
+	}
+	// Compact the dead prefix once it dominates the slice.
+	if w.head > 1024 && w.head > len(w.q)/2 {
+		w.q = append(w.q[:0:0], w.q[w.head:]...)
+		w.head = 0
+	}
+}
+
+// snapshot copies the live window in insertion order (checkpoint
+// capture, under the store lock).
+func (w *dedupWindow) snapshot() []string {
+	return append([]string(nil), w.q[w.head:]...)
+}
+
+// walRecDedup discriminates the WAL control record that carries an
+// ingest event ID. Plain event payloads start with the event type
+// (uvarint 0..6), so any value far above the type space is unambiguous;
+// replay sniffs the first varint and dispatches.
+const walRecDedup = 64
+
+// maxEventIDLen bounds client-generated event IDs on the wire and in
+// the WAL.
+const maxEventIDLen = 128
+
+// ErrBadEventID reports a structurally invalid ingest event ID.
+var ErrBadEventID = fmt.Errorf("provgraph: invalid ingest event ID")
+
+// validEventID reports whether id can be carried as an idempotency key:
+// non-empty, bounded, and free of control bytes (IDs appear in logs and
+// JSON results).
+func validEventID(id string) bool {
+	if id == "" || len(id) > maxEventIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeDedupEventInto wraps an event payload with its ingest ID.
+func encodeDedupEventInto(e *storage.Encoder, id string, ev *event.Event) {
+	e.Uvarint(walRecDedup)
+	e.String(id)
+	encodeEventInto(e, ev)
+}
+
+// SeenEventID reports whether id is inside the store's dedup window
+// (i.e. an event bearing it was applied recently).
+func (s *Store) SeenEventID(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dedup.seen(id)
+}
+
+// DedupWindowLen returns the number of IDs currently held (monitoring).
+func (s *Store) DedupWindowLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dedup.len()
+}
+
+// ApplyBatchDedup journals and folds a batch of events, skipping any
+// whose ID the store has already applied. It is the idempotent sibling
+// of ApplyBatch and shares its shape: one validation pass up front (an
+// invalid event or malformed ID rejects the whole batch with
+// ErrInvalidBatch before anything is logged), one lock acquisition, one
+// group commit. ids[i] is event i's client-generated idempotency key;
+// an empty ID means "not deduplicated" and is always applied.
+//
+// applied[i] reports whether event i was applied by THIS call; false
+// means its ID was already in the window (the earlier delivery won).
+// Duplicate detection and ID recording happen under the same lock and
+// in the same WAL records as the events themselves, so replayed and
+// concurrent deliveries of one batch can never double-apply across a
+// crash: recovery rebuilds the window from the exact records it
+// replays.
+//
+// Like ApplyBatch, durability is batched but not atomic: on an I/O
+// error a logged prefix stays applied (with its IDs recorded) and the
+// error is returned — the caller must treat the batch as failed and
+// retry it, which converges because the applied prefix now rejects as
+// duplicates.
+func (s *Store) ApplyBatchDedup(ids []string, evs []*event.Event) (applied []bool, err error) {
+	if len(ids) != len(evs) {
+		return nil, fmt.Errorf("%w: %d ids for %d events", ErrInvalidBatch, len(ids), len(evs))
+	}
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	for i, ev := range evs {
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("%w %d: %v", ErrInvalidBatch, i, err)
+		}
+		if ids[i] != "" && !validEventID(ids[i]) {
+			return nil, fmt.Errorf("%w %d: %v", ErrInvalidBatch, i, ErrBadEventID)
+		}
+	}
+	applied = make([]bool, len(evs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	// keep holds the indexes to log: fresh IDs and un-keyed events.
+	// Duplicates WITHIN the batch also collapse (first occurrence wins),
+	// since a client that merged two spool files may ship one.
+	keep := make([]int, 0, len(evs))
+	inBatch := make(map[string]struct{})
+	for i := range evs {
+		id := ids[i]
+		if id != "" {
+			if s.dedup.seen(id) {
+				continue
+			}
+			if _, dup := inBatch[id]; dup {
+				continue
+			}
+			inBatch[id] = struct{}{}
+		}
+		keep = append(keep, i)
+	}
+	if len(keep) == 0 {
+		return applied, nil
+	}
+	logged, err := s.j.LogBatch(len(keep), func(k int) []byte {
+		i := keep[k]
+		s.enc.Reset()
+		if ids[i] == "" {
+			encodeEventInto(&s.enc, evs[i])
+		} else {
+			encodeDedupEventInto(&s.enc, ids[i], evs[i])
+		}
+		return s.enc.Bytes()
+	})
+	// Apply exactly the logged prefix, recording its IDs: in-memory
+	// state, dedup window and WAL stay one consistent story.
+	for _, i := range keep[:logged] {
+		s.applyEvent(evs[i])
+		if ids[i] != "" {
+			s.dedup.add(ids[i])
+		}
+		applied[i] = true
+	}
+	s.maybeReseal()
+	return applied, err
+}

@@ -220,6 +220,13 @@ type Options struct {
 	// only the residency of the backing bytes changes. Default off
 	// (mapping on where the platform supports it).
 	NoMmap bool
+	// DedupWindow is the capacity of the ingest event-ID dedup window
+	// (see ApplyBatchDedup). 0 means the default (65536 IDs).
+	DedupWindow int
+	// FS, when set, interposes on the journal's commit path (WAL and
+	// metadata writes). internal/faultfs uses it to inject disk faults
+	// in crash-consistency tests; nil means the real filesystem.
+	FS storage.VFS
 }
 
 // ErrClosed reports an operation against a closed Store. The query
@@ -339,6 +346,11 @@ type Store struct {
 	pendingSearch  map[int]pending
 	pendingForm    map[int]pending
 
+	// dedup is the sliding window of recently applied ingest event IDs
+	// (see dedup.go). Persistent state: IDs ride the WAL records of the
+	// events they key and the checkpoint's dedup section.
+	dedup dedupWindow
+
 	nextNode NodeID
 	numEdges int
 }
@@ -399,6 +411,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		lastVisitByURL: make(map[string]NodeID),
 		pendingSearch:  make(map[int]pending),
 		pendingForm:    make(map[int]pending),
+		dedup:          newDedupWindow(opts.DedupWindow),
 		nextNode:       1,
 	}
 	s.pins.Store(1)
@@ -408,6 +421,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		LoadSections: s.loadSections,
 		MapSnapshot:  !opts.NoMmap,
 		Replay:       s.replayEvent,
+		FS:           opts.FS,
 	})
 	if err != nil {
 		if s.sect != nil {
@@ -741,13 +755,20 @@ func (s *Store) ApplyBatch(evs []*event.Event) error {
 	return err
 }
 
-// replayEvent is the journal recovery path.
+// replayEvent is the journal recovery path. Dedup-keyed records carry
+// the ingest event ID ahead of the event payload; replaying one
+// restores the ID to the window in the same step that re-applies its
+// event, so the recovered store rejects the same retries the live store
+// would have.
 func (s *Store) replayEvent(payload []byte) error {
-	ev, err := decodeEvent(payload)
+	id, ev, err := decodeWALRecord(payload)
 	if err != nil {
 		return err
 	}
 	s.applyEvent(ev)
+	if id != "" {
+		s.dedup.add(id)
+	}
 	return nil
 }
 

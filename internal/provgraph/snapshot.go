@@ -28,6 +28,26 @@ func encodeEventInto(e *storage.Encoder, ev *event.Event) {
 	e.String(ev.ContentType)
 }
 
+// decodeWALRecord decodes one journal payload: either a bare event
+// (first uvarint is the event type, 0..6) or a dedup-keyed ingest
+// record (walRecDedup discriminator, then the ID, then the event).
+func decodeWALRecord(payload []byte) (id string, ev *event.Event, err error) {
+	d := storage.NewDecoder(payload)
+	first, err := d.Uvarint()
+	if err != nil {
+		return "", nil, err
+	}
+	if first != walRecDedup {
+		ev, err = decodeEvent(payload)
+		return "", ev, err
+	}
+	if id, err = d.String(); err != nil {
+		return "", nil, err
+	}
+	ev, err = decodeEvent(payload[len(payload)-d.Remaining():])
+	return id, ev, err
+}
+
 func decodeEvent(payload []byte) (*event.Event, error) {
 	d := storage.NewDecoder(payload)
 	var ev event.Event
@@ -77,6 +97,7 @@ const (
 	snapNode     = 1
 	snapEdges    = 2 // one record per source node, all its out-edges
 	snapAssembly = 3
+	snapDedup    = 4 // ingest event-ID dedup window, insertion order
 )
 
 // writeSnapshot dumps the graph into the checkpoint heap file: all nodes
@@ -178,6 +199,18 @@ func (s *Store) writeSnapshot(h *storage.HeapFile) error {
 	}
 	writePending(s.pendingSearch)
 	writePending(s.pendingForm)
+	if err := put(); err != nil {
+		return err
+	}
+	// Ingest dedup window, in insertion order so recovery reproduces the
+	// same eviction sequence.
+	dedupIDs := s.dedup.snapshot()
+	enc.Reset()
+	enc.Uvarint(snapDedup)
+	enc.Uvarint(uint64(len(dedupIDs)))
+	for _, id := range dedupIDs {
+		enc.String(id)
+	}
 	return put()
 }
 
@@ -325,6 +358,18 @@ func (s *Store) loadSnapshot(h *storage.HeapFile) error {
 			}
 			if err := readPending(s.pendingForm); err != nil {
 				return err
+			}
+		case snapDedup:
+			count, err := d.Uvarint()
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < count; i++ {
+				id, err := d.String()
+				if err != nil {
+					return err
+				}
+				s.dedup.add(id)
 			}
 		default:
 			return fmt.Errorf("provgraph: unknown snapshot record kind %d", kind)

@@ -39,6 +39,7 @@ const (
 	secTermIndex = 7 // latest term-instance IDs sorted by term — termIndex stream
 	secAssembly  = 8 // counters, per-tab cursors, pending joins
 	secText      = 9 // text-index postings + watermark (optional)
+	secDedup     = 10 // ingest event-ID dedup window, insertion order (optional)
 )
 
 // Node column flag bits. Low three bits hold the NodeKind (0 = gap left
@@ -60,6 +61,7 @@ type assemblyCapture struct {
 	tabCur        map[int]NodeID
 	pendingSearch map[int]pending
 	pendingForm   map[int]pending
+	dedupIDs      []string // ingest dedup window, insertion order
 }
 
 // captureAssemblyLocked copies the assembly state. Caller holds mu.
@@ -80,6 +82,7 @@ func (s *Store) captureAssemblyLocked() assemblyCapture {
 	for t, p := range s.pendingForm {
 		asm.pendingForm[t] = p
 	}
+	asm.dedupIDs = s.dedup.snapshot()
 	return asm
 }
 
@@ -278,6 +281,9 @@ func writeSnapshotV2(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapt
 	if err := writeAssemblySection(w, asm); err != nil {
 		return err
 	}
+	if err := writeDedupSection(w, asm.dedupIDs); err != nil {
+		return err
+	}
 	return writeTextSection(w, text, textWM)
 }
 
@@ -333,6 +339,42 @@ func writeAssemblySection(w *storage.SectionWriter, asm assemblyCapture) error {
 		writePending(asm.pendingForm)
 		return nil
 	})
+}
+
+// writeDedupSection persists the ingest dedup window in insertion order
+// (skipped when empty, so stores that never saw keyed ingest produce
+// checkpoints byte-identical to pre-dedup builds). Both schema versions
+// share it; the section is optional at load.
+func writeDedupSection(w *storage.SectionWriter, ids []string) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	return w.WriteSection(secDedup, func(e *storage.Encoder) error {
+		e.Uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			e.String(id)
+		}
+		return nil
+	})
+}
+
+// readDedupSection restores the ingest dedup window. Strings are copied
+// out of the section payload by construction (byte-to-string
+// conversion), so aliasing the checkpoint buffer here is safe.
+func (s *Store) readDedupSection(p []byte) error {
+	d := storage.NewDecoder(p)
+	count, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		id, err := d.String()
+		if err != nil {
+			return err
+		}
+		s.dedup.add(id)
+	}
+	return nil
 }
 
 // writeTextSection persists the text-index postings (skipped when nil).
@@ -761,6 +803,11 @@ func (s *Store) loadSnapshotV2(secs map[uint32][]byte) error {
 	}
 	if err := s.readAssemblySection(asmP); err != nil {
 		return err
+	}
+	if p, ok := secs[secDedup]; ok {
+		if err := s.readDedupSection(p); err != nil {
+			return err
+		}
 	}
 	// lastVisitByURL, array-driven (same result as rebuildLastVisit,
 	// without iterating the just-built maps a second time).

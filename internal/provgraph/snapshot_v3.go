@@ -212,6 +212,9 @@ func writeSnapshotV3(w *storage.SectionWriter, ep *sealedEpoch, asm assemblyCapt
 	if err := writeAssemblySection(w, asm); err != nil {
 		return err
 	}
+	if err := writeDedupSection(w, asm.dedupIDs); err != nil {
+		return err
+	}
 	return writeTextSection(w, text, textWM)
 }
 
@@ -485,6 +488,13 @@ func (s *Store) loadSnapshotV3(f *storage.SectionFile) error {
 	}
 	if err := s.readAssemblySection(asmP); err != nil {
 		return err
+	}
+	if p, err := f.Section(secDedup); err != nil {
+		return err
+	} else if p != nil {
+		if err := s.readDedupSection(p); err != nil {
+			return err
+		}
 	}
 
 	// ---- text-index postings (optional) ----

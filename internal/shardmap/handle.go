@@ -72,6 +72,25 @@ func (h *Handle) ApplyBatch(evs []*event.Event) error {
 	return h.e.store.ApplyBatch(evs)
 }
 
+// ApplyBatchDedup ingests a batch idempotently (see
+// provgraph.ApplyBatchDedup). Together with Sync it makes a pinned
+// handle satisfy ingest.Sink, so the network ingest path works
+// per-tenant exactly as it does single-tenant.
+func (h *Handle) ApplyBatchDedup(ids []string, evs []*event.Event) ([]bool, error) {
+	if h.released.Load() {
+		return nil, ErrReleased
+	}
+	return h.e.store.ApplyBatchDedup(ids, evs)
+}
+
+// Sync forces everything applied to the tenant's store durable.
+func (h *Handle) Sync() error {
+	if h.released.Load() {
+		return ErrReleased
+	}
+	return h.e.store.Sync()
+}
+
 // Checkpoint dumps the tenant's store; the handle pin guarantees the
 // store stays open for the whole (background) dump.
 func (h *Handle) Checkpoint() error {

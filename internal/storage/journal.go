@@ -26,6 +26,7 @@ import (
 type Journal struct {
 	dir  string
 	name string
+	fs   VFS
 
 	wal      *WAL
 	snapPath string
@@ -63,6 +64,11 @@ type JournalCallbacks struct {
 	MapSnapshot bool
 	// Replay applies one logged mutation during recovery.
 	Replay func(payload []byte) error
+	// FS, when set, interposes on the journal's commit path (WAL and
+	// metadata files): internal/faultfs uses it to inject ENOSPC, fsync
+	// failures, torn writes and slow I/O in crash-consistency tests. Nil
+	// means the real filesystem.
+	FS VFS
 }
 
 type journalMeta struct {
@@ -76,10 +82,14 @@ var ErrCorruptMeta = errors.New("storage: corrupt journal metadata")
 // OpenJournal opens (or creates) the journal named name in dir and runs
 // recovery through cb.
 func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := cb.FS
+	if fs == nil {
+		fs = OSFS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, name: name}
+	j := &Journal{dir: dir, name: name, fs: fs}
 	meta, err := j.readMeta()
 	if err != nil {
 		return nil, err
@@ -87,7 +97,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 	j.gen = meta.gen
 	if meta.gen > 0 {
 		j.snapPath = j.snapFile(meta.gen)
-		if fi, err := os.Stat(j.snapPath); err == nil {
+		if fi, err := fs.Stat(j.snapPath); err == nil {
 			j.snapTime = fi.ModTime()
 		}
 		// The snapshot format is sniffed from the file itself: a
@@ -131,7 +141,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 		}
 		return cb.Replay(payload)
 	}
-	wal, err := OpenWAL(j.walFile(), meta.startLSN, replay)
+	wal, err := OpenWALFS(fs, j.walFile(), meta.startLSN, replay)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +161,7 @@ func (j *Journal) metaFile() string {
 
 // readMeta loads the metadata file, returning the zero meta if absent.
 func (j *Journal) readMeta() (journalMeta, error) {
-	b, err := os.ReadFile(j.metaFile())
+	b, err := j.fs.ReadFile(j.metaFile())
 	if errors.Is(err, os.ErrNotExist) {
 		return journalMeta{}, nil
 	}
@@ -177,7 +187,7 @@ func (j *Journal) writeMeta(m journalMeta) error {
 	binary.LittleEndian.PutUint64(b[12:], m.startLSN)
 	binary.LittleEndian.PutUint32(b[0:], crc32.Checksum(b[4:], castagnoli))
 	tmp := j.metaFile() + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -192,7 +202,7 @@ func (j *Journal) writeMeta(m journalMeta) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, j.metaFile())
+	return j.fs.Rename(tmp, j.metaFile())
 }
 
 // Log appends one encoded mutation to the WAL as one commit. The
@@ -208,6 +218,13 @@ func (j *Journal) Log(payload []byte) error {
 // window, fsyncing when the window fills. Shared by Log and LogBatch so
 // per-event and batched commits can never drift apart in durability
 // semantics.
+//
+// A failed fsync is propagated AND leaves the window full: the commits
+// it covered are still not durable, so the very next commit retries the
+// fsync instead of silently opening a fresh window over unsynced data.
+// (Post-fsync-failure page-cache state is implementation-defined, but
+// never silently reporting unsynced data as committed is the invariant
+// the ingest layer's retry/ack protocol builds on.)
 func (j *Journal) commit() error {
 	j.unsynced++
 	every := j.SyncEvery
@@ -215,8 +232,10 @@ func (j *Journal) commit() error {
 		every = 256
 	}
 	if j.unsynced >= every {
+		if err := j.wal.Sync(); err != nil {
+			return err
+		}
 		j.unsynced = 0
-		return j.wal.Sync()
 	}
 	return nil
 }
@@ -243,10 +262,14 @@ func (j *Journal) LogBatch(n int, payload func(i int) []byte) (appended int, err
 	return n, j.commit()
 }
 
-// Sync forces buffered WAL entries to stable storage.
+// Sync forces buffered WAL entries to stable storage. The group-commit
+// window only resets on success — see commit.
 func (j *Journal) Sync() error {
+	if err := j.wal.Sync(); err != nil {
+		return err
+	}
 	j.unsynced = 0
-	return j.wal.Sync()
+	return nil
 }
 
 // Checkpoint writes a fresh snapshot through write, switches the journal

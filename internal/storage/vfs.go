@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// VFS abstracts the file operations the journal's commit path performs
+// (the WAL and the metadata file), so tests can interpose failures —
+// ENOSPC, fsync errors, torn writes, slow devices — without hand-editing
+// files on disk. internal/faultfs provides the injectable implementation;
+// production code uses OSFS, which is the operating system unchanged.
+//
+// Scope: the durability-critical commit path. Checkpoint payload files
+// (heap and section files) are written to a temporary generation and only
+// become live via the metadata swap, so a fault there is recovered by
+// construction; they stay on plain os calls.
+type VFS interface {
+	// OpenFile opens name exactly like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes name (os.Remove).
+	Remove(name string) error
+	// ReadFile reads the whole of name (os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// Stat stats name (os.Stat).
+	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates name and parents (os.MkdirAll).
+	MkdirAll(name string, perm os.FileMode) error
+}
+
+// File is the slice of *os.File the WAL and metadata writers use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// OSFS is the default VFS: the real filesystem.
+var OSFS VFS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                  { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)     { return os.Stat(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }

@@ -23,7 +23,8 @@ import (
 // terminates replay cleanly: the file is truncated at the last valid
 // entry boundary, which is the standard recovery contract for a log.
 type WAL struct {
-	f      *os.File
+	fs     VFS
+	f      File
 	path   string
 	w      *bufio.Writer
 	lsn    uint64 // LSN of the next entry to be appended
@@ -38,11 +39,16 @@ var ErrWALClosed = errors.New("storage: wal is closed")
 
 // CreateWAL creates (or truncates) a WAL at path, starting at startLSN.
 func CreateWAL(path string, startLSN uint64) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateWALFS(OSFS, path, startLSN)
+}
+
+// CreateWALFS is CreateWAL over an injectable filesystem.
+func CreateWALFS(fs VFS, path string, startLSN uint64) (*WAL, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create wal %s: %w", path, err)
 	}
-	return &WAL{f: f, path: path, w: bufio.NewWriterSize(f, 64<<10), lsn: startLSN}, nil
+	return &WAL{fs: fs, f: f, path: path, w: bufio.NewWriterSize(f, 64<<10), lsn: startLSN}, nil
 }
 
 // OpenWAL opens the WAL at path (creating it empty at startLSN if absent),
@@ -52,12 +58,17 @@ func CreateWAL(path string, startLSN uint64) (*WAL, error) {
 // Entries with lsn < fromLSN are skipped: they precede the snapshot the
 // caller already loaded.
 func OpenWAL(path string, fromLSN uint64, apply func(lsn uint64, payload []byte) error) (*WAL, error) {
-	os.Remove(path + ".tmp") // stale ResetKeepTail side file, if a crash left one
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(OSFS, path, fromLSN, apply)
+}
+
+// OpenWALFS is OpenWAL over an injectable filesystem (see VFS).
+func OpenWALFS(fs VFS, path string, fromLSN uint64, apply func(lsn uint64, payload []byte) error) (*WAL, error) {
+	fs.Remove(path + ".tmp") // stale ResetKeepTail side file, if a crash left one
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
 	}
-	wal := &WAL{f: f, path: path, lsn: fromLSN}
+	wal := &WAL{fs: fs, f: f, path: path, lsn: fromLSN}
 	validEnd, lastLSN, seen, err := wal.replay(fromLSN, apply)
 	if err != nil {
 		f.Close()
@@ -225,23 +236,23 @@ func (w *WAL) ResetKeepTail(fromOff int64) error {
 		return err
 	}
 	tmpPath := w.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := w.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(tail); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		w.fs.Remove(tmpPath)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		w.fs.Remove(tmpPath)
 		return err
 	}
-	if err := os.Rename(tmpPath, w.path); err != nil {
+	if err := w.fs.Rename(tmpPath, w.path); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		w.fs.Remove(tmpPath)
 		return err
 	}
 	// The old inode stays open as w.f until the swap of handles below.

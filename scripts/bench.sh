@@ -13,7 +13,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE \
-  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkExpandParallelism$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkExpandParallelism$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestHTTP$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
   -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
 # Scheduler sweep: the concurrency-sensitive benchmarks again at pinned
@@ -55,6 +55,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     if ($(i+1) == "p99_apply_ns") extra = extra sprintf(", \"p99_apply_ns\": %s", $i)
     if ($(i+1) == "max_apply_ns") extra = extra sprintf(", \"max_apply_ns\": %s", $i)
     if ($(i+1) == "ingested_events/sec") extra = extra sprintf(", \"ingested_events_per_sec\": %s", $i)
+    if ($(i+1) == "p99_post_ns") extra = extra sprintf(", \"p99_post_ns\": %s", $i)
     if ($(i+1) == "p50_query_ns") extra = extra sprintf(", \"p50_query_ns\": %s", $i)
     if ($(i+1) == "p99_query_ns") extra = extra sprintf(", \"p99_query_ns\": %s", $i)
     if ($(i+1) == "reopens") extra = extra sprintf(", \"reopens\": %s", $i)
