@@ -32,6 +32,18 @@
 //	provd -shard-root ./shards -shard-cap 128 -listen 127.0.0.1:8888 &
 //	curl -x http://127.0.0.1:8888 -H 'X-Prov-Tenant: alice' http://example.com/
 //	curl http://127.0.0.1:8889/stats/alice
+//
+// With -follow the daemon runs as a read-only WAL-shipping replica of
+// another provd's admin endpoint: it bootstraps from the leader's
+// checkpoint, tails its WAL stream (see internal/replica), and serves
+// the same admin surface off the local copy — /readyz answers 503 once
+// replication lag exceeds -max-lag, /ingest answers 503 with a
+// Location header naming the leader, and /stats reports applied LSN,
+// lag and re-bootstrap counts. The leader needs no flags: every
+// single-tenant provd serves the replication endpoints.
+//
+//	provd -follow http://leader:8889 -dir ./replica -admin 127.0.0.1:9889 &
+//	curl http://127.0.0.1:9889/stats
 package main
 
 import (
@@ -54,6 +66,7 @@ import (
 	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
+	"browserprov/internal/replica"
 	"browserprov/internal/shardmap"
 )
 
@@ -86,6 +99,62 @@ type statsReply struct {
 	Ingest ingest.ServerStats `json:"ingest"`
 	// Dedup window occupancy (ingest idempotency state).
 	DedupWindow int `json:"dedup_window"`
+	// Replication state: the leader's per-follower stream accounting, or
+	// this follower's own progress. Absent on a sharded daemon.
+	Replication *replicationReply `json:"replication,omitempty"`
+}
+
+// replicationReply is the replication section of /stats. Exactly one of
+// Followers (leader) or Follower (replica) is populated.
+type replicationReply struct {
+	Role      string                            `json:"role"`
+	Instance  string                            `json:"instance,omitempty"`
+	Followers map[string]replica.FollowerStream `json:"followers,omitempty"`
+	Follower  *replica.FollowerStats            `json:"follower,omitempty"`
+}
+
+// coreStats assembles the snapshot-consistent fields of a /stats reply:
+// every count comes from the one pinned snapshot behind v (only the disk
+// size is a live read — the checkpoint file is not part of the epoch).
+func coreStats(store *provgraph.Store, v *query.View) statsReply {
+	sn := v.Snapshot()
+	ck := store.CheckpointInfo()
+	age := -1.0
+	if !ck.LastAt.IsZero() {
+		age = time.Since(ck.LastAt).Seconds()
+	}
+	mi := store.MappedInfo()
+	reply := statsReply{
+		Generation:        v.Generation(),
+		Nodes:             sn.NumNodes(),
+		Edges:             sn.NumEdges(),
+		SizeOnDisk:        store.SizeOnDisk(),
+		CheckpointBytes:   ck.Bytes,
+		WALBytes:          ck.WALBytes,
+		LastCheckpointAge: age,
+		MappedBytes:       mi.MappedBytes,
+		HeapLoadBytes:     mi.HeapBytes,
+		DedupWindow:       store.DedupWindowLen(),
+	}
+	// Per-kind counts from the same snapshot the totals came from.
+	sn.NodesSince(0, func(n provgraph.Node) bool {
+		switch n.Kind {
+		case provgraph.KindPage:
+			reply.Pages++
+		case provgraph.KindVisit:
+			reply.Visits++
+		case provgraph.KindDownload:
+			reply.Downloads++
+		case provgraph.KindBookmark:
+			reply.Bookmarks++
+		case provgraph.KindSearchTerm:
+			reply.Terms++
+		case provgraph.KindFormEntry:
+			reply.Forms++
+		}
+		return true
+	})
+	return reply
 }
 
 // adminHandler serves the probe endpoints, /stats and POST /ingest.
@@ -100,8 +169,14 @@ type statsReply struct {
 // shutdown or the ingest queue is saturated, so load balancers steer
 // batches elsewhere without the orchestrator killing a healthy process
 // mid-drain.
-func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server, dropped func() uint64) http.Handler {
+func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server, dropped func() uint64, repl *replica.Server) http.Handler {
 	mux := http.NewServeMux()
+	if repl != nil {
+		// Leader side of replication rides the same listener: followers
+		// read /replica/meta, bootstrap from /checkpoint/<gen> and tail
+		// /wal/stream (see internal/replica).
+		repl.Register(mux)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		v := eng.View()
 		if err := v.Err(); err != nil {
@@ -134,45 +209,14 @@ func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server,
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		sn := v.Snapshot()
-		ck := store.CheckpointInfo()
-		age := -1.0
-		if !ck.LastAt.IsZero() {
-			age = time.Since(ck.LastAt).Seconds()
-		}
-		mi := store.MappedInfo()
-		reply := statsReply{
-			Generation:        v.Generation(),
-			Nodes:             sn.NumNodes(),
-			Edges:             sn.NumEdges(),
-			SizeOnDisk:        store.SizeOnDisk(),
-			CheckpointBytes:   ck.Bytes,
-			WALBytes:          ck.WALBytes,
-			LastCheckpointAge: age,
-			MappedBytes:       mi.MappedBytes,
-			HeapLoadBytes:     mi.HeapBytes,
-			DroppedEvents:     dropped(),
-			Ingest:            ing.Stats(),
-			DedupWindow:       store.DedupWindowLen(),
-		}
-		// Per-kind counts from the same snapshot the totals came from.
-		sn.NodesSince(0, func(n provgraph.Node) bool {
-			switch n.Kind {
-			case provgraph.KindPage:
-				reply.Pages++
-			case provgraph.KindVisit:
-				reply.Visits++
-			case provgraph.KindDownload:
-				reply.Downloads++
-			case provgraph.KindBookmark:
-				reply.Bookmarks++
-			case provgraph.KindSearchTerm:
-				reply.Terms++
-			case provgraph.KindFormEntry:
-				reply.Forms++
+		reply := coreStats(store, v)
+		reply.DroppedEvents = dropped()
+		reply.Ingest = ing.Stats()
+		if repl != nil {
+			reply.Replication = &replicationReply{
+				Role: "leader", Instance: repl.Instance(), Followers: repl.Followers(),
 			}
-			return true
-		})
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(reply); err != nil {
 			log.Printf("provd: stats encode: %v", err)
@@ -196,9 +240,16 @@ func main() {
 	batchSize := flag.Int("batch", 64, "group-commit batch size (1 = one commit per captured event)")
 	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
 	useMmap := flag.Bool("mmap", true, "serve the checkpoint off a file mapping (false reads it onto the heap)")
+	follow := flag.String("follow", "",
+		"leader base URL; run as a read-only WAL-shipping replica of it (requires -dir, exclusive with -shard-root)")
+	maxLag := flag.Duration("max-lag", 15*time.Second,
+		"replication lag above which a follower's /readyz answers 503")
 	flag.Parse()
 	if (*dir == "") == (*shardRoot == "") {
 		log.Fatal("provd: exactly one of -dir (single-tenant) or -shard-root (sharded) is required")
+	}
+	if *follow != "" && *shardRoot != "" {
+		log.Fatal("provd: -follow replicates a single store; it is exclusive with -shard-root")
 	}
 
 	// The journal fsyncs every SyncEvery commits, and a batch is one
@@ -210,6 +261,18 @@ func main() {
 		if syncEvery < 1 {
 			syncEvery = 1
 		}
+	}
+	if *follow != "" {
+		runFollower(&followerConfig{
+			dir:             *dir,
+			leaderURL:       strings.TrimRight(*follow, "/"),
+			admin:           *admin,
+			maxLag:          *maxLag,
+			checkpointEvery: *checkpointEvery,
+			syncEvery:       syncEvery,
+			noMmap:          !*useMmap,
+		})
+		return
 	}
 	if *shardRoot != "" {
 		runSharded(&shardedConfig{
@@ -298,9 +361,10 @@ func main() {
 	var adminSrv *http.Server
 	if *admin != "" {
 		eng := query.NewEngine(store, query.Options{})
-		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng, ingestSrv, dropped)}
+		replSrv := replica.NewServer(store)
+		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng, ingestSrv, dropped, replSrv)}
 		go func() {
-			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,ingest}", *admin)
+			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,ingest,wal/stream}", *admin)
 			// A failed probe listener must not take the capture proxy
 			// down with it: log and keep capturing.
 			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {

@@ -33,6 +33,11 @@ const (
 	// relays the second response — duplicate delivery inside one
 	// client-visible exchange.
 	Dup
+	// Truncate forwards the request, relays the response headers and the
+	// first half of the body, then resets the client connection: a torn
+	// response. Replication streaming tests use it to cut a WAL frame in
+	// the middle of its bytes.
+	Truncate
 )
 
 // Proxy is an HTTP fault injector between an ingest client and the real
@@ -206,6 +211,20 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if action == ResetAfter {
+		p.kill(w)
+		return
+	}
+	if action == Truncate {
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(rb[:len(rb)/2]) //nolint:errcheck // about to reset anyway
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
 		p.kill(w)
 		return
 	}

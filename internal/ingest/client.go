@@ -239,7 +239,10 @@ func (c *Client) SendEvents(ctx context.Context, wes []WireEvent) (*Response, er
 	return nil, fmt.Errorf("%w (%v)", ErrSpooled, err)
 }
 
-// spool parks a keyed batch on disk, respecting the byte limit.
+// spool parks a keyed batch on disk, respecting the byte limit. The
+// entry is durable before the call returns — ErrSpooled promises the
+// batch survives a crash, so the file AND the directory entry are
+// fsynced, not just written.
 func (c *Client) spool(batch *Batch) error {
 	body, err := json.Marshal(batch)
 	if err != nil {
@@ -262,10 +265,47 @@ func (c *Client) spool(batch *Batch) error {
 	// batch order across process restarts.
 	name := fmt.Sprintf("%020d-%06d.batch", time.Now().UnixNano(), c.spoolSeq)
 	tmp := filepath.Join(c.spoolDir, name+".tmp")
-	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+	if err := writeFileSync(tmp, body); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(c.spoolDir, name))
+	if err := os.Rename(tmp, filepath.Join(c.spoolDir, name)); err != nil {
+		os.Remove(tmp) //nolint:errcheck
+		return err
+	}
+	return syncDir(c.spoolDir)
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path) //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path) //nolint:errcheck
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so entry creations/removals inside it are
+// durable. Best-effort on platforms where directories reject fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // spoolUsage sums the committed spool files. Caller holds mu.
@@ -300,11 +340,16 @@ func (c *Client) SpoolLen() int {
 	return len(names)
 }
 
-// DrainSpool re-delivers parked batches in order, deleting each one
-// once the server acks it. The batches kept their original event IDs,
-// so a batch that actually landed before being spooled (an ack lost to
-// a connection reset) drains as all-duplicates — exactly-once holds.
-// Draining stops at the first batch that still cannot be delivered.
+// DrainSpool re-delivers parked batches in order, durably deleting
+// each one once the server acks it: the per-file delete IS the
+// persisted drain progress (one file is one batch), and it is fsynced
+// into the directory before the next batch is attempted, so a crash
+// mid-drain can redeliver at most the one batch whose ack raced the
+// crash. The batches kept their original event IDs, so that
+// redelivery — like a batch that landed before being spooled (an ack
+// lost to a connection reset) — drains as all-duplicates; exactly-once
+// holds. Draining stops at the first batch that still cannot be
+// delivered.
 func (c *Client) DrainSpool(ctx context.Context) (delivered int, err error) {
 	if c.spoolDir == "" {
 		return 0, nil
@@ -337,6 +382,9 @@ func (c *Client) DrainSpool(ctx context.Context) (delivered int, err error) {
 			return delivered, err
 		}
 		if err := os.Remove(path); err != nil {
+			return delivered, err
+		}
+		if err := syncDir(c.spoolDir); err != nil {
 			return delivered, err
 		}
 		delivered++

@@ -170,6 +170,9 @@ func (s *Store) ApplyBatchDedup(ids []string, evs []*event.Event) (applied []boo
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if s.replica {
+		return nil, ErrReplica
+	}
 	// keep holds the indexes to log: fresh IDs and un-keyed events.
 	// Duplicates WITHIN the batch also collapse (first occurrence wins),
 	// since a client that merged two spool files may ship one.

@@ -227,6 +227,11 @@ type Options struct {
 	// metadata writes). internal/faultfs uses it to inject disk faults
 	// in crash-consistency tests; nil means the real filesystem.
 	FS storage.VFS
+	// Replica opens the store as a read-only replica: direct mutations
+	// (Apply, ApplyBatch, ApplyBatchDedup) fail with ErrReplica, and the
+	// only write path is ReplicateRecord, which replays WAL records
+	// shipped from a leader at the leader's LSNs. See replica.go.
+	Replica bool
 }
 
 // ErrClosed reports an operation against a closed Store. The query
@@ -243,7 +248,8 @@ type Store struct {
 	mu     sync.RWMutex
 	j      *storage.Journal
 
-	mode VersioningMode
+	mode    VersioningMode
+	replica bool // opened with Options.Replica; see replica.go
 
 	nodes  map[NodeID]*Node
 	outE   adjRows[Edge]
@@ -400,6 +406,7 @@ func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
 func OpenWith(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		mode:           opts.Mode,
+		replica:        opts.Replica,
 		nodes:          make(map[NodeID]*Node),
 		urlIndex:       storage.NewBTree(),
 		termIndex:      storage.NewBTree(),
@@ -701,6 +708,9 @@ func (s *Store) Apply(ev *event.Event) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.replica {
+		return ErrReplica
+	}
 	s.enc.Reset()
 	encodeEventInto(&s.enc, ev)
 	if err := s.j.Log(s.enc.Bytes()); err != nil {
@@ -742,6 +752,9 @@ func (s *Store) ApplyBatch(evs []*event.Event) error {
 	defer s.mu.Unlock()
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.replica {
+		return ErrReplica
 	}
 	logged, err := s.j.LogBatch(len(evs), func(i int) []byte {
 		s.enc.Reset()

@@ -1,0 +1,131 @@
+package provgraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ---- read replicas: the follower-side apply path ----
+//
+// A replica store is a normal store whose only writer is a replication
+// stream: it replays WAL records shipped from a leader, at the leader's
+// LSNs, into its own journal and graph. Everything else — checkpoints,
+// epoch snapshots, generation-pinned Views, crash recovery — works
+// unchanged, because a replica IS just a store whose WAL happens to be
+// written by ReplicateRecord instead of Apply. In particular the
+// replica's own WAL is its applied-LSN high-water mark: a follower that
+// crashes mid-replay reopens, replays its local journal, and resumes
+// the stream from exactly NextLSN — no separate progress file to keep
+// in step with the log.
+
+// ErrReplica reports a direct mutation attempted on a replica store.
+// Replicas apply records only through ReplicateRecord; local writes
+// would fork the LSN sequence from the leader's.
+var ErrReplica = errors.New("provgraph: store is a read-only replica")
+
+// ErrReplicaGap reports a replicated record whose LSN is past the
+// replica's next expected LSN: records were lost in transit. The
+// follower must re-request the stream from its NextLSN.
+var ErrReplicaGap = errors.New("provgraph: gap in replicated wal stream")
+
+// IsReplica reports whether the store was opened in replica mode.
+func (s *Store) IsReplica() bool { return s.replica }
+
+// ReplicateRecord applies one WAL record shipped from a leader: payload
+// is the record exactly as the leader logged it (event bytes, or a
+// dedup-keyed wrapper), lsn the leader's LSN for it. The record is
+// logged to the replica's own journal at the same LSN, then folded into
+// the graph — the same two steps Apply performs, driven by the wire
+// instead of a caller's event.
+//
+// Idempotent by LSN: a record at an LSN the replica has already applied
+// (duplicated stream chunk, resumed stream overlapping the high-water
+// mark) reports applied=false and changes nothing. A record past the
+// next expected LSN fails with ErrReplicaGap and changes nothing.
+func (s *Store) ReplicateRecord(lsn uint64, payload []byte) (applied bool, err error) {
+	// Decode before touching any state: a malformed record must not be
+	// logged, or recovery would choke on the same bytes.
+	id, ev, err := decodeWALRecord(payload)
+	if err != nil {
+		return false, fmt.Errorf("provgraph: replicated record at lsn %d: %w", lsn, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
+	next := s.j.NextLSN()
+	if lsn < next {
+		return false, nil // already applied; duplicate delivery
+	}
+	if lsn > next {
+		return false, fmt.Errorf("%w: got lsn %d, want %d", ErrReplicaGap, lsn, next)
+	}
+	if err := s.j.Log(payload); err != nil {
+		return false, err
+	}
+	s.applyEvent(ev)
+	if id != "" {
+		s.dedup.add(id)
+	}
+	s.maybeReseal()
+	return true, nil
+}
+
+// ReplicationInfo is a consistent snapshot of the journal coordinates
+// replication works in, for both sides: a leader serves checkpoints and
+// streams from these, a follower resumes and reports lag from them.
+type ReplicationInfo struct {
+	// Gen is the current checkpoint generation (0 if none).
+	Gen uint64
+	// StartLSN is the first LSN not covered by the checkpoint — where a
+	// bootstrap from this checkpoint must start streaming.
+	StartLSN uint64
+	// NextLSN is the LSN the next logged record will receive; records
+	// below it are applied.
+	NextLSN uint64
+	// LastCRC is the frame CRC of the newest WAL entry (valid only if
+	// HaveCRC): the content fingerprint a resuming stream verifies.
+	LastCRC uint32
+	HaveCRC bool
+	// WALPath and SnapshotPath locate the live journal files for the
+	// replication server's tailing reader and checkpoint sender.
+	WALPath      string
+	SnapshotPath string
+}
+
+// ReplicationInfo returns the store's current replication coordinates.
+func (s *Store) ReplicationInfo() ReplicationInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	crc, have := s.j.LastFrameCRC()
+	return ReplicationInfo{
+		Gen:          s.j.Gen(),
+		StartLSN:     s.j.StartLSN(),
+		NextLSN:      s.j.NextLSN(),
+		LastCRC:      crc,
+		HaveCRC:      have,
+		WALPath:      s.j.WALPath(),
+		SnapshotPath: s.j.SnapshotPath(),
+	}
+}
+
+// NextLSN returns the next LSN the store will log. On a replica this is
+// the applied-LSN high-water mark + 1 — the stream resume position.
+func (s *Store) NextLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.j.NextLSN()
+}
+
+// FlushWAL pushes buffered WAL entries to the OS (no fsync) so a
+// tailing replication reader can see them. The leader's stream server
+// calls this once per poll; durability semantics are unchanged.
+func (s *Store) FlushWAL() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.j.Flush()
+}

@@ -1,0 +1,132 @@
+// Package replica implements WAL-shipping read replication: a leader
+// provd serves its checkpoint file and a tailing stream of WAL frames
+// over HTTP, and follower daemons bootstrap from the checkpoint, then
+// replay the stream into their own read-only stores.
+//
+// # Protocol
+//
+// Three endpoints on the leader:
+//
+//	GET /replica/meta
+//	    JSON coordinates: leader instance ID, checkpoint generation,
+//	    the checkpoint's start LSN, the WAL's next LSN, and the
+//	    store's in-memory generation counter.
+//
+//	GET /checkpoint/<gen>
+//	    The sectioned v3 checkpoint file, verbatim. The response
+//	    headers carry the generation and start LSN the file was read
+//	    under, captured atomically with it. If <gen> is no longer the
+//	    current generation (a checkpoint superseded it mid-bootstrap),
+//	    the reply is 410 Gone with fresh meta in the body: retry there.
+//
+//	GET /wal/stream?from=<lsn>&follower=<id>&expect_crc=<crc>&instance=<id>&wait_ms=<n>&max_bytes=<n>
+//	    Long-poll for WAL frames starting at <lsn>. A 200 body is raw
+//	    concatenated WAL frames — the exact bytes the leader logged,
+//	    CRCs included — and X-Prov-Next-Lsn names the LSN after the
+//	    last one shipped (frames may tear in transit; the follower
+//	    verifies each CRC and re-requests from its own high-water
+//	    mark). 410 Gone: <lsn> was compacted into a checkpoint —
+//	    bootstrap. 409 Conflict: the leader cannot prove continuity
+//	    with what the follower already applied (the follower is ahead
+//	    of the leader's log, its expect_crc does not match, or the
+//	    leader is a different instance at an unverifiable boundary) —
+//	    re-bootstrap.
+//
+// # Divergence detection
+//
+// LSNs alone cannot prove a resumed stream continues the same history:
+// a leader that crashed with unsynced WAL tail loses records it
+// already shipped, and after restart may log different events at the
+// same LSNs. Frame CRCs are content fingerprints, identical on both
+// sides because the frames are identical bytes. A follower therefore
+// presents the CRC of its last applied frame (expect_crc) when
+// resuming; the leader verifies it against the same LSN in its own log
+// before serving. When the frame before the resume point has been
+// compacted away (from == the checkpoint's start LSN), continuity is
+// unverifiable by content, so the follower's record of the leader's
+// instance ID must match — a new instance at that boundary forces a
+// re-bootstrap instead of risking silent divergence.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Endpoint paths on the leader.
+const (
+	PathMeta       = "/replica/meta"
+	PathCheckpoint = "/checkpoint/" // + decimal generation
+	PathWALStream  = "/wal/stream"
+)
+
+// Response headers.
+const (
+	HdrInstance = "X-Prov-Instance"
+	HdrGen      = "X-Prov-Gen"
+	HdrStartLSN = "X-Prov-Start-Lsn"
+	HdrNextLSN  = "X-Prov-Next-Lsn"
+)
+
+// Meta is the leader's replication coordinates, served at PathMeta and
+// as the body of 410/409 replies so a refused follower learns where to
+// go next without another round trip.
+type Meta struct {
+	// Instance identifies one leader process lifetime; it changes on
+	// every leader restart.
+	Instance string `json:"instance"`
+	// CheckpointGen is the current checkpoint generation (0 if none).
+	CheckpointGen uint64 `json:"checkpoint_gen"`
+	// StartLSN is the first LSN not covered by that checkpoint.
+	StartLSN uint64 `json:"start_lsn"`
+	// NextLSN is the LSN the leader's next logged record will receive.
+	NextLSN uint64 `json:"next_lsn"`
+	// Generation is the leader store's in-memory generation counter
+	// (the one Views pin); informational.
+	Generation uint64 `json:"generation"`
+}
+
+// frameHeader is the WAL frame header size:
+// [crc32c u32][length u32][lsn u64].
+const frameHeader = 16
+
+// maxFramePayload bounds a single frame's payload on the wire, matching
+// the storage layer's record bound.
+const maxFramePayload = 1 << 26
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornFrame reports a frame cut short in transit — retry territory,
+// not corruption.
+var errTornFrame = errors.New("replica: torn wal frame")
+
+// parseFrame reads one WAL frame from the front of b. It returns the
+// frame's LSN, its payload (aliasing b), and the total frame size.
+// errTornFrame means b ends mid-frame (ship what preceded it and
+// re-request); a CRC or bound failure is a real error.
+func parseFrame(b []byte) (lsn uint64, payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return 0, nil, 0, errTornFrame
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[0:])
+	length := binary.LittleEndian.Uint32(b[4:])
+	lsn = binary.LittleEndian.Uint64(b[8:])
+	if length > maxFramePayload {
+		return 0, nil, 0, fmt.Errorf("replica: frame length %d out of bounds", length)
+	}
+	total := frameHeader + int(length)
+	if len(b) < total {
+		return 0, nil, 0, errTornFrame
+	}
+	if crc32.Checksum(b[4:total], castagnoli) != wantCRC {
+		return 0, nil, 0, fmt.Errorf("replica: frame crc mismatch at lsn %d", lsn)
+	}
+	return lsn, b[frameHeader:total], total, nil
+}
+
+// frameCRC returns the CRC field of a whole frame (its first 4 bytes).
+func frameCRC(frame []byte) uint32 {
+	return binary.LittleEndian.Uint32(frame[0:])
+}

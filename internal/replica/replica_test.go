@@ -1,0 +1,491 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/faultfs"
+	"browserprov/internal/provgraph"
+)
+
+// The replication fault matrix: each test drives a leader/follower pair
+// through a scripted failure — leader restart with and without a lost
+// WAL tail, follower kill mid-replay, stream resets, duplicated and
+// torn responses, checkpoint supersession mid-bootstrap — and proves
+// the same invariant every time: once the dust settles, the follower's
+// checkpoint is byte-identical to the leader's for the same applied
+// history.
+
+var t0 = time.Date(2009, 4, 22, 9, 0, 0, 0, time.UTC)
+
+func visitEvent(i int) *event.Event {
+	return &event.Event{
+		Time:       t0.Add(time.Duration(i) * time.Second),
+		Type:       event.TypeVisit,
+		Tab:        1 + i%4,
+		URL:        fmt.Sprintf("http://site-%d.example/p%d", i%13, i),
+		Title:      fmt.Sprintf("page %d", i),
+		Transition: event.TransLink,
+	}
+}
+
+// leaderHarness is a provd leader stand-in: a store with the
+// replication endpoints mounted on an httptest server, restartable in
+// place (optionally losing an unsynced WAL tail on the way down).
+type leaderHarness struct {
+	t     *testing.T
+	dir   string
+	store *provgraph.Store
+	srv   *Server
+	mux   atomic.Pointer[http.ServeMux]
+	http  *httptest.Server
+}
+
+func newLeader(t *testing.T) *leaderHarness {
+	t.Helper()
+	l := &leaderHarness{t: t, dir: t.TempDir()}
+	l.open()
+	l.http = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		l.mux.Load().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		l.http.Close()
+		l.store.Close()
+	})
+	return l
+}
+
+func (l *leaderHarness) open() {
+	st, err := provgraph.Open(l.dir)
+	if err != nil {
+		l.t.Fatal(err)
+	}
+	l.store = st
+	l.srv = NewServer(st)
+	mux := http.NewServeMux()
+	l.srv.Register(mux)
+	l.mux.Store(mux)
+}
+
+// restart closes and reopens the leader (new process incarnation: new
+// instance ID). loseFrames > 0 rips that many trailing WAL frames off
+// the closed log first — the unsynced tail a crashed leader loses.
+func (l *leaderHarness) restart(loseFrames int) {
+	l.t.Helper()
+	if err := l.store.Close(); err != nil {
+		l.t.Fatal(err)
+	}
+	if loseFrames > 0 {
+		l.ripTail(loseFrames)
+	}
+	l.open()
+}
+
+// ripTail truncates the leader's WAL at the boundary loseFrames from
+// the end, simulating a crash that lost the newest appends.
+func (l *leaderHarness) ripTail(loseFrames int) {
+	l.t.Helper()
+	path := filepath.Join(l.dir, "provgraph.wal")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		l.t.Fatal(err)
+	}
+	var bounds []int
+	for off := 0; off < len(b); {
+		_, _, n, err := parseFrame(b[off:])
+		if err != nil {
+			l.t.Fatalf("leader wal parse at %d: %v", off, err)
+		}
+		off += n
+		bounds = append(bounds, off)
+	}
+	if len(bounds) < loseFrames {
+		l.t.Fatalf("wal has %d frames, cannot lose %d", len(bounds), loseFrames)
+	}
+	cut := 0
+	if len(bounds) > loseFrames {
+		cut = bounds[len(bounds)-1-loseFrames]
+	}
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		l.t.Fatal(err)
+	}
+}
+
+func (l *leaderHarness) apply(from, to int) {
+	l.t.Helper()
+	for i := from; i < to; i++ {
+		if err := l.store.Apply(visitEvent(i)); err != nil {
+			l.t.Fatal(err)
+		}
+	}
+}
+
+// startFollower creates a follower against base (the leader or a fault
+// proxy) and runs its stream loop until the test ends.
+func startFollower(t *testing.T, base string, dir string) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerOptions{
+		Dir:           dir,
+		LeaderURL:     base,
+		ID:            "f1",
+		Client:        &http.Client{Timeout: 5 * time.Second},
+		WaitMS:        200,
+		RetryInterval: 25 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx) //nolint:errcheck // returns ctx.Err()
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		if st := f.Store(); st != nil {
+			st.Close()
+		}
+	})
+	return f
+}
+
+// waitCaughtUp blocks until the follower has applied everything the
+// leader has logged right now.
+func waitCaughtUp(t *testing.T, l *leaderHarness, f *Follower) {
+	t.Helper()
+	want := l.store.NextLSN()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.Stats().AppliedLSN >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at lsn %d, want %d", f.Stats().AppliedLSN, want)
+}
+
+// checkpointBytes checkpoints the store and returns the snapshot
+// file's raw bytes.
+func checkpointBytes(t *testing.T, s *provgraph.Store, dir string) []byte {
+	t.Helper()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "provgraph.snap.*"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files = %v (err %v), want exactly one", snaps, err)
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// assertConverged is the matrix invariant: caught-up follower state is
+// byte-identical to the leader's at the same applied history.
+func assertConverged(t *testing.T, l *leaderHarness, f *Follower, followerDir string) {
+	t.Helper()
+	waitCaughtUp(t, l, f)
+	leaderBytes := checkpointBytes(t, l.store, l.dir)
+	followerBytes := checkpointBytes(t, f.Store(), followerDir)
+	if !bytes.Equal(leaderBytes, followerBytes) {
+		t.Fatalf("checkpoints diverged: leader %d bytes, follower %d bytes",
+			len(leaderBytes), len(followerBytes))
+	}
+}
+
+func TestFollowerBootstrapAndStream(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 200)
+	if err := l.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l.apply(200, 260) // WAL tail past the checkpoint
+
+	dir := t.TempDir()
+	f := startFollower(t, l.http.URL, dir)
+	if f.Stats().BootstrapSeconds <= 0 {
+		t.Fatal("bootstrap duration not recorded")
+	}
+	waitCaughtUp(t, l, f)
+
+	// The full read surface works on the replica.
+	if _, ok := f.Store().PageByURL("http://site-0.example/p0"); !ok {
+		t.Fatal("bootstrapped page missing on follower")
+	}
+	if _, ok := f.Store().PageByURL("http://site-3.example/p250"); !ok {
+		t.Fatal("streamed page missing on follower")
+	}
+
+	// Live tail: new leader appends flow through the open stream.
+	l.apply(260, 300)
+	assertConverged(t, l, f, dir)
+
+	// Leader-side per-follower accounting saw this follower.
+	fs, ok := l.srv.Followers()["f1"]
+	if !ok {
+		t.Fatal("leader has no stream stats for follower f1")
+	}
+	if fs.BytesShipped == 0 || fs.NextLSN == 0 || fs.Polls == 0 {
+		t.Fatalf("leader follower stats empty: %+v", fs)
+	}
+}
+
+func TestFollowerLeaderCleanRestart(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 100)
+	dir := t.TempDir()
+	f := startFollower(t, l.http.URL, dir)
+	waitCaughtUp(t, l, f)
+
+	// Clean restart: nothing lost, new instance ID. The follower's
+	// expect_crc verifies continuity and the stream resumes without a
+	// re-bootstrap.
+	l.restart(0)
+	l.apply(100, 150)
+	assertConverged(t, l, f, dir)
+	if n := f.Stats().Rebootstraps; n != 0 {
+		t.Fatalf("clean leader restart forced %d re-bootstraps, want 0", n)
+	}
+}
+
+func TestFollowerLeaderRestartLostTail(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 100)
+	dir := t.TempDir()
+	f := startFollower(t, l.http.URL, dir)
+	waitCaughtUp(t, l, f)
+
+	// Crash-restart losing the last 10 appends, then log DIFFERENT
+	// events over the same LSN range: silent divergence bait. The
+	// follower's expect_crc cannot match, so it must re-bootstrap onto
+	// the leader's new history.
+	l.restart(10)
+	for i := 1000; i < 1020; i++ {
+		if err := l.store.Apply(visitEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertConverged(t, l, f, dir)
+	if n := f.Stats().Rebootstraps; n == 0 {
+		t.Fatal("lost-tail leader restart did not force a re-bootstrap")
+	}
+	// The divergent pages must be gone from the follower.
+	if _, ok := f.Store().PageByURL("http://site-12.example/p90"); ok {
+		// p90 was in the lost tail (events 90..99 lost) — wait until the
+		// swap landed; assertConverged already did, so presence is a bug.
+		t.Fatal("follower still serves an event the leader lost")
+	}
+}
+
+func TestFollowerKillMidReplay(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 50)
+	dir := t.TempDir()
+
+	// First incarnation: catch up, then die without closing anything —
+	// the local WAL keeps only what the group-commit window flushed, and
+	// we tear its last frame for good measure.
+	f1, err := NewFollower(FollowerOptions{
+		Dir: dir, LeaderURL: l.http.URL, ID: "f1",
+		Client: &http.Client{Timeout: 5 * time.Second},
+		WaitMS: 200, RetryInterval: 25 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f1.Run(ctx) }() //nolint:errcheck
+	waitCaughtUp(t, l, f1)
+	cancel()
+	<-done
+	// Flush what the store buffered (the OS has it on a real crash once
+	// written; the buffered writer is process state we must not carry),
+	// then simulate the torn tail a mid-write crash leaves.
+	if err := f1.Store().FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "provgraph.wal")
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 7 {
+		if err := os.Truncate(walPath, fi.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// f1's store object is abandoned un-closed, like a killed process.
+
+	l.apply(50, 80)
+
+	// Second incarnation: recovery replays the local journal (dropping
+	// the torn frame), resumes the stream from its own high-water mark,
+	// and converges.
+	f2 := startFollower(t, l.http.URL, dir)
+	assertConverged(t, l, f2, dir)
+	if n := f2.Stats().Rebootstraps; n != 0 {
+		t.Fatalf("follower crash recovery forced %d re-bootstraps, want resume", n)
+	}
+}
+
+func TestFollowerStreamFaults(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 120)
+
+	proxy := faultfs.NewProxy(l.http.URL)
+	defer proxy.Close()
+	ps := httptest.NewServer(proxy)
+	defer ps.Close()
+
+	// Fault every flavor of broken stream at the follower: connection
+	// reset before and after the leader served, duplicated delivery,
+	// torn (half-relayed) response bodies. Exhausted script passes.
+	proxy.Script(
+		faultfs.Pass, // bootstrap meta
+		faultfs.Pass, // checkpoint (none: gen 0, skipped) / first poll
+		faultfs.ResetBefore,
+		faultfs.Truncate,
+		faultfs.Dup,
+		faultfs.ResetAfter,
+		faultfs.Truncate,
+		faultfs.Pass,
+	)
+	dir := t.TempDir()
+	f := startFollower(t, ps.URL, dir)
+	waitCaughtUp(t, l, f)
+
+	l.apply(120, 160)
+	assertConverged(t, l, f, dir)
+	if k := proxy.Killed(); k == 0 {
+		t.Fatal("fault proxy killed no connections; script did not run")
+	}
+}
+
+func TestFollowerBehindCheckpointRebootstraps(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 60)
+	dir := t.TempDir()
+
+	// First incarnation catches up, then goes down (cleanly).
+	f1, err := NewFollower(FollowerOptions{
+		Dir: dir, LeaderURL: l.http.URL, ID: "f1",
+		Client: &http.Client{Timeout: 5 * time.Second},
+		WaitMS: 200, RetryInterval: 25 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f1.Run(ctx) }() //nolint:errcheck
+	waitCaughtUp(t, l, f1)
+	cancel()
+	<-done
+	if err := f1.Store().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// While it is down, the leader advances AND checkpoints: the WAL
+	// prefix the follower would need to resume is compacted away.
+	l.apply(60, 100)
+	if err := l.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l.apply(100, 140)
+
+	// Second incarnation resumes at its stale position, gets 410 Gone,
+	// re-bootstraps from the new checkpoint, and converges.
+	f2 := startFollower(t, l.http.URL, dir)
+	assertConverged(t, l, f2, dir)
+	if n := f2.Stats().Rebootstraps; n == 0 {
+		t.Fatal("compacted-away resume position did not force a re-bootstrap")
+	}
+}
+
+func TestCheckpointSupersededMidBootstrap(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 80)
+	if err := l.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	l.apply(80, 100)
+
+	dir := t.TempDir()
+	f := &Follower{opts: FollowerOptions{
+		Dir: dir, LeaderURL: l.http.URL, ID: "f1",
+		Client: &http.Client{Timeout: 5 * time.Second},
+		WaitMS: 100, RetryInterval: 25 * time.Millisecond, Logf: t.Logf,
+	}}
+	ctx := context.Background()
+
+	// Fetch coordinates, then supersede them before the download starts:
+	// the checkpoint the meta named is deleted by the leader's commit.
+	stale, err := f.fetchMeta(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.apply(100, 130)
+	if err := l.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.bootstrapFrom(ctx, stale); err == nil {
+		t.Fatal("bootstrap from superseded checkpoint succeeded; want supersession error")
+	} else if err != errCheckpointSuperseded {
+		t.Fatalf("bootstrapFrom: %v, want errCheckpointSuperseded", err)
+	}
+
+	// The full bootstrap loop retries on fresh meta and lands.
+	st, err := f.bootstrap(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.store.Store(st)
+	f.appliedLSN.Store(st.NextLSN())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }() //nolint:errcheck
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		f.Store().Close()
+	})
+	assertConverged(t, l, f, dir)
+}
+
+func TestFollowerDedupWindowConverges(t *testing.T) {
+	// Dedup-keyed records (idempotent network ingest on the leader)
+	// carry their IDs to the follower inside the same WAL records, so a
+	// leader ingest retry after failover-to-follower reads would still
+	// be rejected. Byte-identical checkpoints require the windows to
+	// match, so assertConverged already proves most of this; the
+	// explicit SeenEventID check documents the contract.
+	l := newLeader(t)
+	ids := []string{"ing-1", "ing-2", "ing-3"}
+	evs := []*event.Event{visitEvent(0), visitEvent(1), visitEvent(2)}
+	if _, err := l.store.ApplyBatchDedup(ids, evs); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f := startFollower(t, l.http.URL, dir)
+	assertConverged(t, l, f, dir)
+	for _, id := range ids {
+		if !f.Store().SeenEventID(id) {
+			t.Fatalf("follower dedup window missing %q", id)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package replica
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"browserprov/internal/provgraph"
+	"browserprov/internal/storage"
+)
+
+// Server is the leader side of replication: an http.Handler serving
+// the meta, checkpoint and WAL-stream endpoints for one store. It
+// holds no replication state of its own beyond per-follower stream
+// accounting — every request re-reads the store's coordinates, so
+// checkpoints and trims concurrent with a request resolve to a 410
+// redirect rather than a stale answer.
+type Server struct {
+	store    *provgraph.Store
+	instance string
+
+	mu        sync.Mutex
+	followers map[string]*FollowerStream
+}
+
+// FollowerStream is the leader's view of one follower's progress,
+// reported in /stats.
+type FollowerStream struct {
+	// NextLSN is the LSN after the last frame shipped to this follower.
+	NextLSN uint64 `json:"next_lsn"`
+	// BytesShipped counts WAL frame bytes sent across all polls.
+	BytesShipped int64 `json:"bytes_shipped"`
+	// Polls counts stream requests served (including empty long polls).
+	Polls int64 `json:"polls"`
+	// LastPollUnix is when the follower last polled (Unix seconds).
+	LastPollUnix int64 `json:"last_poll_unix"`
+}
+
+// NewServer returns a replication server for store. The instance ID is
+// fresh per call: one server per leader process lifetime.
+func NewServer(store *provgraph.Store) *Server {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("replica: no entropy for instance id: " + err.Error())
+	}
+	return &Server{
+		store:     store,
+		instance:  hex.EncodeToString(b[:]),
+		followers: make(map[string]*FollowerStream),
+	}
+}
+
+// Instance returns the leader's instance ID.
+func (s *Server) Instance() string { return s.instance }
+
+// Followers returns a copy of the per-follower stream accounting.
+func (s *Server) Followers() map[string]FollowerStream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]FollowerStream, len(s.followers))
+	for id, f := range s.followers {
+		out[id] = *f
+	}
+	return out
+}
+
+// Register mounts the replication endpoints on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc(PathMeta, s.handleMeta)
+	mux.HandleFunc(PathCheckpoint, s.handleCheckpoint)
+	mux.HandleFunc(PathWALStream, s.handleWAL)
+}
+
+func (s *Server) meta() Meta {
+	info := s.store.ReplicationInfo()
+	return Meta{
+		Instance:      s.instance,
+		CheckpointGen: info.Gen,
+		StartLSN:      info.StartLSN,
+		NextLSN:       info.NextLSN,
+		Generation:    s.store.Generation(),
+	}
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.meta())
+}
+
+// replyMeta answers a refused request with status plus fresh meta, so
+// the follower's next move needs no extra round trip.
+func (s *Server) replyMeta(w http.ResponseWriter, status int) {
+	writeJSON(w, status, s.meta())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client-side copy
+}
+
+// handleCheckpoint serves the current checkpoint file if its generation
+// matches the request. The generation and start LSN in the headers are
+// captured together with the path under the store's lock, so the
+// follower can trust them to describe the bytes that follow.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	genStr := strings.TrimPrefix(r.URL.Path, PathCheckpoint)
+	gen, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad generation", http.StatusBadRequest)
+		return
+	}
+	info := s.store.ReplicationInfo()
+	if info.Gen == 0 || info.Gen != gen {
+		s.replyMeta(w, http.StatusGone) // superseded (or none yet): re-read meta
+		return
+	}
+	f, err := os.Open(info.SnapshotPath)
+	if err != nil {
+		// Superseded between the info read and the open: the commit
+		// removed the old file. Same answer as a stale generation.
+		s.replyMeta(w, http.StatusGone)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	h.Set(HdrInstance, s.instance)
+	h.Set(HdrGen, strconv.FormatUint(info.Gen, 10))
+	h.Set(HdrStartLSN, strconv.FormatUint(info.StartLSN, 10))
+	// An unlinked-but-open file streams fine; a checkpoint that lands
+	// mid-copy cannot corrupt this response.
+	io.Copy(w, f) //nolint:errcheck // client-side copy
+}
+
+// Stream tuning. One poll ships at most maxBytes of frames and waits at
+// most waitMS for the first frame to appear; the server re-checks the
+// (flushed) log every streamPollInterval while waiting.
+const (
+	defaultStreamMaxBytes = 1 << 20
+	maxStreamWaitMS       = 30_000
+	streamPollInterval    = 5 * time.Millisecond
+)
+
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad from", http.StatusBadRequest)
+		return
+	}
+	followerID := q.Get("follower")
+	if followerID == "" {
+		followerID = "anonymous"
+	}
+	waitMS, _ := strconv.Atoi(q.Get("wait_ms"))
+	if waitMS < 0 {
+		waitMS = 0
+	}
+	if waitMS > maxStreamWaitMS {
+		waitMS = maxStreamWaitMS
+	}
+	maxBytes, _ := strconv.Atoi(q.Get("max_bytes"))
+	if maxBytes <= 0 || maxBytes > 16*defaultStreamMaxBytes {
+		maxBytes = defaultStreamMaxBytes
+	}
+
+	info := s.store.ReplicationInfo()
+	if from < info.StartLSN {
+		s.replyMeta(w, http.StatusGone) // compacted away: bootstrap
+		return
+	}
+	if from > info.NextLSN {
+		// The follower is ahead of this leader's log: the leader lost a
+		// tail it had shipped (crash before sync, restart). Resuming
+		// would fork history.
+		s.replyMeta(w, http.StatusConflict)
+		return
+	}
+	if from == info.StartLSN && from > 0 {
+		// Continuity is unverifiable by content here: the previous frame
+		// is gone from the log. Only the same leader instance may vouch
+		// for it.
+		if inst := q.Get("instance"); inst != "" && inst != s.instance {
+			s.replyMeta(w, http.StatusConflict)
+			return
+		}
+	}
+
+	rd, err := storage.OpenWALReader(info.WALPath, from)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer rd.Close()
+
+	deadline := time.Now().Add(time.Duration(waitMS) * time.Millisecond)
+	var out []byte
+	verified := false
+	for {
+		if err := s.store.FlushWAL(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		frame, _, err := rd.ReadFrame()
+		if errors.Is(err, storage.ErrWALTrimmed) {
+			s.replyMeta(w, http.StatusGone)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !verified {
+			// The reader's skip-scan has run by now (first read always
+			// scans to `from` or the tail): check the follower's content
+			// fingerprint before shipping anything.
+			if want := q.Get("expect_crc"); want != "" {
+				crc, ok := rd.PrevFrameCRC()
+				if ok {
+					wantCRC, perr := strconv.ParseUint(want, 10, 32)
+					if perr != nil || uint32(wantCRC) != crc {
+						s.replyMeta(w, http.StatusConflict)
+						return
+					}
+				}
+				// !ok: from == StartLSN; the instance check above ruled.
+			}
+			verified = true
+		}
+		if frame != nil {
+			out = append(out, frame...)
+			if len(out) >= maxBytes {
+				break
+			}
+			continue
+		}
+		if len(out) > 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(streamPollInterval)
+	}
+
+	s.mu.Lock()
+	st := s.followers[followerID]
+	if st == nil {
+		st = &FollowerStream{}
+		s.followers[followerID] = st
+	}
+	st.NextLSN = rd.NextLSN()
+	st.BytesShipped += int64(len(out))
+	st.Polls++
+	st.LastPollUnix = time.Now().Unix()
+	s.mu.Unlock()
+
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HdrInstance, s.instance)
+	h.Set(HdrNextLSN, strconv.FormatUint(rd.NextLSN(), 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out) //nolint:errcheck // follower re-requests from its own mark
+}

@@ -33,6 +33,7 @@ type Journal struct {
 	snapSize int64
 	snapTime time.Time
 	gen      uint64
+	startLSN uint64 // first LSN not covered by the current snapshot
 
 	// SyncEvery controls group commit: the WAL is fsynced after this
 	// many logged commits (1 = every commit). A Log call is one commit;
@@ -95,6 +96,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 		return nil, err
 	}
 	j.gen = meta.gen
+	j.startLSN = meta.startLSN
 	if meta.gen > 0 {
 		j.snapPath = j.snapFile(meta.gen)
 		if fi, err := fs.Stat(j.snapPath); err == nil {
@@ -150,7 +152,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 }
 
 func (j *Journal) snapFile(gen uint64) string {
-	return filepath.Join(j.dir, fmt.Sprintf("%s.snap.%06d", j.name, gen))
+	return SnapshotFilePath(j.dir, j.name, gen)
 }
 func (j *Journal) walFile() string {
 	return filepath.Join(j.dir, j.name+".wal")
@@ -316,6 +318,7 @@ func (j *Journal) Checkpoint(write func(h *HeapFile) error) error {
 	j.snapPath = path
 	j.snapSize = size
 	j.snapTime = time.Now()
+	j.startLSN = startLSN
 	j.unsynced = 0
 	return nil
 }
@@ -403,6 +406,7 @@ func (j *Journal) CommitCheckpoint(t *CheckpointTicket) error {
 	j.snapPath = t.path
 	j.snapSize = t.size
 	j.snapTime = time.Now()
+	j.startLSN = t.startLSN
 	j.unsynced = 0
 	// The metadata now fences replay at startLSN, so the prefix is dead
 	// weight either way; a failure here costs disk space, not
@@ -427,6 +431,62 @@ func (j *Journal) SizeOnDisk() int64 {
 
 // WALSize returns the current WAL size in bytes.
 func (j *Journal) WALSize() int64 { return j.wal.Size() }
+
+// ---- replication accessors ----
+//
+// WAL shipping reads the journal's durable artifacts by path (the
+// stream server tails the WAL file with a WALReader, the bootstrap
+// endpoint streams the snapshot file), so the accessors below expose
+// just enough geometry — generation, fence LSN, append position, paths
+// — for a replication layer to serve both without reaching into
+// journal internals. Callers must hold whatever lock guards the
+// journal's writer (the store mutex) while calling them.
+
+// Gen returns the current snapshot generation (0 = no snapshot).
+func (j *Journal) Gen() uint64 { return j.gen }
+
+// StartLSN returns the first LSN not covered by the current snapshot —
+// the WAL fence. Entries below it live only in the snapshot.
+func (j *Journal) StartLSN() uint64 { return j.startLSN }
+
+// NextLSN returns the LSN the next logged entry will receive.
+func (j *Journal) NextLSN() uint64 { return j.wal.NextLSN() }
+
+// WALPath returns the path of the live WAL file.
+func (j *Journal) WALPath() string { return j.walFile() }
+
+// SnapshotPath returns the path of the current snapshot file ("" if
+// none).
+func (j *Journal) SnapshotPath() string { return j.snapPath }
+
+// LastFrameCRC returns the WAL frame CRC of the newest logged entry
+// (false if nothing has been logged or replayed this open).
+func (j *Journal) LastFrameCRC() (uint32, bool) { return j.wal.LastFrameCRC() }
+
+// Flush pushes buffered WAL entries to the OS without fsyncing, making
+// them visible to WAL file readers (see WAL.Flush).
+func (j *Journal) Flush() error { return j.wal.Flush() }
+
+// SnapshotFilePath returns the path a journal named name in dir gives
+// its generation-gen snapshot. Replication bootstrap uses it to install
+// a downloaded checkpoint where recovery will find it.
+func SnapshotFilePath(dir, name string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.snap.%06d", name, gen))
+}
+
+// WriteJournalMeta atomically writes the metadata file for a journal
+// named name in dir, naming snapshot generation gen with WAL fence
+// startLSN. It is the bootstrap half of replication: a follower that
+// downloaded snapshot gen into SnapshotFilePath(dir, name, gen) commits
+// the install by writing this meta; the next OpenJournal then recovers
+// through the ordinary snapshot-plus-log path.
+func WriteJournalMeta(dir, name string, gen, startLSN uint64) error {
+	if err := OSFS.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	j := &Journal{dir: dir, name: name, fs: OSFS}
+	return j.writeMeta(journalMeta{gen: gen, startLSN: startLSN})
+}
 
 // SnapshotSize returns the current snapshot size in bytes (0 if none).
 func (j *Journal) SnapshotSize() int64 { return j.snapSize }

@@ -30,6 +30,15 @@ type WAL struct {
 	lsn    uint64 // LSN of the next entry to be appended
 	size   int64
 	closed bool
+
+	// lastCRC is the frame CRC of the newest entry (appended or seen
+	// during replay). Replication uses it as a cheap content fingerprint:
+	// a follower resuming a stream presents the CRC of its last applied
+	// record and the leader checks it against the same LSN in its own
+	// log, so silent divergence (a leader that lost a tail and re-logged
+	// different events at the same LSNs) is caught at resume time.
+	lastCRC  uint32
+	haveLast bool
 }
 
 const walFrameHeader = 16
@@ -133,6 +142,7 @@ func (w *WAL) replay(fromLSN uint64, apply func(lsn uint64, payload []byte) erro
 			lastLSN = lsn
 		}
 		seen = true
+		w.lastCRC, w.haveLast = wantCRC, true
 		off += int64(walFrameHeader) + int64(length)
 	}
 }
@@ -158,11 +168,27 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	lsn := w.lsn
 	w.lsn++
 	w.size += int64(walFrameHeader) + int64(len(payload))
+	w.lastCRC, w.haveLast = crc, true
 	return lsn, nil
 }
 
 // NextLSN returns the LSN the next appended entry will receive.
 func (w *WAL) NextLSN() uint64 { return w.lsn }
+
+// LastFrameCRC returns the frame CRC of the newest entry, and whether
+// the log has seen any entry at all this open.
+func (w *WAL) LastFrameCRC() (uint32, bool) { return w.lastCRC, w.haveLast }
+
+// Flush pushes buffered entries to the OS without fsyncing. Durability
+// is unchanged (only Sync makes entries crash-safe); flushing makes the
+// entries visible to WAL file readers — the replication stream tails
+// the file and must not wait out a half-full group-commit window.
+func (w *WAL) Flush() error {
+	if w.closed {
+		return ErrWALClosed
+	}
+	return w.w.Flush()
+}
 
 // Size returns the current log size in bytes, including buffered entries.
 func (w *WAL) Size() int64 { return w.size }
@@ -219,6 +245,13 @@ func (w *WAL) ResetKeepTail(fromOff int64) error {
 	if w.closed {
 		return ErrWALClosed
 	}
+	// Sweep a stale side file up front, not just at open: a crash (or an
+	// error-path bailout) between the tmp write and the rename leaves
+	// .tmp debris, and a long-lived daemon that never reopens its WAL
+	// would otherwise carry it until the next restart. The no-tail branch
+	// below goes through Reset and never touches the side file, so this
+	// is also the only in-process cleanup point for it.
+	w.fs.Remove(w.path + ".tmp")
 	if fromOff <= 0 {
 		return nil // nothing before the fence; keep the log as-is
 	}

@@ -1,0 +1,105 @@
+// Replication benchmark: the WAL-shipping trajectory point. Where
+// ingest_bench_test.go guards the leader's write path, this measures
+// how far behind a read replica runs: steady-state follower lag under
+// paced leader ingest, over real loopback HTTP long-polls.
+//
+// Run with:
+//
+//	go test -run=NONE -bench ReplicationLag -benchmem
+package browserprov
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"browserprov/internal/provgraph"
+	"browserprov/internal/replica"
+)
+
+// BenchmarkReplicationLag paces the leader at ~2000 events/sec (one
+// 40-event batch every 20 ms — far past real browsing) and measures,
+// per batch, the time from the leader's ApplyBatch returning to the
+// follower's applied LSN covering it. ns/op is pacing-dominated by
+// construction; the p50/p99 lag metrics are the story, and the
+// acceptance bound is p99 under a second at steady state.
+func BenchmarkReplicationLag(b *testing.B) {
+	leader, err := provgraph.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer leader.Close()
+	mux := http.NewServeMux()
+	replica.NewServer(leader).Register(mux)
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	// Seed a checkpointed prefix so the follower bootstraps from the
+	// file instead of replaying the seed over the wire.
+	evs := ingestReplay()
+	const seed = 2048
+	for i := 0; i < seed; i += 512 {
+		if err := leader.ApplyBatch(evs[i : i+512]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+
+	f, err := replica.NewFollower(replica.FollowerOptions{
+		Dir: b.TempDir(), LeaderURL: hs.URL, ID: "bench",
+		WaitMS: 1000, RetryInterval: 10 * time.Millisecond,
+		Client: &http.Client{Timeout: 10 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() { defer close(runDone); f.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-runDone
+		f.Store().Close()
+	}()
+
+	waitApplied := func(target uint64) time.Duration {
+		t0 := time.Now()
+		for f.Stats().AppliedLSN < target {
+			if time.Since(t0) > 30*time.Second {
+				b.Fatalf("follower stuck at lsn %d, want %d", f.Stats().AppliedLSN, target)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return time.Since(t0)
+	}
+	waitApplied(leader.NextLSN())
+
+	const batch = 40
+	lag := make([]float64, 0, b.N)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	at := seed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-tick.C
+		end := at + batch
+		if end > len(evs) {
+			at, end = 0, batch
+		}
+		if err := leader.ApplyBatch(evs[at:end]); err != nil {
+			b.Fatal(err)
+		}
+		at = end
+		lag = append(lag, float64(waitApplied(leader.NextLSN())))
+	}
+	b.StopTimer()
+	sort.Float64s(lag)
+	b.ReportMetric(lag[len(lag)/2], "p50_lag_ns")
+	b.ReportMetric(lag[len(lag)*99/100], "p99_lag_ns")
+	b.ReportMetric(float64(f.Stats().BytesReceived), "bytes_replicated")
+}

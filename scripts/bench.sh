@@ -33,6 +33,13 @@ go test -run=NONE \
   -bench 'BenchmarkTenantSweep$|BenchmarkParallelSearchSharded$|BenchmarkParallelSearchContendedSharded$' \
   -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
 
+# Replication sweep: steady-state follower lag under paced leader
+# ingest over loopback HTTP WAL-shipping (the p50/p99 lag metrics are
+# the point; ns/op is pacing-dominated by construction).
+go test -run=NONE \
+  -bench 'BenchmarkReplicationLag$' \
+  -benchmem -benchtime "$benchtime" . | tee -a "$tmp"
+
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     -v nproc="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)" \
     -v gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}" '
@@ -61,6 +68,9 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     if ($(i+1) == "reopens") extra = extra sprintf(", \"reopens\": %s", $i)
     if ($(i+1) == "mapped_bytes") extra = extra sprintf(", \"mapped_bytes\": %s", $i)
     if ($(i+1) == "open_tenants") extra = extra sprintf(", \"open_tenants\": %s", $i)
+    if ($(i+1) == "p50_lag_ns") extra = extra sprintf(", \"p50_lag_ns\": %s", $i)
+    if ($(i+1) == "p99_lag_ns") extra = extra sprintf(", \"p99_lag_ns\": %s", $i)
+    if ($(i+1) == "bytes_replicated") extra = extra sprintf(", \"bytes_replicated\": %s", $i)
   }
   if (ns != "") {
     rows[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}",
