@@ -25,6 +25,7 @@ type followerConfig struct {
 	admin           string
 	maxLag          time.Duration
 	checkpointEvery time.Duration
+	scrubEvery      time.Duration
 	syncEvery       int
 	noMmap          bool
 }
@@ -69,9 +70,24 @@ func runFollower(cfg *followerConfig) {
 		}
 	}()
 
+	// Follower self-healing is re-fetching: a replica's data is
+	// reproducible from its leader, so a scrub failure skips local
+	// repair and forces a wholesale re-bootstrap.
+	stopScrub := startScrubTicker(cfg.scrubEvery, func() {
+		if err := f.Store().Scrub(scrubSliceBudget, scrubSlicePause); err != nil &&
+			!errors.Is(err, provgraph.ErrClosed) {
+			log.Printf("provd: follower scrub failed (%v); forcing re-bootstrap from leader", err)
+			f.ForceRebootstrap()
+		}
+	})
+	defer stopScrub()
+
 	var adminSrv *http.Server
 	if cfg.admin != "" {
-		adminSrv = &http.Server{Addr: cfg.admin, Handler: followerHandler(f, &qeng, cfg)}
+		adminSrv = &http.Server{Addr: cfg.admin, Handler: recoverPanics(followerHandler(f, &qeng, cfg),
+			func(r *http.Request, v any) {
+				log.Printf("provd: recovered panic in follower admin handler (%s %s): %v", r.Method, r.URL, v)
+			})}
 		go func() {
 			log.Printf("provd: follower admin endpoints on http://%s/{healthz,readyz,stats} (read-only)", cfg.admin)
 			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {
@@ -136,6 +152,7 @@ func followerHandler(f *replica.Follower, qeng *atomic.Pointer[query.Engine], cf
 			return
 		}
 		reply := coreStats(eng.Store(), v)
+		reply.Scrub = eng.Store().ScrubStatus()
 		fst := f.Stats()
 		reply.Replication = &replicationReply{Role: "follower", Follower: &fst}
 		w.Header().Set("Content-Type", "application/json")

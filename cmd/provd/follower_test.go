@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"browserprov/internal/event"
+	"browserprov/internal/health"
 	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
@@ -43,7 +44,7 @@ func TestFollowerDaemonEndToEnd(t *testing.T) {
 		return store, func() {}, nil
 	}, ingest.ServerOptions{})
 	repl := replica.NewServer(store)
-	leader := httptest.NewServer(adminHandler(store, eng, ing, func() uint64 { return 0 }, repl))
+	leader := httptest.NewServer(adminHandler(store, eng, ing, func() uint64 { return 0 }, repl, &health.Guard{}))
 	defer leader.Close()
 
 	// History worth bootstrapping: a checkpointed prefix plus a WAL tail.

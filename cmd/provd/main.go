@@ -63,6 +63,7 @@ import (
 
 	"browserprov/internal/capture"
 	"browserprov/internal/event"
+	"browserprov/internal/health"
 	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/query"
@@ -102,6 +103,10 @@ type statsReply struct {
 	// Replication state: the leader's per-follower stream accounting, or
 	// this follower's own progress. Absent on a sharded daemon.
 	Replication *replicationReply `json:"replication,omitempty"`
+	// Self-healing state: cumulative online integrity-scrub counters and
+	// the degraded-mode latch (disk-full/fsync trips, recovered panics).
+	Scrub  provgraph.ScrubStatus `json:"scrub"`
+	Health health.Status         `json:"health"`
 }
 
 // replicationReply is the replication section of /stats. Exactly one of
@@ -169,7 +174,7 @@ func coreStats(store *provgraph.Store, v *query.View) statsReply {
 // shutdown or the ingest queue is saturated, so load balancers steer
 // batches elsewhere without the orchestrator killing a healthy process
 // mid-drain.
-func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server, dropped func() uint64, repl *replica.Server) http.Handler {
+func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server, dropped func() uint64, repl *replica.Server, guard *health.Guard) http.Handler {
 	mux := http.NewServeMux()
 	if repl != nil {
 		// Leader side of replication rides the same listener: followers
@@ -195,6 +200,13 @@ func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server,
 			http.Error(w, "ingest saturated", http.StatusServiceUnavailable)
 			return
 		}
+		// Degraded (read-only) means "stop sending write work": reads
+		// still serve off /stats and the query surface, but a load
+		// balancer routing ingest batches should steer them elsewhere.
+		if bad, reason := guard.Degraded(); bad {
+			http.Error(w, "read-only degraded mode: "+reason, http.StatusServiceUnavailable)
+			return
+		}
 		if err := eng.View().Err(); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
@@ -212,6 +224,8 @@ func adminHandler(store *provgraph.Store, eng *query.Engine, ing *ingest.Server,
 		reply := coreStats(store, v)
 		reply.DroppedEvents = dropped()
 		reply.Ingest = ing.Stats()
+		reply.Scrub = store.ScrubStatus()
+		reply.Health = guard.Status()
 		if repl != nil {
 			reply.Replication = &replicationReply{
 				Role: "leader", Instance: repl.Instance(), Followers: repl.Followers(),
@@ -237,6 +251,8 @@ func main() {
 		"comma-separated hosts whose q= parameter is a web search")
 	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute,
 		"periodic background checkpoint interval (0 disables; capture is never blocked for the dump)")
+	scrubEvery := flag.Duration("scrub-every", time.Minute,
+		"online integrity-scrub sweep interval: checkpoint section CRCs and WAL frame CRCs re-verified in background slices (0 disables)")
 	batchSize := flag.Int("batch", 64, "group-commit batch size (1 = one commit per captured event)")
 	flushEvery := flag.Duration("flush", time.Second, "max delay before buffered events are group-committed")
 	useMmap := flag.Bool("mmap", true, "serve the checkpoint off a file mapping (false reads it onto the heap)")
@@ -269,6 +285,7 @@ func main() {
 			admin:           *admin,
 			maxLag:          *maxLag,
 			checkpointEvery: *checkpointEvery,
+			scrubEvery:      *scrubEvery,
 			syncEvery:       syncEvery,
 			noMmap:          !*useMmap,
 		})
@@ -283,6 +300,7 @@ func main() {
 			searchHosts:     strings.Split(*searchHosts, ","),
 			defaultTenant:   *defaultTenant,
 			checkpointEvery: *checkpointEvery,
+			scrubEvery:      *scrubEvery,
 			batchSize:       *batchSize,
 			flushEvery:      *flushEvery,
 			syncEvery:       syncEvery,
@@ -290,10 +308,34 @@ func main() {
 		})
 		return
 	}
-	store, err := provgraph.OpenWith(*dir, provgraph.Options{SyncEvery: syncEvery, NoMmap: !*useMmap})
+	// RetainPrevCheckpoint keeps the previous checkpoint generation (and
+	// the WAL back to its fence) on disk, so a corrupt current checkpoint
+	// is repairable in place instead of fatal — the daemon always opts
+	// into self-healing retention.
+	storeOpts := provgraph.Options{SyncEvery: syncEvery, NoMmap: !*useMmap, RetainPrevCheckpoint: true}
+	store, err := provgraph.OpenWith(*dir, storeOpts)
 	if err != nil {
-		log.Fatal(err)
+		// Self-healing open: a corrupt current checkpoint falls back to
+		// the retained previous generation + WAL replay before giving up.
+		log.Printf("provd: store open failed (%v); attempting repair", err)
+		rep, rerr := provgraph.RepairStore(*dir)
+		if rerr != nil {
+			log.Fatalf("provd: repair: %v (original open error: %v)", rerr, err)
+		}
+		if rep.FellBack {
+			log.Printf("provd: repaired: fell back to checkpoint gen %d, %d WAL frames intact", rep.PrevGen, rep.WALFrames)
+		}
+		if store, err = provgraph.OpenWith(*dir, storeOpts); err != nil {
+			log.Fatal(err)
+		}
 	}
+
+	// The degraded-mode latch: trips on disk-full/fsync failures from
+	// any write path, gates ingest writes at 503, auto-clears when the
+	// background probe sees the volume accept durable writes again.
+	guard := &health.Guard{}
+	stopProbe := guard.StartProbe(*dir, time.Second, logClear)
+	defer stopProbe()
 
 	// Captured events ride the batched group-commit ingest: one lock
 	// acquisition and at most one fsync per batch, flushed on a timer
@@ -322,9 +364,18 @@ func main() {
 			return firstErr
 		})
 		batcher.OnError = func(batch []*event.Event, err error) {
+			guard.ObserveApplyErr(err)
 			log.Printf("provd: dropping %d captured events after failed retry: %v", len(batch), err)
 		}
 		sink = batcher.Add
+	} else {
+		// Per-event mode: watch apply errors directly for disk-full trips.
+		base := sink
+		sink = func(ev *event.Event) error {
+			err := base(ev)
+			guard.ObserveApplyErr(err)
+			return err
+		}
 	}
 	dropped := func() uint64 {
 		if batcher == nil {
@@ -343,7 +394,10 @@ func main() {
 	observer := capture.NewObserver(strings.Split(*searchHosts, ","), sink)
 	proxy := capture.NewProxy(observer)
 
-	srv := &http.Server{Addr: *listen, Handler: proxy}
+	srv := &http.Server{Addr: *listen, Handler: recoverPanics(proxy, func(r *http.Request, v any) {
+		guard.CountPanic()
+		log.Printf("provd: recovered panic in proxy handler (%s %s): %v", r.Method, r.URL, v)
+	})}
 	go func() {
 		log.Printf("provd: capturing on %s into %s", *listen, *dir)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
@@ -353,16 +407,50 @@ func main() {
 
 	// Network ingest rides the admin listener: single-tenant mode
 	// resolves every batch (whatever its tenant header) to the one
-	// store.
+	// store. Sink failures feed the degraded latch; recovered batch
+	// panics are counted and answer 500.
 	ingestSrv := ingest.NewServer(func(string) (ingest.Sink, func(), error) {
 		return store, func() {}, nil
-	}, ingest.ServerOptions{})
+	}, ingest.ServerOptions{
+		Degraded: guard.Degraded,
+		OnError: func(stage, _ string, err error) {
+			tripped := false
+			if stage == "sync" {
+				tripped = guard.ObserveSyncErr(err)
+			} else {
+				tripped = guard.ObserveApplyErr(err)
+			}
+			if tripped {
+				log.Printf("provd: entering read-only degraded mode after %s failure: %v", stage, err)
+			}
+		},
+		OnPanic: func(_ string, v any) {
+			guard.CountPanic()
+			log.Printf("provd: recovered panic in ingest batch: %v", v)
+		},
+	})
+
+	// The online scrubber: re-verify checkpoint section CRCs and WAL
+	// frame CRCs in bounded slices. A dirty sweep is loud — single-tenant
+	// repair needs the store closed, so the operator (or the next
+	// restart) runs the repair; /stats carries the failure meanwhile.
+	stopScrub := startScrubTicker(*scrubEvery, func() {
+		if err := store.Scrub(scrubSliceBudget, scrubSlicePause); err != nil && !errors.Is(err, provgraph.ErrClosed) {
+			log.Printf("provd: INTEGRITY SCRUB FAILED (restart repairs from retained checkpoint): %v", err)
+		}
+	})
+	defer stopScrub()
 
 	var adminSrv *http.Server
 	if *admin != "" {
 		eng := query.NewEngine(store, query.Options{})
 		replSrv := replica.NewServer(store)
-		adminSrv = &http.Server{Addr: *admin, Handler: adminHandler(store, eng, ingestSrv, dropped, replSrv)}
+		adminSrv = &http.Server{Addr: *admin, Handler: recoverPanics(
+			adminHandler(store, eng, ingestSrv, dropped, replSrv, guard),
+			func(r *http.Request, v any) {
+				guard.CountPanic()
+				log.Printf("provd: recovered panic in admin handler (%s %s): %v", r.Method, r.URL, v)
+			})}
 		go func() {
 			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,ingest,wal/stream}", *admin)
 			// A failed probe listener must not take the capture proxy

@@ -1,0 +1,86 @@
+package main
+
+// Self-healing plumbing shared by the daemon's three modes: per-request
+// panic isolation, the periodic integrity-scrub ticker, and the
+// degraded-mode probe wiring (see internal/health).
+
+import (
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// scrubSliceBudget bounds one ScrubStep slice inside a background
+// sweep: long enough to make progress, short enough that a query
+// landing behind it never notices.
+const scrubSliceBudget = 2 * time.Millisecond
+
+// scrubSlicePause is the breather between slices of a background
+// sweep, yielding the section machinery to the read path.
+const scrubSlicePause = time.Millisecond
+
+// recoverPanics wraps next with per-request panic isolation: a handler
+// panic answers 500 to its own request and is reported to onPanic,
+// instead of unwinding the whole daemon. http.ErrAbortHandler is
+// net/http's own control-flow panic and is re-raised untouched.
+func recoverPanics(next http.Handler, onPanic func(r *http.Request, v any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The tenant header is consumed (deleted) by the routing layer
+		// below, so anything onPanic wants from the request is read here,
+		// before next runs — the deferred closure only sees the clone.
+		rc := r.Clone(r.Context())
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				onPanic(rc, v)
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// startScrubTicker runs sweep every interval on its own goroutine,
+// skipping a tick if the previous sweep is still running. interval <= 0
+// disables scrubbing entirely (returns a no-op stop). The stop function
+// halts future ticks; an in-flight sweep finishes on its own.
+func startScrubTicker(interval time.Duration, sweep func()) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var running atomic.Bool
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			if running.Swap(true) {
+				continue // previous sweep still going; don't pile up
+			}
+			go func() {
+				defer running.Store(false)
+				sweep()
+			}()
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if !once.Swap(true) {
+			close(done)
+		}
+	}
+}
+
+// logClear is the shared probe-recovery announcement.
+func logClear(downFor time.Duration) {
+	log.Printf("provd: disk probe succeeded; leaving read-only degraded mode (degraded for %s)",
+		downFor.Round(time.Second))
+}

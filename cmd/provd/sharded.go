@@ -17,6 +17,7 @@ import (
 
 	"browserprov/internal/capture"
 	"browserprov/internal/event"
+	"browserprov/internal/health"
 	"browserprov/internal/ingest"
 	"browserprov/internal/provgraph"
 	"browserprov/internal/shardmap"
@@ -36,6 +37,7 @@ type shardedConfig struct {
 	searchHosts     []string
 	defaultTenant   string
 	checkpointEvery time.Duration
+	scrubEvery      time.Duration
 	batchSize       int
 	flushEvery      time.Duration
 	syncEvery       int
@@ -198,6 +200,14 @@ type shardStatsReply struct {
 	DroppedEvents uint64 `json:"dropped_events"`
 	// Network ingest counters, global across tenants.
 	Ingest ingest.ServerStats `json:"ingest"`
+	// Self-healing state: tenants currently quarantined (with reasons),
+	// lifetime quarantine/repair counters, and the degraded-mode latch.
+	QuarantinedTenants []shardmap.QuarantineInfo `json:"quarantined_tenants,omitempty"`
+	Quarantines        uint64                    `json:"quarantines"`
+	Repairs            uint64                    `json:"repairs"`
+	RepairFailures     uint64                    `json:"repair_failures"`
+	ScrubSweeps        uint64                    `json:"scrub_sweeps"`
+	Health             health.Status             `json:"health"`
 }
 
 // tenantStatsReply is the /stats/<tenant> JSON shape.
@@ -217,12 +227,12 @@ type tenantStatsReply struct {
 // per tenant by X-Prov-Tenant), the global /stats rollup, and
 // per-tenant detail at /stats/<tenant> (which touches — possibly opens —
 // that tenant's store).
-func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server) http.Handler {
+func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server, guard *health.Guard, sweeps *atomic.Uint64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Stats()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ok open=%d known=%d\n", st.OpenTenants, st.KnownTenants)
+		fmt.Fprintf(w, "ok open=%d known=%d quarantined=%d\n", st.OpenTenants, st.KnownTenants, st.Quarantined)
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if ing.Draining() {
@@ -233,6 +243,10 @@ func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server) 
 			http.Error(w, "ingest saturated", http.StatusServiceUnavailable)
 			return
 		}
+		if bad, reason := guard.Degraded(); bad {
+			http.Error(w, "read-only degraded mode: "+reason, http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "ready\n")
 	})
@@ -241,16 +255,22 @@ func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server) 
 		st := m.Stats()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(shardStatsReply{ //nolint:errcheck
-			OpenTenants:   st.OpenTenants,
-			KnownTenants:  st.KnownTenants,
-			Opens:         st.Opens,
-			Reopens:       st.Reopens,
-			Evictions:     st.Evictions,
-			MappedBytes:   st.MappedBytes,
-			HeapLoadBytes: st.HeapBytes,
-			FlushErrors:   pr.errs.Load(),
-			DroppedEvents: pr.droppedEvents(),
-			Ingest:        ing.Stats(),
+			OpenTenants:        st.OpenTenants,
+			KnownTenants:       st.KnownTenants,
+			Opens:              st.Opens,
+			Reopens:            st.Reopens,
+			Evictions:          st.Evictions,
+			MappedBytes:        st.MappedBytes,
+			HeapLoadBytes:      st.HeapBytes,
+			FlushErrors:        pr.errs.Load(),
+			DroppedEvents:      pr.droppedEvents(),
+			Ingest:             ing.Stats(),
+			QuarantinedTenants: m.QuarantinedTenants(),
+			Quarantines:        st.Quarantines,
+			Repairs:            st.Repairs,
+			RepairFailures:     st.RepairFailures,
+			ScrubSweeps:        sweeps.Load(),
+			Health:             guard.Status(),
 		})
 	})
 	mux.HandleFunc("/stats/", func(w http.ResponseWriter, r *http.Request) {
@@ -283,16 +303,71 @@ func shardedAdminHandler(m *shardmap.Map, pr *pipeRegistry, ing *ingest.Server) 
 // runSharded is the multi-tenant daemon loop: one proxy, one shard map,
 // per-tenant capture pipelines.
 func runSharded(cfg *shardedConfig) {
+	// RetainPrevCheckpoint arms per-tenant self-healing: a tenant whose
+	// current checkpoint rots is quarantined by the scrub sweep and
+	// repaired in place from the retained previous generation.
 	m, err := shardmap.Open(cfg.root, shardmap.Options{
 		MaxOpen: cfg.cap,
-		Store:   provgraph.Options{SyncEvery: cfg.syncEvery, NoMmap: cfg.noMmap},
+		Store:   provgraph.Options{SyncEvery: cfg.syncEvery, NoMmap: cfg.noMmap, RetainPrevCheckpoint: true},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	guard := &health.Guard{}
+	stopProbe := guard.StartProbe(cfg.root, time.Second, logClear)
+	defer stopProbe()
 	pr := newPipeRegistry(m, cfg)
-	proxy := capture.NewRoutedProxy(pr.route)
-	ingestSrv := ingest.NewServer(pr.resolveSink, ingest.ServerOptions{})
+	ingestSrv := ingest.NewServer(pr.resolveSink, ingest.ServerOptions{
+		Degraded: guard.Degraded,
+		OnError: func(stage, tenant string, err error) {
+			tripped := false
+			if stage == "sync" {
+				tripped = guard.ObserveSyncErr(err)
+			} else {
+				tripped = guard.ObserveApplyErr(err)
+			}
+			if tripped {
+				log.Printf("provd: entering read-only degraded mode after %s failure (tenant %s): %v", stage, tenant, err)
+			}
+		},
+		OnPanic: func(tenant string, v any) {
+			guard.CountPanic()
+			if tenant == "" {
+				tenant = cfg.defaultTenant
+			}
+			// Repeated panics against one tenant's store smell like that
+			// store, not the daemon: strike it toward quarantine + repair.
+			n := m.Strike(tenant, fmt.Sprintf("panic in ingest: %v", v))
+			log.Printf("provd: recovered panic in ingest batch (tenant %s, strike %d): %v", tenant, n, v)
+		},
+	})
+
+	// The scrub sweep walks every open tenant store in bounded slices;
+	// a store that fails is quarantined and handed to the repair worker
+	// while every other tenant keeps serving.
+	var sweeps atomic.Uint64
+	stopScrub := startScrubTicker(cfg.scrubEvery, func() {
+		clean, quarantined := m.ScrubSweep(scrubSliceBudget)
+		sweeps.Add(1)
+		if len(quarantined) > 0 {
+			log.Printf("provd: scrub sweep: %d clean, quarantined %v (repair workers started)", clean, quarantined)
+		}
+	})
+	defer stopScrub()
+
+	proxy := recoverPanics(capture.NewRoutedProxy(pr.route), func(r *http.Request, v any) {
+		guard.CountPanic()
+		tenant := r.Header.Get(tenantHeader)
+		if tenant == "" {
+			tenant = cfg.defaultTenant
+		}
+		if shardmap.ValidateTenantID(tenant) == nil {
+			n := m.Strike(tenant, fmt.Sprintf("panic in capture: %v", v))
+			log.Printf("provd: recovered panic in proxy handler (tenant %s, strike %d): %v", tenant, n, v)
+			return
+		}
+		log.Printf("provd: recovered panic in proxy handler (%s %s): %v", r.Method, r.URL, v)
+	})
 
 	srv := &http.Server{Addr: cfg.listen, Handler: proxy}
 	go func() {
@@ -304,7 +379,12 @@ func runSharded(cfg *shardedConfig) {
 
 	var adminSrv *http.Server
 	if cfg.admin != "" {
-		adminSrv = &http.Server{Addr: cfg.admin, Handler: shardedAdminHandler(m, pr, ingestSrv)}
+		adminSrv = &http.Server{Addr: cfg.admin, Handler: recoverPanics(
+			shardedAdminHandler(m, pr, ingestSrv, guard, &sweeps),
+			func(r *http.Request, v any) {
+				guard.CountPanic()
+				log.Printf("provd: recovered panic in admin handler (%s %s): %v", r.Method, r.URL, v)
+			})}
 		go func() {
 			log.Printf("provd: admin endpoints on http://%s/{healthz,readyz,stats,stats/<tenant>,ingest}", cfg.admin)
 			if err := adminSrv.ListenAndServe(); err != http.ErrServerClosed {

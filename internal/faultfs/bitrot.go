@@ -1,0 +1,149 @@
+package faultfs
+
+// Seeded randomness and the BitRot fault.
+//
+// Every randomized fault run — proxy chaos scripts, the kill-recover
+// torture loop, random byte flips — derives from one int64 seed that is
+// logged up front and can be pinned via the FAULT_SEED environment
+// variable, so a failing CI run is reproducible locally with
+//
+//	FAULT_SEED=<seed from the log> go test -run <the test> ./...
+//
+// BitRot models silent media corruption: a byte that was written
+// correctly and later reads back wrong. It comes in two forms because
+// the write paths differ — the WAL goes through the VFS (arm
+// FS.BitRotWrites), while checkpoint snapshots are written with plain
+// os files and rot there is injected directly by path (BitRot).
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"time"
+)
+
+// SeedEnv is the environment variable that pins the fault RNG seed.
+const SeedEnv = "FAULT_SEED"
+
+// Seed returns the RNG seed for a randomized fault run: the value of
+// FAULT_SEED when set, otherwise one derived from the clock. The seed
+// is always announced through logf (e.g. t.Logf) so any failure can be
+// replayed by exporting it.
+func Seed(logf func(format string, args ...any)) int64 {
+	seed := time.Now().UnixNano()
+	if v := os.Getenv(SeedEnv); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("faultfs: bad %s=%q: %v", SeedEnv, v, err))
+		}
+		seed = n
+	}
+	if logf != nil {
+		logf("faultfs: rng seed %d (rerun with %s=%d to reproduce)", seed, SeedEnv, seed)
+	}
+	return seed
+}
+
+// BitRot flips one random bit of one random byte in the file at path,
+// in place, and returns the offset it corrupted. The choice comes from
+// rng so a seeded run rots the same byte every time. Flipping any bit
+// guarantees the byte actually changes (XOR with a zero mask would be a
+// vacuous fault).
+func BitRot(path string, rng *rand.Rand) (off int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, fmt.Errorf("faultfs: BitRot %s: file is empty", path)
+	}
+	off = rng.Int63n(st.Size())
+	return off, flipByteAt(f, off, 1<<uint(rng.Intn(8)))
+}
+
+// BitRotAt flips the given bit mask into the byte at off — the
+// deterministic sibling of BitRot for tests that target a known
+// structure (a specific section payload, a specific WAL frame).
+func BitRotAt(path string, off int64, mask byte) error {
+	if mask == 0 {
+		return fmt.Errorf("faultfs: BitRotAt %s: zero mask flips nothing", path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return flipByteAt(f, off, mask)
+}
+
+func flipByteAt(f *os.File, off int64, mask byte) error {
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// BitRotWrites arms rot under the VFS: each of the next n successful
+// matching Writes gets one random byte of its just-written payload
+// flipped on disk after the write returns — the write succeeded, the
+// caller's buffer was correct, the medium lied later. n < 0 rots every
+// write until Clear. The flip targets the file by path with an
+// independent descriptor because WAL appends run on O_APPEND handles,
+// where pwrite cannot seek.
+func (f *FS) BitRotWrites(n int, rng *rand.Rand) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rotBudget = n
+	f.rotRng = rng
+}
+
+// rotPlan consumes one unit of the armed rot budget, returning the rng
+// to flip with (nil when disarmed or exhausted).
+func (f *FS) rotPlan() *rand.Rand {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rotBudget == 0 || f.rotRng == nil {
+		return nil
+	}
+	if f.rotBudget > 0 {
+		f.rotBudget--
+	}
+	f.bitRots++
+	return f.rotRng
+}
+
+// rotWritten flips one byte of the len(p) bytes that a successful Write
+// just appended to path. The file size minus the payload length locates
+// the write: WAL appends are the only faulted writers, and each holds
+// the journal's commit lock, so the tail of the file is the write.
+func (f *FS) rotWritten(path string, written int, rng *rand.Rand) {
+	if written == 0 {
+		return
+	}
+	g, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return
+	}
+	defer g.Close()
+	st, err := g.Stat()
+	if err != nil || st.Size() < int64(written) {
+		return
+	}
+	// rng is shared with the arming test; serialize access under mu.
+	f.mu.Lock()
+	off := st.Size() - int64(written) + rng.Int63n(int64(written))
+	mask := byte(1) << uint(rng.Intn(8))
+	f.mu.Unlock()
+	flipByteAt(g, off, mask) //nolint:errcheck // best-effort fault; counters already bumped
+}

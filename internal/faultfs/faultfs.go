@@ -16,6 +16,7 @@
 package faultfs
 
 import (
+	"math/rand"
 	"os"
 	"sync"
 	"syscall"
@@ -54,12 +55,19 @@ type FS struct {
 	// delay is added to every faultable operation (slow-device mode).
 	delay time.Duration
 
+	// rotBudget is how many upcoming successful Writes get a byte of
+	// their payload flipped on disk afterwards (0 disarmed, -1 all),
+	// using rotRng for the byte and bit choice. See BitRotWrites.
+	rotBudget int
+	rotRng    *rand.Rand
+
 	// Counters (for test assertions and for verifying a fault actually
 	// fired rather than the test passing vacuously).
-	writes     int
-	syncs      int
-	torn       int
-	failedOps  int
+	writes    int
+	syncs     int
+	torn      int
+	failedOps int
+	bitRots   int
 }
 
 // New returns an FS with no faults armed: it behaves exactly like
@@ -125,6 +133,8 @@ func (f *FS) Clear() {
 	f.syncFails = 0
 	f.syncErr = nil
 	f.delay = 0
+	f.rotBudget = 0
+	f.rotRng = nil
 }
 
 // Stats reports operation and fault-firing counts.
@@ -133,13 +143,14 @@ type Stats struct {
 	Syncs     int // Sync calls on matching files
 	Torn      int // writes that were torn (partial prefix written)
 	FailedOps int // operations that returned an injected error
+	BitRots   int // writes whose payload was rotted on disk afterwards
 }
 
 // Stats returns the counters since New.
 func (f *FS) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return Stats{Writes: f.writes, Syncs: f.syncs, Torn: f.torn, FailedOps: f.failedOps}
+	return Stats{Writes: f.writes, Syncs: f.syncs, Torn: f.torn, FailedOps: f.failedOps, BitRots: f.bitRots}
 }
 
 func (f *FS) matches(path string) bool {
@@ -199,7 +210,13 @@ func (w *faultFile) Write(p []byte) (int, error) {
 	budget, werr := w.fs.writeBudget, w.fs.writeErr
 	if budget < 0 {
 		w.fs.mu.Unlock()
-		return w.f.Write(p)
+		n, err := w.f.Write(p)
+		if err == nil {
+			if rng := w.fs.rotPlan(); rng != nil {
+				w.fs.rotWritten(w.path, n, rng)
+			}
+		}
+		return n, err
 	}
 	// Armed: consume budget, decide how much of p gets through.
 	keep := int64(len(p))

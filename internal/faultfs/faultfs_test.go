@@ -2,6 +2,8 @@ package faultfs
 
 import (
 	"errors"
+	"math/bits"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -177,5 +179,80 @@ func TestProxyScriptActions(t *testing.T) {
 	}
 	if p.Killed() != 3 {
 		t.Fatalf("killed = %d, want 3 (reset-before, reset-after, drop)", p.Killed())
+	}
+}
+
+func TestSeedHonorsEnv(t *testing.T) {
+	t.Setenv(SeedEnv, "424242")
+	if got := Seed(t.Logf); got != 424242 {
+		t.Fatalf("Seed with %s set = %d, want 424242", SeedEnv, got)
+	}
+}
+
+func TestBitRotFlipsExactlyOneBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	orig := []byte("the medium is not the message")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, err := BitRot(path, rand.New(rand.NewSource(Seed(t.Logf))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+			if int64(i) != off {
+				t.Fatalf("byte %d changed but BitRot reported offset %d", i, off)
+			}
+			if bits.OnesCount8(got[i]^orig[i]) != 1 {
+				t.Fatalf("byte %d: %02x -> %02x is not a single-bit flip", i, orig[i], got[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed, want exactly 1", diff)
+	}
+}
+
+// TestBitRotWritesDetectedByWALScrub rots one mid-log frame under the
+// VFS and proves the frame-CRC scrub calls it corruption (a rotted
+// frame with a valid successor can never be mistaken for a torn tail).
+func TestBitRotWritesDetectedByWALScrub(t *testing.T) {
+	fs := New()
+	path := filepath.Join(t.TempDir(), "j.wal")
+	w, err := storage.CreateWALFS(fs, path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil { // header flushed clean before arming
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(Seed(t.Logf)))
+	fs.BitRotWrites(1, rng)
+	if _, err := w.Append([]byte("doomed frame payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs.Stats(); st.BitRots != 1 {
+		t.Fatalf("BitRots = %d, want 1 (fault never fired)", st.BitRots)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte("healthy successor")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	if _, err := storage.ScrubWALFile(path); err == nil {
+		t.Fatal("scrub of a rotted mid-log frame reported clean")
+	} else {
+		t.Logf("scrub verdict: %v", err)
 	}
 }

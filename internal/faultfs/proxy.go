@@ -3,6 +3,7 @@ package faultfs
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -80,6 +81,27 @@ func (p *Proxy) Script(actions ...Action) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.script = append(p.script[:0], actions...)
+}
+
+// chaosDeck is the draw pile for ScriptChaos: every network fault the
+// proxy can inject, weighted towards Pass so a retrying client always
+// makes forward progress. Drop is excluded — it stalls until the
+// client's timeout, which would make a chaos run's wall time depend on
+// client configuration instead of the script length.
+var chaosDeck = []Action{Pass, Pass, Pass, Delay, ResetBefore, ResetAfter, Dup, Truncate}
+
+// ScriptChaos replaces the pending sequence with n actions drawn at
+// random from every fault the proxy knows (minus Drop; see chaosDeck),
+// followed by the usual implicit Pass tail so retries eventually land.
+// Pair the rng with Seed so the drawn script is reproducible, and
+// return the script for the test log.
+func (p *Proxy) ScriptChaos(rng *rand.Rand, n int) []Action {
+	actions := make([]Action, n)
+	for i := range actions {
+		actions[i] = chaosDeck[rng.Intn(len(chaosDeck))]
+	}
+	p.Script(actions...)
+	return actions
 }
 
 // SetLatency sets the Delay action's sleep.

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPanicRelayRethrowsOnCaller(t *testing.T) {
+	var relay panicRelay
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			relay.guard(func() {
+				if w == 2 {
+					panic("worker 2 exploded")
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("rethrow did not re-raise the worker panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "worker 2") {
+			t.Fatalf("recovered %v, want the worker's panic value", v)
+		}
+	}()
+	relay.rethrow()
+	t.Fatal("unreachable: rethrow should have panicked")
+}
+
+func TestPanicRelayCleanRun(t *testing.T) {
+	var relay panicRelay
+	relay.guard(func() {})
+	relay.rethrow() // must not panic
+}

@@ -54,6 +54,35 @@ var expandChunkPool = sync.Pool{New: func() any { return new(expandChunk) }}
 // nodeBufPool recycles per-worker neighbor buffers for the HITS phases.
 var nodeBufPool = sync.Pool{New: func() any { return new([]NodeID) }}
 
+// panicRelay carries the first worker panic back to the coordinating
+// goroutine. A panic on a bare worker goroutine is unrecoverable — it
+// kills the whole process no matter what the request handler deferred —
+// so workers trap theirs here and the coordinator re-raises it after
+// Wait, on a goroutine where the daemon's per-request recover CAN
+// contain it to a 500.
+type panicRelay struct {
+	once sync.Once
+	val  any
+}
+
+// guard wraps one worker body, trapping its panic.
+func (pr *panicRelay) guard(fn func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			pr.once.Do(func() { pr.val = v })
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the trapped panic, if any, on the caller's
+// goroutine. Call after the WaitGroup settles.
+func (pr *panicRelay) rethrow() {
+	if pr.val != nil {
+		panic(pr.val)
+	}
+}
+
 // ExpandArenaPar is ExpandArena with the per-round neighbor gathering
 // fanned out over up to par workers. Results are byte-identical to the
 // serial kernel for any par (see the package comment above); par <= 1
@@ -92,6 +121,7 @@ func ExpandArenaPar(g Graph, a *Arena, dir Dir, decay float64, maxDepth, maxNode
 			// Parallel gather over contiguous frontier chunks...
 			chunks := make([]*expandChunk, p)
 			var wg sync.WaitGroup
+			var relay panicRelay
 			for w := 0; w < p; w++ {
 				ck := expandChunkPool.Get().(*expandChunk)
 				ck.runs, ck.nbrs = ck.runs[:0], ck.nbrs[:0]
@@ -99,18 +129,21 @@ func ExpandArenaPar(g Graph, a *Arena, dir Dir, decay float64, maxDepth, maxNode
 				wg.Add(1)
 				go func(keys []NodeID, ck *expandChunk) {
 					defer wg.Done()
-					for _, n := range keys {
-						propagate := cur.Get(n) * decay
-						if propagate == 0 {
-							continue
+					relay.guard(func() {
+						for _, n := range keys {
+							propagate := cur.Get(n) * decay
+							if propagate == 0 {
+								continue
+							}
+							start := len(ck.nbrs)
+							ck.nbrs = appendNeighbors(ap, n, dir, ck.nbrs)
+							ck.runs = append(ck.runs, expandRun{propagate: propagate, count: int32(len(ck.nbrs) - start)})
 						}
-						start := len(ck.nbrs)
-						ck.nbrs = appendNeighbors(ap, n, dir, ck.nbrs)
-						ck.runs = append(ck.runs, expandRun{propagate: propagate, count: int32(len(ck.nbrs) - start)})
-					}
+					})
 				}(keys[w*len(keys)/p:(w+1)*len(keys)/p], ck)
 			}
 			wg.Wait()
+			relay.rethrow()
 			// ...then a serial merge replaying the chunks in frontier
 			// order through the exact serial admission rule.
 			for _, ck := range chunks {
@@ -168,6 +201,7 @@ func HITSArenaPar(g Graph, a *Arena, sub []NodeID, iters int, tol float64, par i
 	}
 	parPhase := func(f func(i int, nd NodeID, nbuf []NodeID) []NodeID) {
 		var wg sync.WaitGroup
+		var relay panicRelay
 		for w := 0; w < p; w++ {
 			lo, hi := w*n/p, (w+1)*n/p
 			if lo == hi {
@@ -176,16 +210,19 @@ func HITSArenaPar(g Graph, a *Arena, sub []NodeID, iters int, tol float64, par i
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				bp := nodeBufPool.Get().(*[]NodeID)
-				nbuf := *bp
-				for i := lo; i < hi; i++ {
-					nbuf = f(i, sub[i], nbuf)
-				}
-				*bp = nbuf
-				nodeBufPool.Put(bp)
+				relay.guard(func() {
+					bp := nodeBufPool.Get().(*[]NodeID)
+					nbuf := *bp
+					for i := lo; i < hi; i++ {
+						nbuf = f(i, sub[i], nbuf)
+					}
+					*bp = nbuf
+					nodeBufPool.Put(bp)
+				})
 			}(lo, hi)
 		}
 		wg.Wait()
+		relay.rethrow()
 	}
 	for it := 0; it < iters; it++ {
 		// Authority update: a(v) = sum of h(u) over in-set edges u->v.

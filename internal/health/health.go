@@ -1,0 +1,204 @@
+// Package health implements the daemon's degraded-mode latch and panic
+// accounting — the last line of the self-healing story.
+//
+// A Guard trips into read-only degraded mode when durability stops
+// being trustworthy: the disk filled up (ENOSPC/EDQUOT anywhere in an
+// apply) or an fsync failed (after a failed fsync the kernel may have
+// dropped dirty pages — acking writes would be lying). While degraded,
+// the daemon keeps serving reads but answers writes with 503 +
+// Retry-After; a background probe re-tests the store volume with a
+// real write+fsync and clears the latch the moment durability is back,
+// so operators free disk space and the daemon resumes on its own.
+//
+// The Guard also counts recovered request panics, feeding /stats and
+// the per-tenant strike accounting in sharded mode.
+package health
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Guard is the degraded-mode latch for one daemon. The zero value is
+// ready to use: healthy, nothing counted.
+type Guard struct {
+	mu       sync.Mutex
+	degraded bool
+	reason   string
+	since    time.Time
+
+	trips  atomic.Uint64
+	panics atomic.Uint64
+}
+
+// Status is the Guard's /stats snapshot.
+type Status struct {
+	Degraded     bool    `json:"degraded"`
+	Reason       string  `json:"degraded_reason,omitempty"`
+	DegradedSecs float64 `json:"degraded_seconds,omitempty"`
+	Trips        uint64  `json:"degraded_trips"`
+	PanicsCaught uint64  `json:"panics_recovered"`
+}
+
+// IsDiskFull reports whether err is the out-of-space family of errnos
+// (ENOSPC, EDQUOT) anywhere in its chain.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
+
+// Trip latches the guard into degraded mode with the given reason.
+// Re-tripping while degraded keeps the original reason and start time.
+func (g *Guard) Trip(reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.degraded {
+		return
+	}
+	g.degraded = true
+	g.reason = reason
+	g.since = time.Now()
+	g.trips.Add(1)
+}
+
+// Clear releases the latch (no-op while healthy).
+func (g *Guard) Clear() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.degraded = false
+	g.reason = ""
+	g.since = time.Time{}
+}
+
+// Degraded reports the latch state and, when degraded, the reason.
+func (g *Guard) Degraded() (bool, string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.degraded, g.reason
+}
+
+// ObserveApplyErr inspects a write-path failure and trips the guard if
+// it is a disk-full condition. It reports whether the guard tripped (or
+// was already degraded for any reason).
+func (g *Guard) ObserveApplyErr(err error) bool {
+	if err == nil {
+		d, _ := g.Degraded()
+		return d
+	}
+	if IsDiskFull(err) {
+		g.Trip(fmt.Sprintf("disk full: %v", err))
+		return true
+	}
+	d, _ := g.Degraded()
+	return d
+}
+
+// ObserveSyncErr trips the guard on ANY fsync failure: after a failed
+// fsync the page cache's dirty state is unknowable (the kernel may
+// have dropped the pages while clearing the error), so acknowledging
+// further writes would risk silent loss. Reports whether the guard is
+// now degraded.
+func (g *Guard) ObserveSyncErr(err error) bool {
+	if err == nil {
+		d, _ := g.Degraded()
+		return d
+	}
+	reason := fmt.Sprintf("fsync failure: %v", err)
+	if IsDiskFull(err) {
+		reason = fmt.Sprintf("disk full: %v", err)
+	}
+	g.Trip(reason)
+	return true
+}
+
+// CountPanic records one recovered request panic and returns the new
+// total.
+func (g *Guard) CountPanic() uint64 { return g.panics.Add(1) }
+
+// Panics returns the recovered-panic total.
+func (g *Guard) Panics() uint64 { return g.panics.Load() }
+
+// Status snapshots the guard for /stats.
+func (g *Guard) Status() Status {
+	g.mu.Lock()
+	st := Status{
+		Degraded: g.degraded,
+		Reason:   g.reason,
+		Trips:    g.trips.Load(),
+	}
+	if g.degraded {
+		st.DegradedSecs = time.Since(g.since).Seconds()
+	}
+	g.mu.Unlock()
+	st.PanicsCaught = g.panics.Load()
+	return st
+}
+
+// probeFile is the name of the scratch file Probe writes under the
+// store directory.
+const probeFile = ".health.probe"
+
+// Probe verifies the volume under dir can durably accept writes: it
+// creates a scratch file, writes a page, fsyncs and removes it. Nil
+// means a write acked now would actually stick.
+func Probe(dir string) error {
+	path := filepath.Join(dir, probeFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var page [4096]byte
+	_, werr := f.Write(page[:])
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(path)
+	if werr != nil {
+		return werr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// StartProbe runs the degraded-mode recovery loop: every interval,
+// while the guard is degraded, it probes dir and clears the guard on
+// success (calling onClear, which may be nil, with the downtime).
+// The returned stop function ends the loop.
+func (g *Guard) StartProbe(dir string, every time.Duration, onClear func(downFor time.Duration)) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			g.mu.Lock()
+			degraded, since := g.degraded, g.since
+			g.mu.Unlock()
+			if !degraded {
+				continue
+			}
+			if err := Probe(dir); err != nil {
+				continue // still sick; stay degraded
+			}
+			g.Clear()
+			if onClear != nil {
+				onClear(time.Since(since))
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

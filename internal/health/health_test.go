@@ -1,0 +1,91 @@
+package health
+
+import (
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestGuardLatchesAndClears(t *testing.T) {
+	var g Guard
+	if d, _ := g.Degraded(); d {
+		t.Fatal("zero guard degraded")
+	}
+	g.Trip("disk full")
+	if d, reason := g.Degraded(); !d || reason != "disk full" {
+		t.Fatalf("degraded = %v %q", d, reason)
+	}
+	g.Trip("second trip keeps first reason")
+	if _, reason := g.Degraded(); reason != "disk full" {
+		t.Fatalf("reason = %q, want original", reason)
+	}
+	if st := g.Status(); st.Trips != 1 || !st.Degraded {
+		t.Fatalf("status = %+v", st)
+	}
+	g.Clear()
+	if d, _ := g.Degraded(); d {
+		t.Fatal("still degraded after Clear")
+	}
+}
+
+func TestObserveErrClassification(t *testing.T) {
+	var g Guard
+	// A run-of-the-mill apply error must NOT trip the latch.
+	if g.ObserveApplyErr(fmt.Errorf("malformed event")) {
+		t.Fatal("generic apply error tripped the guard")
+	}
+	// A wrapped ENOSPC does, even deep in the chain.
+	if !g.ObserveApplyErr(fmt.Errorf("apply: %w", fmt.Errorf("wal append: %w", syscall.ENOSPC))) {
+		t.Fatal("wrapped ENOSPC did not trip the guard")
+	}
+	if _, reason := g.Degraded(); reason == "" {
+		t.Fatal("no reason recorded")
+	}
+	g.Clear()
+	// Any fsync failure trips, not just ENOSPC.
+	if !g.ObserveSyncErr(syscall.EIO) {
+		t.Fatal("EIO fsync did not trip the guard")
+	}
+	if !IsDiskFull(fmt.Errorf("x: %w", syscall.EDQUOT)) {
+		t.Fatal("EDQUOT not classified as disk-full")
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := Probe(dir); err != nil {
+		t.Fatalf("probe of healthy dir: %v", err)
+	}
+	if err := Probe(dir + "/missing"); err == nil {
+		t.Fatal("probe of missing dir succeeded")
+	}
+}
+
+func TestStartProbeAutoClears(t *testing.T) {
+	var g Guard
+	dir := t.TempDir()
+	cleared := make(chan time.Duration, 1)
+	stop := g.StartProbe(dir, 5*time.Millisecond, func(d time.Duration) { cleared <- d })
+	defer stop()
+
+	g.Trip("test trip")
+	select {
+	case <-cleared:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never cleared the guard")
+	}
+	if d, _ := g.Degraded(); d {
+		t.Fatal("guard still degraded after probe success")
+	}
+}
+
+func TestPanicCounter(t *testing.T) {
+	var g Guard
+	if g.CountPanic() != 1 || g.CountPanic() != 2 || g.Panics() != 2 {
+		t.Fatal("panic counter arithmetic broken")
+	}
+	if st := g.Status(); st.PanicsCaught != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}

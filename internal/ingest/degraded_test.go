@@ -1,0 +1,147 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"browserprov/internal/event"
+	"browserprov/internal/health"
+)
+
+// degradedSink fails its Sync with ENOSPC-wrapped errors.
+type degradedSink struct{ syncErr error }
+
+func (d *degradedSink) ApplyBatchDedup(ids []string, evs []*event.Event) ([]bool, error) {
+	return make([]bool, len(evs)), nil
+}
+func (d *degradedSink) Sync() error { return d.syncErr }
+
+func TestServerDegradedModeGatesWrites(t *testing.T) {
+	var guard health.Guard
+	var mu sync.Mutex
+	var stages []string
+	sink := &degradedSink{syncErr: fmt.Errorf("wal fsync: %w", syscall.ENOSPC)}
+	srv := NewServer(func(string) (Sink, func(), error) {
+		return sink, func() {}, nil
+	}, ServerOptions{
+		Degraded: guard.Degraded,
+		OnError: func(stage, tenant string, err error) {
+			mu.Lock()
+			stages = append(stages, stage)
+			mu.Unlock()
+			if stage == "sync" {
+				guard.ObserveSyncErr(err)
+			} else {
+				guard.ObserveApplyErr(err)
+			}
+		},
+	})
+	at := time.Unix(1700000000, 0).UTC()
+
+	// First batch hits the failing fsync: 500, and the guard trips.
+	rec, _ := postBatch(t, srv, marshalBatch(t, wireVisit("d1", "http://a.example/", at)))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("code = %d, want 500", rec.Code)
+	}
+	if d, reason := guard.Degraded(); !d || reason == "" {
+		t.Fatalf("guard not degraded after ENOSPC sync failure (%v %q)", d, reason)
+	}
+	mu.Lock()
+	gotStages := append([]string(nil), stages...)
+	mu.Unlock()
+	if len(gotStages) != 1 || gotStages[0] != "sync" {
+		t.Fatalf("OnError stages = %v", gotStages)
+	}
+
+	// While degraded every write answers 503 + Retry-After, without ever
+	// touching the sink.
+	sink.syncErr = nil
+	rec, _ = postBatch(t, srv, marshalBatch(t, wireVisit("d2", "http://a.example/", at)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded write code = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if st := srv.Stats(); st.Degraded != 1 {
+		t.Fatalf("stats = %+v, want Degraded 1", st)
+	}
+
+	// Clearing the latch (what the probe loop does) resumes ingest.
+	guard.Clear()
+	rec, resp := postBatch(t, srv, marshalBatch(t, wireVisit("d3", "http://a.example/", at)))
+	if rec.Code != http.StatusOK || resp == nil {
+		t.Fatalf("post-recovery code = %d", rec.Code)
+	}
+}
+
+type panicSink struct{}
+
+func (panicSink) ApplyBatchDedup(ids []string, evs []*event.Event) ([]bool, error) {
+	panic("poisoned batch")
+}
+func (panicSink) Sync() error { return nil }
+
+func TestServerRecoversSinkPanic(t *testing.T) {
+	var gotTenant string
+	var gotVal any
+	srv := NewServer(func(string) (Sink, func(), error) {
+		return panicSink{}, func() {}, nil
+	}, ServerOptions{OnPanic: func(tenant string, v any) { gotTenant, gotVal = tenant, v }})
+	at := time.Unix(1700000000, 0).UTC()
+
+	body := marshalBatch(t, wireVisit("p1", "http://a.example/", at))
+	req := httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader(body))
+	req.Header.Set(TenantHeader, "alice")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic request code = %d, want 500", rec.Code)
+	}
+	if gotTenant != "alice" || gotVal != "poisoned batch" {
+		t.Fatalf("OnPanic got (%q, %v)", gotTenant, gotVal)
+	}
+	if st := srv.Stats(); st.Panics != 1 {
+		t.Fatalf("stats = %+v, want Panics 1", st)
+	}
+
+	// The server keeps serving; drain accounting survived the panic.
+	srv.Drain()
+	if !srv.Draining() {
+		t.Fatal("drain did not complete")
+	}
+}
+
+// statusErr mimics shardmap's QuarantinedError: an error that knows its
+// HTTP status.
+type statusErr struct{ code int }
+
+func (e *statusErr) Error() string   { return "tenant quarantined" }
+func (e *statusErr) HTTPStatus() int { return e.code }
+
+func TestServerResolverErrorKeepsHTTPStatus(t *testing.T) {
+	srv := NewServer(func(string) (Sink, func(), error) {
+		return nil, nil, fmt.Errorf("get tenant: %w", &statusErr{code: http.StatusServiceUnavailable})
+	}, ServerOptions{})
+	at := time.Unix(1700000000, 0).UTC()
+	rec, _ := postBatch(t, srv, marshalBatch(t, wireVisit("q1", "http://a.example/", at)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined resolve code = %d, want 503", rec.Code)
+	}
+
+	// Plain resolver errors still answer 404.
+	srv2 := NewServer(func(string) (Sink, func(), error) {
+		return nil, nil, errors.New("no such tenant")
+	}, ServerOptions{})
+	rec, _ = postBatch(t, srv2, marshalBatch(t, wireVisit("q2", "http://a.example/", at)))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown tenant code = %d, want 404", rec.Code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -377,5 +378,59 @@ func TestIngestSlowDiskStillConverges(t *testing.T) {
 	resp, err := c.SendBatch(context.Background(), b1)
 	if err != nil || resp.Applied != len(b1.Events) {
 		t.Fatalf("slow-disk delivery: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestIngestChaosScriptConverges is the randomized face of the fault
+// matrix: a seeded chaos script draws from every network fault the
+// proxy knows, and the retrying client plus server-side dedup must
+// still land each batch exactly once. The seed is logged every run and
+// honored from FAULT_SEED, so a CI failure replays locally verbatim.
+func TestIngestChaosScriptConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(faultfs.Seed(t.Logf)))
+	base := time.Date(2026, 6, 1, 8, 0, 0, 0, time.UTC)
+	var batches []*Batch
+	for i := 0; i < 6; i++ {
+		batches = append(batches, keyedBatch(fmt.Sprintf("chaos-%d", i), 15, base.Add(time.Duration(i)*time.Hour)))
+	}
+
+	dir := t.TempDir()
+	store, err := provgraph.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer(func(string) (Sink, func(), error) { return store, func() {}, nil }, ServerOptions{})
+	backend := httptest.NewServer(srv)
+	defer backend.Close()
+	proxy := faultfs.NewProxy(backend.URL)
+	proxy.SetLatency(time.Millisecond)
+	defer proxy.Close()
+	front := httptest.NewServer(proxy)
+	defer front.Close()
+
+	c := NewClient(front.URL, ClientOptions{
+		MaxAttempts: 12, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+	})
+	for i, b := range batches {
+		script := proxy.ScriptChaos(rng, rng.Intn(4))
+		if _, err := c.SendBatch(context.Background(), b); err != nil {
+			t.Fatalf("batch %d under chaos script %v: %v", i, script, err)
+		}
+	}
+	// Chaos may have double-applied nothing: replays must all dedup.
+	for _, i := range rng.Perm(len(batches)) {
+		proxy.Script()
+		resp, err := c.SendBatch(context.Background(), batches[i])
+		if err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+		if resp.Applied != 0 || resp.Duplicates != len(batches[i].Events) {
+			t.Fatalf("replay %d: %d applied, %d duplicates", i, resp.Applied, resp.Duplicates)
+		}
+	}
+	got := checkpointBytes(t, store, dir)
+	if want := referenceBytes(t, batches...); !bytes.Equal(got, want) {
+		t.Fatal("store under chaos script differs from exactly-once reference")
 	}
 }

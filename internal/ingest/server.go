@@ -3,6 +3,7 @@ package ingest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -41,6 +42,19 @@ type ServerOptions struct {
 	MaxBatchEvents int
 	// RetryAfterSeconds is the backoff hint sent with 429/503.
 	RetryAfterSeconds int
+	// Degraded, when non-nil, is consulted before each batch: returning
+	// true rejects the write with 503 + Retry-After and the given reason
+	// (read-only degraded mode — e.g. the disk filled up). Reads are not
+	// served here, so the whole handler gates on it.
+	Degraded func() (bool, string)
+	// OnError, when non-nil, observes every sink failure: stage is
+	// "apply" or "sync", tenant is the request's tenant header value.
+	// The daemon uses it to trip the degraded latch on ENOSPC/fsync
+	// failures and to strike the tenant.
+	OnError func(stage, tenant string, err error)
+	// OnPanic, when non-nil, observes every recovered request panic
+	// (the request itself answers 500).
+	OnPanic func(tenant string, v any)
 }
 
 const (
@@ -60,6 +74,8 @@ type ServerStats struct {
 	BadBatches uint64 `json:"bad_batches"` // whole-batch 4xx rejections
 	Shed       uint64 `json:"shed"`        // 429s from the in-flight cap
 	Errors     uint64 `json:"errors"`      // 5xx: sink apply/sync failures
+	Degraded   uint64 `json:"degraded"`    // 503s from read-only degraded mode
+	Panics     uint64 `json:"panics"`      // recovered request panics (500s)
 	InFlight   int    `json:"in_flight"`
 	Draining   bool   `json:"draining"`
 }
@@ -72,6 +88,9 @@ type Server struct {
 	maxEvents  int
 	maxFlight  int
 	retryAfter string
+	degraded   func() (bool, string)
+	onError    func(stage, tenant string, err error)
+	onPanic    func(tenant string, v any)
 
 	inFlight atomic.Int64
 	draining atomic.Bool
@@ -85,6 +104,8 @@ type Server struct {
 	badBatches atomic.Uint64
 	shed       atomic.Uint64
 	errors     atomic.Uint64
+	degradedRj atomic.Uint64
+	panics     atomic.Uint64
 }
 
 // NewServer returns an ingest handler feeding resolved sinks.
@@ -107,6 +128,9 @@ func NewServer(resolve Resolver, opts ServerOptions) *Server {
 		maxEvents:  opts.MaxBatchEvents,
 		maxFlight:  opts.MaxInFlight,
 		retryAfter: strconv.Itoa(opts.RetryAfterSeconds),
+		degraded:   opts.Degraded,
+		onError:    opts.OnError,
+		onPanic:    opts.OnPanic,
 	}
 }
 
@@ -136,6 +160,8 @@ func (s *Server) Stats() ServerStats {
 		BadBatches: s.badBatches.Load(),
 		Shed:       s.shed.Load(),
 		Errors:     s.errors.Load(),
+		Degraded:   s.degradedRj.Load(),
+		Panics:     s.panics.Load(),
 		InFlight:   int(s.inFlight.Load()),
 		Draining:   s.draining.Load(),
 	}
@@ -147,10 +173,34 @@ const TenantHeader = "X-Prov-Tenant"
 
 // ServeHTTP implements POST /ingest.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Panic isolation: one poisoned batch must cost its own request a
+	// 500, never the daemon. The recover runs before the WaitGroup and
+	// in-flight defers, so accounting stays balanced.
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			if s.onPanic != nil {
+				s.onPanic(r.Header.Get(TenantHeader), v)
+			}
+			http.Error(w, "internal error", http.StatusInternalServerError)
+		}
+	}()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
 		return
+	}
+	// Read-only degraded mode: durability is compromised (disk full,
+	// fsync failure), so acking a write would be lying. 503 + Retry-After
+	// tells clients to hold their spool; the daemon auto-resumes once its
+	// probe sees the volume accept durable writes again.
+	if s.degraded != nil {
+		if bad, reason := s.degraded(); bad {
+			s.degradedRj.Add(1)
+			w.Header().Set("Retry-After", s.retryAfter)
+			http.Error(w, "read-only degraded mode: "+reason, http.StatusServiceUnavailable)
+			return
+		}
 	}
 	// Admission: register with the drain group first, THEN check the
 	// flag — Drain sets the flag before waiting, so a request either
@@ -230,15 +280,27 @@ func (s *Server) process(r *http.Request) (*Response, int, error) {
 	}
 
 	if len(evs) > 0 {
-		sink, release, err := s.resolve(r.Header.Get(TenantHeader))
+		tenant := r.Header.Get(TenantHeader)
+		sink, release, err := s.resolve(tenant)
 		if err != nil {
-			return nil, http.StatusNotFound, fmt.Errorf("resolve tenant: %v", err)
+			// Errors that know their own HTTP status keep it: a quarantined
+			// tenant answers 503 (retry later — repair may re-admit it), not
+			// 404 (give up, the tenant is gone).
+			code := http.StatusNotFound
+			var hs interface{ HTTPStatus() int }
+			if errors.As(err, &hs) {
+				code = hs.HTTPStatus()
+			}
+			return nil, code, fmt.Errorf("resolve tenant: %v", err)
 		}
 		defer release()
 		applied, err := sink.ApplyBatchDedup(ids, evs)
 		if err != nil {
 			// The store may have applied a prefix, but it recorded those
 			// IDs with it — the client's retry converges on the remainder.
+			if s.onError != nil {
+				s.onError("apply", tenant, err)
+			}
 			return nil, http.StatusInternalServerError, fmt.Errorf("apply: %v", err)
 		}
 		// Durability barrier before the ack. Covers the duplicates-only
@@ -246,6 +308,9 @@ func (s *Server) process(r *http.Request) (*Response, int, error) {
 		// reaching a sync (crash between apply and group-commit fsync is
 		// exactly the window the client's retry is probing).
 		if err := sink.Sync(); err != nil {
+			if s.onError != nil {
+				s.onError("sync", tenant, err)
+			}
 			return nil, http.StatusInternalServerError, fmt.Errorf("sync: %v", err)
 		}
 		for k, i := range accepted {

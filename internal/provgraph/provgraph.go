@@ -232,6 +232,13 @@ type Options struct {
 	// only write path is ReplicateRecord, which replays WAL records
 	// shipped from a leader at the leader's LSNs. See replica.go.
 	Replica bool
+	// RetainPrevCheckpoint keeps one previous-generation checkpoint file
+	// and lags the WAL trim by one checkpoint, so a store whose current
+	// checkpoint later fails an integrity scrub can be repaired losslessly
+	// (fall back to the previous generation + WAL replay — see
+	// RepairStore). Costs one extra checkpoint file on disk plus one
+	// checkpoint interval of WAL. Default off.
+	RetainPrevCheckpoint bool
 }
 
 // ErrClosed reports an operation against a closed Store. The query
@@ -357,6 +364,12 @@ type Store struct {
 	// events they key and the checkpoint's dedup section.
 	dedup dedupWindow
 
+	// Online scrub state (see scrub.go): the sweep cursor and cumulative
+	// counters, both guarded by scrubMu (one scrub step at a time).
+	scrubMu   sync.Mutex
+	scrubCur  scrubCursor
+	scrubStat ScrubStatus
+
 	nextNode NodeID
 	numEdges int
 }
@@ -429,6 +442,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		MapSnapshot:  !opts.NoMmap,
 		Replay:       s.replayEvent,
 		FS:           opts.FS,
+		RetainPrev:   opts.RetainPrevCheckpoint,
 	})
 	if err != nil {
 		if s.sect != nil {

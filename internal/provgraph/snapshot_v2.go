@@ -30,15 +30,15 @@ import (
 // carries the container format version; these tags version the
 // provenance schema within it.
 const (
-	secNodes     = 1 // columnar node table (flags, opens, closes, pages, vias, seqs, string blob)
-	secCSR       = 2 // out-direction: per-node degrees + flat target array
-	secEdges     = 3 // per-arc edge kinds and timestamp deltas, out-aligned
-	secInAdj     = 4 // in-adjacency in per-node insertion order (From, kind, at)
-	secOpen      = 5 // (open time, id) visit timeline, sorted
-	secURLIndex  = 6 // page IDs sorted by URL — urlIndex bulk-load stream
-	secTermIndex = 7 // latest term-instance IDs sorted by term — termIndex stream
-	secAssembly  = 8 // counters, per-tab cursors, pending joins
-	secText      = 9 // text-index postings + watermark (optional)
+	secNodes     = 1  // columnar node table (flags, opens, closes, pages, vias, seqs, string blob)
+	secCSR       = 2  // out-direction: per-node degrees + flat target array
+	secEdges     = 3  // per-arc edge kinds and timestamp deltas, out-aligned
+	secInAdj     = 4  // in-adjacency in per-node insertion order (From, kind, at)
+	secOpen      = 5  // (open time, id) visit timeline, sorted
+	secURLIndex  = 6  // page IDs sorted by URL — urlIndex bulk-load stream
+	secTermIndex = 7  // latest term-instance IDs sorted by term — termIndex stream
+	secAssembly  = 8  // counters, per-tab cursors, pending joins
+	secText      = 9  // text-index postings + watermark (optional)
 	secDedup     = 10 // ingest event-ID dedup window, insertion order (optional)
 )
 

@@ -1,0 +1,20 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestProtectConvertsPanicToError(t *testing.T) {
+	err := Protect(func() error { panic("kernel bug") })
+	if !errors.Is(err, ErrQueryPanic) {
+		t.Fatalf("err = %v, want ErrQueryPanic", err)
+	}
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatalf("clean fn returned %v", err)
+	}
+	want := errors.New("ordinary")
+	if err := Protect(func() error { return want }); err != want {
+		t.Fatalf("err = %v, want pass-through", err)
+	}
+}

@@ -111,6 +111,7 @@ type Follower struct {
 	bootstrapNS  atomic.Int64
 	rebootstraps atomic.Uint64
 	bytesIn      atomic.Int64
+	forceBoot    atomic.Bool
 
 	mu             sync.Mutex
 	leaderInstance string
@@ -165,6 +166,14 @@ func NewFollower(opts FollowerOptions) (*Follower, error) {
 // re-bootstrap replaces it; see FollowerOptions.OnSwap.
 func (f *Follower) Store() *provgraph.Store { return f.store.Load() }
 
+// ForceRebootstrap makes the Run loop discard the local store and
+// re-bootstrap from the leader's checkpoint at its next iteration, as
+// if the leader had refused the stream. The self-healing path uses it
+// when the local copy fails an integrity scrub beyond local repair:
+// a follower's data is reproducible from its leader, so a corrupt
+// replica is re-fetched rather than left quarantined.
+func (f *Follower) ForceRebootstrap() { f.forceBoot.Store(true) }
+
 // ID returns the follower's identity as reported to the leader.
 func (f *Follower) ID() string { return f.opts.ID }
 
@@ -209,6 +218,9 @@ func (f *Follower) Run(ctx context.Context) error {
 			return err
 		}
 		err := f.streamOnce(ctx)
+		if f.forceBoot.Swap(false) {
+			err = errNeedBootstrap
+		}
 		switch {
 		case err == nil:
 			f.maybeCheckpoint()

@@ -489,3 +489,34 @@ func TestFollowerDedupWindowConverges(t *testing.T) {
 		}
 	}
 }
+
+func TestForceRebootstrapRefetchesFromLeader(t *testing.T) {
+	l := newLeader(t)
+	l.apply(0, 150)
+	if err := l.store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f := startFollower(t, l.http.URL, dir)
+	waitCaughtUp(t, l, f)
+	before := f.Store()
+
+	// The quarantine path's last resort: discard the local copy and
+	// re-fetch wholesale from the leader.
+	f.ForceRebootstrap()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && f.Stats().Rebootstraps == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Stats().Rebootstraps != 1 {
+		t.Fatalf("rebootstraps = %d, want 1", f.Stats().Rebootstraps)
+	}
+	// The store pointer was swapped for a freshly bootstrapped copy and
+	// the new copy converges with the leader.
+	waitCaughtUp(t, l, f)
+	if f.Store() == before {
+		t.Fatal("store not swapped by forced re-bootstrap")
+	}
+	l.apply(150, 180)
+	assertConverged(t, l, f, dir)
+}

@@ -1,0 +1,240 @@
+package shardmap
+
+// Tenant quarantine and repair: the containment half of the
+// self-healing story. A tenant whose store fails an integrity scrub,
+// fails to open, or panics repeatedly is quarantined — every Get fails
+// fast with ErrQuarantined (HTTP 503 via HTTPStatus) while every other
+// tenant keeps serving — and a background repair worker owns the
+// tenant's directory until it either heals it or gives up:
+//
+//  1. drain: wait for outstanding handles, close the live store;
+//  2. local repair: fall back to the retained previous-generation
+//     checkpoint + WAL replay (provgraph.RepairStore — lossless when
+//     the map runs with Store.RetainPrevCheckpoint);
+//  3. re-bootstrap: if a Rebootstrap hook is configured (a follower
+//     fetching a fresh copy from its replication leader), try that;
+//  4. verify: reopen the store and run a full integrity scrub before
+//     re-admitting the tenant.
+//
+// Repaired tenants re-admit automatically; unrepairable ones stay
+// quarantined with the reason exported through QuarantineInfo.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"browserprov/internal/provgraph"
+)
+
+// DefaultStrikeLimit is how many strikes quarantine a tenant when
+// Options.StrikeLimit is 0.
+const DefaultStrikeLimit = 3
+
+// ErrQuarantined reports a request against a quarantined tenant. Match
+// with errors.Is; the concrete *QuarantinedError carries the tenant and
+// reason, and maps to HTTP 503.
+var ErrQuarantined = errors.New("shardmap: tenant quarantined")
+
+// QuarantinedError is the concrete error a Get on a quarantined tenant
+// returns.
+type QuarantinedError struct {
+	Tenant string
+	Reason string
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("shardmap: tenant %s quarantined: %s", e.Tenant, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrQuarantined) match.
+func (e *QuarantinedError) Is(target error) bool { return target == ErrQuarantined }
+
+// HTTPStatus maps the error to 503 Service Unavailable: the tenant may
+// come back (repair re-admits automatically), so clients should retry
+// later rather than drop their spool.
+func (e *QuarantinedError) HTTPStatus() int { return 503 }
+
+// QuarantineInfo describes one quarantined tenant for /stats.
+type QuarantineInfo struct {
+	Tenant    string `json:"tenant"`
+	Reason    string `json:"reason"`
+	Repairing bool   `json:"repairing"`
+}
+
+// Strike records one fault (a panic, a failed request with corruption
+// symptoms) against tenant and returns the new count. Reaching the
+// strike limit quarantines the tenant with the given reason. Strikes
+// reset when a tenant is repaired and re-admitted.
+func (m *Map) Strike(tenant, reason string) int {
+	m.mu.Lock()
+	e := m.entries[tenant]
+	if e == nil {
+		e = &entry{id: tenant, dir: tenantDir(m.root, tenant)}
+		m.entries[tenant] = e
+	}
+	if e.quarantined {
+		m.mu.Unlock()
+		return e.strikes
+	}
+	e.strikes++
+	n := e.strikes
+	limit := m.opts.StrikeLimit
+	if limit <= 0 {
+		limit = DefaultStrikeLimit
+	}
+	m.mu.Unlock()
+	if n >= limit {
+		m.Quarantine(tenant, fmt.Sprintf("%d strikes, last: %s", n, reason))
+	}
+	return n
+}
+
+// Quarantine marks tenant unavailable — subsequent Gets fail with
+// ErrQuarantined — and starts the background repair worker for it.
+// Outstanding handles are not revoked; the repair waits for them to
+// drain before touching the store. Quarantining an already-quarantined
+// tenant is a no-op.
+func (m *Map) Quarantine(tenant, reason string) {
+	if ValidateTenantID(tenant) != nil {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	e := m.entries[tenant]
+	if e == nil {
+		e = &entry{id: tenant, dir: tenantDir(m.root, tenant)}
+		m.entries[tenant] = e
+	}
+	if e.quarantined {
+		m.mu.Unlock()
+		return
+	}
+	e.quarantined = true
+	e.qreason = reason
+	e.repairing = true
+	m.quarantines++
+	m.mu.Unlock()
+	go m.repairTenant(e)
+}
+
+// QuarantinedTenants lists currently quarantined tenants.
+func (m *Map) QuarantinedTenants() []QuarantineInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []QuarantineInfo
+	for _, e := range m.entries {
+		if e.quarantined {
+			out = append(out, QuarantineInfo{Tenant: e.id, Reason: e.qreason, Repairing: e.repairing})
+		}
+	}
+	return out
+}
+
+// repairTenant is the background repair worker for one quarantined
+// tenant: drain, repair, verify, re-admit (or record why not).
+func (m *Map) repairTenant(e *entry) {
+	// Drain: wait until no goroutine holds the tenant's store, then close
+	// it. New Gets are already rejected by the quarantined flag.
+	m.mu.Lock()
+	for {
+		if m.closed {
+			e.repairing = false
+			m.mu.Unlock()
+			return
+		}
+		if e.state == stateClosed {
+			break
+		}
+		if e.state == stateOpen && e.refs == 0 {
+			m.closeEntryLocked(e)
+			break
+		}
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+
+	ok, detail := m.tryRepair(e.id, e.dir)
+
+	m.mu.Lock()
+	e.repairing = false
+	if ok {
+		e.quarantined = false
+		e.qreason = ""
+		e.strikes = 0
+		m.repairs++
+	} else {
+		e.qreason = detail
+		m.repairFails++
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// tryRepair attempts local repair then the Rebootstrap hook, verifying
+// each by a full open + scrub. Runs without the map lock; the caller
+// guarantees exclusive ownership of dir.
+func (m *Map) tryRepair(tenant, dir string) (ok bool, detail string) {
+	_, err := provgraph.RepairStore(dir)
+	if err == nil {
+		verr := m.verifyStore(dir)
+		if verr == nil {
+			return true, ""
+		}
+		err = verr
+	}
+	if m.opts.Rebootstrap != nil {
+		if berr := m.opts.Rebootstrap(tenant, dir); berr != nil {
+			return false, fmt.Sprintf("unrepairable: %v; rebootstrap failed: %v", err, berr)
+		}
+		if verr := m.verifyStore(dir); verr != nil {
+			return false, fmt.Sprintf("unrepairable: rebootstrapped copy failed verification: %v", verr)
+		}
+		return true, ""
+	}
+	return false, fmt.Sprintf("unrepairable: %v", err)
+}
+
+// verifyStore opens the store at dir and runs one full integrity sweep,
+// closing it again. Nil means the store is servable.
+func (m *Map) verifyStore(dir string) error {
+	st, err := provgraph.OpenWith(dir, m.opts.Store)
+	if err != nil {
+		return err
+	}
+	scrubErr := st.Scrub(0, 0)
+	if cerr := st.Close(); scrubErr == nil {
+		scrubErr = cerr
+	}
+	return scrubErr
+}
+
+// ScrubSweep runs one bounded integrity sweep over every currently open
+// tenant store: each store is pinned, scrubbed in slices of stepBudget
+// (0 = unbounded), and released; a store that fails its sweep has its
+// tenant quarantined (kicking the repair worker). It returns the number
+// of stores swept clean and the tenants quarantined this sweep.
+// Intended to be called periodically from the daemon's scrub loop.
+func (m *Map) ScrubSweep(stepBudget time.Duration) (clean int, quarantined []string) {
+	for _, id := range m.OpenTenants() {
+		h, err := m.Get(id)
+		if err != nil {
+			continue // evicted, quarantined or closing — nothing to sweep
+		}
+		err = h.Store().Scrub(stepBudget, 0)
+		h.Release()
+		switch {
+		case err == nil:
+			clean++
+		case errors.Is(err, provgraph.ErrClosed) || errors.Is(err, ErrMapClosed):
+			// Shutdown raced the sweep; not corruption.
+		default:
+			m.Quarantine(id, fmt.Sprintf("integrity scrub failed: %v", err))
+			quarantined = append(quarantined, id)
+		}
+	}
+	return clean, quarantined
+}

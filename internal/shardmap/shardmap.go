@@ -20,6 +20,7 @@ package shardmap
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -45,9 +46,22 @@ type Options struct {
 	// open store is pinned) blocks until a handle is released.
 	MaxOpen int
 	// Store is applied to every tenant store opened through the map.
+	// Enable Store.RetainPrevCheckpoint if quarantined tenants should be
+	// locally repairable (see Quarantine): without it a corrupt current
+	// checkpoint has no fallback generation.
 	Store provgraph.Options
 	// Query is the base query options of every tenant's engine.
 	Query query.Options
+	// StrikeLimit is how many strikes (panics or integrity faults
+	// reported via Strike) a tenant accumulates before it is
+	// quarantined. 0 means DefaultStrikeLimit.
+	StrikeLimit int
+	// Rebootstrap, when set, is the repair worker's last resort: called
+	// with a quarantined tenant whose local repair failed, it should
+	// replace the tenant's store directory with a good copy (e.g. from a
+	// replication leader). A nil return re-admits the tenant after
+	// verification.
+	Rebootstrap func(tenant, dir string) error
 }
 
 // entry states. An entry exists for every tenant the map has ever seen
@@ -71,6 +85,13 @@ type entry struct {
 	// onDisk marks tenants with persisted state: their next open counts
 	// as a reopen (WAL tail + checkpoint replay), not a first create.
 	onDisk bool
+	// Quarantine state (see quarantine.go): a quarantined tenant rejects
+	// all Gets with ErrQuarantined while the repair worker owns its
+	// directory; strikes accumulate toward StrikeLimit.
+	quarantined bool
+	qreason     string
+	repairing   bool
+	strikes     int
 }
 
 // Map routes tenant IDs to lazily-opened, LRU-evicted provenance
@@ -91,6 +112,11 @@ type Map struct {
 	reopens   uint64
 	evictions uint64
 	closed    bool
+
+	// Self-healing counters (see quarantine.go).
+	quarantines uint64
+	repairs     uint64
+	repairFails uint64
 }
 
 // Open opens (or creates) a shard map rooted at root. Existing tenants
@@ -141,10 +167,32 @@ func (m *Map) Root() string { return m.root }
 // touch. While the handle is held the store cannot be evicted; callers
 // must Release it. When the open-store cap is reached, Get evicts the
 // least recently used unpinned store; if every open store is pinned it
-// blocks until one is released.
+// blocks until one is released. Quarantined tenants fail with
+// ErrQuarantined without touching their store.
 func (m *Map) Get(tenant string) (*Handle, error) {
+	return m.GetCtx(context.Background(), tenant)
+}
+
+// GetCtx is Get bounded by a context: a caller blocked waiting for a
+// free slot under the MaxOpen cap (or for a settling open/close
+// transition) unblocks with ctx.Err() when the context is cancelled,
+// instead of waiting indefinitely on a fully-pinned map.
+func (m *Map) GetCtx(ctx context.Context, tenant string) (*Handle, error) {
 	if err := ValidateTenantID(tenant); err != nil {
 		return nil, err
+	}
+	if ctx.Done() != nil {
+		// Wake every cond waiter on cancellation; the loop below rechecks
+		// ctx before each wait, so this Get observes its own cancel. The
+		// broadcast takes the map lock: a concurrent waiter cannot slip
+		// between our ctx check and cond.Wait (Wait releases the lock the
+		// broadcast needs, so the wake cannot be lost).
+		stop := context.AfterFunc(ctx, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer stop()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -152,10 +200,16 @@ func (m *Map) Get(tenant string) (*Handle, error) {
 		if m.closed {
 			return nil, ErrMapClosed
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e := m.entries[tenant]
 		if e == nil {
 			e = &entry{id: tenant, dir: tenantDir(m.root, tenant)}
 			m.entries[tenant] = e
+		}
+		if e.quarantined {
+			return nil, &QuarantinedError{Tenant: e.id, Reason: e.qreason}
 		}
 		switch e.state {
 		case stateOpen:
@@ -321,6 +375,13 @@ type Stats struct {
 	Opens     uint64
 	Reopens   uint64
 	Evictions uint64
+	// Quarantined is the number of currently quarantined tenants;
+	// Quarantines/Repairs/RepairFailures are lifetime counters of the
+	// self-healing loop (see Quarantine).
+	Quarantined    int
+	Quarantines    uint64
+	Repairs        uint64
+	RepairFailures uint64
 	// MappedBytes/HeapBytes aggregate MappedInfo over open stores: the
 	// resident checkpoint footprint the cap bounds.
 	MappedBytes int64
@@ -332,10 +393,18 @@ func (m *Map) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		KnownTenants: len(m.entries),
-		Opens:        m.opens,
-		Reopens:      m.reopens,
-		Evictions:    m.evictions,
+		KnownTenants:   len(m.entries),
+		Opens:          m.opens,
+		Reopens:        m.reopens,
+		Evictions:      m.evictions,
+		Quarantines:    m.quarantines,
+		Repairs:        m.repairs,
+		RepairFailures: m.repairFails,
+	}
+	for _, e := range m.entries {
+		if e.quarantined {
+			st.Quarantined++
+		}
 	}
 	for el := m.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)

@@ -43,6 +43,18 @@ type Journal struct {
 	// treated as 256.
 	SyncEvery int
 	unsynced  int
+
+	// Previous-generation retention (JournalCallbacks.RetainPrev): the
+	// kept N-1 snapshot's coordinates and path, and the byte offset in
+	// the live WAL file where the current generation's fence sits — the
+	// prefix below it belongs to the previous generation and is dropped
+	// only when the NEXT checkpoint commits.
+	keepPrev     bool
+	havePrev     bool // a fallback generation has actually been recorded
+	prevGen      uint64
+	prevStartLSN uint64
+	prevSnapPath string
+	fenceOff     int64
 }
 
 // JournalCallbacks supplies the store-specific halves of recovery.
@@ -70,11 +82,28 @@ type JournalCallbacks struct {
 	// failures, torn writes and slow I/O in crash-consistency tests. Nil
 	// means the real filesystem.
 	FS VFS
+	// RetainPrev keeps one previous-generation snapshot file and lags
+	// the WAL trim by one checkpoint: after committing generation N, the
+	// log still holds every entry at or past generation N-1's fence, so
+	// a store whose current snapshot is later found corrupt (bit rot) can
+	// fall back to N-1 plus WAL replay without losing a single event —
+	// see RepairJournal. Costs one extra snapshot file plus one
+	// checkpoint interval of WAL. It also deepens the WAL history the
+	// replication stream can serve, so slow followers bootstrap less
+	// often. Default off.
+	RetainPrev bool
 }
 
 type journalMeta struct {
 	gen      uint64 // snapshot generation (0 = no snapshot)
 	startLSN uint64 // first LSN not covered by the snapshot
+	// Previous-generation retention coordinates (RetainPrev). havePrev
+	// distinguishes "retention on, previous = genesis" (prevGen 0 with
+	// the full WAL behind it) from a legacy 20-byte meta with no
+	// fallback at all.
+	havePrev     bool
+	prevGen      uint64
+	prevStartLSN uint64
 }
 
 // ErrCorruptMeta indicates an unreadable journal metadata file.
@@ -90,13 +119,21 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, name: name, fs: fs}
+	j := &Journal{dir: dir, name: name, fs: fs, keepPrev: cb.RetainPrev}
 	meta, err := j.readMeta()
 	if err != nil {
 		return nil, err
 	}
 	j.gen = meta.gen
 	j.startLSN = meta.startLSN
+	if meta.havePrev {
+		j.havePrev = true
+		j.prevGen = meta.prevGen
+		j.prevStartLSN = meta.prevStartLSN
+		if meta.prevGen > 0 {
+			j.prevSnapPath = j.snapFile(meta.prevGen)
+		}
+	}
 	if meta.gen > 0 {
 		j.snapPath = j.snapFile(meta.gen)
 		if fi, err := fs.Stat(j.snapPath); err == nil {
@@ -148,6 +185,7 @@ func OpenJournal(dir, name string, cb JournalCallbacks) (*Journal, error) {
 		return nil, err
 	}
 	j.wal = wal
+	j.fenceOff = wal.FenceOff()
 	return j, nil
 }
 
@@ -170,23 +208,36 @@ func (j *Journal) readMeta() (journalMeta, error) {
 	if err != nil {
 		return journalMeta{}, err
 	}
-	if len(b) != 20 {
+	if len(b) != 20 && len(b) != 36 {
 		return journalMeta{}, fmt.Errorf("%w: length %d", ErrCorruptMeta, len(b))
 	}
 	if crc32.Checksum(b[4:], castagnoli) != binary.LittleEndian.Uint32(b[0:]) {
 		return journalMeta{}, ErrCorruptMeta
 	}
-	return journalMeta{
+	m := journalMeta{
 		gen:      binary.LittleEndian.Uint64(b[4:]),
 		startLSN: binary.LittleEndian.Uint64(b[12:]),
-	}, nil
+	}
+	if len(b) == 36 {
+		m.havePrev = true
+		m.prevGen = binary.LittleEndian.Uint64(b[20:])
+		m.prevStartLSN = binary.LittleEndian.Uint64(b[28:])
+	}
+	return m, nil
 }
 
-// writeMeta atomically replaces the metadata file.
+// writeMeta atomically replaces the metadata file. The legacy 20-byte
+// layout is kept for metas without retention coordinates; with them the
+// file grows to 36 bytes (crc4 | gen8 | startLSN8 | prevGen8 |
+// prevStartLSN8), the CRC covering everything past itself either way.
 func (j *Journal) writeMeta(m journalMeta) error {
-	var b [20]byte
+	b := make([]byte, 20, 36)
 	binary.LittleEndian.PutUint64(b[4:], m.gen)
 	binary.LittleEndian.PutUint64(b[12:], m.startLSN)
+	if m.havePrev {
+		b = binary.LittleEndian.AppendUint64(b, m.prevGen)
+		b = binary.LittleEndian.AppendUint64(b, m.prevStartLSN)
+	}
 	binary.LittleEndian.PutUint32(b[0:], crc32.Checksum(b[4:], castagnoli))
 	tmp := j.metaFile() + ".tmp"
 	f, err := j.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -303,16 +354,28 @@ func (j *Journal) Checkpoint(write func(h *HeapFile) error) error {
 		return err
 	}
 	startLSN := j.wal.NextLSN()
-	if err := j.writeMeta(journalMeta{gen: newGen, startLSN: startLSN}); err != nil {
+	if err := j.writeMeta(j.nextMeta(newGen, startLSN)); err != nil {
 		os.Remove(path)
 		return err
 	}
-	if err := j.wal.Reset(startLSN); err != nil {
-		return err
-	}
-	// Best-effort removal of the superseded snapshot.
-	if j.snapPath != "" {
-		os.Remove(j.snapPath)
+	if j.keepPrev {
+		// Retention: keep the outgoing snapshot and the WAL suffix at or
+		// past ITS fence; only the prefix the previous generation covered
+		// is finally dropped.
+		walOff := j.wal.Size() // fence of the new generation: end of log
+		trimAt := j.fenceOff
+		if err := j.wal.ResetKeepTail(trimAt); err != nil {
+			return err
+		}
+		j.retirePrev(j.gen, j.startLSN, j.snapPath, walOff, trimAt)
+	} else {
+		if err := j.wal.Reset(startLSN); err != nil {
+			return err
+		}
+		// Best-effort removal of the superseded snapshot.
+		if j.snapPath != "" {
+			os.Remove(j.snapPath)
+		}
 	}
 	j.gen = newGen
 	j.snapPath = path
@@ -321,6 +384,37 @@ func (j *Journal) Checkpoint(write func(h *HeapFile) error) error {
 	j.startLSN = startLSN
 	j.unsynced = 0
 	return nil
+}
+
+// nextMeta builds the metadata naming generation gen, carrying the
+// outgoing generation as the retention fallback when RetainPrev is on.
+func (j *Journal) nextMeta(gen, startLSN uint64) journalMeta {
+	m := journalMeta{gen: gen, startLSN: startLSN}
+	if j.keepPrev {
+		m.havePrev = true
+		m.prevGen = j.gen
+		m.prevStartLSN = j.startLSN
+	}
+	return m
+}
+
+// retirePrev rotates the retention bookkeeping after a commit whose new
+// fence sat at byte offset walOff of the pre-trim log: the N-2 snapshot
+// file (now beyond the fallback horizon) is removed, the outgoing
+// generation (outGen, outStartLSN, outSnap) becomes the kept previous,
+// and the fence offset is rebased into the trimmed file's coordinates.
+func (j *Journal) retirePrev(outGen, outStartLSN uint64, outSnap string, walOff, trimAt int64) {
+	if j.prevSnapPath != "" && j.prevSnapPath != outSnap && j.prevSnapPath != j.snapPath {
+		os.Remove(j.prevSnapPath)
+	}
+	j.havePrev = true
+	j.prevGen = outGen
+	j.prevStartLSN = outStartLSN
+	j.prevSnapPath = outSnap
+	if trimAt > walOff {
+		trimAt = walOff
+	}
+	j.fenceOff = walOff - trimAt
 }
 
 // ---- background (sectioned) checkpoints ----
@@ -395,12 +489,19 @@ func (t *CheckpointTicket) WriteSections(write func(w *SectionWriter) error) err
 // snapshot and drops the WAL prefix it covers, keeping entries logged
 // after the fence. The caller must hold the store's write lock.
 func (j *Journal) CommitCheckpoint(t *CheckpointTicket) error {
-	if err := j.writeMeta(journalMeta{gen: t.gen, startLSN: t.startLSN}); err != nil {
+	if err := j.writeMeta(j.nextMeta(t.gen, t.startLSN)); err != nil {
 		os.Remove(t.path)
 		return err
 	}
-	if j.snapPath != "" && j.snapPath != t.path {
-		os.Remove(j.snapPath)
+	outGen, outStartLSN, outSnap := j.gen, j.startLSN, j.snapPath
+	trimAt := t.walOff
+	if j.keepPrev {
+		// Retention: the outgoing snapshot survives as the fallback, so the
+		// WAL is trimmed at ITS fence, keeping one extra checkpoint interval
+		// of log behind the new fence.
+		trimAt = j.fenceOff
+	} else if outSnap != "" && outSnap != t.path {
+		os.Remove(outSnap)
 	}
 	j.gen = t.gen
 	j.snapPath = t.path
@@ -411,7 +512,11 @@ func (j *Journal) CommitCheckpoint(t *CheckpointTicket) error {
 	// The metadata now fences replay at startLSN, so the prefix is dead
 	// weight either way; a failure here costs disk space, not
 	// correctness.
-	return j.wal.ResetKeepTail(t.walOff)
+	err := j.wal.ResetKeepTail(trimAt)
+	if j.keepPrev {
+		j.retirePrev(outGen, outStartLSN, outSnap, t.walOff, trimAt)
+	}
+	return err
 }
 
 // SnapshotTime returns when the current snapshot was written (the file
@@ -423,10 +528,22 @@ func (j *Journal) SnapshotTime() time.Time { return j.snapTime }
 func (j *Journal) SizeOnDisk() int64 {
 	size := j.wal.Size()
 	size += j.snapSize
+	if j.prevSnapPath != "" && j.prevSnapPath != j.snapPath {
+		if fi, err := os.Stat(j.prevSnapPath); err == nil {
+			size += fi.Size()
+		}
+	}
 	if fi, err := os.Stat(j.metaFile()); err == nil {
 		size += fi.Size()
 	}
 	return size
+}
+
+// PrevGen returns the retained previous snapshot generation and whether
+// retention has established one (RetainPrev journals only; prevGen 0
+// with ok=true means the fallback is "no snapshot + full WAL").
+func (j *Journal) PrevGen() (uint64, bool) {
+	return j.prevGen, j.havePrev
 }
 
 // WALSize returns the current WAL size in bytes.

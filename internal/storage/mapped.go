@@ -3,8 +3,8 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"os"
+	"slices"
 	"sync/atomic"
 	"unsafe"
 )
@@ -42,9 +42,19 @@ type SectionFile struct {
 }
 
 type sectionFrame struct {
+	// hdr aliases the frame's 12-byte tag+length prefix in the file view
+	// for v4 files (nil for v2/v3, whose CRC covers the payload alone).
+	// Verification reads it from the view each time, so post-open header
+	// rot in a mapped file is caught by the scrub like payload rot.
+	hdr      []byte
 	payload  []byte
 	crc      uint32
 	verified atomic.Bool
+}
+
+// verifyCRC re-checksums the frame against its recorded CRC.
+func (s *sectionFrame) verifyCRC(version uint32) bool {
+	return sectionFrameCRC(version, s.hdr, s.payload) == s.crc
 }
 
 // OpenSectionFile opens the sectioned checkpoint at path and parses its
@@ -115,7 +125,7 @@ func (f *SectionFile) parse() error {
 		return fmt.Errorf("%w: %s", ErrNotSectioned, path)
 	}
 	v := binary.LittleEndian.Uint32(data[4:])
-	if v != sectionVersion && v != sectionVersionAligned {
+	if v != sectionVersion && v != sectionVersionAligned && v != sectionVersionHeaderCRC {
 		return fmt.Errorf("%w: %s has version %d", ErrBadVersion, path, v)
 	}
 	f.version = v
@@ -125,8 +135,9 @@ func (f *SectionFile) parse() error {
 		if off+sectionFrameHeader > int64(len(data)) {
 			return fmt.Errorf("%w: %s: truncated frame at %d", ErrSectionCorrupt, path, off)
 		}
-		tag := binary.LittleEndian.Uint32(data[off:])
-		length := binary.LittleEndian.Uint64(data[off+4:])
+		hdr := data[off : off+12 : off+12]
+		tag := binary.LittleEndian.Uint32(hdr)
+		length := binary.LittleEndian.Uint64(hdr[4:])
 		crc := binary.LittleEndian.Uint32(data[off+12:])
 		off += sectionFrameHeader
 		if length > uint64(int64(len(data))-off) {
@@ -137,12 +148,16 @@ func (f *SectionFile) parse() error {
 		if tag == sectionPadTag {
 			continue
 		}
-		f.secs[tag] = &sectionFrame{payload: payload, crc: crc}
+		if v < sectionVersionHeaderCRC {
+			hdr = nil
+		}
+		f.secs[tag] = &sectionFrame{hdr: hdr, payload: payload, crc: crc}
 	}
 	return nil
 }
 
-// Version returns the container format version (2 unaligned, 3 aligned).
+// Version returns the container format version (2 unaligned, 3
+// aligned, 4 aligned with header-covering checksums).
 func (f *SectionFile) Version() uint32 { return f.version }
 
 // Mapped reports whether section payloads alias a memory mapping
@@ -164,13 +179,50 @@ func (f *SectionFile) Section(tag uint32) ([]byte, error) {
 		return nil, nil
 	}
 	if !s.verified.Load() {
-		if crc32.Checksum(s.payload, castagnoli) != s.crc {
+		if !s.verifyCRC(f.version) {
 			return nil, fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, f.path, tag)
 		}
 		s.verified.Store(true)
 	}
 	return s.payload, nil
 }
+
+// Tags returns every section tag present, sorted ascending. The scrub
+// sweep uses it as a stable cursor space: the set is fixed at parse
+// time, so a slice-at-a-time sweep can resume where it left off.
+func (f *SectionFile) Tags() []uint32 {
+	out := make([]uint32, 0, len(f.secs))
+	for tag := range f.secs {
+		out = append(out, tag)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// VerifyTag re-checksums the section with the given tag unconditionally
+// — unlike Section, which trusts a previous verification. This is the
+// scrubber's primitive: a mapped checkpoint's bytes come straight off
+// the file, so silent on-disk corruption (bit rot, a misdirected write)
+// shows up here even after the section verified clean at load time. On
+// success the section's lazy-verification flag is (re)confirmed; on
+// mismatch the flag is cleared, so subsequent Section reads fail too
+// instead of serving bytes known to be bad. A missing tag verifies
+// trivially (nil).
+func (f *SectionFile) VerifyTag(tag uint32) error {
+	s := f.secs[tag]
+	if s == nil {
+		return nil
+	}
+	if !s.verifyCRC(f.version) {
+		s.verified.Store(false)
+		return fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, f.path, tag)
+	}
+	s.verified.Store(true)
+	return nil
+}
+
+// Path returns the path the file view was opened from.
+func (f *SectionFile) Path() string { return f.path }
 
 // All returns every section payload keyed by tag, verifying each
 // section's checksum. The slices alias the file view; callers must not

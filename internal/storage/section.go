@@ -22,8 +22,13 @@ import (
 //	header:  [magic u32][version u32][reserved u64]
 //	section: [tag u32][length u64][crc32c u32][payload ...]   (repeated)
 //
-// The CRC covers the payload only; tag and length corruption surfaces as
-// a failed bounds check or a CRC mismatch one section later. Atomicity
+// In the current (v4) format the CRC covers the tag and length fields
+// and then the payload, so a flipped bit anywhere in a frame fails
+// verification. In v2/v3 files the CRC covers the payload only — there
+// a tag flip that preserves the length parses cleanly and merely
+// renames the section, which is why v4 exists (the torture harness
+// caught exactly that: bit rot in a frame header passing a full scrub
+// while making the checkpoint unloadable). Atomicity
 // is the journal's job: a checkpoint file only becomes live once the
 // journal metadata names it, after a full fsync, so a torn section file
 // is unreachable garbage, not a recovery hazard.
@@ -53,6 +58,26 @@ const sectionVersionAligned = uint32(3)
 // so payloads also start on page boundaries for I/O friendliness).
 const sectionPageSize = 4096
 
+// sectionVersionHeaderCRC extends the aligned format with frame-header
+// integrity: each frame's checksum covers its tag and length fields
+// followed by the payload, closing the v2/v3 blind spot where frame
+// headers were unprotected. Layout and alignment are identical to v3.
+const sectionVersionHeaderCRC = uint32(4)
+
+// sectionFrameCRC computes a frame's checksum for the given container
+// version: v4+ covers the 12-byte tag+length prefix then the payload
+// chunks; earlier versions cover the payload alone.
+func sectionFrameCRC(version uint32, hdr12 []byte, chunks ...[]byte) uint32 {
+	crc := crc32.Checksum(nil, castagnoli)
+	if version >= sectionVersionHeaderCRC {
+		crc = crc32.Update(crc, castagnoli, hdr12)
+	}
+	for _, c := range chunks {
+		crc = crc32.Update(crc, castagnoli, c)
+	}
+	return crc
+}
+
 // sectionPadTag marks a pad frame: its payload is alignment fill, not a
 // section. Readers must skip it; real section tags start at 1.
 const sectionPadTag = uint32(0)
@@ -80,10 +105,10 @@ type SectionWriter struct {
 }
 
 // CreateSectionFile creates (or truncates) a sectioned checkpoint file
-// at path and writes its header. Files are written in the page-aligned
-// v3 format.
+// at path and writes its header. Files are written in the page-aligned,
+// header-checksummed v4 format.
 func CreateSectionFile(path string) (*SectionWriter, error) {
-	return createSectionFile(path, sectionVersionAligned)
+	return createSectionFile(path, sectionVersionHeaderCRC)
 }
 
 // CreateSectionFileV2 writes the legacy unaligned v2 container. It
@@ -128,7 +153,7 @@ func (w *SectionWriter) alignPayload() error {
 	var hdr [sectionFrameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], sectionPadTag)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(padLen))
-	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(pad, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[12:], sectionFrameCRC(w.version, hdr[:12], pad))
 	if _, err := w.f.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -159,15 +184,13 @@ func (w *SectionWriter) WriteSectionBytes(tag uint32, chunks ...[]byte) error {
 		return err
 	}
 	var total uint64
-	crc := crc32.Checksum(nil, castagnoli)
 	for _, c := range chunks {
 		total += uint64(len(c))
-		crc = crc32.Update(crc, castagnoli, c)
 	}
 	var hdr [sectionFrameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], tag)
 	binary.LittleEndian.PutUint64(hdr[4:], total)
-	binary.LittleEndian.PutUint32(hdr[12:], crc)
+	binary.LittleEndian.PutUint32(hdr[12:], sectionFrameCRC(w.version, hdr[:12], chunks...))
 	if _, err := w.f.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -224,7 +247,8 @@ func ReadSections(path string) (map[uint32][]byte, error) {
 		binary.LittleEndian.Uint32(data[0:]) != sectionMagic {
 		return nil, fmt.Errorf("%w: %s", ErrNotSectioned, path)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != sectionVersion && v != sectionVersionAligned {
+	v := binary.LittleEndian.Uint32(data[4:])
+	if v != sectionVersion && v != sectionVersionAligned && v != sectionVersionHeaderCRC {
 		return nil, fmt.Errorf("%w: %s has version %d", ErrBadVersion, path, v)
 	}
 	secs := make(map[uint32][]byte)
@@ -233,8 +257,9 @@ func ReadSections(path string) (map[uint32][]byte, error) {
 		if off+sectionFrameHeader > int64(len(data)) {
 			return nil, fmt.Errorf("%w: %s: truncated frame at %d", ErrSectionCorrupt, path, off)
 		}
-		tag := binary.LittleEndian.Uint32(data[off:])
-		length := binary.LittleEndian.Uint64(data[off+4:])
+		hdr := data[off : off+12]
+		tag := binary.LittleEndian.Uint32(hdr)
+		length := binary.LittleEndian.Uint64(hdr[4:])
 		wantCRC := binary.LittleEndian.Uint32(data[off+12:])
 		off += sectionFrameHeader
 		if length > uint64(int64(len(data))-off) {
@@ -245,7 +270,7 @@ func ReadSections(path string) (map[uint32][]byte, error) {
 		if tag == sectionPadTag {
 			continue // alignment fill, not a section
 		}
-		if crc32.Checksum(payload, castagnoli) != wantCRC {
+		if sectionFrameCRC(v, hdr, payload) != wantCRC {
 			return nil, fmt.Errorf("%w: %s: section %d checksum mismatch", ErrSectionCorrupt, path, tag)
 		}
 		secs[tag] = payload

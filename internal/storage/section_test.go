@@ -151,3 +151,55 @@ func TestSectionFutureVersionRouting(t *testing.T) {
 		t.Fatalf("ReadSections err = %v, want ErrBadVersion", err)
 	}
 }
+
+// TestFrameHeaderCorruptionDetected is the v4 regression the torture
+// harness earned: a single bit flipped in a frame's *tag* field (length
+// intact) parses as a perfectly framed file whose section merely
+// changed name — in v2/v3 that passed every CRC while making the
+// checkpoint unloadable ("missing nodes section" at open). The v4
+// header-covering checksum must call it corruption through every read
+// path: eager ReadSections, lazy Section, and the scrubber's VerifyTag.
+func TestFrameHeaderCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.sec")
+	writeTestSections(t, path, map[uint32][]byte{7: []byte("the nodes column")})
+
+	// The first real frame of an aligned file sits right before its
+	// page-aligned payload; locate it by walking, then flip one tag bit.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(sectionFileHeader)
+	for {
+		tag := uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+		length := int64(uint64(data[off+4]) | uint64(data[off+5])<<8 | uint64(data[off+6])<<16 | uint64(data[off+7])<<24)
+		if tag != sectionPadTag {
+			break
+		}
+		off += sectionFrameHeader + length
+	}
+	data[off] ^= 0x01 // tag 7 -> tag 6, framing untouched
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadSections(path); err == nil {
+		t.Fatal("ReadSections accepted a flipped frame tag")
+	}
+	sf, err := OpenSectionFile(path, false)
+	if err != nil {
+		t.Fatal(err) // directory parse alone cannot know; reads must
+	}
+	defer sf.Close()
+	for _, tag := range sf.Tags() {
+		if err := sf.VerifyTag(tag); err == nil {
+			t.Fatalf("VerifyTag(%d) clean on a flipped frame tag", tag)
+		}
+		if _, err := sf.Section(tag); err == nil {
+			t.Fatalf("Section(%d) served a flipped frame tag", tag)
+		}
+	}
+	if len(sf.Tags()) == 0 {
+		t.Fatal("flipped-tag frame vanished from the directory entirely")
+	}
+}

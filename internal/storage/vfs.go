@@ -49,8 +49,8 @@ type osFS struct{}
 func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error                  { return os.Remove(name) }
-func (osFS) ReadFile(name string) ([]byte, error)      { return os.ReadFile(name) }
-func (osFS) Stat(name string) (os.FileInfo, error)     { return os.Stat(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
 func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }

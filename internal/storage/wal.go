@@ -39,6 +39,15 @@ type WAL struct {
 	// different events at the same LSNs) is caught at resume time.
 	lastCRC  uint32
 	haveLast bool
+
+	// fenceOff is the byte offset of the first replayed entry with
+	// lsn >= the open's fromLSN (the snapshot fence) — the oldest entry
+	// recovery actually needs. With previous-generation checkpoint
+	// retention the journal keeps a deeper prefix below it; the offset
+	// tells the next checkpoint where the prefix it may finally drop
+	// ends. Maintained only across open (the journal tracks it forward
+	// from there).
+	fenceOff int64
 }
 
 const walFrameHeader = 16
@@ -77,7 +86,7 @@ func OpenWALFS(fs VFS, path string, fromLSN uint64, apply func(lsn uint64, paylo
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal %s: %w", path, err)
 	}
-	wal := &WAL{fs: fs, f: f, path: path, lsn: fromLSN}
+	wal := &WAL{fs: fs, f: f, path: path, lsn: fromLSN, fenceOff: -1}
 	validEnd, lastLSN, seen, err := wal.replay(fromLSN, apply)
 	if err != nil {
 		f.Close()
@@ -92,12 +101,20 @@ func OpenWALFS(fs VFS, path string, fromLSN uint64, apply func(lsn uint64, paylo
 		return nil, err
 	}
 	wal.size = validEnd
+	if wal.fenceOff < 0 || wal.fenceOff > validEnd {
+		wal.fenceOff = validEnd // every surviving entry predates the fence
+	}
 	if seen && lastLSN >= fromLSN {
 		wal.lsn = lastLSN + 1
 	}
 	wal.w = bufio.NewWriterSize(f, 64<<10)
 	return wal, nil
 }
+
+// FenceOff returns the byte offset of the first entry replay did not
+// skip (== Size when every entry predates the fence). Only meaningful
+// right after open; the journal tracks the fence forward from there.
+func (w *WAL) FenceOff() int64 { return w.fenceOff }
 
 // replay scans the log from the start, applying entries with
 // lsn >= fromLSN. It returns the offset just past the last valid entry,
@@ -113,6 +130,7 @@ func (w *WAL) replay(fromLSN uint64, apply func(lsn uint64, payload []byte) erro
 		seen    bool
 		header  [walFrameHeader]byte
 	)
+	fenceSeen := false
 	for {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
 			// io.EOF: clean end. ErrUnexpectedEOF: torn header; stop.
@@ -133,9 +151,15 @@ func (w *WAL) replay(fromLSN uint64, apply func(lsn uint64, payload []byte) erro
 		if crc != wantCRC {
 			return off, lastLSN, seen, nil // corrupt entry terminates replay
 		}
-		if lsn >= fromLSN && apply != nil {
-			if err := apply(lsn, payload); err != nil {
-				return 0, 0, false, fmt.Errorf("storage: wal replay lsn %d: %w", lsn, err)
+		if lsn >= fromLSN {
+			if !fenceSeen {
+				fenceSeen = true
+				w.fenceOff = off
+			}
+			if apply != nil {
+				if err := apply(lsn, payload); err != nil {
+					return 0, 0, false, fmt.Errorf("storage: wal replay lsn %d: %w", lsn, err)
+				}
 			}
 		}
 		if lsn > lastLSN {

@@ -439,3 +439,141 @@ func TestWALCrashBetweenRenameStepsRecovers(t *testing.T) {
 		t.Fatalf("stale .tmp not swept at open: %v", err)
 	}
 }
+
+func TestWALReaderValidThenTornFrameMidFile(t *testing.T) {
+	// A CRC-valid frame followed by a torn frame: the reader must
+	// deliver the valid frame and then report "nothing yet" (the torn
+	// frame looks like an in-progress append), never corruption.
+	path := filepath.Join(t.TempDir(), "g.wal")
+	w, err := CreateWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		appendFlush(t, w, []byte(fmt.Sprintf("entry-%d", i)))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last frame mid-payload.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenWALReader(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		frame, lsn, err := r.ReadFrame()
+		if err != nil || frame == nil || lsn != uint64(i) {
+			t.Fatalf("frame %d: lsn=%d err=%v frame=%v", i, lsn, err, frame != nil)
+		}
+	}
+	if frame, _, err := r.ReadFrame(); err != nil || frame != nil {
+		t.Fatalf("torn frame: frame=%v err=%v, want nil/nil", frame != nil, err)
+	}
+
+	// The offline scrubber agrees: torn tail, 2 clean frames, no error.
+	frames, err := ScrubWALFile(path)
+	if err != nil || frames != 2 {
+		t.Fatalf("scrub = %d, %v; want 2, nil", frames, err)
+	}
+}
+
+func TestWALReaderCorruptFrameWithValidSuccessor(t *testing.T) {
+	// A CRC-bad frame that is NOT the tail (a valid successor follows)
+	// is real corruption: the reader reports ErrWALReaderCorrupt rather
+	// than skipping or waiting, and the scrubber flags the same frame.
+	path := filepath.Join(t.TempDir(), "h.wal")
+	w, err := CreateWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for i := 0; i < 3; i++ {
+		offs = append(offs, w.Size())
+		appendFlush(t, w, []byte(fmt.Sprintf("entry-%d", i)))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, path, offs[1]+walFrameHeader+2) // payload byte of frame 1
+
+	r, err := OpenWALReader(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, lsn, err := r.ReadFrame(); err != nil || lsn != 0 {
+		t.Fatalf("frame 0: lsn=%d err=%v", lsn, err)
+	}
+	if _, _, err := r.ReadFrame(); !errors.Is(err, ErrWALReaderCorrupt) {
+		t.Fatalf("corrupt frame: err = %v, want ErrWALReaderCorrupt", err)
+	}
+
+	if _, err := ScrubWALFile(path); !errors.Is(err, ErrWALReaderCorrupt) {
+		t.Fatalf("scrub err = %v, want ErrWALReaderCorrupt", err)
+	}
+}
+
+func TestScrubWALFileDuringResetKeepTail(t *testing.T) {
+	// The scrubber opens its own handle by path; a concurrent
+	// ResetKeepTail swaps the file by rename, so any single scrub pass
+	// sees one frozen, internally-consistent log (old or new inode) and
+	// never reports corruption.
+	path := filepath.Join(t.TempDir(), "i.wal")
+	w, err := CreateWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var offs []int64 // frame-start offsets in the current file
+	for i := 0; i < 50; i++ {
+		offs = append(offs, w.Size())
+		appendFlush(t, w, []byte(fmt.Sprintf("seed-entry-%d", i)))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 200; i++ {
+			if _, err := ScrubWALFile(path); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for i := 0; i < 40; i++ {
+		// Trim on a frame boundary, as a real checkpoint fence always does.
+		cut := offs[len(offs)/2]
+		if err := w.ResetKeepTail(cut); err != nil {
+			t.Fatal(err)
+		}
+		rem := offs[len(offs)/2:]
+		rebased := make([]int64, 0, len(rem)+10)
+		for _, o := range rem {
+			rebased = append(rebased, o-cut)
+		}
+		offs = rebased
+		for k := 0; k < 10; k++ {
+			offs = append(offs, w.Size())
+			appendFlush(t, w, []byte(fmt.Sprintf("churn-%d-%d", i, k)))
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("scrub during ResetKeepTail churn: %v", err)
+	}
+}

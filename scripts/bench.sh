@@ -13,7 +13,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run=NONE \
-  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkExpandParallelism$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestHTTP$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$' \
+  -bench 'BenchmarkSingleSearch$|BenchmarkParallelSearch$|BenchmarkParallelSearchContended$|BenchmarkPerCallOptions$|BenchmarkExpandParallelism$|BenchmarkE2aContextualSearch$|BenchmarkE2bPersonalize$|BenchmarkE2cTimeContext$|BenchmarkE2dLineage$|BenchmarkIngest$|BenchmarkIngestHTTP$|BenchmarkIngestParallelReaders$|BenchmarkApplyAcrossReseal$|BenchmarkColdOpen$|BenchmarkScrubOverhead$' \
   -benchmem -benchtime "$benchtime" . | tee "$tmp"
 
 # Scheduler sweep: the concurrency-sensitive benchmarks again at pinned
@@ -65,6 +65,7 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" \
     if ($(i+1) == "p99_post_ns") extra = extra sprintf(", \"p99_post_ns\": %s", $i)
     if ($(i+1) == "p50_query_ns") extra = extra sprintf(", \"p50_query_ns\": %s", $i)
     if ($(i+1) == "p99_query_ns") extra = extra sprintf(", \"p99_query_ns\": %s", $i)
+    if ($(i+1) == "sweeps") extra = extra sprintf(", \"scrub_sweeps\": %s", $i)
     if ($(i+1) == "reopens") extra = extra sprintf(", \"reopens\": %s", $i)
     if ($(i+1) == "mapped_bytes") extra = extra sprintf(", \"mapped_bytes\": %s", $i)
     if ($(i+1) == "open_tenants") extra = extra sprintf(", \"open_tenants\": %s", $i)
